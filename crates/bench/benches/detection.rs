@@ -1,0 +1,78 @@
+//! Criterion microbenches for the DSA's hot detection paths: CIDP
+//! arithmetic, SIMD plan generation, DSA-cache churn, and the ISA
+//! encode/decode layer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dsa_core::{build_plan, predict, CachedKind, DsaCache, LeftoverPolicy, LoopClass, Stream};
+
+fn bench_cidp(c: &mut Criterion) {
+    let streams: Vec<Stream> = (0..8)
+        .map(|i| Stream {
+            addr2: 0x1000 + i * 0x400,
+            gap: 4,
+            is_write: i % 3 == 0,
+            bytes: 4,
+        })
+        .collect();
+    c.bench_function("cidp_predict_8_streams", |b| {
+        b.iter(|| predict(black_box(&streams), black_box(4096)))
+    });
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let template = dsa_core::LoopTemplate::test_dummy();
+    let streams: Vec<_> =
+        template.streams.iter().enumerate().map(|(i, &s)| (s, 0x2000 + 0x800 * i as u32)).collect();
+    c.bench_function("plan_build_1021_iterations", |b| {
+        b.iter(|| {
+            build_plan(
+                black_box(&template),
+                black_box(&streams),
+                template.ops,
+                black_box(1021),
+                LeftoverPolicy::Auto,
+            )
+        })
+    });
+}
+
+fn bench_dsa_cache(c: &mut Criterion) {
+    c.bench_function("dsa_cache_probe_insert_churn", |b| {
+        b.iter_batched(
+            || DsaCache::new(8 * 1024),
+            |mut cache| {
+                for id in 0..512u32 {
+                    if cache.probe(black_box(id * 4)).is_none() {
+                        cache.insert(id * 4, CachedKind::NonVectorizable(LoopClass::Count));
+                    }
+                }
+                cache.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    use dsa_isa::{Asm, Cond, Reg};
+    let mut a = Asm::new();
+    for i in 0..64i32 {
+        a.mov_imm(Reg::new((i % 12) as u8), i * 37);
+        a.add_imm(Reg::R0, Reg::R0, 1);
+        a.cmp_imm(Reg::R0, 100);
+        let here = a.here();
+        a.b_to(Cond::Ne, here);
+    }
+    a.halt();
+    let program = a.finish();
+    let words = program.to_words();
+    c.bench_function("isa_encode_program", |b| b.iter(|| black_box(&program).to_words()));
+    c.bench_function("isa_decode_program", |b| {
+        b.iter(|| dsa_isa::Program::from_words(black_box(&words)).expect("decodes"))
+    });
+}
+
+criterion_group!(benches, bench_cidp, bench_plan, bench_dsa_cache, bench_encode_decode);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion end-to-end simulation benches: each workload simulated
+//! under the ARM Original Execution and under the full DSA — these are
+//! benchmarks of the *simulator stack itself* (events per second), run
+//! at small scale so the suite completes quickly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dsa_core::{Dsa, DsaConfig};
+use dsa_cpu::{CpuConfig, Simulator};
+use dsa_workloads::{build, BuiltWorkload, Scale, WorkloadId};
+
+fn simulate(w: &BuiltWorkload, dsa: bool) -> u64 {
+    let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+    (w.init)(sim.machine_mut());
+    for buf in w.kernel.layout.bufs() {
+        sim.warm_region(buf.base, buf.size_bytes());
+    }
+    let out = if dsa {
+        let mut hook = Dsa::new(DsaConfig::full());
+        sim.run_with_hook(100_000_000, &mut hook).expect("runs")
+    } else {
+        sim.run(100_000_000).expect("runs")
+    };
+    assert!(out.halted && w.check(sim.machine()));
+    out.cycles
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(20);
+    for id in [
+        WorkloadId::RgbGray,
+        WorkloadId::Gaussian,
+        WorkloadId::SusanEdges,
+        WorkloadId::QSort,
+        WorkloadId::Dijkstra,
+        WorkloadId::BitCounts,
+        WorkloadId::MatMul,
+    ] {
+        let scalar = build(id, dsa_compiler::Variant::Scalar, Scale::Small);
+        group.bench_function(format!("{}-original", id.name()), |b| {
+            b.iter(|| simulate(&scalar, false))
+        });
+        group.bench_function(format!("{}-dsa", id.name()), |b| {
+            b.iter(|| simulate(&scalar, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

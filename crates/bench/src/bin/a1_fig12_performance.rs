@@ -1,0 +1,4 @@
+//! E1 — Article 1 Figure 12: AutoVec vs original DSA.
+fn main() {
+    println!("{}", dsa_bench::experiments::a1_fig12_performance());
+}

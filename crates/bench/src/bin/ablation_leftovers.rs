@@ -1,0 +1,4 @@
+//! X1 — ablation: leftover strategies.
+fn main() {
+    println!("{}", dsa_bench::experiments::ablation_leftovers());
+}

@@ -1,0 +1,30 @@
+//! Runs every experiment of the reproduction in sequence — the paper's
+//! complete evaluation section.
+use dsa_bench::experiments as e;
+use dsa_bench::System;
+
+fn main() {
+    for section in [
+        e::table_setups(),
+        e::table2_techniques(),
+        e::a1_fig12_performance(),
+        e::a1_table3_area(),
+        e::neon_parallelism(),
+        e::a2_fig16_extended(),
+        e::dsa_latency_table(System::DsaExtended, "A2 Table 3 - DSA latency"),
+        e::a3_fig7_loop_census(),
+        e::a3_fig8_performance(),
+        e::a3_fig9_energy(),
+        e::dsa_latency_table(System::DsaFull, "A3 Table 2 - DSA detection latency"),
+        e::a3_table3_dsa_energy(),
+        e::table1_inhibitors(),
+        e::ablation_leftovers(),
+        e::ablation_partial(),
+        e::ablation_dsa_cache(),
+        e::ablation_sentinel(),
+        e::ablation_hardware(),
+    ] {
+        println!("{section}");
+        println!("{}", "=".repeat(100));
+    }
+}

@@ -1,0 +1,74 @@
+//! Inspection tool: disassembles a workload, shows the static
+//! vectorizer's per-loop verdicts, then runs the full DSA and reports
+//! what it detected, classified and vectorized.
+//!
+//! ```text
+//! cargo run --release -p dsa-bench --bin inspect -- bitcounts
+//! ```
+
+use dsa_bench::{run_built, System};
+use dsa_compiler::Variant;
+use dsa_workloads::{build, Scale, WorkloadId};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "rgb-gray".into());
+    let id = match arg.to_lowercase().as_str() {
+        "mm" | "matmul" => WorkloadId::MatMul,
+        "rgb" | "rgb-gray" => WorkloadId::RgbGray,
+        "gaussian" => WorkloadId::Gaussian,
+        "susan" => WorkloadId::SusanEdges,
+        "qsort" => WorkloadId::QSort,
+        "dijkstra" => WorkloadId::Dijkstra,
+        "bitcounts" => WorkloadId::BitCounts,
+        other => {
+            eprintln!(
+                "unknown workload `{other}`; one of: mm rgb gaussian susan qsort dijkstra bitcounts"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let scalar = build(id, Variant::Scalar, Scale::Small);
+    println!("== {} — scalar binary ({} instructions) ==", id.name(), scalar.kernel.program.len());
+    println!("{}", scalar.kernel.program);
+
+    println!("== static auto-vectorizer verdicts ==");
+    let auto = build(id, Variant::AutoVec, Scale::Small);
+    for r in &auto.kernel.reports {
+        match (&r.vectorized, &r.inhibit) {
+            (true, _) => println!("  {:<20} vectorized (pc {})", r.name, r.start_pc),
+            (false, Some(reason)) => println!("  {:<20} scalar: {reason}", r.name),
+            (false, None) => println!("  {:<20} scalar", r.name),
+        }
+    }
+
+    println!("\n== full DSA at runtime ==");
+    let result = run_built(&scalar, System::DsaFull);
+    let stats = result.dsa.expect("DSA run");
+    println!(
+        "  loop entries observed: {}, vectorized: {}, cache hits: {}, \
+         iterations covered: {}, SIMD ops injected: {}",
+        stats.loops_detected,
+        stats.loops_vectorized,
+        stats.dsa_cache_hits,
+        stats.covered_iterations,
+        stats.injected_ops,
+    );
+    println!(
+        "  detection: {} DSA-side cycles ({:.2}% of {} total; runs in parallel)",
+        stats.detection_cycles,
+        100.0 * stats.detection_fraction(result.cycles()),
+        result.cycles(),
+    );
+    println!("  loop census:");
+    for (class, n) in result.census.as_ref().expect("census").iter() {
+        println!("    {class}: {n}");
+    }
+    let base = run_built(&build(id, Variant::Scalar, Scale::Small), System::Original);
+    println!(
+        "  cycles: {} original -> {} with the DSA ({:+.1}%)",
+        base.cycles(),
+        result.cycles(),
+        dsa_bench::improvement_pct(base.cycles(), result.cycles())
+    );
+}

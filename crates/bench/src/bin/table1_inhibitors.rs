@@ -1,0 +1,4 @@
+//! E11 — dissertation Table 1: auto-vectorization inhibiting factors.
+fn main() {
+    println!("{}", dsa_bench::experiments::table1_inhibitors());
+}

@@ -1,0 +1,4 @@
+//! E10 — the systems-setup table.
+fn main() {
+    println!("{}", dsa_bench::experiments::table_setups());
+}

@@ -1,0 +1,222 @@
+//! Experiment harness: runs every (workload × system) combination and
+//! regenerates the paper's tables and figures.
+//!
+//! The six systems compared across the three articles:
+//!
+//! | System | Binary | DLP engine |
+//! |--------|--------|-----------|
+//! | [`System::Original`] | scalar | none ("ARM Original Execution") |
+//! | [`System::AutoVec`] | compiler-vectorized | NEON |
+//! | [`System::HandVec`] | hand-vectorized | NEON |
+//! | [`System::DsaOriginal`] | scalar | NEON driven by the SBCCI'18 DSA |
+//! | [`System::DsaExtended`] | scalar | NEON driven by the SBESC'18 DSA |
+//! | [`System::DsaFull`] | scalar | NEON driven by the DATE'19 DSA |
+//!
+//! Every run asserts the workload's golden checksum, so a reported
+//! speedup can never come from wrong results.
+
+pub mod experiments;
+
+use dsa_compiler::Variant;
+use dsa_core::{Dsa, DsaConfig, DsaStats, LoopCensus};
+use dsa_cpu::{CpuConfig, RunOutcome, Simulator};
+use dsa_energy::{EnergyBreakdown, EnergyModel, EnergyTable};
+use dsa_workloads::{build, BuiltWorkload, Scale, WorkloadId};
+
+/// Instruction budget per run.
+pub const FUEL: u64 = 2_000_000_000;
+
+/// The systems compared in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum System {
+    /// ARM Original Execution (no DLP exploitation).
+    Original,
+    /// ARM NEON auto-vectorizing compiler.
+    AutoVec,
+    /// ARM NEON library hand-vectorized code.
+    HandVec,
+    /// Original DSA (Article 1).
+    DsaOriginal,
+    /// Extended DSA (Article 2).
+    DsaExtended,
+    /// Full DSA (Article 3, DATE 2019).
+    DsaFull,
+}
+
+impl System {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            System::Original => "ARM Original",
+            System::AutoVec => "NEON AutoVec",
+            System::HandVec => "NEON Hand-Coded",
+            System::DsaOriginal => "DSA (original)",
+            System::DsaExtended => "DSA (extended)",
+            System::DsaFull => "DSA (full)",
+        }
+    }
+
+    /// Which compiler variant the system's binary is built with.
+    pub fn variant(self) -> Variant {
+        match self {
+            System::AutoVec => Variant::AutoVec,
+            System::HandVec => Variant::HandVec,
+            _ => Variant::Scalar,
+        }
+    }
+
+    /// The DSA configuration, if the system uses the DSA.
+    pub fn dsa_config(self) -> Option<DsaConfig> {
+        match self {
+            System::DsaOriginal => Some(DsaConfig::original()),
+            System::DsaExtended => Some(DsaConfig::extended()),
+            System::DsaFull => Some(DsaConfig::full()),
+            _ => None,
+        }
+    }
+}
+
+/// Result of one measured run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Simulator outcome (cycles, instruction mix, memory statistics).
+    pub outcome: RunOutcome,
+    /// DSA statistics when the system used the DSA.
+    pub dsa: Option<DsaStats>,
+    /// Loop census when the system used the DSA.
+    pub census: Option<LoopCensus>,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl RunResult {
+    /// Cycles taken.
+    pub fn cycles(&self) -> u64 {
+        self.outcome.cycles
+    }
+}
+
+/// Runs a prebuilt workload under one system.
+///
+/// # Panics
+///
+/// Panics if the run does not halt or produces a result different from
+/// the workload's golden reference.
+pub fn run_built(w: &BuiltWorkload, system: System) -> RunResult {
+    let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+    (w.init)(sim.machine_mut());
+    // Inputs are L2-resident, as left behind by the input phase that
+    // produced them.
+    for buf in w.kernel.layout.bufs() {
+        sim.warm_region(buf.base, buf.size_bytes());
+    }
+    let (outcome, dsa) = match system.dsa_config() {
+        None => (sim.run(FUEL).expect("run ok"), None),
+        Some(cfg) => {
+            let mut dsa = Dsa::new(cfg);
+            let out = sim.run_with_hook(FUEL, &mut dsa).expect("run ok");
+            (out, Some(dsa))
+        }
+    };
+    assert!(outcome.halted, "workload exhausted fuel");
+    assert!(
+        w.check(sim.machine()),
+        "{:?} produced a wrong result: got {:#x}, want {:#x}",
+        system,
+        w.actual(sim.machine()),
+        w.expected
+    );
+    let model = EnergyModel::new(EnergyTable::default());
+    let stats = dsa.as_ref().map(|d| d.stats());
+    let energy = model.evaluate(&outcome, stats.as_ref());
+    RunResult {
+        outcome,
+        dsa: stats,
+        census: dsa.as_ref().map(|d| d.census()),
+        energy,
+    }
+}
+
+/// Builds and runs one workload under one system.
+pub fn run_system(id: WorkloadId, system: System, scale: Scale) -> RunResult {
+    let w = build(id, system.variant(), scale);
+    run_built(&w, system)
+}
+
+/// Performance improvement of `x` over `baseline` in percent
+/// (`(baseline/x − 1) × 100`; positive = faster).
+pub fn improvement_pct(baseline_cycles: u64, x_cycles: u64) -> f64 {
+    100.0 * (baseline_cycles as f64 / x_cycles as f64 - 1.0)
+}
+
+/// Geometric mean of speedup ratios derived from improvement
+/// percentages.
+pub fn geomean_improvement(improvements_pct: &[f64]) -> f64 {
+    let log_sum: f64 =
+        improvements_pct.iter().map(|p| (1.0 + p / 100.0).ln()).sum();
+    ((log_sum / improvements_pct.len() as f64).exp() - 1.0) * 100.0
+}
+
+/// Renders a simple aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_math() {
+        assert_eq!(improvement_pct(200, 100), 100.0);
+        assert_eq!(improvement_pct(100, 100), 0.0);
+        assert!((improvement_pct(100, 103) + 2.912).abs() < 0.01);
+    }
+
+    #[test]
+    fn geomean_of_equal_values() {
+        let g = geomean_improvement(&[50.0, 50.0, 50.0]);
+        assert!((g - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = render_table(&["a", "bb"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("a"));
+        assert!(t.lines().count() == 3);
+    }
+
+    #[test]
+    fn smoke_run_one_system() {
+        let r = run_system(WorkloadId::RgbGray, System::DsaFull, Scale::Small);
+        assert!(r.cycles() > 0);
+        assert!(r.dsa.is_some());
+        assert!(r.energy.total_nj() > 0.0);
+    }
+}

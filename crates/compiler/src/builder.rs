@@ -1,0 +1,372 @@
+//! Kernel construction: buffer layout, functions, loop emission.
+
+use dsa_isa::{Asm, Label, Program, Reg};
+
+use crate::inhibit::{analyze_autovec, analyze_handvec, InhibitReason};
+use crate::ir::{DataType, LoopIr};
+use crate::scalar;
+use crate::vector::{self, VecStyle};
+
+/// Register conventions used by all generated loops.
+///
+/// * `r0` — induction index.
+/// * `r1` — vectorized trip limit.
+/// * `r2`–`r5` — buffer pointers (up to four buffers per loop).
+/// * `r6`–`r9` — expression temporaries (`r9` doubles as the reduction
+///   accumulator).
+/// * `r10`, `r11` — loop parameters ([`crate::Expr::Var`] 0 and 1), set
+///   by the surrounding raw code.
+/// * `r12` — scratch: full trip limit in vector loops, function
+///   argument/result.
+pub mod regs {
+    use dsa_isa::Reg;
+
+    /// Induction index.
+    pub const INDEX: Reg = Reg::R0;
+    /// (Vectorized) trip limit.
+    pub const LIMIT: Reg = Reg::R1;
+    /// Buffer pointer registers.
+    pub const PTR: [Reg; 4] = [Reg::R2, Reg::R3, Reg::R4, Reg::R5];
+    /// Expression temporaries.
+    pub const TMP: [Reg; 4] = [Reg::R6, Reg::R7, Reg::R8, Reg::R9];
+    /// Reduction accumulator.
+    pub const ACC: Reg = Reg::R9;
+    /// Loop parameter registers.
+    pub const PARAM: [Reg; 2] = [Reg::R10, Reg::R11];
+    /// Scratch / full-limit / call argument+result.
+    pub const SCRATCH: Reg = Reg::R12;
+}
+
+/// Identifier of a buffer declared on a [`KernelBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufId(usize);
+
+impl BufId {
+    /// A sentinel id used by [`crate::LoopIr::default`]; never valid.
+    pub const INVALID: BufId = BufId(usize::MAX);
+
+    /// Creates an id from a raw index (test helper).
+    pub fn from_raw(raw: usize) -> BufId {
+        BufId(raw)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Convenience: an [`crate::Access`] to `self[i + offset]`.
+    pub fn at(self, offset: i32) -> crate::ir::Access {
+        crate::ir::Access { buf: self, offset }
+    }
+}
+
+/// Identifier of a function defined on a [`KernelBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuncId(usize);
+
+impl FuncId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Creates an id from a raw index (test helper).
+    #[doc(hidden)]
+    pub fn from_test(raw: usize) -> FuncId {
+        FuncId(raw)
+    }
+}
+
+/// A declared buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufInfo {
+    /// Display name.
+    pub name: &'static str,
+    /// Base byte address in data memory.
+    pub base: u32,
+    /// Element type.
+    pub elem: DataType,
+    /// Length in elements.
+    pub len: u32,
+}
+
+impl BufInfo {
+    /// Byte address of element `index`.
+    pub fn addr(&self, index: u32) -> u32 {
+        self.base + index * self.elem.bytes()
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.len * self.elem.bytes()
+    }
+}
+
+/// Base address of the data segment buffers are allocated from.
+pub const DATA_BASE: u32 = 0x0010_0000;
+
+/// The buffer layout of a kernel.
+#[derive(Debug, Clone, Default)]
+pub struct Layout {
+    bufs: Vec<BufInfo>,
+    next: u32,
+}
+
+impl Layout {
+    fn new() -> Layout {
+        Layout { bufs: Vec::new(), next: DATA_BASE }
+    }
+
+    fn alloc(&mut self, name: &'static str, elem: DataType, len: u32) -> BufId {
+        // 64-byte alignment keeps vector accesses within single lines.
+        let base = self.next;
+        let size = len * elem.bytes();
+        self.next = (base + size + 63) & !63;
+        self.bufs.push(BufInfo { name, base, elem, len });
+        BufId(self.bufs.len() - 1)
+    }
+
+    /// Looks up a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from a different kernel (or [`BufId::INVALID`]).
+    pub fn buf(&self, id: BufId) -> &BufInfo {
+        &self.bufs[id.0]
+    }
+
+    /// All declared buffers.
+    pub fn bufs(&self) -> &[BufInfo] {
+        &self.bufs
+    }
+
+    /// Total data footprint in bytes.
+    pub fn footprint(&self) -> u32 {
+        self.next - DATA_BASE
+    }
+}
+
+/// Which code generator lowers the innermost loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Plain scalar code — the "ARM Original Execution" system (also the
+    /// input binary for DSA runs).
+    Scalar,
+    /// The static auto-vectorizing compiler baseline.
+    AutoVec,
+    /// The hand-vectorized (NEON library) baseline.
+    HandVec,
+}
+
+/// What happened to one [`LoopIr`] during lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopReport {
+    /// The loop's name.
+    pub name: String,
+    /// Whether a vector body was emitted.
+    pub vectorized: bool,
+    /// Why vectorization was inhibited, if it was.
+    pub inhibit: Option<InhibitReason>,
+    /// Address of the loop's first instruction (instruction units).
+    pub start_pc: u32,
+}
+
+/// A fully lowered kernel.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// The executable program.
+    pub program: Program,
+    /// The data layout (for initialisation and result checking).
+    pub layout: Layout,
+    /// Per-loop lowering reports.
+    pub reports: Vec<LoopReport>,
+    /// The variant this kernel was lowered with.
+    pub variant: Variant,
+}
+
+type FuncBody = Box<dyn FnOnce(&mut Asm)>;
+
+/// Builds a kernel: declare buffers, interleave raw assembly and
+/// [`LoopIr`] loops, then [`KernelBuilder::finish`].
+pub struct KernelBuilder {
+    variant: Variant,
+    asm: Asm,
+    layout: Layout,
+    func_labels: Vec<Label>,
+    func_bodies: Vec<(Label, FuncBody)>,
+    reports: Vec<LoopReport>,
+}
+
+impl std::fmt::Debug for KernelBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelBuilder")
+            .field("variant", &self.variant)
+            .field("layout", &self.layout)
+            .field("reports", &self.reports)
+            .finish_non_exhaustive()
+    }
+}
+
+impl KernelBuilder {
+    /// Creates a builder for `variant`.
+    pub fn new(variant: Variant) -> KernelBuilder {
+        KernelBuilder {
+            variant,
+            asm: Asm::new(),
+            layout: Layout::new(),
+            func_labels: Vec::new(),
+            func_bodies: Vec::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// The active variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Declares a buffer of `len` elements of type `elem`.
+    pub fn alloc(&mut self, name: &'static str, elem: DataType, len: u32) -> BufId {
+        self.layout.alloc(name, elem, len)
+    }
+
+    /// The layout so far.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Direct access to the assembler for raw (outer-loop / irregular)
+    /// code. Raw code must preserve the register conventions documented
+    /// on [`regs`] around [`KernelBuilder::emit_loop`] calls.
+    pub fn asm_mut(&mut self) -> &mut Asm {
+        &mut self.asm
+    }
+
+    /// Loads a buffer's base address into `rd`.
+    pub fn lea(&mut self, rd: Reg, buf: BufId) {
+        let base = self.layout.buf(buf).base;
+        self.asm.mov_imm(rd, base as i32);
+    }
+
+    /// Defines a function callable from loop bodies via
+    /// [`crate::Expr::Call`]. The body receives its argument in `r12`
+    /// and must leave the result in `r12`, clobbering nothing else
+    /// (besides flags), and return with `bx lr`.
+    pub fn define_function(&mut self, body: impl FnOnce(&mut Asm) + 'static) -> FuncId {
+        let label = self.asm.new_label();
+        self.func_labels.push(label);
+        self.func_bodies.push((label, Box::new(body)));
+        FuncId(self.func_labels.len() - 1)
+    }
+
+    /// Lowers one innermost loop according to the active variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the IR violates a structural limit (more than four
+    /// buffers, an immediate out of range, an expression too deep for
+    /// the temporary pool).
+    pub fn emit_loop(&mut self, ir: LoopIr) {
+        let start_pc = self.asm.pos();
+        let (vectorized, inhibit) = match self.variant {
+            Variant::Scalar => {
+                scalar::emit_loop(&mut self.asm, &self.layout, &self.func_labels, &ir);
+                (false, None)
+            }
+            Variant::AutoVec => match analyze_autovec(&ir) {
+                Ok(()) => {
+                    vector::emit_loop(
+                        &mut self.asm,
+                        &self.layout,
+                        &self.func_labels,
+                        &ir,
+                        VecStyle::AutoVec,
+                    );
+                    (true, None)
+                }
+                Err(reason) => {
+                    scalar::emit_loop(&mut self.asm, &self.layout, &self.func_labels, &ir);
+                    (false, Some(reason))
+                }
+            },
+            Variant::HandVec => match analyze_handvec(&ir) {
+                Ok(()) => {
+                    vector::emit_loop(
+                        &mut self.asm,
+                        &self.layout,
+                        &self.func_labels,
+                        &ir,
+                        VecStyle::HandVec,
+                    );
+                    (true, None)
+                }
+                Err(reason) => {
+                    scalar::emit_loop(&mut self.asm, &self.layout, &self.func_labels, &ir);
+                    (false, Some(reason))
+                }
+            },
+        };
+        self.reports.push(LoopReport { name: ir.name.clone(), vectorized, inhibit, start_pc });
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) {
+        self.asm.halt();
+    }
+
+    /// Resolves everything and produces the [`Kernel`]. Function bodies
+    /// are appended after the main code.
+    pub fn finish(mut self) -> Kernel {
+        for (label, body) in self.func_bodies {
+            self.asm.bind(label);
+            body(&mut self.asm);
+        }
+        Kernel {
+            program: self.asm.finish(),
+            layout: self.layout,
+            reports: self.reports,
+            variant: self.variant,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_alignment_and_addresses() {
+        let mut kb = KernelBuilder::new(Variant::Scalar);
+        let a = kb.alloc("a", DataType::I8, 10);
+        let b = kb.alloc("b", DataType::I32, 100);
+        let la = *kb.layout().buf(a);
+        let lb = *kb.layout().buf(b);
+        assert_eq!(la.base, DATA_BASE);
+        assert_eq!(lb.base % 64, 0);
+        assert!(lb.base >= la.base + 10);
+        assert_eq!(lb.addr(3), lb.base + 12);
+        assert!(kb.layout().footprint() >= 10 + 400);
+    }
+
+    #[test]
+    fn buf_at_builds_access() {
+        let id = BufId::from_raw(2);
+        let a = id.at(-1);
+        assert_eq!(a.buf, id);
+        assert_eq!(a.offset, -1);
+    }
+
+    #[test]
+    fn finish_appends_functions() {
+        let mut kb = KernelBuilder::new(Variant::Scalar);
+        let _f = kb.define_function(|asm| {
+            asm.add_imm(Reg::R12, Reg::R12, 1);
+            asm.bx_lr();
+        });
+        kb.halt();
+        let k = kb.finish();
+        // halt + (add, bx lr)
+        assert_eq!(k.program.len(), 3);
+    }
+}

@@ -1,0 +1,316 @@
+//! Static vectorization legality — the dissertation's Table 1.
+
+use std::fmt;
+
+use crate::ir::{BinOp, Body, LoopIr, Trip};
+
+/// Why a static vectorizer leaves a loop scalar.
+///
+/// Each variant corresponds to a line of Table 1 ("Factors that limit or
+/// prevent the automatic loop vectorization") in the dissertation's
+/// introduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InhibitReason {
+    /// Line 1 — variables lack a vector access pattern.
+    NoVectorAccessPattern,
+    /// Line 2 — data dependencies between different iterations.
+    CrossIterationDependency,
+    /// Line 4 — iteration count not fixed at the start of the loop.
+    IterationCountNotFixed,
+    /// Line 5 — carry-around scalar variables (reductions).
+    CarryAroundScalar,
+    /// Line 6 — pointer aliasing cannot be disproved.
+    PointerAliasing,
+    /// Line 7 — indirect addressing (gather/scatter).
+    IndirectAddressing,
+    /// Line 9 — inconsistent element widths within the loop.
+    InconsistentMemberLength,
+    /// Line 10 — call to a non-inline function.
+    NonInlineFunctionCall,
+    /// Line 12 — `if`/`switch` statements in the loop body.
+    ConditionalCode,
+    /// An operation the vector unit cannot perform on this element type.
+    UnsupportedOperation,
+}
+
+impl fmt::Display for InhibitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InhibitReason::NoVectorAccessPattern => "no vector access pattern",
+            InhibitReason::CrossIterationDependency => {
+                "data dependencies between different iterations of a loop"
+            }
+            InhibitReason::IterationCountNotFixed => {
+                "iteration count not fixed at start of loop"
+            }
+            InhibitReason::CarryAroundScalar => "carry-around scalar variables",
+            InhibitReason::PointerAliasing => "pointer aliasing",
+            InhibitReason::IndirectAddressing => "indirect addressing",
+            InhibitReason::InconsistentMemberLength => {
+                "inconsistent length of members within a loop structure"
+            }
+            InhibitReason::NonInlineFunctionCall => "calls to non-inline functions",
+            InhibitReason::ConditionalCode => "if and switch statements",
+            InhibitReason::UnsupportedOperation => "operation unsupported by the vector unit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Detects a cross-iteration dependency: any load and store touching the
+/// same buffer at different offsets, or a load at a negative offset on a
+/// stored buffer (`v[i] = v[i-1] + ...`).
+fn has_cross_iteration_dependency(body: &Body) -> bool {
+    let stores = body.stores();
+    body.loads().iter().any(|ld| {
+        stores
+            .iter()
+            .any(|st| st.buf == ld.buf && st.offset != ld.offset)
+    })
+}
+
+fn has_float_shift(ir: &LoopIr) -> bool {
+    if !ir.elem.is_float() {
+        return false;
+    }
+    let mut found = false;
+    let mut check = |e: &crate::ir::Expr| {
+        e.visit(&mut |n| {
+            if let crate::ir::Expr::Bin(BinOp::Shr(_), _, _) = n {
+                found = true;
+            }
+        })
+    };
+    match &ir.body {
+        Body::Map { expr, .. } => check(expr),
+        Body::Select { cond_lhs, then_expr, else_arm, .. } => {
+            check(cond_lhs);
+            check(then_expr);
+            if let Some((_, e)) = else_arm {
+                check(e);
+            }
+        }
+        Body::Reduce { expr, .. } => check(expr),
+    }
+    found
+}
+
+fn structural_checks(ir: &LoopIr) -> Result<(), InhibitReason> {
+    if ir.body.has_gather() {
+        return Err(InhibitReason::IndirectAddressing);
+    }
+    if ir.body.has_call() {
+        return Err(InhibitReason::NonInlineFunctionCall);
+    }
+    if has_cross_iteration_dependency(&ir.body) {
+        return Err(InhibitReason::CrossIterationDependency);
+    }
+    if ir.may_alias {
+        return Err(InhibitReason::PointerAliasing);
+    }
+    if has_float_shift(ir) {
+        return Err(InhibitReason::UnsupportedOperation);
+    }
+    if ir.body.stores().iter().any(|s| s.offset != 0) {
+        return Err(InhibitReason::NoVectorAccessPattern);
+    }
+    Ok(())
+}
+
+/// Legality check of the auto-vectorizing compiler baseline.
+///
+/// Follows the paper's characterisation of the ARM NEON compiler: only
+/// count loops with compile-time trip counts, straight-line bodies, unit
+/// stride, provably independent iterations and no calls are vectorized.
+///
+/// # Errors
+///
+/// Returns the Table-1 [`InhibitReason`] that fired.
+pub fn analyze_autovec(ir: &LoopIr) -> Result<(), InhibitReason> {
+    structural_checks(ir)?;
+    match ir.trip {
+        Trip::Const(_) => {}
+        Trip::Reg(_) | Trip::Sentinel { .. } => {
+            return Err(InhibitReason::IterationCountNotFixed)
+        }
+    }
+    match &ir.body {
+        Body::Map { .. } => Ok(()),
+        Body::Select { .. } => Err(InhibitReason::ConditionalCode),
+        Body::Reduce { .. } => Err(InhibitReason::CarryAroundScalar),
+    }
+}
+
+/// Legality check of the hand-vectorized (NEON library) baseline.
+///
+/// A programmer with intrinsics also handles runtime trip counts
+/// (a scalar epilogue) and add-reductions (vector accumulator +
+/// horizontal add), but does not speculate on sentinel or conditional
+/// loops — the gap the DSA exploits.
+///
+/// # Errors
+///
+/// Returns the Table-1 [`InhibitReason`] that fired.
+pub fn analyze_handvec(ir: &LoopIr) -> Result<(), InhibitReason> {
+    structural_checks(ir)?;
+    match ir.trip {
+        Trip::Const(_) | Trip::Reg(_) => {}
+        Trip::Sentinel { .. } => return Err(InhibitReason::IterationCountNotFixed),
+    }
+    match &ir.body {
+        Body::Map { .. } => Ok(()),
+        Body::Select { .. } => Err(InhibitReason::ConditionalCode),
+        // Integer add-reductions reassociate safely (wrapping addition);
+        // float reductions would change results, so a careful programmer
+        // leaves them scalar.
+        Body::Reduce { op: BinOp::Add, init: 0, .. } if !ir.elem.is_float() => Ok(()),
+        Body::Reduce { .. } => Err(InhibitReason::CarryAroundScalar),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BufId;
+    use crate::ir::{Access, CmpOp, DataType, Expr};
+    use dsa_isa::Reg;
+
+    fn acc(raw: usize, offset: i32) -> Access {
+        Access { buf: BufId::from_raw(raw), offset }
+    }
+
+    fn plain_map(trip: Trip) -> LoopIr {
+        LoopIr {
+            name: "t".into(),
+            trip,
+            elem: DataType::I32,
+            body: Body::Map { dst: acc(1, 0), expr: Expr::load(acc(0, 0)) + Expr::Imm(1) },
+            ..LoopIr::default()
+        }
+    }
+
+    #[test]
+    fn count_loop_vectorizes_everywhere() {
+        let ir = plain_map(Trip::Const(100));
+        assert_eq!(analyze_autovec(&ir), Ok(()));
+        assert_eq!(analyze_handvec(&ir), Ok(()));
+    }
+
+    #[test]
+    fn runtime_trip_only_hand() {
+        let ir = plain_map(Trip::Reg(Reg::R10));
+        assert_eq!(analyze_autovec(&ir), Err(InhibitReason::IterationCountNotFixed));
+        assert_eq!(analyze_handvec(&ir), Ok(()));
+    }
+
+    #[test]
+    fn sentinel_inhibits_both() {
+        let ir = plain_map(Trip::Sentinel { buf: BufId::from_raw(0), value: 0 });
+        assert_eq!(analyze_autovec(&ir), Err(InhibitReason::IterationCountNotFixed));
+        assert_eq!(analyze_handvec(&ir), Err(InhibitReason::IterationCountNotFixed));
+    }
+
+    #[test]
+    fn conditional_inhibits_both() {
+        let ir = LoopIr {
+            body: Body::Select {
+                cond_lhs: Expr::load(acc(0, 0)),
+                cmp: CmpOp::Gt,
+                cond_rhs: Expr::Imm(0),
+                then_dst: acc(1, 0),
+                then_expr: Expr::Imm(1),
+                else_arm: None,
+            },
+            trip: Trip::Const(10),
+            ..plain_map(Trip::Const(10))
+        };
+        assert_eq!(analyze_autovec(&ir), Err(InhibitReason::ConditionalCode));
+        assert_eq!(analyze_handvec(&ir), Err(InhibitReason::ConditionalCode));
+    }
+
+    #[test]
+    fn cross_iteration_dependency_detected() {
+        // v[i] = v[i-1] + b[i]
+        let ir = LoopIr {
+            body: Body::Map {
+                dst: acc(1, 0),
+                expr: Expr::load(acc(1, -1)) + Expr::load(acc(0, 0)),
+            },
+            ..plain_map(Trip::Const(10))
+        };
+        assert_eq!(analyze_autovec(&ir), Err(InhibitReason::CrossIterationDependency));
+        assert_eq!(analyze_handvec(&ir), Err(InhibitReason::CrossIterationDependency));
+        // v[i] = v[i] + b[i] is fine (same element).
+        let ok = LoopIr {
+            body: Body::Map {
+                dst: acc(1, 0),
+                expr: Expr::load(acc(1, 0)) + Expr::load(acc(0, 0)),
+            },
+            ..plain_map(Trip::Const(10))
+        };
+        assert_eq!(analyze_autovec(&ok), Ok(()));
+    }
+
+    #[test]
+    fn gather_and_call_inhibit() {
+        let g = LoopIr {
+            body: Body::Map {
+                dst: acc(1, 0),
+                expr: Expr::Gather(BufId::from_raw(2), Box::new(Expr::load(acc(0, 0)))),
+            },
+            ..plain_map(Trip::Const(10))
+        };
+        assert_eq!(analyze_autovec(&g), Err(InhibitReason::IndirectAddressing));
+        let c = LoopIr {
+            body: Body::Map {
+                dst: acc(1, 0),
+                expr: Expr::Call(
+                    crate::builder::FuncId::from_test(0),
+                    Box::new(Expr::load(acc(0, 0))),
+                ),
+            },
+            ..plain_map(Trip::Const(10))
+        };
+        assert_eq!(analyze_autovec(&c), Err(InhibitReason::NonInlineFunctionCall));
+    }
+
+    #[test]
+    fn reductions_split_the_baselines() {
+        let r = LoopIr {
+            body: Body::Reduce {
+                op: BinOp::Add,
+                expr: Expr::load(acc(0, 0)),
+                out: acc(1, 0),
+                init: 0,
+            },
+            ..plain_map(Trip::Const(10))
+        };
+        assert_eq!(analyze_autovec(&r), Err(InhibitReason::CarryAroundScalar));
+        assert_eq!(analyze_handvec(&r), Ok(()));
+        // Non-zero init or non-add op stays scalar even by hand.
+        let r2 = LoopIr {
+            body: Body::Reduce {
+                op: BinOp::Eor,
+                expr: Expr::load(acc(0, 0)),
+                out: acc(1, 0),
+                init: 0,
+            },
+            ..plain_map(Trip::Const(10))
+        };
+        assert_eq!(analyze_handvec(&r2), Err(InhibitReason::CarryAroundScalar));
+    }
+
+    #[test]
+    fn may_alias_flag() {
+        let ir = LoopIr { may_alias: true, ..plain_map(Trip::Const(8)) };
+        assert_eq!(analyze_autovec(&ir), Err(InhibitReason::PointerAliasing));
+    }
+
+    #[test]
+    fn display_matches_table_wording() {
+        assert_eq!(
+            InhibitReason::IterationCountNotFixed.to_string(),
+            "iteration count not fixed at start of loop"
+        );
+    }
+}

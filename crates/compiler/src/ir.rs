@@ -1,0 +1,521 @@
+//! The loop-level intermediate representation.
+
+use std::ops::{Add, BitAnd, BitOr, BitXor, Mul, Sub};
+
+use dsa_isa::{ElemType, MemSize, Reg};
+
+use crate::builder::BufId;
+
+/// Scalar element type of a buffer / loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 8-bit integer (16 vector lanes).
+    I8,
+    /// 16-bit integer (8 vector lanes).
+    I16,
+    /// 32-bit integer (4 vector lanes).
+    I32,
+    /// Single-precision float (4 vector lanes).
+    F32,
+}
+
+impl DataType {
+    /// Element width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            DataType::I8 => 1,
+            DataType::I16 => 2,
+            DataType::I32 | DataType::F32 => 4,
+        }
+    }
+
+    /// The matching vector element type.
+    pub fn elem_type(self) -> ElemType {
+        match self {
+            DataType::I8 => ElemType::I8,
+            DataType::I16 => ElemType::I16,
+            DataType::I32 => ElemType::I32,
+            DataType::F32 => ElemType::F32,
+        }
+    }
+
+    /// The matching scalar memory access width.
+    pub fn mem_size(self) -> MemSize {
+        match self {
+            DataType::I8 => MemSize::B,
+            DataType::I16 => MemSize::H,
+            DataType::I32 | DataType::F32 => MemSize::W,
+        }
+    }
+
+    /// Lanes in a 128-bit register.
+    pub fn lanes(self) -> u32 {
+        self.elem_type().lanes()
+    }
+
+    /// Whether the type is floating point.
+    pub fn is_float(self) -> bool {
+        self == DataType::F32
+    }
+}
+
+/// An access to `buf[i + offset]` inside a loop with induction variable
+/// `i` (unit stride).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The buffer accessed.
+    pub buf: BufId,
+    /// Element offset relative to the induction variable.
+    pub offset: i32,
+}
+
+/// Binary operators of the IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Orr,
+    Eor,
+    /// Logical shift right by a constant (integer loops only).
+    Shr(u8),
+}
+
+/// Comparison operators for conditional loop bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Gt,
+    Le,
+}
+
+impl CmpOp {
+    /// The branch condition that *skips* the guarded block (negation).
+    pub fn negated_cond(self) -> dsa_isa::Cond {
+        match self {
+            CmpOp::Eq => dsa_isa::Cond::Ne,
+            CmpOp::Ne => dsa_isa::Cond::Eq,
+            CmpOp::Lt => dsa_isa::Cond::Ge,
+            CmpOp::Ge => dsa_isa::Cond::Lt,
+            CmpOp::Gt => dsa_isa::Cond::Le,
+            CmpOp::Le => dsa_isa::Cond::Gt,
+        }
+    }
+}
+
+/// An expression evaluated once per loop iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Load `buf[i + offset]`.
+    Load(Access),
+    /// A loop-invariant variable kept in a parameter register by the
+    /// surrounding code (index 0 → `r10`, 1 → `r11`).
+    Var(u8),
+    /// Integer constant.
+    Imm(i32),
+    /// Float constant (float loops only).
+    ImmF(f32),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Call the kernel's function with this argument (argument and result
+    /// in `r9`). Inhibits static vectorization (Table 1, line 10).
+    Call(crate::builder::FuncId, Box<Expr>),
+    /// Indirect load `buf[expr]` (gather). Inhibits vectorization
+    /// (Table 1, line 7).
+    Gather(BufId, Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for [`Expr::Load`].
+    pub fn load(access: Access) -> Expr {
+        Expr::Load(access)
+    }
+
+    /// Shorthand for a binary op.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `self >> shift` (logical). The shift amount lives in the operator;
+    /// the right operand is a placeholder. (Deliberately named like the
+    /// `Shr` trait method; the IR has no trait-based operator for it.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn shr(self, shift: u8) -> Expr {
+        Expr::bin(BinOp::Shr(shift), self, Expr::Imm(0))
+    }
+
+    /// Visits every node of the expression tree. The placeholder right
+    /// operand of [`BinOp::Shr`] is not visited (it is not a real leaf).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Bin(BinOp::Shr(_), a, _) => a.visit(f),
+            Expr::Bin(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Call(_, a) | Expr::Gather(_, a) => a.visit(f),
+            _ => {}
+        }
+    }
+
+    /// All buffer loads in the expression (excluding gathers).
+    pub fn loads(&self) -> Vec<Access> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Load(a) = e {
+                out.push(*a);
+            }
+        });
+        out
+    }
+
+    /// Whether the tree contains a [`Expr::Call`].
+    pub fn has_call(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| found |= matches!(e, Expr::Call(..)));
+        found
+    }
+
+    /// Whether the tree contains a [`Expr::Gather`].
+    pub fn has_gather(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| found |= matches!(e, Expr::Gather(..)));
+        found
+    }
+
+    /// Buffers accessed indirectly (gathered) in the tree.
+    pub fn gather_bufs(&self) -> Vec<BufId> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Gather(b, _) = e {
+                out.push(*b);
+            }
+        });
+        out
+    }
+}
+
+impl Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl BitAnd for Expr {
+    type Output = Expr;
+    fn bitand(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, rhs)
+    }
+}
+
+impl BitOr for Expr {
+    type Output = Expr;
+    fn bitor(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Orr, self, rhs)
+    }
+}
+
+impl BitXor for Expr {
+    type Output = Expr;
+    fn bitxor(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Eor, self, rhs)
+    }
+}
+
+/// How the loop's trip count is determined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trip {
+    /// Fixed at compile time (count loop).
+    Const(u32),
+    /// Computed at runtime *before* the loop, held in a register
+    /// (dynamic range loop, type A).
+    Reg(Reg),
+    /// Determined *inside* the loop: exit when `buf[i] == value`
+    /// (sentinel loop / dynamic range loop type B).
+    Sentinel {
+        /// The buffer whose element is tested each iteration.
+        buf: BufId,
+        /// The sentinel value that terminates the loop.
+        value: i16,
+    },
+}
+
+/// The per-iteration work of a loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// `dst[i] = expr` (element-wise map).
+    Map {
+        /// Destination access (offset must be 0).
+        dst: Access,
+        /// The value stored.
+        expr: Expr,
+    },
+    /// `if lhs <cmp> rhs { then_dst[i] = then_expr } else { .. }`
+    /// (conditional-code loop; the `else` arm is optional).
+    Select {
+        /// Left side of the comparison.
+        cond_lhs: Expr,
+        /// Comparison operator.
+        cmp: CmpOp,
+        /// Right side of the comparison.
+        cond_rhs: Expr,
+        /// Destination of the `then` arm.
+        then_dst: Access,
+        /// Value stored by the `then` arm.
+        then_expr: Expr,
+        /// Optional `else` arm.
+        else_arm: Option<(Access, Expr)>,
+    },
+    /// `acc = acc <op> expr`, with the final accumulator stored to
+    /// `out[0]` after the loop (carry-around scalar, Table 1 line 5).
+    Reduce {
+        /// Combining operator (`Add`, `Min` or `Max`).
+        op: BinOp,
+        /// The per-iteration contribution.
+        expr: Expr,
+        /// Where the final accumulator is stored.
+        out: Access,
+        /// Initial accumulator value.
+        init: i32,
+    },
+}
+
+impl Body {
+    /// All loads performed by the body, across all arms.
+    pub fn loads(&self) -> Vec<Access> {
+        match self {
+            Body::Map { expr, .. } => expr.loads(),
+            Body::Select { cond_lhs, cond_rhs, then_expr, else_arm, .. } => {
+                let mut v = cond_lhs.loads();
+                v.extend(cond_rhs.loads());
+                v.extend(then_expr.loads());
+                if let Some((_, e)) = else_arm {
+                    v.extend(e.loads());
+                }
+                v
+            }
+            Body::Reduce { expr, .. } => expr.loads(),
+        }
+    }
+
+    /// All stores performed by the body (conditional arms included;
+    /// reductions store once after the loop).
+    pub fn stores(&self) -> Vec<Access> {
+        match self {
+            Body::Map { dst, .. } => vec![*dst],
+            Body::Select { then_dst, else_arm, .. } => {
+                let mut v = vec![*then_dst];
+                if let Some((a, _)) = else_arm {
+                    v.push(*a);
+                }
+                v
+            }
+            Body::Reduce { .. } => Vec::new(),
+        }
+    }
+
+    /// Whether any expression in the body calls a function.
+    pub fn has_call(&self) -> bool {
+        match self {
+            Body::Map { expr, .. } => expr.has_call(),
+            Body::Select { cond_lhs, cond_rhs, then_expr, else_arm, .. } => {
+                cond_lhs.has_call()
+                    || cond_rhs.has_call()
+                    || then_expr.has_call()
+                    || else_arm.as_ref().is_some_and(|(_, e)| e.has_call())
+            }
+            Body::Reduce { expr, .. } => expr.has_call(),
+        }
+    }
+
+    /// Whether any expression performs indirect addressing.
+    pub fn has_gather(&self) -> bool {
+        match self {
+            Body::Map { expr, .. } => expr.has_gather(),
+            Body::Select { cond_lhs, cond_rhs, then_expr, else_arm, .. } => {
+                cond_lhs.has_gather()
+                    || cond_rhs.has_gather()
+                    || then_expr.has_gather()
+                    || else_arm.as_ref().is_some_and(|(_, e)| e.has_gather())
+            }
+            Body::Reduce { expr, .. } => expr.has_gather(),
+        }
+    }
+
+    /// Buffers accessed indirectly, across all arms.
+    pub fn gather_bufs(&self) -> Vec<BufId> {
+        match self {
+            Body::Map { expr, .. } => expr.gather_bufs(),
+            Body::Select { cond_lhs, cond_rhs, then_expr, else_arm, .. } => {
+                let mut v = cond_lhs.gather_bufs();
+                v.extend(cond_rhs.gather_bufs());
+                v.extend(then_expr.gather_bufs());
+                if let Some((_, e)) = else_arm {
+                    v.extend(e.gather_bufs());
+                }
+                v
+            }
+            Body::Reduce { expr, .. } => expr.gather_bufs(),
+        }
+    }
+}
+
+/// One innermost loop, the unit of vectorization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopIr {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Trip-count kind.
+    pub trip: Trip,
+    /// Element type of every access in the loop.
+    pub elem: DataType,
+    /// The per-iteration work.
+    pub body: Body,
+    /// Buffers whose pointer is supplied at runtime in a register
+    /// (e.g. a row pointer computed by an outer loop) instead of the
+    /// buffer's static base address.
+    pub ptr_overrides: Vec<(BufId, Reg)>,
+    /// Forces the aliasing-unknown treatment in the auto-vectorizer
+    /// (models unannotated pointer parameters, Table 1 line 6).
+    pub may_alias: bool,
+}
+
+impl Default for LoopIr {
+    fn default() -> LoopIr {
+        LoopIr {
+            name: String::new(),
+            trip: Trip::Const(0),
+            elem: DataType::I32,
+            body: Body::Map {
+                dst: Access { buf: BufId::INVALID, offset: 0 },
+                expr: Expr::Imm(0),
+            },
+            ptr_overrides: Vec::new(),
+            may_alias: false,
+        }
+    }
+}
+
+impl LoopIr {
+    /// The distinct *sequentially accessed* buffers of the loop (their
+    /// pointers advance one element per iteration), in first-use order.
+    pub fn buffers(&self) -> Vec<BufId> {
+        let mut out: Vec<BufId> = Vec::new();
+        let mut push = |b: BufId| {
+            if !out.contains(&b) {
+                out.push(b);
+            }
+        };
+        for a in self.body.loads() {
+            push(a.buf);
+        }
+        for a in self.body.stores() {
+            push(a.buf);
+        }
+        if let Trip::Sentinel { buf, .. } = self.trip {
+            push(buf);
+        }
+        out
+    }
+
+    /// Buffers accessed only through gathers (pointers stay fixed).
+    pub fn gather_buffers(&self) -> Vec<BufId> {
+        let seq = self.buffers();
+        let mut out: Vec<BufId> = Vec::new();
+        for b in self.body.gather_bufs() {
+            assert!(
+                !seq.contains(&b),
+                "buffer both gathered and sequentially accessed in one loop"
+            );
+            if !out.contains(&b) {
+                out.push(b);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(raw: usize, offset: i32) -> Access {
+        Access { buf: BufId::from_raw(raw), offset }
+    }
+
+    #[test]
+    fn data_type_properties() {
+        assert_eq!(DataType::I8.lanes(), 16);
+        assert_eq!(DataType::F32.lanes(), 4);
+        assert!(DataType::F32.is_float());
+        assert_eq!(DataType::I16.bytes(), 2);
+    }
+
+    #[test]
+    fn expr_operators_build_trees() {
+        let e = Expr::load(acc(0, 0)) + Expr::load(acc(1, 0)) * Expr::Imm(2);
+        assert_eq!(e.loads().len(), 2);
+        assert!(!e.has_call());
+        assert!(!e.has_gather());
+    }
+
+    #[test]
+    fn gather_and_call_detection() {
+        let g = Expr::Gather(BufId::from_raw(3), Box::new(Expr::load(acc(0, 0))));
+        assert!(g.has_gather());
+        assert_eq!(g.loads().len(), 1, "inner load counted");
+    }
+
+    #[test]
+    fn body_loads_and_stores() {
+        let b = Body::Select {
+            cond_lhs: Expr::load(acc(0, 0)),
+            cmp: CmpOp::Gt,
+            cond_rhs: Expr::Imm(10),
+            then_dst: acc(1, 0),
+            then_expr: Expr::load(acc(0, 0)) + Expr::Imm(1),
+            else_arm: Some((acc(1, 0), Expr::load(acc(0, 0)))),
+        };
+        assert_eq!(b.loads().len(), 3);
+        assert_eq!(b.stores().len(), 2);
+    }
+
+    #[test]
+    fn loop_buffers_deduplicated() {
+        let ir = LoopIr {
+            trip: Trip::Sentinel { buf: BufId::from_raw(0), value: 0 },
+            body: Body::Map {
+                dst: acc(1, 0),
+                expr: Expr::load(acc(0, 0)) + Expr::load(acc(0, 1)),
+            },
+            ..LoopIr::default()
+        };
+        assert_eq!(ir.buffers().len(), 2);
+    }
+
+    #[test]
+    fn negated_conditions() {
+        assert_eq!(CmpOp::Gt.negated_cond(), dsa_isa::Cond::Le);
+        assert_eq!(CmpOp::Eq.negated_cond(), dsa_isa::Cond::Ne);
+    }
+}

@@ -1,0 +1,597 @@
+//! Scalar lowering of [`LoopIr`] — the "ARM Original" code shape.
+//!
+//! The generated loops use exactly the idioms the DSA's detection stages
+//! key on: pointer registers advanced once per iteration, a `cmp` against
+//! the trip limit and a backward conditional branch closing the loop,
+//! forward branches for conditional arms, and `bl`/`bx lr` pairs for
+//! function loops.
+
+use dsa_isa::{Asm, Cond, Label, MemSize, Reg};
+
+use crate::builder::{regs, BufId, Layout};
+use crate::ir::{Access, BinOp, Body, DataType, Expr, LoopIr, Trip};
+
+/// Pointer bindings of the loop: `(buffer, register, advances)`.
+#[derive(Debug, Clone)]
+pub(crate) struct LoopCtx<'a> {
+    pub layout: &'a Layout,
+    pub funcs: &'a [Label],
+    pub elem: DataType,
+    ptrs: Vec<(BufId, Reg, bool)>,
+}
+
+impl LoopCtx<'_> {
+    pub(crate) fn ptr(&self, buf: BufId) -> Reg {
+        self.ptrs
+            .iter()
+            .find(|(b, _, _)| *b == buf)
+            .map(|(_, r, _)| *r)
+            .expect("buffer has a pointer register")
+    }
+
+    /// Emits the per-iteration pointer advances (`step` elements).
+    pub(crate) fn emit_ptr_increments(&self, asm: &mut Asm, step_elems: u32) {
+        let step = (step_elems * self.elem.bytes()) as i16;
+        for &(_, r, advances) in &self.ptrs {
+            if advances {
+                asm.add_imm(r, r, step);
+            }
+        }
+    }
+}
+
+/// Materialises pointer registers for every buffer of the loop.
+///
+/// # Panics
+///
+/// Panics if the loop touches more than four distinct buffers.
+pub(crate) fn setup_pointers<'a>(
+    asm: &mut Asm,
+    layout: &'a Layout,
+    funcs: &'a [Label],
+    ir: &LoopIr,
+) -> LoopCtx<'a> {
+    let seq = ir.buffers();
+    let gather = ir.gather_buffers();
+    assert!(
+        seq.len() + gather.len() <= regs::PTR.len(),
+        "loop `{}` uses more than {} buffers",
+        ir.name,
+        regs::PTR.len()
+    );
+    let mut ptrs = Vec::new();
+    for (i, &buf) in seq.iter().chain(gather.iter()).enumerate() {
+        let reg = regs::PTR[i];
+        match ir.ptr_overrides.iter().find(|(b, _)| *b == buf) {
+            Some(&(_, src)) => asm.mov(reg, src),
+            None => asm.mov_imm(reg, layout.buf(buf).base as i32),
+        }
+        ptrs.push((buf, reg, seq.contains(&buf)));
+    }
+    LoopCtx { layout, funcs, elem: ir.elem, ptrs }
+}
+
+/// A small pool of expression temporaries.
+#[derive(Debug)]
+struct RegPool {
+    free: Vec<Reg>,
+}
+
+impl RegPool {
+    fn new(reserve_acc: bool) -> RegPool {
+        let mut free: Vec<Reg> = regs::TMP.to_vec();
+        if reserve_acc {
+            free.retain(|&r| r != regs::ACC);
+        }
+        free.reverse(); // take() pops r6 first
+        RegPool { free }
+    }
+
+    fn take(&mut self) -> Reg {
+        self.free.pop().expect("expression too deep for the temporary pool: restructure it left-deep")
+    }
+
+    fn put(&mut self, r: Reg) {
+        self.free.push(r);
+    }
+}
+
+fn byte_offset(elem: DataType, offset: i32) -> i16 {
+    let v = offset * elem.bytes() as i32;
+    i16::try_from(v).expect("access offset out of range")
+}
+
+fn load_access(asm: &mut Asm, ctx: &LoopCtx<'_>, rd: Reg, a: Access) {
+    let p = ctx.ptr(a.buf);
+    let off = byte_offset(ctx.elem, a.offset);
+    match ctx.elem.mem_size() {
+        MemSize::B => asm.ldrb(rd, p, off),
+        MemSize::H => asm.emit(dsa_isa::Instr::Ldr {
+            rd,
+            rn: p,
+            mode: dsa_isa::AddrMode::Offset(off),
+            size: MemSize::H,
+        }),
+        MemSize::W => asm.ldr(rd, p, off),
+    }
+}
+
+fn store_access(asm: &mut Asm, ctx: &LoopCtx<'_>, rs: Reg, a: Access) {
+    let p = ctx.ptr(a.buf);
+    let off = byte_offset(ctx.elem, a.offset);
+    match ctx.elem.mem_size() {
+        MemSize::B => asm.strb(rs, p, off),
+        MemSize::H => asm.emit(dsa_isa::Instr::Str {
+            rs,
+            rn: p,
+            mode: dsa_isa::AddrMode::Offset(off),
+            size: MemSize::H,
+        }),
+        MemSize::W => asm.str(rs, p, off),
+    }
+}
+
+fn scalar_alu(asm: &mut Asm, elem: DataType, op: BinOp, rd: Reg, rn: Reg, rm: Reg) {
+    use dsa_isa::AluOp;
+    let float = elem.is_float();
+    let alu = match op {
+        BinOp::Add => {
+            if float {
+                AluOp::FAdd
+            } else {
+                AluOp::Add
+            }
+        }
+        BinOp::Sub => {
+            if float {
+                AluOp::FSub
+            } else {
+                AluOp::Sub
+            }
+        }
+        BinOp::Mul => {
+            if float {
+                AluOp::FMul
+            } else {
+                AluOp::Mul
+            }
+        }
+        BinOp::And => AluOp::And,
+        BinOp::Orr => AluOp::Orr,
+        BinOp::Eor => AluOp::Eor,
+        BinOp::Shr(_) => unreachable!("shift handled before operand evaluation"),
+    };
+    asm.alu(alu, rd, rn, dsa_isa::Operand::Reg(rm));
+}
+
+/// Evaluates an expression; the result register stays allocated in the
+/// pool (caller must `put` it back).
+fn eval(asm: &mut Asm, ctx: &LoopCtx<'_>, pool: &mut RegPool, expr: &Expr) -> Reg {
+    match expr {
+        Expr::Load(a) => {
+            let rd = pool.take();
+            load_access(asm, ctx, rd, *a);
+            rd
+        }
+        Expr::Var(k) => {
+            let rd = pool.take();
+            asm.mov(rd, regs::PARAM[*k as usize]);
+            rd
+        }
+        Expr::Imm(v) => {
+            let rd = pool.take();
+            if ctx.elem.is_float() {
+                // Integer immediates in float loops denote the float
+                // value (matching the vector splat semantics).
+                asm.mov_imm_f32(rd, *v as f32);
+            } else {
+                asm.mov_imm(rd, *v);
+            }
+            rd
+        }
+        Expr::ImmF(v) => {
+            let rd = pool.take();
+            asm.mov_imm_f32(rd, *v);
+            rd
+        }
+        Expr::Bin(BinOp::Shr(s), lhs, _) => {
+            let ra = eval(asm, ctx, pool, lhs);
+            asm.lsr_imm(ra, ra, *s as i16);
+            ra
+        }
+        Expr::Bin(op, lhs, rhs) => {
+            let ra = eval(asm, ctx, pool, lhs);
+            let rb = eval(asm, ctx, pool, rhs);
+            scalar_alu(asm, ctx.elem, *op, ra, ra, rb);
+            pool.put(rb);
+            ra
+        }
+        Expr::Call(fid, arg) => {
+            let ra = eval(asm, ctx, pool, arg);
+            asm.mov(regs::SCRATCH, ra);
+            asm.bl(ctx.funcs[fid.index()]);
+            asm.mov(ra, regs::SCRATCH);
+            ra
+        }
+        Expr::Gather(buf, idx) => {
+            let ri = eval(asm, ctx, pool, idx);
+            let p = ctx.ptr(*buf);
+            let lsl = match ctx.elem.bytes() {
+                1 => 0,
+                2 => 1,
+                _ => 2,
+            };
+            asm.ldr_idx(ri, p, ri, lsl, ctx.elem.mem_size());
+            ri
+        }
+    }
+}
+
+/// Emits the body of one iteration (no sentinel check, no pointer or
+/// index updates). Shared with the vector code generator's epilogue.
+pub(crate) fn emit_body_once(asm: &mut Asm, ctx: &LoopCtx<'_>, body: &Body) {
+    let mut pool = RegPool::new(matches!(body, Body::Reduce { .. }));
+    match body {
+        Body::Map { dst, expr } => {
+            let rt = eval(asm, ctx, &mut pool, expr);
+            store_access(asm, ctx, rt, *dst);
+            pool.put(rt);
+        }
+        Body::Select { cond_lhs, cmp, cond_rhs, then_dst, then_expr, else_arm } => {
+            let rc = eval(asm, ctx, &mut pool, cond_lhs);
+            match cond_rhs {
+                Expr::Imm(v) if i16::try_from(*v).is_ok() => {
+                    asm.cmp_imm(rc, *v as i16);
+                }
+                other => {
+                    let rr = eval(asm, ctx, &mut pool, other);
+                    asm.cmp(rc, rr);
+                    pool.put(rr);
+                }
+            }
+            pool.put(rc);
+            let else_label = asm.new_label();
+            let end_label = asm.new_label();
+            asm.b_to(cmp.negated_cond(), else_label);
+            let rt = eval(asm, ctx, &mut pool, then_expr);
+            store_access(asm, ctx, rt, *then_dst);
+            pool.put(rt);
+            asm.b(end_label);
+            asm.bind(else_label);
+            if let Some((dst, expr)) = else_arm {
+                let rt = eval(asm, ctx, &mut pool, expr);
+                store_access(asm, ctx, rt, *dst);
+                pool.put(rt);
+            }
+            asm.bind(end_label);
+        }
+        Body::Reduce { op, expr, .. } => {
+            let rt = eval(asm, ctx, &mut pool, expr);
+            match op {
+                BinOp::Shr(_) => panic!("shift is not a reduction operator"),
+                _ => scalar_alu(asm, ctx.elem, *op, regs::ACC, regs::ACC, rt),
+            }
+            pool.put(rt);
+        }
+    }
+}
+
+/// Emits the reduction store after the loop, if the body is a reduction.
+pub(crate) fn emit_reduce_store(asm: &mut Asm, ctx: &LoopCtx<'_>, body: &Body) {
+    if let Body::Reduce { out, .. } = body {
+        let base = ctx.layout.buf(out.buf).base as i32
+            + out.offset * ctx.elem.bytes() as i32;
+        asm.mov_imm(regs::SCRATCH, base);
+        match ctx.elem.mem_size() {
+            MemSize::B => asm.strb(regs::ACC, regs::SCRATCH, 0),
+            MemSize::H => asm.emit(dsa_isa::Instr::Str {
+                rs: regs::ACC,
+                rn: regs::SCRATCH,
+                mode: dsa_isa::AddrMode::Offset(0),
+                size: MemSize::H,
+            }),
+            MemSize::W => asm.str(regs::ACC, regs::SCRATCH, 0),
+        }
+    }
+}
+
+/// Emits the full scalar loop.
+pub(crate) fn emit_loop(asm: &mut Asm, layout: &Layout, funcs: &[Label], ir: &LoopIr) {
+    let ctx = setup_pointers(asm, layout, funcs, ir);
+    if let Body::Reduce { init, .. } = &ir.body {
+        asm.mov_imm(regs::ACC, *init);
+    }
+    asm.mov_imm(regs::INDEX, 0);
+    let end = asm.new_label();
+    // A compile-time trip count closes the loop with an *immediate*
+    // compare; a runtime trip count (dynamic range loop) compares against
+    // a register. The DSA uses exactly this distinction at runtime.
+    let small_const = match ir.trip {
+        Trip::Const(n) => i16::try_from(n).ok(),
+        _ => None,
+    };
+    match (ir.trip, small_const) {
+        (Trip::Const(_), Some(n)) => {
+            asm.cmp_imm(regs::INDEX, n);
+            asm.b_to(Cond::Ge, end);
+        }
+        (Trip::Const(n), None) => {
+            asm.mov_imm(regs::LIMIT, n as i32);
+            asm.cmp(regs::INDEX, regs::LIMIT);
+            asm.b_to(Cond::Ge, end);
+        }
+        (Trip::Reg(r), _) => {
+            asm.mov(regs::LIMIT, r);
+            asm.cmp(regs::INDEX, regs::LIMIT);
+            asm.b_to(Cond::Ge, end);
+        }
+        (Trip::Sentinel { .. }, _) => {}
+    }
+    let top = asm.here();
+    if let Trip::Sentinel { buf, value } = ir.trip {
+        let p = ctx.ptr(buf);
+        match ir.elem.mem_size() {
+            MemSize::B => asm.ldrb(regs::TMP[0], p, 0),
+            MemSize::H => asm.emit(dsa_isa::Instr::Ldr {
+                rd: regs::TMP[0],
+                rn: p,
+                mode: dsa_isa::AddrMode::Offset(0),
+                size: MemSize::H,
+            }),
+            MemSize::W => asm.ldr(regs::TMP[0], p, 0),
+        }
+        asm.cmp_imm(regs::TMP[0], value);
+        asm.b_to(Cond::Eq, end);
+    }
+    emit_body_once(asm, &ctx, &ir.body);
+    ctx.emit_ptr_increments(asm, 1);
+    asm.add_imm(regs::INDEX, regs::INDEX, 1);
+    match (ir.trip, small_const) {
+        (Trip::Sentinel { .. }, _) => asm.b(top),
+        (_, Some(n)) => {
+            asm.cmp_imm(regs::INDEX, n);
+            asm.b_to(Cond::Ne, top);
+        }
+        _ => {
+            asm.cmp(regs::INDEX, regs::LIMIT);
+            asm.b_to(Cond::Ne, top);
+        }
+    }
+    asm.bind(end);
+    emit_reduce_store(asm, &ctx, &ir.body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{KernelBuilder, Variant};
+    use crate::ir::CmpOp;
+    use dsa_cpu::{CpuConfig, Simulator};
+
+    fn run(kernel: crate::builder::Kernel, init: impl FnOnce(&mut dsa_cpu::Machine)) -> dsa_cpu::Machine {
+        let mut sim = Simulator::new(kernel.program, CpuConfig::default());
+        init(sim.machine_mut());
+        let out = sim.run(10_000_000).expect("execution ok");
+        assert!(out.halted, "kernel must halt");
+        sim.machine().clone()
+    }
+
+    #[test]
+    fn map_loop_computes_sum() {
+        let mut kb = KernelBuilder::new(Variant::Scalar);
+        let a = kb.alloc("a", DataType::I32, 40);
+        let b = kb.alloc("b", DataType::I32, 40);
+        let v = kb.alloc("v", DataType::I32, 40);
+        let (la, lb, lv) =
+            (kb.layout().buf(a).base, kb.layout().buf(b).base, kb.layout().buf(v).base);
+        kb.emit_loop(LoopIr {
+            name: "sum".into(),
+            trip: Trip::Const(40),
+            elem: DataType::I32,
+            body: Body::Map { dst: v.at(0), expr: Expr::load(a.at(0)) + Expr::load(b.at(0)) },
+            ..LoopIr::default()
+        });
+        kb.halt();
+        let m = run(kb.finish(), |m| {
+            for i in 0..40u32 {
+                m.mem.write_u32(la + 4 * i, i);
+                m.mem.write_u32(lb + 4 * i, 100 + i);
+            }
+        });
+        for i in 0..40u32 {
+            assert_eq!(m.mem.read_u32(lv + 4 * i), 100 + 2 * i);
+        }
+    }
+
+    #[test]
+    fn zero_trip_loop_is_skipped() {
+        let mut kb = KernelBuilder::new(Variant::Scalar);
+        let a = kb.alloc("a", DataType::I32, 4);
+        let v = kb.alloc("v", DataType::I32, 4);
+        let lv = kb.layout().buf(v).base;
+        kb.emit_loop(LoopIr {
+            name: "empty".into(),
+            trip: Trip::Const(0),
+            elem: DataType::I32,
+            body: Body::Map { dst: v.at(0), expr: Expr::load(a.at(0)) + Expr::Imm(7) },
+            ..LoopIr::default()
+        });
+        kb.halt();
+        let m = run(kb.finish(), |_| {});
+        assert_eq!(m.mem.read_u32(lv), 0, "no store happened");
+    }
+
+    #[test]
+    fn select_loop_picks_arms() {
+        let mut kb = KernelBuilder::new(Variant::Scalar);
+        let a = kb.alloc("a", DataType::I32, 16);
+        let v = kb.alloc("v", DataType::I32, 16);
+        let (la, lv) = (kb.layout().buf(a).base, kb.layout().buf(v).base);
+        kb.emit_loop(LoopIr {
+            name: "cond".into(),
+            trip: Trip::Const(16),
+            elem: DataType::I32,
+            body: Body::Select {
+                cond_lhs: Expr::load(a.at(0)),
+                cmp: CmpOp::Ge,
+                cond_rhs: Expr::Imm(8),
+                then_dst: v.at(0),
+                then_expr: Expr::load(a.at(0)) * Expr::Imm(2),
+                else_arm: Some((v.at(0), Expr::load(a.at(0)) + Expr::Imm(100))),
+            },
+            ..LoopIr::default()
+        });
+        kb.halt();
+        let m = run(kb.finish(), |m| {
+            for i in 0..16u32 {
+                m.mem.write_u32(la + 4 * i, i);
+            }
+        });
+        for i in 0..16u32 {
+            let expect = if i >= 8 { 2 * i } else { i + 100 };
+            assert_eq!(m.mem.read_u32(lv + 4 * i), expect, "element {i}");
+        }
+    }
+
+    #[test]
+    fn sentinel_loop_stops_at_value() {
+        let mut kb = KernelBuilder::new(Variant::Scalar);
+        let src = kb.alloc("src", DataType::I8, 64);
+        let dst = kb.alloc("dst", DataType::I8, 64);
+        let (ls, ld) = (kb.layout().buf(src).base, kb.layout().buf(dst).base);
+        kb.emit_loop(LoopIr {
+            name: "sentinel".into(),
+            trip: Trip::Sentinel { buf: src, value: 0 },
+            elem: DataType::I8,
+            body: Body::Map { dst: dst.at(0), expr: Expr::load(src.at(0)) + Expr::Imm(1) },
+            ..LoopIr::default()
+        });
+        kb.halt();
+        let m = run(kb.finish(), |m| {
+            for i in 0..10u32 {
+                m.mem.write_u8(ls + i, (i + 1) as u8);
+            }
+            // element 10 is 0 -> sentinel
+        });
+        for i in 0..10u32 {
+            assert_eq!(m.mem.read_u8(ld + i), (i + 2) as u8);
+        }
+        assert_eq!(m.mem.read_u8(ld + 10), 0, "stopped at sentinel");
+    }
+
+    #[test]
+    fn reduce_loop_accumulates() {
+        let mut kb = KernelBuilder::new(Variant::Scalar);
+        let a = kb.alloc("a", DataType::I32, 10);
+        let out = kb.alloc("out", DataType::I32, 1);
+        let (la, lo) = (kb.layout().buf(a).base, kb.layout().buf(out).base);
+        kb.emit_loop(LoopIr {
+            name: "reduce".into(),
+            trip: Trip::Const(10),
+            elem: DataType::I32,
+            body: Body::Reduce { op: BinOp::Add, expr: Expr::load(a.at(0)), out: out.at(0), init: 5 },
+            ..LoopIr::default()
+        });
+        kb.halt();
+        let m = run(kb.finish(), |m| {
+            for i in 0..10u32 {
+                m.mem.write_u32(la + 4 * i, i + 1);
+            }
+        });
+        assert_eq!(m.mem.read_u32(lo), 55 + 5);
+    }
+
+    #[test]
+    fn function_loop_calls_through() {
+        let mut kb = KernelBuilder::new(Variant::Scalar);
+        let a = kb.alloc("a", DataType::I32, 8);
+        let v = kb.alloc("v", DataType::I32, 8);
+        let (la, lv) = (kb.layout().buf(a).base, kb.layout().buf(v).base);
+        // f(x) = 2x + 1, argument/result in r12.
+        let f = kb.define_function(|asm| {
+            asm.add(regs::SCRATCH, regs::SCRATCH, regs::SCRATCH);
+            asm.add_imm(regs::SCRATCH, regs::SCRATCH, 1);
+            asm.bx_lr();
+        });
+        kb.emit_loop(LoopIr {
+            name: "func".into(),
+            trip: Trip::Const(8),
+            elem: DataType::I32,
+            body: Body::Map {
+                dst: v.at(0),
+                expr: Expr::Call(f, Box::new(Expr::load(a.at(0)))),
+            },
+            ..LoopIr::default()
+        });
+        kb.halt();
+        let m = run(kb.finish(), |m| {
+            for i in 0..8u32 {
+                m.mem.write_u32(la + 4 * i, i + 1);
+            }
+        });
+        for i in 0..8u32 {
+            assert_eq!(m.mem.read_u32(lv + 4 * i), 2 * (i + 1) + 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn gather_loop_indirect_loads() {
+        let mut kb = KernelBuilder::new(Variant::Scalar);
+        let idx = kb.alloc("idx", DataType::I32, 8);
+        let table = kb.alloc("table", DataType::I32, 16);
+        let v = kb.alloc("v", DataType::I32, 8);
+        let (li, lt, lv) = (
+            kb.layout().buf(idx).base,
+            kb.layout().buf(table).base,
+            kb.layout().buf(v).base,
+        );
+        kb.emit_loop(LoopIr {
+            name: "gather".into(),
+            trip: Trip::Const(8),
+            elem: DataType::I32,
+            body: Body::Map {
+                dst: v.at(0),
+                expr: Expr::Gather(table, Box::new(Expr::load(idx.at(0)))),
+            },
+            ..LoopIr::default()
+        });
+        kb.halt();
+        let m = run(kb.finish(), |m| {
+            for i in 0..16u32 {
+                m.mem.write_u32(lt + 4 * i, 1000 + i);
+            }
+            for i in 0..8u32 {
+                m.mem.write_u32(li + 4 * i, 15 - i); // reversed indices
+            }
+        });
+        for i in 0..8u32 {
+            assert_eq!(m.mem.read_u32(lv + 4 * i), 1000 + 15 - i);
+        }
+    }
+
+    #[test]
+    fn runtime_trip_via_register() {
+        let mut kb = KernelBuilder::new(Variant::Scalar);
+        let a = kb.alloc("a", DataType::I32, 32);
+        let v = kb.alloc("v", DataType::I32, 32);
+        let (la, lv) = (kb.layout().buf(a).base, kb.layout().buf(v).base);
+        kb.asm_mut().mov_imm(regs::PARAM[0], 13); // runtime count
+        kb.emit_loop(LoopIr {
+            name: "drla".into(),
+            trip: Trip::Reg(regs::PARAM[0]),
+            elem: DataType::I32,
+            body: Body::Map { dst: v.at(0), expr: Expr::load(a.at(0)) + Expr::Imm(1) },
+            ..LoopIr::default()
+        });
+        kb.halt();
+        let m = run(kb.finish(), |m| {
+            for i in 0..32u32 {
+                m.mem.write_u32(la + 4 * i, i);
+            }
+        });
+        for i in 0..13u32 {
+            assert_eq!(m.mem.read_u32(lv + 4 * i), i + 1);
+        }
+        assert_eq!(m.mem.read_u32(lv + 4 * 13), 0, "untouched past the runtime trip");
+    }
+}

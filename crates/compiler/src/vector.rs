@@ -1,0 +1,488 @@
+//! Vector lowering shared by the auto-vectorizer and hand-vectorized
+//! baselines: a 128-bit vector main loop plus a scalar epilogue for
+//! leftover iterations.
+
+use dsa_isa::{Asm, Cond, ElemType, Label, Operand, QReg, VecOp};
+
+use crate::builder::{regs, Layout};
+use crate::ir::{Access, BinOp, Body, Expr, LoopIr, Trip};
+use crate::scalar;
+
+/// Which baseline's codegen policy is in effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VecStyle {
+    /// Compiler auto-vectorization: emits a runtime-versioning preamble
+    /// (alignment and overlap checks) on every loop entry.
+    AutoVec,
+    /// Hand-written intrinsics: no runtime checks.
+    HandVec,
+}
+
+/// Vector registers reserved for hoisted loop invariants.
+const CONST_QREGS: [QReg; 4] = [QReg::Q0, QReg::Q1, QReg::Q2, QReg::Q3];
+/// Vector registers holding the per-iteration loads.
+const LOAD_QREGS: [QReg; 4] = [QReg::Q4, QReg::Q5, QReg::Q6, QReg::Q7];
+/// Temporary pool for expression evaluation.
+const TMP_QREGS: [QReg; 7] =
+    [QReg::Q8, QReg::Q9, QReg::Q10, QReg::Q11, QReg::Q12, QReg::Q13, QReg::Q14];
+/// Vector accumulator for reductions.
+const ACC_QREG: QReg = QReg::Q15;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Invariant {
+    Imm(i32),
+    ImmF(u32),
+    Var(u8),
+}
+
+fn collect_invariants(expr: &Expr, out: &mut Vec<Invariant>) {
+    expr.visit(&mut |e| {
+        let inv = match e {
+            // The Shr placeholder operand is not a real leaf.
+            Expr::Bin(BinOp::Shr(_), _, _) => None,
+            Expr::Imm(v) => Some(Invariant::Imm(*v)),
+            Expr::ImmF(v) => Some(Invariant::ImmF(v.to_bits())),
+            Expr::Var(k) => Some(Invariant::Var(*k)),
+            _ => None,
+        };
+        if let Some(i) = inv {
+            if !out.contains(&i) {
+                out.push(i);
+            }
+        }
+    });
+    // Drop Shr placeholders that were visited as Imm(0) children.
+    // (Handled conservatively: a genuine Imm(0) elsewhere keeps its slot.)
+}
+
+fn collect_loads(expr: &Expr, out: &mut Vec<Access>) {
+    for a in expr.loads() {
+        if !out.contains(&a) {
+            out.push(a);
+        }
+    }
+}
+
+struct QPool {
+    free: Vec<QReg>,
+}
+
+impl QPool {
+    fn new() -> QPool {
+        let mut free = TMP_QREGS.to_vec();
+        free.reverse();
+        QPool { free }
+    }
+
+    fn take(&mut self) -> QReg {
+        self.free.pop().expect("vector expression too deep")
+    }
+
+    fn release(&mut self, q: QReg) {
+        if TMP_QREGS.contains(&q) {
+            self.free.push(q);
+        }
+    }
+}
+
+fn vec_op(op: BinOp) -> VecOp {
+    match op {
+        BinOp::Add => VecOp::Add,
+        BinOp::Sub => VecOp::Sub,
+        BinOp::Mul => VecOp::Mul,
+        BinOp::And => VecOp::And,
+        BinOp::Orr => VecOp::Orr,
+        BinOp::Eor => VecOp::Eor,
+        BinOp::Shr(_) => unreachable!("shift lowered separately"),
+    }
+}
+
+struct VecEval<'a> {
+    et: ElemType,
+    consts: &'a [(Invariant, QReg)],
+    loads: &'a [(Access, QReg)],
+}
+
+impl VecEval<'_> {
+    fn eval(&self, asm: &mut Asm, pool: &mut QPool, expr: &Expr) -> QReg {
+        match expr {
+            Expr::Load(a) => {
+                self.loads
+                    .iter()
+                    .find(|(x, _)| x == a)
+                    .map(|(_, q)| *q)
+                    .expect("load preassigned")
+            }
+            Expr::Imm(v) => self.const_reg(Invariant::Imm(*v)),
+            Expr::ImmF(v) => self.const_reg(Invariant::ImmF(v.to_bits())),
+            Expr::Var(k) => self.const_reg(Invariant::Var(*k)),
+            Expr::Bin(BinOp::Shr(s), lhs, _) => {
+                let qa = self.eval(asm, pool, lhs);
+                let qd = pool.take();
+                asm.vshr_imm(qd, qa, *s, self.et);
+                pool.release(qa);
+                qd
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                let qa = self.eval(asm, pool, lhs);
+                let qb = self.eval(asm, pool, rhs);
+                let qd = pool.take();
+                asm.vop(vec_op(*op), self.et, qd, qa, qb);
+                pool.release(qa);
+                pool.release(qb);
+                qd
+            }
+            Expr::Call(..) | Expr::Gather(..) => {
+                unreachable!("rejected by the vectorization analysis")
+            }
+        }
+    }
+
+    fn const_reg(&self, inv: Invariant) -> QReg {
+        self.consts
+            .iter()
+            .find(|(x, _)| *x == inv)
+            .map(|(_, q)| *q)
+            .expect("invariant hoisted")
+    }
+}
+
+/// Emits the vectorized loop (vector main body + scalar epilogue).
+///
+/// # Panics
+///
+/// Panics if the IR was not validated by the corresponding `analyze_*`
+/// function (unsupported body shapes reach `unreachable!`), or if it
+/// exceeds structural limits (registers, immediate ranges).
+pub(crate) fn emit_loop(
+    asm: &mut Asm,
+    layout: &Layout,
+    funcs: &[Label],
+    ir: &LoopIr,
+    style: VecStyle,
+) {
+    let ctx = scalar::setup_pointers(asm, layout, funcs, ir);
+    let lanes = ir.elem.lanes();
+    let et = ir.elem.elem_type();
+
+    let (expr, dst) = match &ir.body {
+        Body::Map { dst, expr } => (expr, Some(*dst)),
+        Body::Reduce { expr, .. } => (expr, None),
+        Body::Select { .. } => unreachable!("conditional loops are never statically vectorized"),
+    };
+
+    // Full trip in r12, vector trip (rounded down to lanes) in r1.
+    match ir.trip {
+        Trip::Const(n) => {
+            asm.mov_imm(regs::SCRATCH, n as i32);
+            asm.mov_imm(regs::LIMIT, (n / lanes * lanes) as i32);
+        }
+        Trip::Reg(r) => {
+            asm.mov(regs::SCRATCH, r);
+            asm.alu(
+                dsa_isa::AluOp::And,
+                regs::LIMIT,
+                regs::SCRATCH,
+                Operand::Imm(-(lanes as i16)),
+            );
+        }
+        Trip::Sentinel { .. } => unreachable!("sentinel loops are never statically vectorized"),
+    }
+    asm.mov_imm(regs::INDEX, 0);
+
+    // Auto-vectorizer runtime versioning: pairwise overlap checks plus an
+    // alignment test, executed on every entry to the loop.
+    if style == VecStyle::AutoVec {
+        let bufs = ir.buffers();
+        for w in bufs.windows(2) {
+            let pa = ctx.ptr(w[0]);
+            let pb = ctx.ptr(w[1]);
+            asm.sub(regs::TMP[0], pa, pb);
+            asm.cmp_imm(regs::TMP[0], 16);
+        }
+        let p0 = ctx.ptr(bufs[0]);
+        asm.and_imm(regs::TMP[0], p0, 15);
+        asm.cmp_imm(regs::TMP[0], 0);
+    }
+
+    // Hoist invariants.
+    let mut invariants = Vec::new();
+    collect_invariants(expr, &mut invariants);
+    assert!(invariants.len() <= CONST_QREGS.len(), "too many loop invariants");
+    let consts: Vec<(Invariant, QReg)> = invariants
+        .iter()
+        .enumerate()
+        .map(|(i, &inv)| {
+            let q = CONST_QREGS[i];
+            match inv {
+                Invariant::Imm(v) => {
+                    if ir.elem.is_float() {
+                        // Float loops: the immediate denotes the float
+                        // value (vdup_imm converts; the register path
+                        // must match).
+                        asm.mov_imm_f32(regs::TMP[0], v as f32);
+                        asm.vdup(q, regs::TMP[0], et);
+                    } else if let Ok(small) = i16::try_from(v) {
+                        asm.vdup_imm(q, small, et);
+                    } else {
+                        asm.mov_imm(regs::TMP[0], v);
+                        asm.vdup(q, regs::TMP[0], et);
+                    }
+                }
+                Invariant::ImmF(bits) => {
+                    asm.mov_imm(regs::TMP[0], bits as i32);
+                    asm.vdup(q, regs::TMP[0], et);
+                }
+                Invariant::Var(k) => asm.vdup(q, regs::PARAM[k as usize], et),
+            }
+            (inv, q)
+        })
+        .collect();
+
+    let is_reduce = matches!(ir.body, Body::Reduce { .. });
+    if is_reduce {
+        asm.vdup_imm(ACC_QREG, 0, et);
+    }
+
+    // Preassign load registers.
+    let mut load_accesses = Vec::new();
+    collect_loads(expr, &mut load_accesses);
+    assert!(load_accesses.len() <= LOAD_QREGS.len(), "too many distinct loads");
+    let loads: Vec<(Access, QReg)> = load_accesses
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (a, LOAD_QREGS[i]))
+        .collect();
+
+    // Guard: skip the vector loop when fewer than `lanes` iterations.
+    let vec_done = asm.new_label();
+    asm.cmp(regs::INDEX, regs::LIMIT);
+    asm.b_to(Cond::Ge, vec_done);
+
+    let vtop = asm.here();
+    for &(a, q) in &loads {
+        let p = ctx.ptr(a.buf);
+        if a.offset == 0 {
+            asm.vld1(q, p, false, et);
+        } else {
+            let off = a.offset * ir.elem.bytes() as i32;
+            asm.add_imm(regs::TMP[0], p, i16::try_from(off).expect("offset in range"));
+            asm.vld1(q, regs::TMP[0], false, et);
+        }
+    }
+    let ev = VecEval { et, consts: &consts, loads: &loads };
+    let mut pool = QPool::new();
+    let qr = ev.eval(asm, &mut pool, expr);
+    if let Some(d) = dst {
+        asm.vst1(qr, ctx.ptr(d.buf), false, et);
+    } else {
+        asm.vadd(et, ACC_QREG, ACC_QREG, qr);
+    }
+    pool.release(qr);
+    ctx.emit_ptr_increments(asm, lanes);
+    asm.add_imm(regs::INDEX, regs::INDEX, lanes as i16);
+    asm.cmp(regs::INDEX, regs::LIMIT);
+    asm.b_to(Cond::Ne, vtop);
+
+    asm.bind(vec_done);
+    if is_reduce {
+        // Fold the vector accumulator into the scalar accumulator used by
+        // the epilogue; init is guaranteed 0 by the analysis.
+        asm.vaddv(regs::ACC, ACC_QREG, et);
+    }
+
+    // Scalar epilogue for the leftover iterations.
+    let end = asm.new_label();
+    let tail_top = asm.here();
+    asm.cmp(regs::INDEX, regs::SCRATCH);
+    asm.b_to(Cond::Ge, end);
+    scalar::emit_body_once(asm, &ctx, &ir.body);
+    ctx.emit_ptr_increments(asm, 1);
+    asm.add_imm(regs::INDEX, regs::INDEX, 1);
+    asm.b(tail_top);
+    asm.bind(end);
+    scalar::emit_reduce_store(asm, &ctx, &ir.body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{KernelBuilder, Variant};
+    use crate::ir::DataType;
+    use dsa_cpu::{CpuConfig, Machine, Simulator};
+
+    fn build(variant: Variant, trip: Trip, n_alloc: u32) -> (crate::builder::Kernel, u32, u32) {
+        let mut kb = KernelBuilder::new(variant);
+        let a = kb.alloc("a", DataType::I32, n_alloc);
+        let v = kb.alloc("v", DataType::I32, n_alloc);
+        let la = kb.layout().buf(a).base;
+        let lv = kb.layout().buf(v).base;
+        let body = Body::Map { dst: v.at(0), expr: Expr::load(a.at(0)) * Expr::Imm(3) + Expr::Imm(1) };
+        if let Trip::Reg(r) = trip {
+            kb.asm_mut().mov_imm(r, 21);
+        }
+        kb.emit_loop(LoopIr {
+            name: "k".into(),
+            trip,
+            elem: DataType::I32,
+            body,
+            ..LoopIr::default()
+        });
+        kb.halt();
+        (kb.finish(), la, lv)
+    }
+
+    fn run(kernel: &crate::builder::Kernel, la: u32, n: u32) -> Machine {
+        let mut sim = Simulator::new(kernel.program.clone(), CpuConfig::default());
+        for i in 0..n {
+            sim.machine_mut().mem.write_u32(la + 4 * i, i + 10);
+        }
+        let out = sim.run(1_000_000).expect("ok");
+        assert!(out.halted);
+        sim.machine().clone()
+    }
+
+    #[test]
+    fn vectorized_map_matches_scalar_with_leftovers() {
+        // 21 elements: 5 vector iterations of 4 lanes + 1 leftover.
+        for variant in [Variant::AutoVec, Variant::HandVec] {
+            let (k, la, lv) = build(variant, Trip::Const(21), 32);
+            assert!(k.reports[0].vectorized, "{variant:?}");
+            assert!(k.program.vector_instr_count() > 0);
+            let m = run(&k, la, 32);
+            for i in 0..21u32 {
+                assert_eq!(m.mem.read_u32(lv + 4 * i), (i + 10) * 3 + 1, "{variant:?} [{i}]");
+            }
+            assert_eq!(m.mem.read_u32(lv + 4 * 21), 0, "past trip untouched");
+        }
+    }
+
+    #[test]
+    fn handvec_runtime_trip_vectorizes() {
+        let (k, la, lv) = build(Variant::HandVec, Trip::Reg(regs::PARAM[0]), 32);
+        assert!(k.reports[0].vectorized);
+        let m = run(&k, la, 32);
+        for i in 0..21u32 {
+            assert_eq!(m.mem.read_u32(lv + 4 * i), (i + 10) * 3 + 1);
+        }
+        assert_eq!(m.mem.read_u32(lv + 4 * 21), 0);
+    }
+
+    #[test]
+    fn autovec_runtime_trip_falls_back_to_scalar() {
+        let (k, la, lv) = build(Variant::AutoVec, Trip::Reg(regs::PARAM[0]), 32);
+        assert!(!k.reports[0].vectorized);
+        assert_eq!(k.program.vector_instr_count(), 0);
+        let m = run(&k, la, 32);
+        for i in 0..21u32 {
+            assert_eq!(m.mem.read_u32(lv + 4 * i), (i + 10) * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn autovec_emits_versioning_preamble() {
+        let (auto_k, _, _) = build(Variant::AutoVec, Trip::Const(21), 32);
+        let (hand_k, _, _) = build(Variant::HandVec, Trip::Const(21), 32);
+        assert!(
+            auto_k.program.len() > hand_k.program.len(),
+            "autovec carries runtime checks: {} vs {}",
+            auto_k.program.len(),
+            hand_k.program.len()
+        );
+    }
+
+    #[test]
+    fn handvec_reduction_matches_scalar() {
+        for variant in [Variant::Scalar, Variant::HandVec] {
+            let mut kb = KernelBuilder::new(variant);
+            let a = kb.alloc("a", DataType::I32, 19);
+            let out = kb.alloc("out", DataType::I32, 1);
+            let (la, lo) = (kb.layout().buf(a).base, kb.layout().buf(out).base);
+            kb.emit_loop(LoopIr {
+                name: "dot".into(),
+                trip: Trip::Const(19),
+                elem: DataType::I32,
+                body: Body::Reduce {
+                    op: BinOp::Add,
+                    expr: Expr::load(a.at(0)) * Expr::load(a.at(0)),
+                    out: out.at(0),
+                    init: 0,
+                },
+                ..LoopIr::default()
+            });
+            kb.halt();
+            let k = kb.finish();
+            if variant == Variant::HandVec {
+                assert!(k.reports[0].vectorized);
+            }
+            let mut sim = Simulator::new(k.program, CpuConfig::default());
+            for i in 0..19u32 {
+                sim.machine_mut().mem.write_u32(la + 4 * i, i);
+            }
+            sim.run(1_000_000).expect("ok");
+            let expect: u32 = (0..19).map(|i| i * i).sum();
+            assert_eq!(sim.machine().mem.read_u32(lo), expect, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn float_map_vectorizes() {
+        let mut kb = KernelBuilder::new(Variant::HandVec);
+        let a = kb.alloc("a", DataType::F32, 10);
+        let v = kb.alloc("v", DataType::F32, 10);
+        let (la, lv) = (kb.layout().buf(a).base, kb.layout().buf(v).base);
+        kb.emit_loop(LoopIr {
+            name: "fscale".into(),
+            trip: Trip::Const(10),
+            elem: DataType::F32,
+            body: Body::Map { dst: v.at(0), expr: Expr::load(a.at(0)) * Expr::ImmF(2.5) },
+            ..LoopIr::default()
+        });
+        kb.halt();
+        let k = kb.finish();
+        assert!(k.reports[0].vectorized);
+        let mut sim = Simulator::new(k.program, CpuConfig::default());
+        for i in 0..10u32 {
+            sim.machine_mut().mem.write_f32(la + 4 * i, i as f32);
+        }
+        sim.run(1_000_000).expect("ok");
+        for i in 0..10u32 {
+            assert_eq!(sim.machine().mem.read_f32(lv + 4 * i), i as f32 * 2.5);
+        }
+    }
+
+    #[test]
+    fn shr_and_offsets_vectorize() {
+        // v[i] = (a[i-1] + a[i+1]) >> 1 over a shifted window.
+        let mut kb = KernelBuilder::new(Variant::HandVec);
+        let a = kb.alloc("a", DataType::I32, 34);
+        let v = kb.alloc("v", DataType::I32, 34);
+        let (la, lv) = (kb.layout().buf(a).base, kb.layout().buf(v).base);
+        // Operate on i in 0..32 mapping a[i] and a[i+2].
+        kb.emit_loop(LoopIr {
+            name: "window".into(),
+            trip: Trip::Const(32),
+            elem: DataType::I32,
+            body: Body::Map {
+                dst: v.at(0),
+                expr: (Expr::load(a.at(0)) + Expr::load(a.at(2))).shr(1),
+            },
+            ..LoopIr::default()
+        });
+        kb.halt();
+        let k = kb.finish();
+        assert!(k.reports[0].vectorized);
+        let mut sim = Simulator::new(k.program, CpuConfig::default());
+        for i in 0..34u32 {
+            sim.machine_mut().mem.write_u32(la + 4 * i, 2 * i);
+        }
+        sim.run(1_000_000).expect("ok");
+        for i in 0..32u32 {
+            assert_eq!(
+                sim.machine().mem.read_u32(lv + 4 * i),
+                (2 * i + 2 * (i + 2)) >> 1,
+                "element {i}"
+            );
+        }
+    }
+}

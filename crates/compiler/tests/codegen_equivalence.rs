@@ -1,0 +1,191 @@
+//! Additional code-generation equivalence and structure tests:
+//! register-compared conditions, runtime trips below one vector, and
+//! the generated-code shapes the DSA detection relies on.
+
+use dsa_compiler::{
+    regs, Body, CmpOp, DataType, Expr, Kernel, KernelBuilder, LoopIr, Trip, Variant,
+};
+use dsa_cpu::{CpuConfig, Machine, Simulator};
+use dsa_isa::{Cond, Instr, Operand, Reg};
+
+fn run(kernel: &Kernel, init: &dyn Fn(&mut Machine)) -> Machine {
+    let mut sim = Simulator::new(kernel.program.clone(), CpuConfig::default());
+    init(sim.machine_mut());
+    let out = sim.run(10_000_000).expect("runs");
+    assert!(out.halted);
+    sim.machine().clone()
+}
+
+#[test]
+fn select_with_register_compared_condition() {
+    // if (a[i] + 5) < b[i] { v[i] = 1 } else { v[i] = 2 } — the relax
+    // pattern of Dijkstra.
+    let n = 48u32;
+    let build = |variant| {
+        let mut kb = KernelBuilder::new(variant);
+        let a = kb.alloc("a", DataType::I32, n);
+        let b = kb.alloc("b", DataType::I32, n);
+        let v = kb.alloc("v", DataType::I32, n);
+        let (la, lb, lv) =
+            (kb.layout().buf(a).base, kb.layout().buf(b).base, kb.layout().buf(v).base);
+        kb.emit_loop(LoopIr {
+            name: "reg_cond".into(),
+            trip: Trip::Const(n),
+            elem: DataType::I32,
+            body: Body::Select {
+                cond_lhs: Expr::load(a.at(0)) + Expr::Imm(5),
+                cmp: CmpOp::Lt,
+                cond_rhs: Expr::load(b.at(0)),
+                then_dst: v.at(0),
+                then_expr: Expr::Imm(1),
+                else_arm: Some((v.at(0), Expr::Imm(2))),
+            },
+            ..LoopIr::default()
+        });
+        kb.halt();
+        (kb.finish(), la, lb, lv)
+    };
+    let (kernel, la, lb, lv) = build(Variant::Scalar);
+    let m = run(&kernel, &move |m: &mut Machine| {
+        for i in 0..n {
+            m.mem.write_u32(la + 4 * i, i);
+            m.mem.write_u32(lb + 4 * i, 24);
+        }
+    });
+    for i in 0..n {
+        let expect = if (i as i32 + 5) < 24 { 1 } else { 2 };
+        assert_eq!(m.mem.read_u32(lv + 4 * i), expect, "element {i}");
+    }
+    // The condition compiles to a register compare (no immediate form).
+    let has_reg_cmp = kernel
+        .program
+        .iter()
+        .any(|i| matches!(i, Instr::Cmp { src2: Operand::Reg(_), .. }));
+    assert!(has_reg_cmp);
+}
+
+#[test]
+fn handvec_runtime_trip_below_one_vector_runs_epilogue_only() {
+    // trip = 2 at runtime: the vector loop is skipped by its guard and
+    // the scalar epilogue computes everything.
+    let n_alloc = 16u32;
+    let mut kb = KernelBuilder::new(Variant::HandVec);
+    let a = kb.alloc("a", DataType::I32, n_alloc);
+    let v = kb.alloc("v", DataType::I32, n_alloc);
+    let (la, lv) = (kb.layout().buf(a).base, kb.layout().buf(v).base);
+    kb.asm_mut().mov_imm(regs::PARAM[0], 2);
+    kb.emit_loop(LoopIr {
+        name: "tiny_rt".into(),
+        trip: Trip::Reg(regs::PARAM[0]),
+        elem: DataType::I32,
+        body: Body::Map { dst: v.at(0), expr: Expr::load(a.at(0)) * Expr::Imm(10) },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    let kernel = kb.finish();
+    assert!(kernel.reports[0].vectorized);
+    let m = run(&kernel, &move |m: &mut Machine| {
+        for i in 0..n_alloc {
+            m.mem.write_u32(la + 4 * i, i + 1);
+        }
+    });
+    assert_eq!(m.mem.read_u32(lv), 10);
+    assert_eq!(m.mem.read_u32(lv + 4), 20);
+    assert_eq!(m.mem.read_u32(lv + 8), 0, "past the runtime trip");
+}
+
+#[test]
+fn scalar_count_loop_has_the_dsa_detectable_shape() {
+    // The scalar code generator must emit: an immediate-compared closing
+    // branch (static range), and a backward conditional branch.
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let a = kb.alloc("a", DataType::I32, 10);
+    let v = kb.alloc("v", DataType::I32, 10);
+    kb.emit_loop(LoopIr {
+        name: "shape".into(),
+        trip: Trip::Const(10),
+        elem: DataType::I32,
+        body: Body::Map { dst: v.at(0), expr: Expr::load(a.at(0)) },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    let p = kb.finish().program;
+    assert!(p
+        .iter()
+        .any(|i| matches!(i, Instr::Cmp { rn: Reg::R0, src2: Operand::Imm(10) })));
+    assert!(p
+        .iter()
+        .any(|i| matches!(i, Instr::B { cond: Cond::Ne, offset } if *offset < 0)));
+}
+
+#[test]
+fn dynamic_range_loop_uses_register_compare() {
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let a = kb.alloc("a", DataType::I32, 10);
+    let v = kb.alloc("v", DataType::I32, 10);
+    kb.asm_mut().mov_imm(regs::PARAM[0], 10);
+    kb.emit_loop(LoopIr {
+        name: "drl_shape".into(),
+        trip: Trip::Reg(regs::PARAM[0]),
+        elem: DataType::I32,
+        body: Body::Map { dst: v.at(0), expr: Expr::load(a.at(0)) },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    let p = kb.finish().program;
+    // The closing compare of a dynamic range loop uses a register — the
+    // runtime signature the DSA keys on.
+    let reg_cmps = p
+        .iter()
+        .filter(|i| matches!(i, Instr::Cmp { rn: Reg::R0, src2: Operand::Reg(_) }))
+        .count();
+    assert!(reg_cmps >= 2, "guard + closing compare");
+}
+
+#[test]
+fn float_equivalence_between_scalar_and_vector_builds() {
+    // (a * 1.5 + b) over f32 with an awkward trip.
+    let n = 23u32;
+    let build = |variant| {
+        let mut kb = KernelBuilder::new(variant);
+        let a = kb.alloc("a", DataType::F32, n);
+        let b = kb.alloc("b", DataType::F32, n);
+        let v = kb.alloc("v", DataType::F32, n);
+        let (la, lb, lv) =
+            (kb.layout().buf(a).base, kb.layout().buf(b).base, kb.layout().buf(v).base);
+        kb.emit_loop(LoopIr {
+            name: "faxpy".into(),
+            trip: Trip::Const(n),
+            elem: DataType::F32,
+            body: Body::Map {
+                dst: v.at(0),
+                expr: Expr::load(a.at(0)) * Expr::ImmF(1.5) + Expr::load(b.at(0)),
+            },
+            ..LoopIr::default()
+        });
+        kb.halt();
+        (kb.finish(), la, lb, lv)
+    };
+    let init = |la: u32, lb: u32| {
+        move |m: &mut Machine| {
+            for i in 0..n {
+                m.mem.write_f32(la + 4 * i, i as f32 / 4.0);
+                m.mem.write_f32(lb + 4 * i, 100.0 - i as f32);
+            }
+        }
+    };
+    let (ks, la, lb, lv) = build(Variant::Scalar);
+    let ms = run(&ks, &init(la, lb));
+    for variant in [Variant::AutoVec, Variant::HandVec] {
+        let (kv, la2, lb2, lv2) = build(variant);
+        assert_eq!((la, lb, lv), (la2, lb2, lv2), "layouts agree");
+        let mv = run(&kv, &init(la, lb));
+        for i in 0..n {
+            assert_eq!(
+                ms.mem.read_f32(lv + 4 * i),
+                mv.mem.read_f32(lv + 4 * i),
+                "{variant:?} element {i}"
+            );
+        }
+    }
+}

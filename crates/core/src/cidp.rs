@@ -1,0 +1,210 @@
+//! Cross-Iteration Dependency Prediction — equations 4.1–4.5 of the
+//! dissertation.
+//!
+//! Given the addresses observed in the second and third loop iterations
+//! and the predicted trip count, the CIDP extrapolates every load
+//! stream's future addresses and checks whether any store address of
+//! iteration 2 falls inside a load stream's future range. If it does the
+//! loop has a cross-iteration dependency (CID); the distance in
+//! iterations bounds how much of the loop can still be vectorized
+//! (partial vectorization, §4.5).
+
+/// One affine access stream, reconstructed from two observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stream {
+    /// Address observed in the second iteration (`MRead[2]` / `MWrite[2]`).
+    pub addr2: i64,
+    /// Per-iteration address gap (`MGap`, equation 4.5).
+    pub gap: i64,
+    /// Whether the stream writes.
+    pub is_write: bool,
+    /// Access width in bytes.
+    pub bytes: u8,
+}
+
+impl Stream {
+    /// Predicted address at iteration `i` (iterations numbered from 1;
+    /// the stream was observed at iteration 2).
+    pub fn addr_at(&self, i: i64) -> i64 {
+        self.addr2 + self.gap * (i - 2)
+    }
+}
+
+/// Outcome of the prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CidpOutcome {
+    /// No cross-iteration dependency: the whole remaining range can be
+    /// vectorized.
+    NoDependency,
+    /// A dependency `distance` iterations apart: chunks of up to
+    /// `distance` iterations can be vectorized (partial vectorization).
+    Dependency {
+        /// Minimum dependency distance in iterations (≥ 1).
+        distance: u32,
+    },
+}
+
+/// Runs the prediction over all stream pairs.
+///
+/// `trip` is the predicted total number of iterations (the speculative
+/// range for sentinel loops). Returns the combined outcome: the minimum
+/// dependency distance over all (load, store) pairs, or
+/// [`CidpOutcome::NoDependency`].
+///
+/// # Examples
+///
+/// The dissertation's Figure 13: a read stream at `0x100` with gap 4
+/// and a store at `0x108` collide two iterations apart.
+///
+/// ```
+/// use dsa_core::{predict, CidpOutcome, Stream};
+///
+/// let streams = [
+///     Stream { addr2: 0x100, gap: 4, is_write: false, bytes: 4 },
+///     Stream { addr2: 0x108, gap: 4, is_write: true, bytes: 4 },
+/// ];
+/// assert_eq!(predict(&streams, 10), CidpOutcome::Dependency { distance: 2 });
+/// ```
+///
+/// Overlap of a store with a *future* load address means a true
+/// (read-after-write) dependency. A store landing exactly on the load
+/// stream's same-iteration address (`distance == 0`) is an intra-
+/// iteration access (`v[i] = v[i] + …`) and is not a cross-iteration
+/// dependency. Write/write and anti-dependencies between streams with
+/// equal gaps resolve in lane order and are treated as safe, matching
+/// the paper's read/write formulation.
+pub fn predict(streams: &[Stream], trip: u32) -> CidpOutcome {
+    let mut min_distance: Option<u32> = None;
+    let last = trip as i64;
+    for w in streams.iter().filter(|s| s.is_write) {
+        for r in streams.iter().filter(|s| !s.is_write) {
+            if r.gap == 0 {
+                // A loop-invariant (re-read) location written by the loop
+                // is a dependency every iteration.
+                if overlaps(w.addr2, w.bytes, r.addr2, r.bytes) {
+                    return CidpOutcome::Dependency { distance: 1 };
+                }
+                continue;
+            }
+            // Equation 4.4: MRead[last] = MRead[2] + MGap * (last - 2).
+            let first = r.addr_at(3);
+            let last_addr = r.addr_at(last);
+            let (lo, hi) = if r.gap > 0 { (first, last_addr) } else { (last_addr, first) };
+            // Equations 4.1–4.3: is MWrite[2] within [MRead[3], MRead[last]]?
+            let w_lo = w.addr2;
+            let w_hi = w.addr2 + w.bytes as i64 - 1;
+            if w_hi < lo || w_lo > hi + r.bytes as i64 - 1 {
+                continue; // NCID for this pair
+            }
+            // CID: the read at iteration 2 + d touches the iteration-2
+            // store. Distance in iterations:
+            let d = (w.addr2 - r.addr2).abs() / r.gap.abs();
+            let d = u32::try_from(d.max(1)).unwrap_or(u32::MAX);
+            min_distance = Some(min_distance.map_or(d, |m| m.min(d)));
+        }
+    }
+    match min_distance {
+        Some(distance) => CidpOutcome::Dependency { distance },
+        None => CidpOutcome::NoDependency,
+    }
+}
+
+fn overlaps(a: i64, ab: u8, b: i64, bb: u8) -> bool {
+    a < b + bb as i64 && b < a + ab as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rd(addr2: i64, gap: i64) -> Stream {
+        Stream { addr2, gap, is_write: false, bytes: 4 }
+    }
+
+    fn wr(addr2: i64, gap: i64) -> Stream {
+        Stream { addr2, gap, is_write: true, bytes: 4 }
+    }
+
+    #[test]
+    fn paper_example_figure_13() {
+        // MRead[2]=0x100, MRead[3]=0x104 -> MGap=4; 10 iterations;
+        // MWrite[2]=0x108 is within [0x104, 0x120] -> CID.
+        let streams = [rd(0x100, 4), wr(0x108, 4)];
+        match predict(&streams, 10) {
+            CidpOutcome::Dependency { distance } => assert_eq!(distance, 2),
+            o => panic!("expected dependency, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn disjoint_streams_have_no_dependency() {
+        // v[i] = a[i] + b[i]: write stream far from both read streams.
+        let streams = [rd(0x1000, 4), rd(0x2000, 4), wr(0x3000, 4)];
+        assert_eq!(predict(&streams, 400), CidpOutcome::NoDependency);
+    }
+
+    #[test]
+    fn same_element_read_write_is_safe() {
+        // c[i] = c[i] + x: the write lands exactly on the read's
+        // same-iteration address, never on a future one.
+        let streams = [rd(0x100, 4), wr(0x100, 4)];
+        assert_eq!(predict(&streams, 1000), CidpOutcome::NoDependency);
+    }
+
+    #[test]
+    fn classic_recurrence_distance_one() {
+        // v[i] = v[i-1] + b[i]: read at 0x0FC, write at 0x100.
+        let streams = [rd(0x0FC, 4), rd(0x200, 4), wr(0x100, 4)];
+        match predict(&streams, 100) {
+            CidpOutcome::Dependency { distance } => assert_eq!(distance, 1),
+            o => panic!("expected dependency, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn figure_14_partial_distance() {
+        // Dependency between iterations 2 and 11 via address 0x124:
+        // read stream at 0x100 gap 4 reads 0x124 at iteration 11;
+        // write stream writes 0x124 at iteration 2.
+        let streams = [rd(0x100, 4), wr(0x124, 4)];
+        match predict(&streams, 40) {
+            CidpOutcome::Dependency { distance } => assert_eq!(distance, 9),
+            o => panic!("expected dependency, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn dependency_beyond_trip_is_safe() {
+        // The write is 100 elements ahead but the loop only runs 20 more
+        // iterations -> the read never reaches it.
+        let streams = [rd(0x100, 4), wr(0x100 + 100 * 4, 4)];
+        assert_eq!(predict(&streams, 20), CidpOutcome::NoDependency);
+    }
+
+    #[test]
+    fn invariant_reload_is_dependency() {
+        // Reading a fixed location that the loop also writes.
+        let streams = [rd(0x500, 0), wr(0x500, 4)];
+        assert_eq!(predict(&streams, 10), CidpOutcome::Dependency { distance: 1 });
+    }
+
+    #[test]
+    fn negative_gap_streams() {
+        // Backward-walking read overlapping a store.
+        let streams = [rd(0x200, -4), wr(0x1F0, -4)];
+        match predict(&streams, 50) {
+            CidpOutcome::Dependency { distance } => assert_eq!(distance, 4),
+            o => panic!("expected dependency, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn byte_streams_partial_overlap() {
+        // 1-byte reads, 4-byte store overlapping the future read range.
+        let streams = [
+            Stream { addr2: 0x100, gap: 1, is_write: false, bytes: 1 },
+            Stream { addr2: 0x105, gap: 1, is_write: true, bytes: 4 },
+        ];
+        assert!(matches!(predict(&streams, 64), CidpOutcome::Dependency { .. }));
+    }
+}

@@ -1,0 +1,186 @@
+//! DSA configuration: feature set, structure sizes, stage latencies.
+
+/// Which loop classes the DSA can vectorize.
+///
+/// The three presets reproduce the three publications:
+/// [`FeatureSet::original`] (SBCCI 2018), [`FeatureSet::extended`]
+/// (SBESC 2018, adds conditional and dynamic-range loops) and
+/// [`FeatureSet::full`] (DATE 2019, adds sentinel loops and partial
+/// vectorization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureSet {
+    /// Count loops (fixed trip).
+    pub count_loops: bool,
+    /// Loops whose body calls a function.
+    pub function_loops: bool,
+    /// Reuse of cached verdicts across loop-nest re-entries.
+    pub loop_nests: bool,
+    /// Loops with conditional code (speculative Array-Map execution).
+    pub conditional_loops: bool,
+    /// Dynamic range loops (trip computed at runtime before the loop).
+    pub dynamic_range_loops: bool,
+    /// Sentinel loops (stop condition computed inside the loop).
+    pub sentinel_loops: bool,
+    /// Partial vectorization of loops with cross-iteration dependencies.
+    pub partial_vectorization: bool,
+}
+
+impl FeatureSet {
+    /// The original DSA of Article 1 (SBCCI 2018).
+    pub fn original() -> FeatureSet {
+        FeatureSet {
+            count_loops: true,
+            function_loops: true,
+            loop_nests: true,
+            conditional_loops: false,
+            dynamic_range_loops: false,
+            sentinel_loops: false,
+            partial_vectorization: false,
+        }
+    }
+
+    /// The extended DSA of Article 2 (SBESC 2018).
+    pub fn extended() -> FeatureSet {
+        FeatureSet {
+            conditional_loops: true,
+            dynamic_range_loops: true,
+            ..FeatureSet::original()
+        }
+    }
+
+    /// The full DSA of Article 3 (DATE 2019).
+    pub fn full() -> FeatureSet {
+        FeatureSet {
+            sentinel_loops: true,
+            partial_vectorization: true,
+            ..FeatureSet::extended()
+        }
+    }
+}
+
+impl Default for FeatureSet {
+    fn default() -> FeatureSet {
+        FeatureSet::full()
+    }
+}
+
+/// How leftover iterations (trip not a lane multiple) are executed
+/// (dissertation §4.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeftoverPolicy {
+    /// Pick per situation: Overlapping when the trip fills at least one
+    /// full vector and the operation tolerates recomputation, otherwise
+    /// Single Elements.
+    Auto,
+    /// Load, process and store each remaining element individually.
+    SingleElements,
+    /// Re-process a few trailing elements so the last vector is full.
+    Overlapping,
+    /// Pad the array to the next lane multiple and run one extra vector.
+    LargerArrays,
+}
+
+/// Full DSA configuration. Defaults reproduce the paper's setup
+/// (Table 4): 8 KB DSA cache, 1 KB Verification Cache, four 128-bit
+/// Array Maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsaConfig {
+    /// Enabled loop classes.
+    pub features: FeatureSet,
+    /// DSA cache capacity in bytes.
+    pub dsa_cache_bytes: u32,
+    /// Verification Cache capacity in bytes.
+    pub vcache_bytes: u32,
+    /// Number of 128-bit Array Maps for conditional speculation.
+    pub array_maps: u32,
+    /// Spare NEON registers usable when Array Maps run out.
+    pub spare_vector_regs: u32,
+    /// Core cycles to flush the pipeline before NEON execution starts.
+    pub flush_latency: u32,
+    /// Core cycles to restart the frontend after NEON execution.
+    pub resync_latency: u32,
+    /// DSA-side latency of one DSA-cache access (parallel to the core).
+    pub dsa_cache_latency: u32,
+    /// DSA-side latency of one Verification-Cache access.
+    pub vcache_latency: u32,
+    /// DSA-side latency of one CIDP evaluation (per stream pair).
+    pub cidp_latency: u32,
+    /// DSA-side latency of one Array-Map access.
+    pub array_map_latency: u32,
+    /// DSA-side latency of the speculative select at each chunk end.
+    pub select_latency: u32,
+    /// DSA-side latency of re-verifying dependencies per partial chunk.
+    pub partial_chunk_latency: u32,
+    /// Iteration budget for mapping a conditional loop before giving up.
+    pub conditional_analysis_limit: u32,
+    /// Minimum remaining iterations worth flushing the pipeline for; a
+    /// smaller remainder finishes scalar (vectorization would cost more
+    /// than it saves).
+    pub min_profitable_iterations: u32,
+    /// Leftover strategy.
+    pub leftover: LeftoverPolicy,
+}
+
+impl Default for DsaConfig {
+    fn default() -> DsaConfig {
+        DsaConfig {
+            features: FeatureSet::full(),
+            dsa_cache_bytes: 8 * 1024,
+            vcache_bytes: 1024,
+            array_maps: 4,
+            spare_vector_regs: 4,
+            flush_latency: 10,
+            resync_latency: 4,
+            dsa_cache_latency: 1,
+            vcache_latency: 1,
+            cidp_latency: 2,
+            array_map_latency: 1,
+            select_latency: 2,
+            partial_chunk_latency: 3,
+            conditional_analysis_limit: 64,
+            min_profitable_iterations: 8,
+            leftover: LeftoverPolicy::Auto,
+        }
+    }
+}
+
+impl DsaConfig {
+    /// Configuration for the original DSA (Article 1).
+    pub fn original() -> DsaConfig {
+        DsaConfig { features: FeatureSet::original(), ..DsaConfig::default() }
+    }
+
+    /// Configuration for the extended DSA (Article 2).
+    pub fn extended() -> DsaConfig {
+        DsaConfig { features: FeatureSet::extended(), ..DsaConfig::default() }
+    }
+
+    /// Configuration for the full DSA (Article 3 / DATE 2019).
+    pub fn full() -> DsaConfig {
+        DsaConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_coverage() {
+        let o = FeatureSet::original();
+        let e = FeatureSet::extended();
+        let f = FeatureSet::full();
+        assert!(!o.conditional_loops && e.conditional_loops && f.conditional_loops);
+        assert!(!o.sentinel_loops && !e.sentinel_loops && f.sentinel_loops);
+        assert!(!e.partial_vectorization && f.partial_vectorization);
+        assert!(o.count_loops && o.function_loops && o.loop_nests);
+    }
+
+    #[test]
+    fn default_matches_paper_table() {
+        let c = DsaConfig::default();
+        assert_eq!(c.dsa_cache_bytes, 8 * 1024);
+        assert_eq!(c.vcache_bytes, 1024);
+        assert_eq!(c.array_maps, 4);
+    }
+}

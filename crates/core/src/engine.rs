@@ -1,0 +1,1212 @@
+//! The DSA engine: a [`CommitHook`] implementing the six-stage detection
+//! state machine over the committed instruction stream.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use dsa_cpu::{CommitHook, Machine, SimControl, TraceEvent};
+use dsa_isa::{Cond, Instr};
+
+use crate::caches::{CachedKind, DsaCache, VerificationCache};
+use crate::cidp::{self, CidpOutcome};
+use crate::config::DsaConfig;
+use crate::plan::{self, ArmTemplate, LoopTemplate, OpMix, StreamTemplate};
+use crate::profile::{CmpObs, IterationProfile, IterationRecorder};
+use crate::stats::{DsaStats, LoopCensus, LoopClass};
+
+/// The Dynamic SIMD Assembler. Attach to a
+/// [`Simulator`](dsa_cpu::Simulator) via
+/// [`run_with_hook`](dsa_cpu::Simulator::run_with_hook); see the
+/// [crate-level example](crate).
+#[derive(Debug)]
+pub struct Dsa {
+    config: DsaConfig,
+    cache: DsaCache,
+    vcache: VerificationCache,
+    stats: DsaStats,
+    census: HashMap<u32, LoopClass>,
+    mode: Mode,
+}
+
+#[derive(Debug)]
+enum Mode {
+    Probing,
+    Analyzing(Box<Analysis>),
+    Executing(Box<Execution>),
+}
+
+#[derive(Debug)]
+struct Analysis {
+    id: u32,
+    end_pc: u32,
+    iter: u32,
+    rec: IterationRecorder,
+    /// Iteration-2 profile (Data Collection output).
+    collected: Option<IterationProfile>,
+    /// Cache-hit fast path: the stored template.
+    hit: Option<LoopTemplate>,
+    /// Conditional-loop mapping state.
+    cond: Option<CondAnalysis>,
+    /// Nest-fusion observation state (§4.6.3).
+    nest: Option<NestAnalysis>,
+    call_depth: u32,
+}
+
+/// Observing an outer loop whose body is a cached-vectorizable inner
+/// loop: if everything outside the inner loop is pure overhead and the
+/// inner streams advance contiguously across outer iterations, the nest
+/// fuses into a single loop of `outer × inner` iterations.
+#[derive(Debug)]
+struct NestAnalysis {
+    inner_id: u32,
+    inner_end: u32,
+    inner_template: LoopTemplate,
+    inner_trip: u32,
+}
+
+/// First observation of an arm, its iteration, and (when seen again)
+/// the verifying second observation.
+type ArmObservation = (IterationProfile, u32, Option<(IterationProfile, u32)>);
+
+#[derive(Debug)]
+struct CondAnalysis {
+    /// path hash → observations of that arm (ordered map so template
+    /// arm order — and therefore injected-op order — is deterministic).
+    arms: BTreeMap<u64, ArmObservation>,
+    pcs_seen: HashSet<u32>,
+    verified: BTreeMap<u64, ArmTemplate>,
+}
+
+#[derive(Debug)]
+struct Execution {
+    id: u32,
+    lo: u32,
+    hi: u32,
+    callee: Option<(u32, u32)>,
+    kind: ExecKind,
+    iters: u32,
+    call_depth: u32,
+}
+
+// The enum lives inside the boxed `Execution`; variant size skew is fine.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum ExecKind {
+    /// Full coverage until the loop exits. The first `peel` iterations
+    /// run scalar so the vectorized stream starts 16-byte aligned (the
+    /// DSA knows the real addresses, unlike a static compiler).
+    Plain { peel: u32 },
+    /// Sentinel: cover the body (not the stop check) in speculative
+    /// blocks of `block` iterations; while the loop keeps running, the
+    /// next block is speculated too (§4.6.5's continued partial
+    /// vectorization).
+    Sentinel {
+        template: LoopTemplate,
+        /// Iterations speculated so far (grows block by block).
+        budget: u32,
+        /// Size of one speculative block.
+        block: u32,
+        check_hi: u32,
+        /// Stream bases for the *next* block.
+        bases: Vec<(StreamTemplate, u32)>,
+        injected_elems: u32,
+    },
+    /// Conditional: speculative execution in vector-width windows — each
+    /// condition accessed within a window is vectorized over it and the
+    /// Array Maps select the surviving lanes (Figure 22 of the paper).
+    Conditional {
+        template: LoopTemplate,
+        /// Arms seen in the current window: path → stream bases at the
+        /// window start (ordered for deterministic injection).
+        window_arms: BTreeMap<u64, Vec<(StreamTemplate, u32)>>,
+        /// Iterations covered in the current window.
+        window_fill: u32,
+        rec: IterationRecorder,
+        injected_elems: u32,
+    },
+}
+
+impl Dsa {
+    /// Creates a DSA with the given configuration.
+    pub fn new(config: DsaConfig) -> Dsa {
+        Dsa {
+            config,
+            cache: DsaCache::new(config.dsa_cache_bytes),
+            vcache: VerificationCache::new(config.vcache_bytes),
+            stats: DsaStats::default(),
+            census: HashMap::new(),
+            mode: Mode::Probing,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DsaConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics. DSA-cache hit/miss counters are folded in.
+    pub fn stats(&self) -> DsaStats {
+        let mut s = self.stats;
+        let (hits, misses, _) = self.cache.counters();
+        s.dsa_cache_hits = hits;
+        s.dsa_cache_misses = misses;
+        s
+    }
+
+    /// The loop-type census observed so far (one entry per static loop).
+    pub fn census(&self) -> LoopCensus {
+        let mut c = LoopCensus::default();
+        for &class in self.census.values() {
+            c.record(class);
+        }
+        c
+    }
+
+    /// The DSA cache (for inspection in tests and experiments).
+    pub fn cache(&self) -> &DsaCache {
+        &self.cache
+    }
+
+    fn classify(&mut self, id: u32, class: LoopClass) {
+        self.census.insert(id, class);
+    }
+
+    fn give_up(&mut self, id: u32, class: LoopClass) {
+        self.cache.insert(id, CachedKind::NonVectorizable(class));
+        self.stats.detection_cycles += self.config.dsa_cache_latency as u64;
+        self.classify(id, class);
+        self.mode = Mode::Probing;
+    }
+
+    // ----- Probing -------------------------------------------------------
+
+    fn probe(&mut self, ev: &TraceEvent) {
+        if !is_loop_branch(ev) {
+            return;
+        }
+        let id = ev.branch.expect("backward branch has outcome").target;
+        self.stats.loops_detected += 1;
+        self.stats.stage_loop_detection += 1;
+        match self.cache.probe(id).cloned() {
+            // A cached negative verdict ends detection immediately — the
+            // probe is pipelined with the core and costs nothing.
+            Some(CachedKind::NonVectorizable(_)) => {}
+            Some(CachedKind::Vectorizable(t)) => {
+                self.stats.detection_cycles += self.config.dsa_cache_latency as u64;
+                self.mode = Mode::Analyzing(Box::new(Analysis {
+                    id,
+                    end_pc: ev.pc,
+                    iter: 1,
+                    rec: IterationRecorder::new(id, ev.pc),
+                    collected: None,
+                    hit: Some(t),
+                    cond: None,
+                    nest: None,
+                    call_depth: 0,
+                }));
+            }
+            None => {
+                self.stats.detection_cycles += self.config.dsa_cache_latency as u64;
+                self.stats.stage_data_collection += 1;
+                self.mode = Mode::Analyzing(Box::new(Analysis {
+                    id,
+                    end_pc: ev.pc,
+                    iter: 1,
+                    rec: IterationRecorder::new(id, ev.pc),
+                    collected: None,
+                    hit: None,
+                    cond: None,
+                    nest: None,
+                    call_depth: 0,
+                }));
+            }
+        }
+    }
+
+    // ----- Analysis ------------------------------------------------------
+
+    /// Handles one event while analysing; returns `true` if the event
+    /// must be re-dispatched from probing (nest abandonment).
+    fn analyze(&mut self, ev: &TraceEvent, machine: &Machine, ctl: &mut SimControl<'_>) -> bool {
+        let Mode::Analyzing(a) = &mut self.mode else { unreachable!() };
+        let id = a.id;
+        let end_pc = a.end_pc;
+
+        match ev.instr {
+            Instr::Bl { .. } => a.call_depth += 1,
+            Instr::BxLr => a.call_depth = a.call_depth.saturating_sub(1),
+            _ => {}
+        }
+
+        // Closing branch of the tracked loop?
+        if ev.pc == end_pc && matches!(ev.branch, Some(b) if b.taken && b.target == id) {
+            self.finish_iteration(ev, machine, ctl);
+            return false;
+        }
+
+        // A different loop boundary: an inner loop of the tracked one.
+        if is_loop_branch(ev) {
+            let b = ev.branch.expect("loop branch has outcome");
+            let inner_ok = id < b.target && ev.pc < end_pc;
+            match (&a.nest, inner_ok) {
+                // Already observing this inner loop: expected.
+                (Some(n), true) if n.inner_id == b.target => return false,
+                (None, true) if self.config.features.loop_nests && a.hit.is_none() => {
+                    // Fusion candidate when the inner loop is already
+                    // verified as a plain count loop with a static trip.
+                    if let Some(CachedKind::Vectorizable(t)) = self.cache.peek(b.target) {
+                        let fusable = t.class == LoopClass::Count
+                            && t.arms.is_empty()
+                            && t.partial_distance.is_none()
+                            && t.fused_inner_trip.is_none()
+                            && t.streams.iter().all(|s| s.occ == 0)
+                            && t.trip_imm.is_some();
+                        if fusable {
+                            let Mode::Analyzing(a) = &mut self.mode else { unreachable!() };
+                            a.nest = Some(NestAnalysis {
+                                inner_id: b.target,
+                                inner_end: ev.pc,
+                                inner_trip: t.trip_imm.expect("checked") as u32,
+                                inner_template: t.clone(),
+                            });
+                            return false;
+                        }
+                    }
+                    self.give_up(id, LoopClass::Nest);
+                    return true;
+                }
+                _ => {
+                    self.give_up(id, LoopClass::Nest);
+                    return true;
+                }
+            }
+        }
+
+        let a = match &mut self.mode {
+            Mode::Analyzing(a) => a,
+            _ => unreachable!(),
+        };
+        a.rec.record(ev, machine);
+
+        // Loop exited before analysis finished (trip shorter than the
+        // analysis window): nothing to do.
+        let next = machine.pc();
+        let in_loop = (id..=end_pc).contains(&next);
+        if !in_loop && a.call_depth == 0 && !machine.is_halted() {
+            // Tolerate the sentinel stop-check's exit and the epilogue:
+            // only abandon when control is definitely past the loop.
+            self.mode = Mode::Probing;
+        }
+        false
+    }
+
+    fn finish_iteration(&mut self, ev: &TraceEvent, machine: &Machine, ctl: &mut SimControl<'_>) {
+        let Mode::Analyzing(a) = &mut self.mode else { unreachable!() };
+        let closing_unconditional = matches!(ev.instr, Instr::B { cond: Cond::Al, .. });
+        let index_reg = a.rec.last_cmp_reg();
+        let rec = std::mem::replace(&mut a.rec, IterationRecorder::new(a.id, a.end_pc));
+        let profile = rec.finish(index_reg);
+        a.iter += 1;
+        let iter = a.iter;
+        let id = a.id;
+
+        // Charge Verification-Cache traffic for the recorded iteration.
+        let n_acc = profile.accesses.len() as u64;
+        self.stats.vcache_accesses += n_acc;
+        self.stats.detection_cycles += n_acc * self.config.vcache_latency as u64;
+        self.vcache.record_accesses(n_acc);
+
+        let a = match &mut self.mode {
+            Mode::Analyzing(a) => a,
+            _ => unreachable!(),
+        };
+        // Nest observation stores only the per-stream heads, not every
+        // inner-iteration address, so the capacity check is skipped.
+        if a.nest.is_none() && !self.vcache.fits(profile.accesses.len()) {
+            self.give_up(id, LoopClass::NonVectorizable);
+            return;
+        }
+
+        // Cache-hit fast path: one collection iteration, then execute.
+        if let Some(t) = a.hit.clone() {
+            self.stats.stage_store_id_execution += 1;
+            self.hit_execute(t, profile, machine, ctl);
+            return;
+        }
+
+        // Nest-fusion path: the iteration contained a verified inner
+        // count loop; check the outer body is pure overhead.
+        if a.nest.is_some() {
+            self.nest_step(profile, ctl);
+            return;
+        }
+
+        // Structural rejections discovered during Data Collection.
+        if profile.body.nonvec > 0 || profile.body.elem_bytes.is_none() {
+            self.give_up(id, LoopClass::NonVectorizable);
+            return;
+        }
+        if profile.has_call && !self.config.features.function_loops {
+            self.give_up(id, LoopClass::Function);
+            return;
+        }
+        if closing_unconditional || profile.exit_check_pc.is_some() && profile.closing_cmp.is_none()
+        {
+            // Sentinel shape.
+            if !self.config.features.sentinel_loops || profile.cond_branches > 0 {
+                self.give_up(id, LoopClass::Sentinel);
+                return;
+            }
+        }
+        if profile.cond_branches > 0 {
+            if !self.config.features.conditional_loops {
+                self.give_up(id, LoopClass::Conditional);
+                return;
+            }
+            self.stats.stage_mapping += 1;
+            self.stats.array_map_accesses += 1;
+            self.stats.detection_cycles += self.config.array_map_latency as u64;
+            self.conditional_step(profile, iter, machine, ctl);
+            return;
+        }
+
+        let a = match &mut self.mode {
+            Mode::Analyzing(a) => a,
+            _ => unreachable!(),
+        };
+        if a.collected.is_none() {
+            a.collected = Some(profile);
+            self.stats.stage_data_collection += 1;
+            return;
+        }
+
+        // Dependency Analysis: two straight-line profiles available.
+        self.stats.stage_dependency_analysis += 1;
+        let p2 = match &self.mode {
+            Mode::Analyzing(a) => a.collected.clone().expect("iteration 2 collected"),
+            _ => unreachable!(),
+        };
+        self.decide_straight(p2, profile, closing_unconditional, machine, ctl);
+    }
+
+    /// Matches two profiles into stream templates (per-iteration gaps).
+    fn match_streams(
+        p2: &IterationProfile,
+        p3: &IterationProfile,
+        iter_delta: u32,
+    ) -> Option<Vec<(StreamTemplate, u32)>> {
+        let mut out = Vec::new();
+        if p2.accesses.len() != p3.accesses.len() {
+            return None;
+        }
+        for s2 in &p2.accesses {
+            let s3 = p3.find(s2.pc, s2.occ)?;
+            if s3.is_write != s2.is_write || s3.bytes != s2.bytes {
+                return None;
+            }
+            let total_gap = s3.addr as i64 - s2.addr as i64;
+            if total_gap % iter_delta as i64 != 0 {
+                return None;
+            }
+            let gap = total_gap / iter_delta as i64;
+            out.push((
+                StreamTemplate {
+                    pc: s2.pc,
+                    occ: s2.occ,
+                    is_write: s2.is_write,
+                    bytes: s2.bytes,
+                    gap,
+                },
+                s2.addr,
+            ));
+        }
+        Some(out)
+    }
+
+    fn trip_info(
+        c2: Option<CmpObs>,
+        c3: Option<CmpObs>,
+    ) -> Option<(i64 /* step */, i64 /* remaining after the later obs */, bool /* imm */)> {
+        let (c2, c3) = (c2?, c3?);
+        if c2.pc != c3.pc || c2.rhs != c3.rhs || c2.rhs_is_imm != c3.rhs_is_imm {
+            return None;
+        }
+        let step = c3.lhs - c2.lhs;
+        if step <= 0 {
+            return None;
+        }
+        let diff = c3.rhs - c3.lhs;
+        if diff < 0 || diff % step != 0 {
+            return None;
+        }
+        Some((step, diff / step, c3.rhs_is_imm))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decide_straight(
+        &mut self,
+        p2: IterationProfile,
+        p3: IterationProfile,
+        closing_unconditional: bool,
+        _machine: &Machine,
+        ctl: &mut SimControl<'_>,
+    ) {
+        let (id, end_pc) = match &self.mode {
+            Mode::Analyzing(a) => (a.id, a.end_pc),
+            _ => unreachable!(),
+        };
+        let sentinel = closing_unconditional;
+
+        let Some(streams_all) = Self::match_streams(&p2, &p3, 1) else {
+            self.give_up(id, LoopClass::NonVectorizable);
+            return;
+        };
+        let elem = p3.body.elem_bytes.expect("checked in collection") as i64;
+
+        // Split invariant re-loads (gap 0) from vectorizable streams.
+        let mut streams: Vec<(StreamTemplate, u32)> = Vec::new();
+        for (s, addr) in &streams_all {
+            if s.gap == 0 && !s.is_write {
+                continue; // hoisted to a splat by the SIMD generator
+            }
+            if s.gap != elem {
+                self.give_up(id, LoopClass::NonVectorizable);
+                return;
+            }
+            streams.push((*s, *addr));
+        }
+        if !streams.iter().any(|(s, _)| s.is_write) {
+            // Reductions into registers / pure address walks: the DSA has
+            // no vector-register carry support.
+            self.give_up(id, LoopClass::NonVectorizable);
+            return;
+        }
+
+        // Trip prediction.
+        let (trip_step, remaining_after3, rhs_is_imm, budget);
+        let lanes = 16 / elem as u32;
+        if sentinel {
+            let spec = lanes; // first encounter: one full vector
+            budget = spec;
+            trip_step = 1;
+            remaining_after3 = spec as i64;
+            rhs_is_imm = false;
+        } else {
+            match Self::trip_info(p2.closing_cmp, p3.closing_cmp) {
+                Some((step, rem, imm)) => {
+                    trip_step = step;
+                    remaining_after3 = rem;
+                    rhs_is_imm = imm;
+                    budget = 0;
+                }
+                None => {
+                    self.give_up(id, LoopClass::NonVectorizable);
+                    return;
+                }
+            }
+            if !rhs_is_imm && !self.config.features.dynamic_range_loops {
+                self.give_up(id, LoopClass::DynamicRange);
+                return;
+            }
+        }
+
+        // CIDP over the reconstructed streams.
+        let cidp_streams: Vec<cidp::Stream> = streams_all
+            .iter()
+            .map(|(s, addr)| cidp::Stream {
+                addr2: *addr as i64,
+                gap: s.gap,
+                is_write: s.is_write,
+                bytes: s.bytes,
+            })
+            .collect();
+        let pairs = cidp_streams.iter().filter(|s| s.is_write).count()
+            * cidp_streams.iter().filter(|s| !s.is_write).count();
+        self.stats.cidp_evaluations += pairs as u64;
+        self.stats.detection_cycles += (pairs as u64) * self.config.cidp_latency as u64;
+        let trip_for_cidp = if sentinel { 3 + budget } else { 3 + remaining_after3 as u32 };
+        let partial_distance = match cidp::predict(&cidp_streams, trip_for_cidp) {
+            CidpOutcome::NoDependency => None,
+            CidpOutcome::Dependency { distance } => {
+                if self.config.features.partial_vectorization && distance >= lanes {
+                    Some(distance)
+                } else {
+                    self.give_up(id, LoopClass::NonVectorizable);
+                    return;
+                }
+            }
+        };
+
+        let class = if sentinel {
+            LoopClass::Sentinel
+        } else if partial_distance.is_some() {
+            LoopClass::Partial
+        } else if p3.has_call {
+            LoopClass::Function
+        } else if !rhs_is_imm {
+            LoopClass::DynamicRange
+        } else {
+            LoopClass::Count
+        };
+
+        let template = LoopTemplate {
+            class,
+            end_pc,
+            callee_range: p3.callee_range,
+            exit_check_pc: p3.exit_check_pc,
+            elem_bytes: elem as u8,
+            float: p3.body.float,
+            streams: streams.iter().map(|(s, _)| *s).collect(),
+            ops: OpMix {
+                alu: p3.body.vec_alu,
+                mul: p3.body.vec_mul,
+                shift: p3.body.vec_shift,
+            },
+            arms: Vec::new(),
+            partial_distance,
+            spec_range: budget,
+            trip_imm: if rhs_is_imm { p3.closing_cmp.map(|c| c.rhs) } else { None },
+            cover_range: None,
+            fused_inner_trip: None,
+        };
+
+        self.stats.stage_store_id_execution += 1;
+        self.stats.detection_cycles += self.config.dsa_cache_latency as u64;
+        self.cache.insert(id, CachedKind::Vectorizable(template.clone()));
+        self.classify(id, class);
+
+        // Remaining work starts at iteration 4; stream bases advance one
+        // gap past the iteration-3 observation.
+        let bases: Vec<(StreamTemplate, u32)> = streams
+            .iter()
+            .map(|(s, a2)| {
+                let p3_addr = p3.find(s.pc, s.occ).map(|x| x.addr).unwrap_or(*a2);
+                (*s, (p3_addr as i64 + s.gap) as u32)
+            })
+            .collect();
+        // Iterations 1–3 ran scalar during analysis; everything after the
+        // iteration-3 closing compare is vectorized.
+        let count = if sentinel { budget } else { remaining_after3 as u32 };
+        let _ = trip_step;
+        self.launch(template, bases, count, ctl);
+    }
+
+    /// Cache-hit path: one observed iteration gives fresh stream bases.
+    fn hit_execute(
+        &mut self,
+        template: LoopTemplate,
+        profile: IterationProfile,
+        _machine: &Machine,
+        ctl: &mut SimControl<'_>,
+    ) {
+        let (id, end_pc) = match &self.mode {
+            Mode::Analyzing(a) => (a.id, a.end_pc),
+            _ => unreachable!(),
+        };
+        if template.class == LoopClass::Conditional {
+            // Arms are (re-)located as they execute; go straight to
+            // conditional execution with nothing injected yet.
+            self.begin_conditional_execution(id, end_pc, template, ctl);
+            return;
+        }
+
+        // Recompute this instance's remaining trip.
+        let (count, budget_elems);
+        if template.class == LoopClass::Sentinel {
+            let budget =
+                (template.spec_range.max(1)).div_ceil(template.lanes()) * template.lanes();
+            count = budget;
+            budget_elems = budget;
+        } else {
+            let Some(cmp) = profile.closing_cmp else {
+                self.mode = Mode::Probing;
+                return;
+            };
+            let diff = cmp.rhs - cmp.lhs;
+            if diff <= 0 {
+                self.mode = Mode::Probing;
+                return;
+            }
+            // For a fused nest the observed iteration is one *outer*
+            // iteration: each remaining one is worth `inner_trip`
+            // elements and the streams advance a whole row per entry.
+            count = diff as u32 * template.fused_inner_trip.unwrap_or(1);
+            budget_elems = 0;
+        }
+
+        // Fresh bases: this iteration's addresses plus one stride.
+        let stride = template.fused_inner_trip.unwrap_or(1) as i64;
+        let mut bases = Vec::new();
+        for s in &template.streams {
+            match profile.find(s.pc, s.occ) {
+                Some(obs) => bases.push((*s, (obs.addr as i64 + s.gap * stride) as u32)),
+                None => {
+                    // The cached shape no longer matches; re-analyse.
+                    self.cache.insert(id, CachedKind::NonVectorizable(LoopClass::NonVectorizable));
+                    self.mode = Mode::Probing;
+                    return;
+                }
+            }
+        }
+        let _ = budget_elems;
+        self.launch(template, bases, count, ctl);
+    }
+
+    /// Flushes, injects the SIMD work and enters coverage.
+    fn launch(
+        &mut self,
+        template: LoopTemplate,
+        bases: Vec<(StreamTemplate, u32)>,
+        count: u32,
+        ctl: &mut SimControl<'_>,
+    ) {
+        let (id, end_pc) = match &self.mode {
+            Mode::Analyzing(a) => (a.id, a.end_pc),
+            _ => unreachable!(),
+        };
+        if count < self.config.min_profitable_iterations {
+            // Not worth a pipeline flush; the verdict stays cached so a
+            // longer instance of the same loop can still vectorize.
+            self.mode = Mode::Probing;
+            return;
+        }
+
+        // Alignment peeling: delay vector execution by up to lanes-1
+        // iterations so the store stream starts on a 16-byte boundary —
+        // the DSA observes the addresses, so unlike the compiler it can
+        // always use the aligned access forms.
+        let elem = template.elem_bytes as u32;
+        let peel = bases
+            .iter()
+            .find(|(s, _)| s.is_write)
+            .or_else(|| bases.first())
+            .map(|(_, a)| ((16 - (a % 16)) % 16) / elem)
+            .unwrap_or(0)
+            .min(count);
+        let mut bases = bases;
+        for (s, a) in &mut bases {
+            *a = (*a as i64 + s.gap * peel as i64) as u32;
+        }
+        let mut count = count - peel;
+        if template.class == LoopClass::Sentinel {
+            // Sentinel speculation may overshoot freely (unselected lanes
+            // are discarded); keep the block a whole number of vectors so
+            // continued speculation never degenerates to lane ops.
+            let lanes = template.lanes();
+            count = count.div_ceil(lanes).max(1) * lanes;
+        }
+        if count < self.config.min_profitable_iterations {
+            self.mode = Mode::Probing;
+            return;
+        }
+        ctl.stall(self.config.flush_latency as u64);
+
+        if let Some(d) = template.partial_distance {
+            // Partial vectorization: chunks of `d` iterations, each
+            // re-verified (multiple cross-iteration analyses).
+            let mut done = 0;
+            let mut chunk_bases = bases.clone();
+            while done < count {
+                let n = d.min(count - done);
+                let p = plan::build_plan(&template, &chunk_bases, template.ops, n, self.config.leftover);
+                self.stats.injected_ops += p.ops.len() as u64;
+                self.stats.discarded_lanes += p.discarded_lanes as u64;
+                ctl.inject(&p.ops);
+                self.stats.partial_chunks += 1;
+                self.stats.detection_cycles += self.config.partial_chunk_latency as u64;
+                done += n;
+                for (s, a) in &mut chunk_bases {
+                    *a = (*a as i64 + s.gap * n as i64) as u32;
+                }
+            }
+        } else {
+            let p = plan::build_plan(&template, &bases, template.ops, count, self.config.leftover);
+            self.stats.injected_ops += p.ops.len() as u64;
+            self.stats.discarded_lanes += p.discarded_lanes as u64;
+            ctl.inject(&p.ops);
+        }
+
+        self.stats.loops_vectorized += 1;
+        let callee_range = template.callee_range;
+        let kind = if template.class == LoopClass::Sentinel {
+            // Bases for the block after the one just injected.
+            let next_bases: Vec<(StreamTemplate, u32)> = bases
+                .iter()
+                .map(|(s, a)| (*s, (*a as i64 + s.gap * count as i64) as u32))
+                .collect();
+            ExecKind::Sentinel {
+                check_hi: template.exit_check_pc.unwrap_or(id),
+                template,
+                budget: count,
+                block: count,
+                bases: next_bases,
+                injected_elems: count,
+            }
+        } else {
+            ExecKind::Plain { peel }
+        };
+        if peel == 0 {
+            ctl.begin_coverage();
+        }
+        self.mode = Mode::Executing(Box::new(Execution {
+            id,
+            lo: id,
+            hi: end_pc,
+            callee: callee_range,
+            kind,
+            iters: 0,
+            call_depth: 0,
+        }));
+    }
+
+    /// Second analysis phase for a fusable nest: two observed outer
+    /// iterations give the per-outer-iteration stream gaps; if the outer
+    /// body is pure overhead and the inner streams are contiguous row to
+    /// row, the nest executes as one fused loop (§4.6.3, scenario with
+    /// no instructions between the loops).
+    fn nest_step(&mut self, profile: IterationProfile, ctl: &mut SimControl<'_>) {
+        let Mode::Analyzing(a) = &mut self.mode else { unreachable!() };
+        let id = a.id;
+        let end_pc = a.end_pc;
+        let nest = a.nest.as_ref().expect("nest mode");
+        let (inner_id, inner_end) = (nest.inner_id, nest.inner_end);
+        let inner_trip = nest.inner_trip;
+        let template = nest.inner_template.clone();
+
+        let in_inner = |pc: u32| (inner_id..=inner_end).contains(&pc);
+        // Outer-only value operations or memory accesses break fusion.
+        let overhead_only = profile.value_op_pcs.iter().all(|&pc| in_inner(pc))
+            && profile.accesses.iter().all(|s| in_inner(s.pc))
+            && !profile.has_call
+            && profile.cond_branch_pcs.iter().all(|&pc| in_inner(pc) || pc < inner_id);
+        if !overhead_only {
+            self.give_up(id, LoopClass::Nest);
+            return;
+        }
+
+        if a.collected.is_none() {
+            a.collected = Some(profile);
+            self.stats.stage_data_collection += 1;
+            return;
+        }
+        let p2 = a.collected.clone().expect("first outer iteration collected");
+        self.stats.stage_dependency_analysis += 1;
+
+        // Row-to-row gaps must be exactly one inner trip of elements.
+        let mut bases = Vec::new();
+        for s in &template.streams {
+            let (Some(a2), Some(a3)) = (p2.find(s.pc, 0), profile.find(s.pc, 0)) else {
+                self.give_up(id, LoopClass::Nest);
+                return;
+            };
+            let row_gap = a3.addr as i64 - a2.addr as i64;
+            if row_gap != s.gap * inner_trip as i64 {
+                self.give_up(id, LoopClass::Nest);
+                return;
+            }
+            bases.push((*s, (a3.addr as i64 + row_gap) as u32));
+        }
+
+        // Remaining outer iterations from the outer closing compare.
+        let Some((_, remaining_outer, rhs_is_imm)) =
+            Self::trip_info(p2.closing_cmp, profile.closing_cmp)
+        else {
+            self.give_up(id, LoopClass::Nest);
+            return;
+        };
+        if !rhs_is_imm && !self.config.features.dynamic_range_loops {
+            self.give_up(id, LoopClass::Nest);
+            return;
+        }
+
+        let fused = LoopTemplate {
+            class: LoopClass::Nest,
+            end_pc,
+            trip_imm: if rhs_is_imm { profile.closing_cmp.map(|c| c.rhs) } else { None },
+            fused_inner_trip: Some(inner_trip),
+            ..template
+        };
+        self.stats.stage_store_id_execution += 1;
+        self.stats.detection_cycles += self.config.dsa_cache_latency as u64;
+        self.cache.insert(id, CachedKind::Vectorizable(fused.clone()));
+        self.classify(id, LoopClass::Nest);
+        let count = remaining_outer as u32 * inner_trip;
+        self.launch(fused, bases, count, ctl);
+    }
+
+    // ----- Conditional loops ----------------------------------------------
+
+    fn conditional_step(
+        &mut self,
+        profile: IterationProfile,
+        iter: u32,
+        _machine: &Machine,
+        ctl: &mut SimControl<'_>,
+    ) {
+        let (id, end_pc) = match &self.mode {
+            Mode::Analyzing(a) => (a.id, a.end_pc),
+            _ => unreachable!(),
+        };
+        if iter > self.config.conditional_analysis_limit {
+            self.give_up(id, LoopClass::Conditional);
+            return;
+        }
+        let Mode::Analyzing(a) = &mut self.mode else { unreachable!() };
+        let cond = a.cond.get_or_insert_with(|| CondAnalysis {
+            arms: BTreeMap::new(),
+            pcs_seen: HashSet::new(),
+            verified: BTreeMap::new(),
+        });
+        cond.pcs_seen.extend(profile.pcs.iter().copied());
+        let path = profile.path;
+        let closing = profile.closing_cmp;
+
+        let arms_limit = self.config.array_maps + self.config.spare_vector_regs;
+        match cond.arms.get_mut(&path) {
+            None => {
+                cond.arms.insert(path, (profile, iter, None));
+            }
+            Some((first, first_iter, second)) if second.is_none() => {
+                // Second observation: verify the arm.
+                let delta = iter - *first_iter;
+                let Some(streams) = Self::match_streams(first, &profile, delta) else {
+                    self.give_up(id, LoopClass::Conditional);
+                    return;
+                };
+                if profile.body.vec_ops() > arms_limit {
+                    self.give_up(id, LoopClass::Conditional);
+                    return;
+                }
+                let arm = ArmTemplate {
+                    path,
+                    streams: streams.iter().map(|(s, _)| *s).collect(),
+                    ops: OpMix {
+                        alu: profile.body.vec_alu,
+                        mul: profile.body.vec_mul,
+                        shift: profile.body.vec_shift,
+                    },
+                };
+                *second = Some((profile, iter));
+                cond.verified.insert(path, arm);
+            }
+            _ => {}
+        }
+
+        // Completion: every PC of the body visited and every observed arm
+        // verified.
+        let body_pcs = (id..end_pc).count(); // closing branch excluded
+        let all_pcs = cond.pcs_seen.len() >= body_pcs;
+        let all_verified = !cond.arms.is_empty()
+            && cond.arms.values().all(|(_, _, second)| second.is_some());
+        if !(all_pcs && all_verified) {
+            return;
+        }
+
+        // The covered region: PCs executed in some arms but not all —
+        // the condition-dependent bodies. Condition evaluation (the
+        // common PCs) keeps running on the scalar core to drive the
+        // Vector-Map mapping.
+        let cover_range = {
+            let profiles: Vec<&IterationProfile> =
+                cond.arms.values().map(|(p, _, _)| p).collect();
+            let union: HashSet<u32> =
+                profiles.iter().flat_map(|p| p.pcs.iter().copied()).collect();
+            let common: HashSet<u32> = profiles
+                .iter()
+                .fold(union.clone(), |acc, p| acc.intersection(&p.pcs).copied().collect());
+            let arm_pcs: Vec<u32> = union.difference(&common).copied().collect();
+            match (arm_pcs.iter().min(), arm_pcs.iter().max()) {
+                (Some(&lo), Some(&hi)) => Some((lo, hi)),
+                _ => None,
+            }
+        };
+
+        // CIDP per arm over its streams.
+        let arms: Vec<ArmTemplate> = cond.verified.values().cloned().collect();
+        let elem = arms
+            .iter()
+            .flat_map(|a| a.streams.iter())
+            .map(|s| s.bytes)
+            .max()
+            .unwrap_or(4);
+        if closing.is_none() {
+            self.give_up(id, LoopClass::Conditional);
+            return;
+        }
+        for arm in &arms {
+            let streams: Vec<cidp::Stream> = arm
+                .streams
+                .iter()
+                .map(|s| cidp::Stream { addr2: 0, gap: s.gap, is_write: s.is_write, bytes: s.bytes })
+                .collect();
+            // Per-arm gap sanity: unit stride only.
+            if arm.streams.iter().any(|s| s.gap != elem as i64 && s.gap != 0) {
+                self.give_up(id, LoopClass::Conditional);
+                return;
+            }
+            let _ = streams;
+            self.stats.cidp_evaluations += 1;
+            self.stats.detection_cycles += self.config.cidp_latency as u64;
+        }
+
+        let template = LoopTemplate {
+            class: LoopClass::Conditional,
+            end_pc,
+            callee_range: None,
+            exit_check_pc: None,
+            elem_bytes: elem,
+            float: false,
+            streams: Vec::new(),
+            ops: OpMix::default(),
+            arms,
+            partial_distance: None,
+            spec_range: 0,
+            trip_imm: closing.filter(|c| c.rhs_is_imm).map(|c| c.rhs),
+            cover_range,
+            fused_inner_trip: None,
+        };
+        self.stats.stage_store_id_execution += 1;
+        self.cache.insert(id, CachedKind::Vectorizable(template.clone()));
+        self.classify(id, LoopClass::Conditional);
+        ctl.stall(self.config.flush_latency as u64);
+        self.begin_conditional_execution(id, end_pc, template, ctl);
+    }
+
+    fn begin_conditional_execution(
+        &mut self,
+        id: u32,
+        end_pc: u32,
+        template: LoopTemplate,
+        ctl: &mut SimControl<'_>,
+    ) {
+        self.stats.loops_vectorized += 1;
+        ctl.begin_coverage();
+        self.mode = Mode::Executing(Box::new(Execution {
+            id,
+            lo: id,
+            hi: end_pc,
+            callee: None,
+            kind: ExecKind::Conditional {
+                template,
+                window_arms: BTreeMap::new(),
+                window_fill: 0,
+                rec: IterationRecorder::new(id, end_pc),
+                injected_elems: 0,
+            },
+            iters: 0,
+            call_depth: 0,
+        }));
+    }
+
+    // ----- Execution -------------------------------------------------------
+
+    fn execute(&mut self, ev: &TraceEvent, machine: &Machine, ctl: &mut SimControl<'_>) {
+        let Mode::Executing(x) = &mut self.mode else { unreachable!() };
+        match ev.instr {
+            Instr::Bl { .. } => x.call_depth += 1,
+            Instr::BxLr => x.call_depth = x.call_depth.saturating_sub(1),
+            _ => {}
+        }
+
+        let boundary =
+            ev.pc == x.hi && matches!(ev.branch, Some(b) if b.taken && b.target == x.lo);
+        if boundary {
+            x.iters += 1;
+        }
+
+        match &mut x.kind {
+            ExecKind::Plain { peel } => {
+                // Coverage starts once the peeled (alignment) iterations
+                // have run scalar.
+                let peel = *peel;
+                let next = machine.pc();
+                if peel > 0 && (x.lo..=x.hi).contains(&next) {
+                    if x.iters >= peel {
+                        ctl.begin_coverage();
+                    } else {
+                        ctl.end_coverage();
+                    }
+                }
+            }
+            ExecKind::Sentinel { template, budget, block, check_hi, bases, injected_elems } => {
+                // If the loop outlived the speculation, speculate the
+                // next block (continued partial vectorization, §4.6.5).
+                if boundary && x.iters == *budget {
+                    let plan = plan::build_plan(
+                        template,
+                        bases,
+                        template.ops,
+                        *block,
+                        self.config.leftover,
+                    );
+                    self.stats.injected_ops += plan.ops.len() as u64;
+                    self.stats.partial_chunks += 1;
+                    self.stats.detection_cycles += self.config.partial_chunk_latency as u64;
+                    ctl.inject(&plan.ops);
+                    for (s, a) in bases.iter_mut() {
+                        *a = (*a as i64 + s.gap * *block as i64) as u32;
+                    }
+                    *budget += *block;
+                    *injected_elems += *block;
+                }
+                let check_hi = *check_hi;
+                let within_budget = x.iters < *budget;
+                // Selective suppression: stop-check instructions always
+                // run scalar; body is covered while within budget.
+                let next = machine.pc();
+                let next_in_check = (x.lo..=check_hi).contains(&next);
+                if (x.lo..=x.hi).contains(&next) {
+                    if next_in_check || !within_budget {
+                        ctl.end_coverage();
+                    } else {
+                        ctl.begin_coverage();
+                    }
+                }
+            }
+            ExecKind::Conditional {
+                template,
+                window_arms,
+                window_fill,
+                rec,
+                injected_elems,
+            } => {
+                let lanes = template.lanes();
+                rec.record(ev, machine);
+                if boundary {
+                    self.stats.array_map_accesses += 1;
+                    self.stats.detection_cycles += self.config.array_map_latency as u64;
+                    let idx_reg = rec.last_cmp_reg();
+                    let r = std::mem::replace(rec, IterationRecorder::new(x.lo, x.hi));
+                    let p = r.finish(idx_reg);
+                    let path = p.path;
+                    // First time this arm appears within the current
+                    // window: remember its stream bases, rewound to the
+                    // window start.
+                    if let std::collections::btree_map::Entry::Vacant(slot) =
+                        window_arms.entry(path)
+                    {
+                        let arm = template
+                            .arms
+                            .iter()
+                            .find(|a| a.path == path)
+                            .cloned()
+                            .unwrap_or_else(|| ArmTemplate {
+                                path,
+                                streams: p
+                                    .accesses
+                                    .iter()
+                                    .map(|s| StreamTemplate {
+                                        pc: s.pc,
+                                        occ: s.occ,
+                                        is_write: s.is_write,
+                                        bytes: s.bytes,
+                                        gap: template.elem_bytes as i64,
+                                    })
+                                    .collect(),
+                                ops: OpMix {
+                                    alu: p.body.vec_alu,
+                                    mul: p.body.vec_mul,
+                                    shift: p.body.vec_shift,
+                                },
+                            });
+                        let fill = *window_fill as i64;
+                        let bases: Vec<(StreamTemplate, u32)> = arm
+                            .streams
+                            .iter()
+                            .filter_map(|s| {
+                                p.find(s.pc, s.occ)
+                                    .map(|obs| (*s, (obs.addr as i64 - s.gap * fill) as u32))
+                            })
+                            .collect();
+                        if bases.len() == arm.streams.len() {
+                            slot.insert(bases);
+                        }
+                    }
+                    *window_fill += 1;
+                    // Window complete: vectorize every accessed condition
+                    // over it and let the Array Maps select lanes.
+                    if *window_fill == lanes {
+                        let arms: Vec<(u64, Vec<(StreamTemplate, u32)>)> =
+                            std::mem::take(window_arms).into_iter().collect();
+                        for (path, bases) in arms {
+                            let ops = template
+                                .arms
+                                .iter()
+                                .find(|a| a.path == path)
+                                .map(|a| a.ops)
+                                .unwrap_or(OpMix { alu: 1, mul: 0, shift: 0 });
+                            let plan = plan::build_plan(
+                                template,
+                                &bases,
+                                ops,
+                                lanes,
+                                self.config.leftover,
+                            );
+                            self.stats.injected_ops += plan.ops.len() as u64;
+                            *injected_elems += lanes;
+                            ctl.inject(&plan.ops);
+                        }
+                        *window_fill = 0;
+                        self.stats.stage_speculative += 1;
+                        self.stats.detection_cycles += self.config.select_latency as u64;
+                    }
+                }
+            }
+        }
+
+        // Loop exit?
+        let next = machine.pc();
+        let in_body = (x.lo..=x.hi).contains(&next);
+        let in_callee = x.callee.is_some_and(|(lo, hi)| (lo..=hi).contains(&next))
+            || x.call_depth > 0;
+        if !in_body && !in_callee {
+            let iters = x.iters;
+            match &x.kind {
+                ExecKind::Sentinel { injected_elems, .. } => {
+                    self.stats.stage_speculative += 1;
+                    self.stats.detection_cycles += self.config.select_latency as u64;
+                    self.stats.discarded_lanes +=
+                        (*injected_elems as u64).saturating_sub(iters as u64);
+                    // Update the stored speculative range (three rules of
+                    // §4.6.5: always track the latest actual range).
+                    if let Some(t) = self.cache.template_mut(x.id) {
+                        t.spec_range = iters.max(1);
+                    }
+                }
+                ExecKind::Conditional { injected_elems, .. } => {
+                    self.stats.stage_speculative += 1;
+                    self.stats.detection_cycles += self.config.select_latency as u64;
+                    self.stats.discarded_lanes +=
+                        (*injected_elems as u64).saturating_sub(iters as u64);
+                }
+                ExecKind::Plain { .. } => {}
+            }
+            self.stats.covered_iterations += iters as u64;
+            ctl.end_coverage();
+            ctl.stall(self.config.resync_latency as u64);
+            self.mode = Mode::Probing;
+        }
+    }
+}
+
+/// Whether the event is a loop-closing candidate: a plain backward taken
+/// branch. Calls and returns also regress the PC but are recognised by
+/// their instruction kind and never start a loop analysis.
+fn is_loop_branch(ev: &TraceEvent) -> bool {
+    matches!(ev.instr, Instr::B { .. }) && ev.is_backward_taken_branch()
+}
+
+impl CommitHook for Dsa {
+    fn on_commit(&mut self, ev: &TraceEvent, machine: &Machine, ctl: &mut SimControl<'_>) {
+        match &self.mode {
+            Mode::Probing => self.probe(ev),
+            Mode::Analyzing(_) => {
+                if self.analyze(ev, machine, ctl) {
+                    // Nest abandonment: re-dispatch from probing so the
+                    // inner loop's boundary is not lost.
+                    self.probe(ev);
+                }
+            }
+            Mode::Executing(_) => self.execute(ev, machine, ctl),
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! DSA statistics and the loop-type census.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Classification of one static loop, as determined at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LoopClass {
+    /// Fixed trip count, straight-line body.
+    Count,
+    /// Body contains a function call.
+    Function,
+    /// Outer loop of a nest (inner loops classified separately).
+    Nest,
+    /// Body contains conditional code.
+    Conditional,
+    /// Trip computed at runtime before the loop.
+    DynamicRange,
+    /// Stop condition computed inside the loop.
+    Sentinel,
+    /// Vectorizable only in chunks (bounded cross-iteration dependency).
+    Partial,
+    /// Not vectorizable (true dependency, unsupported ops, capacity).
+    NonVectorizable,
+}
+
+impl fmt::Display for LoopClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LoopClass::Count => "count",
+            LoopClass::Function => "function",
+            LoopClass::Nest => "nest",
+            LoopClass::Conditional => "conditional",
+            LoopClass::DynamicRange => "dynamic-range",
+            LoopClass::Sentinel => "sentinel",
+            LoopClass::Partial => "partial",
+            LoopClass::NonVectorizable => "non-vectorizable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Census of the distinct loops observed in a run, by class — the data
+/// behind Figure 7 of the DATE article ("Percentage of Loop Types in the
+/// Selected Applications").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoopCensus {
+    by_class: BTreeMap<LoopClass, u32>,
+}
+
+impl LoopCensus {
+    /// Records one loop of the given class.
+    pub fn record(&mut self, class: LoopClass) {
+        *self.by_class.entry(class).or_insert(0) += 1;
+    }
+
+    /// Number of distinct loops of `class`.
+    pub fn count(&self, class: LoopClass) -> u32 {
+        self.by_class.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Total distinct loops.
+    pub fn total(&self) -> u32 {
+        self.by_class.values().sum()
+    }
+
+    /// Percentage of loops of `class` (0 when no loops were seen).
+    pub fn percentage(&self, class: LoopClass) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * self.count(class) as f64 / self.total() as f64
+        }
+    }
+
+    /// Iterates over `(class, count)` pairs in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (LoopClass, u32)> + '_ {
+        self.by_class.iter().map(|(&c, &n)| (c, n))
+    }
+}
+
+/// Counters accumulated by the [`crate::Dsa`] engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DsaStats {
+    /// Dynamic loop entries observed (backward-branch loop detections).
+    pub loops_detected: u64,
+    /// Loop instances whose remaining iterations ran on the NEON engine.
+    pub loops_vectorized: u64,
+    /// DSA-cache hits (analysis skipped).
+    pub dsa_cache_hits: u64,
+    /// DSA-cache misses (full analysis performed).
+    pub dsa_cache_misses: u64,
+    /// Iterations whose scalar timing was replaced by vector execution.
+    pub covered_iterations: u64,
+    /// Vector/leftover operations injected into the Issue stage.
+    pub injected_ops: u64,
+    /// DSA-side cycles spent in detection (runs in parallel with the
+    /// core; reported as the paper's "DSA latency", never added to the
+    /// critical path).
+    pub detection_cycles: u64,
+    /// Loop Detection stage activations.
+    pub stage_loop_detection: u64,
+    /// Data Collection stage activations.
+    pub stage_data_collection: u64,
+    /// Dependency Analysis stage activations.
+    pub stage_dependency_analysis: u64,
+    /// Store ID/Execution stage activations.
+    pub stage_store_id_execution: u64,
+    /// Mapping stage activations (conditional loops).
+    pub stage_mapping: u64,
+    /// Speculative Execution stage activations.
+    pub stage_speculative: u64,
+    /// Verification-Cache accesses.
+    pub vcache_accesses: u64,
+    /// Array-Map accesses.
+    pub array_map_accesses: u64,
+    /// CIDP evaluations.
+    pub cidp_evaluations: u64,
+    /// Partial-vectorization chunks executed.
+    pub partial_chunks: u64,
+    /// Speculative vector work that was discarded (lanes computed past a
+    /// sentinel exit or for unselected conditional arms).
+    pub discarded_lanes: u64,
+}
+
+impl DsaStats {
+    /// Detection latency as a fraction of `total_cycles` (the paper's
+    /// Table "DSA Detection Latency").
+    pub fn detection_fraction(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.detection_cycles as f64 / total_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_percentages() {
+        let mut c = LoopCensus::default();
+        c.record(LoopClass::Count);
+        c.record(LoopClass::Count);
+        c.record(LoopClass::Sentinel);
+        c.record(LoopClass::NonVectorizable);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.count(LoopClass::Count), 2);
+        assert_eq!(c.percentage(LoopClass::Count), 50.0);
+        assert_eq!(c.percentage(LoopClass::DynamicRange), 0.0);
+        assert_eq!(c.iter().count(), 3);
+    }
+
+    #[test]
+    fn detection_fraction_bounds() {
+        let s = DsaStats { detection_cycles: 15, ..DsaStats::default() };
+        assert_eq!(s.detection_fraction(1000), 0.015);
+        assert_eq!(s.detection_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(LoopClass::DynamicRange.to_string(), "dynamic-range");
+    }
+}

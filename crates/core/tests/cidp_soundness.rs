@@ -1,0 +1,75 @@
+//! CIDP soundness: the prediction must never report "no dependency"
+//! when a ground-truth replay of the affine streams finds a
+//! read-after-write overlap within the predicted trip.
+
+use dsa_core::{predict, CidpOutcome, Stream};
+use proptest::prelude::*;
+
+fn any_stream() -> impl Strategy<Value = Stream> {
+    (0i64..512, prop_oneof![Just(1i64), Just(2), Just(4)], any::<bool>(), 1u8..=4).prop_map(
+        |(slot, gap_scale, is_write, bytes)| Stream {
+            // Small address space so overlaps actually happen.
+            addr2: slot * 4,
+            gap: gap_scale * bytes as i64,
+            is_write,
+            bytes,
+        },
+    )
+}
+
+/// Ground truth: simulate every iteration's accesses; a cross-iteration
+/// dependency exists if a *future* read (iteration > 2) touches bytes
+/// the iteration-2 store wrote (the paper's definition, equations
+/// 4.1–4.3).
+fn ground_truth_cid(streams: &[Stream], trip: u32) -> bool {
+    for w in streams.iter().filter(|s| s.is_write) {
+        let (w_lo, w_hi) = (w.addr2, w.addr2 + w.bytes as i64 - 1);
+        for r in streams.iter().filter(|s| !s.is_write) {
+            for i in 3..=trip as i64 {
+                let lo = r.addr_at(i);
+                let hi = lo + r.bytes as i64 - 1;
+                if lo <= w_hi && w_lo <= hi {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Soundness: `NoDependency` implies the ground truth also finds no
+    /// read-after-write overlap (vectorizing would be safe).
+    #[test]
+    fn no_dependency_is_sound(
+        streams in prop::collection::vec(any_stream(), 1..6),
+        trip in 4u32..200,
+    ) {
+        if predict(&streams, trip) == CidpOutcome::NoDependency {
+            prop_assert!(
+                !ground_truth_cid(&streams, trip),
+                "CIDP said safe but a true dependency exists: {streams:?} trip {trip}"
+            );
+        }
+    }
+
+    /// The reported distance is itself safe: no read within `distance`
+    /// iterations after iteration 2 touches the iteration-2 store (so a
+    /// chunk of `distance` iterations can execute in parallel).
+    #[test]
+    fn partial_distance_is_safe(
+        streams in prop::collection::vec(any_stream(), 2..6),
+        trip in 8u32..200,
+    ) {
+        if let CidpOutcome::Dependency { distance } = predict(&streams, trip) {
+            prop_assert!(distance >= 1);
+            let capped = (2 + distance).min(trip);
+            prop_assert!(
+                !ground_truth_cid(&streams, capped.saturating_sub(1)),
+                "distance {distance} crosses a true dependency: {streams:?}"
+            );
+        }
+    }
+}

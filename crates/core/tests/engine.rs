@@ -1,0 +1,429 @@
+//! End-to-end tests of the DSA engine over compiler-built kernels:
+//! every loop class of the paper, feature gating across the three DSA
+//! generations, cache behaviour and semantic equivalence.
+
+use dsa_compiler::{
+    regs, Body, CmpOp, DataType, Expr, Kernel, KernelBuilder, LoopIr, Trip, Variant,
+};
+use dsa_core::{Dsa, DsaConfig, LoopClass};
+use dsa_cpu::{CpuConfig, Machine, RunOutcome, Simulator};
+
+fn run_scalar(kernel: &Kernel, init: &dyn Fn(&mut Machine)) -> (RunOutcome, Machine) {
+    let mut sim = Simulator::new(kernel.program.clone(), CpuConfig::default());
+    init(sim.machine_mut());
+    sim.warm_region(dsa_compiler::DATA_BASE_ADDR, 128 << 10);
+    let out = sim.run(50_000_000).expect("scalar run ok");
+    assert!(out.halted, "kernel must halt");
+    (out, sim.machine().clone())
+}
+
+fn run_dsa(
+    kernel: &Kernel,
+    config: DsaConfig,
+    init: &dyn Fn(&mut Machine),
+) -> (RunOutcome, Machine, Dsa) {
+    let mut dsa = Dsa::new(config);
+    let mut sim = Simulator::new(kernel.program.clone(), CpuConfig::default());
+    init(sim.machine_mut());
+    sim.warm_region(dsa_compiler::DATA_BASE_ADDR, 128 << 10);
+    let out = sim.run_with_hook(50_000_000, &mut dsa).expect("dsa run ok");
+    assert!(out.halted, "kernel must halt");
+    (out, sim.machine().clone(), dsa)
+}
+
+fn assert_same_memory(a: &Machine, b: &Machine) {
+    assert_eq!(a.mem.digest(), b.mem.digest(), "final memory must match");
+}
+
+/// v[i] = a[i] + b[i] over I32, count loop.
+fn count_kernel(n: u32) -> (Kernel, u32, u32, u32) {
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let a = kb.alloc("a", DataType::I32, n);
+    let b = kb.alloc("b", DataType::I32, n);
+    let v = kb.alloc("v", DataType::I32, n);
+    let (la, lb, lv) = (kb.layout().buf(a).base, kb.layout().buf(b).base, kb.layout().buf(v).base);
+    kb.emit_loop(LoopIr {
+        name: "count".into(),
+        trip: Trip::Const(n),
+        elem: DataType::I32,
+        body: Body::Map { dst: v.at(0), expr: Expr::load(a.at(0)) + Expr::load(b.at(0)) },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    (kb.finish(), la, lb, lv)
+}
+
+#[test]
+fn count_loop_is_vectorized_and_faster() {
+    let (kernel, la, lb, _lv) = count_kernel(400);
+    let init = move |m: &mut Machine| {
+        for i in 0..400u32 {
+            m.mem.write_u32(la + 4 * i, i);
+            m.mem.write_u32(lb + 4 * i, 1000 + i);
+        }
+    };
+    let (scalar, scalar_m) = run_scalar(&kernel, &init);
+    let (dsa_out, dsa_m, dsa) = run_dsa(&kernel, DsaConfig::original(), &init);
+
+    assert_same_memory(&scalar_m, &dsa_m);
+    let stats = dsa.stats();
+    assert_eq!(stats.loops_vectorized, 1);
+    assert!(dsa_out.timing.covered > 390 * 5, "most iterations covered");
+    assert!(
+        dsa_out.cycles < scalar.cycles,
+        "DSA must beat scalar: {} vs {}",
+        dsa_out.cycles,
+        scalar.cycles
+    );
+    assert_eq!(dsa.census().count(LoopClass::Count), 1);
+    assert!(stats.detection_cycles > 0);
+}
+
+#[test]
+fn non_vectorizable_loop_has_no_penalty() {
+    // Gather loop: indirect addressing, never vectorized.
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let idx = kb.alloc("idx", DataType::I32, 64);
+    let table = kb.alloc("table", DataType::I32, 64);
+    let v = kb.alloc("v", DataType::I32, 64);
+    let (li, lt, _lv) =
+        (kb.layout().buf(idx).base, kb.layout().buf(table).base, kb.layout().buf(v).base);
+    kb.emit_loop(LoopIr {
+        name: "gather".into(),
+        trip: Trip::Const(64),
+        elem: DataType::I32,
+        body: Body::Map {
+            dst: v.at(0),
+            expr: Expr::Gather(table, Box::new(Expr::load(idx.at(0)))),
+        },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    let kernel = kb.finish();
+    let init = move |m: &mut Machine| {
+        for i in 0..64u32 {
+            m.mem.write_u32(li + 4 * i, 63 - i);
+            m.mem.write_u32(lt + 4 * i, i * 7);
+        }
+    };
+    let (scalar, scalar_m) = run_scalar(&kernel, &init);
+    let (dsa_out, dsa_m, dsa) = run_dsa(&kernel, DsaConfig::full(), &init);
+    assert_same_memory(&scalar_m, &dsa_m);
+    assert_eq!(dsa.stats().loops_vectorized, 0);
+    assert_eq!(dsa_out.cycles, scalar.cycles, "DSA analysis runs in parallel: zero penalty");
+    assert_eq!(dsa.census().count(LoopClass::NonVectorizable), 1);
+}
+
+#[test]
+fn dynamic_range_loop_gated_by_feature() {
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let a = kb.alloc("a", DataType::I32, 256);
+    let v = kb.alloc("v", DataType::I32, 256);
+    let la = kb.layout().buf(a).base;
+    kb.asm_mut().mov_imm(regs::PARAM[0], 200); // runtime trip
+    kb.emit_loop(LoopIr {
+        name: "drla".into(),
+        trip: Trip::Reg(regs::PARAM[0]),
+        elem: DataType::I32,
+        body: Body::Map { dst: v.at(0), expr: Expr::load(a.at(0)) * Expr::Imm(3) },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    let kernel = kb.finish();
+    let init = move |m: &mut Machine| {
+        for i in 0..256u32 {
+            m.mem.write_u32(la + 4 * i, i);
+        }
+    };
+    let (_, scalar_m) = run_scalar(&kernel, &init);
+
+    // Original DSA: dynamic range loops are not covered.
+    let (_, m1, dsa1) = run_dsa(&kernel, DsaConfig::original(), &init);
+    assert_same_memory(&scalar_m, &m1);
+    assert_eq!(dsa1.stats().loops_vectorized, 0);
+    assert_eq!(dsa1.census().count(LoopClass::DynamicRange), 1);
+
+    // Extended DSA: vectorized.
+    let (out2, m2, dsa2) = run_dsa(&kernel, DsaConfig::extended(), &init);
+    assert_same_memory(&scalar_m, &m2);
+    assert_eq!(dsa2.stats().loops_vectorized, 1);
+    assert!(out2.timing.covered > 0);
+    assert_eq!(dsa2.census().count(LoopClass::DynamicRange), 1);
+}
+
+#[test]
+fn conditional_loop_gated_by_feature() {
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let a = kb.alloc("a", DataType::I32, 200);
+    let v = kb.alloc("v", DataType::I32, 200);
+    let la = kb.layout().buf(a).base;
+    kb.emit_loop(LoopIr {
+        name: "cond".into(),
+        trip: Trip::Const(200),
+        elem: DataType::I32,
+        body: Body::Select {
+            cond_lhs: Expr::load(a.at(0)),
+            cmp: CmpOp::Ge,
+            cond_rhs: Expr::Imm(100),
+            then_dst: v.at(0),
+            then_expr: Expr::load(a.at(0)) + Expr::Imm(5),
+            else_arm: Some((v.at(0), Expr::load(a.at(0)) * Expr::Imm(2))),
+        },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    let kernel = kb.finish();
+    // Alternate between arms so both are observed quickly.
+    let init = move |m: &mut Machine| {
+        for i in 0..200u32 {
+            m.mem.write_u32(la + 4 * i, if i % 2 == 0 { 150 } else { 3 });
+        }
+    };
+    let (_, scalar_m) = run_scalar(&kernel, &init);
+
+    let (_, m1, dsa1) = run_dsa(&kernel, DsaConfig::original(), &init);
+    assert_same_memory(&scalar_m, &m1);
+    assert_eq!(dsa1.stats().loops_vectorized, 0);
+    assert_eq!(dsa1.census().count(LoopClass::Conditional), 1);
+
+    let (out2, m2, dsa2) = run_dsa(&kernel, DsaConfig::extended(), &init);
+    assert_same_memory(&scalar_m, &m2);
+    assert_eq!(dsa2.stats().loops_vectorized, 1);
+    assert!(out2.timing.covered > 0, "conditional iterations covered");
+    assert!(dsa2.stats().array_map_accesses > 0);
+    assert!(dsa2.stats().discarded_lanes > 0, "speculation discards unselected lanes");
+}
+
+#[test]
+fn sentinel_loop_gated_by_feature_and_budget_learned() {
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let src = kb.alloc("src", DataType::I8, 128);
+    let dst = kb.alloc("dst", DataType::I8, 128);
+    let ls = kb.layout().buf(src).base;
+    // Run the sentinel loop twice (outer repetition in raw asm) so the
+    // speculative range learned in run 1 is used in run 2.
+    let outer = dsa_compiler::regs::PARAM[1];
+    kb.asm_mut().mov_imm(outer, 2);
+    let top = kb.asm_mut().here();
+    kb.emit_loop(LoopIr {
+        name: "sentinel".into(),
+        trip: Trip::Sentinel { buf: src, value: 0 },
+        elem: DataType::I8,
+        body: Body::Map { dst: dst.at(0), expr: Expr::load(src.at(0)) + Expr::Imm(1) },
+        ..LoopIr::default()
+    });
+    {
+        let asm = kb.asm_mut();
+        asm.sub_imm(outer, outer, 1);
+        asm.cmp_imm(outer, 0);
+        asm.b_to(dsa_isa::Cond::Ne, top);
+        asm.halt();
+    }
+    let kernel = kb.finish();
+    let init = move |m: &mut Machine| {
+        for i in 0..40u32 {
+            m.mem.write_u8(ls + i, 7);
+        }
+        // element 40 is 0 -> 40 iterations
+    };
+    let (_, scalar_m) = run_scalar(&kernel, &init);
+
+    let (_, m1, dsa1) = run_dsa(&kernel, DsaConfig::extended(), &init);
+    assert_same_memory(&scalar_m, &m1);
+    assert_eq!(dsa1.stats().loops_vectorized, 0, "extended DSA lacks sentinel support");
+    assert_eq!(dsa1.census().count(LoopClass::Sentinel), 1);
+
+    let (_, m2, dsa2) = run_dsa(&kernel, DsaConfig::full(), &init);
+    assert_same_memory(&scalar_m, &m2);
+    assert!(dsa2.stats().loops_vectorized >= 2, "both executions vectorized");
+    assert_eq!(dsa2.census().count(LoopClass::Sentinel), 1);
+    assert!(dsa2.stats().stage_speculative > 0);
+}
+
+#[test]
+fn partial_vectorization_for_bounded_dependency() {
+    // v[i] = v[i-16] + b[i]: dependency distance 16 >= 4 lanes.
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let b = kb.alloc("b", DataType::I32, 256);
+    let v = kb.alloc("v", DataType::I32, 272);
+    let (lb, lv) = (kb.layout().buf(b).base, kb.layout().buf(v).base);
+    // Operate on v[16..272]: dst pointer offset +16 elements.
+    kb.emit_loop(LoopIr {
+        name: "recur16".into(),
+        trip: Trip::Const(256),
+        elem: DataType::I32,
+        body: Body::Map {
+            dst: v.at(16),
+            expr: Expr::load(v.at(0)) + Expr::load(b.at(0)),
+        },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    let kernel = kb.finish();
+    let init = move |m: &mut Machine| {
+        for i in 0..16u32 {
+            m.mem.write_u32(lv + 4 * i, 1);
+        }
+        for i in 0..256u32 {
+            m.mem.write_u32(lb + 4 * i, i);
+        }
+    };
+    let (_, scalar_m) = run_scalar(&kernel, &init);
+
+    // Without partial vectorization: rejected (cross-iteration dep).
+    let (_, m1, dsa1) = run_dsa(&kernel, DsaConfig::extended(), &init);
+    assert_same_memory(&scalar_m, &m1);
+    assert_eq!(dsa1.stats().loops_vectorized, 0);
+
+    // Full DSA: partially vectorized in chunks of 16.
+    let (_, m2, dsa2) = run_dsa(&kernel, DsaConfig::full(), &init);
+    assert_same_memory(&scalar_m, &m2);
+    assert_eq!(dsa2.stats().loops_vectorized, 1);
+    assert!(dsa2.stats().partial_chunks >= 15, "chunks: {}", dsa2.stats().partial_chunks);
+    assert_eq!(dsa2.census().count(LoopClass::Partial), 1);
+}
+
+#[test]
+fn unit_distance_recurrence_never_vectorizes() {
+    // v[i] = v[i-1] + b[i].
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let b = kb.alloc("b", DataType::I32, 64);
+    let v = kb.alloc("v", DataType::I32, 65);
+    let lb = kb.layout().buf(b).base;
+    kb.emit_loop(LoopIr {
+        name: "recur1".into(),
+        trip: Trip::Const(64),
+        elem: DataType::I32,
+        body: Body::Map { dst: v.at(1), expr: Expr::load(v.at(0)) + Expr::load(b.at(0)) },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    let kernel = kb.finish();
+    let init = move |m: &mut Machine| {
+        for i in 0..64u32 {
+            m.mem.write_u32(lb + 4 * i, 1);
+        }
+    };
+    let (_, scalar_m) = run_scalar(&kernel, &init);
+    let (_, m, dsa) = run_dsa(&kernel, DsaConfig::full(), &init);
+    assert_same_memory(&scalar_m, &m);
+    assert_eq!(dsa.stats().loops_vectorized, 0);
+    assert_eq!(dsa.census().count(LoopClass::NonVectorizable), 1);
+}
+
+#[test]
+fn function_loop_vectorized_by_original_dsa() {
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let a = kb.alloc("a", DataType::I32, 120);
+    let v = kb.alloc("v", DataType::I32, 120);
+    let la = kb.layout().buf(a).base;
+    let f = kb.define_function(|asm| {
+        asm.add(regs::SCRATCH, regs::SCRATCH, regs::SCRATCH); // 2x
+        asm.bx_lr();
+    });
+    kb.emit_loop(LoopIr {
+        name: "func".into(),
+        trip: Trip::Const(120),
+        elem: DataType::I32,
+        body: Body::Map { dst: v.at(0), expr: Expr::Call(f, Box::new(Expr::load(a.at(0)))) },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    let kernel = kb.finish();
+    let init = move |m: &mut Machine| {
+        for i in 0..120u32 {
+            m.mem.write_u32(la + 4 * i, i + 1);
+        }
+    };
+    let (_, scalar_m) = run_scalar(&kernel, &init);
+    let (_, m, dsa) = run_dsa(&kernel, DsaConfig::original(), &init);
+    assert_same_memory(&scalar_m, &m);
+    assert_eq!(dsa.stats().loops_vectorized, 1);
+    assert_eq!(dsa.census().count(LoopClass::Function), 1);
+}
+
+#[test]
+fn loop_nest_reuses_cache_across_entries() {
+    // Outer loop (raw asm) re-enters an inner count loop 8 times with a
+    // moving output row. Rows are deliberately NON-contiguous (one-row
+    // holes) so nest fusion bails and every entry goes through the DSA
+    // cache instead.
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let a = kb.alloc("a", DataType::I32, 64);
+    let c = kb.alloc("c", DataType::I32, 16 * 64);
+    let la = kb.layout().buf(a).base;
+    let lc = kb.layout().buf(c).base;
+    let row = dsa_isa::Reg::R11; // PARAM[1] is r11
+    let cnt = dsa_isa::Reg::R10;
+    {
+        let asm = kb.asm_mut();
+        asm.mov_imm(cnt, 8);
+        asm.mov_imm(row, lc as i32);
+    }
+    let top = kb.asm_mut().here();
+    kb.emit_loop(LoopIr {
+        name: "inner".into(),
+        trip: Trip::Const(64),
+        elem: DataType::I32,
+        body: Body::Map { dst: c.at(0), expr: Expr::load(a.at(0)) + Expr::Imm(7) },
+        ptr_overrides: vec![(c, row)],
+        ..LoopIr::default()
+    });
+    {
+        let asm = kb.asm_mut();
+        asm.add_imm(row, row, 2 * 64 * 4); // skip a row: not fusable
+        asm.sub_imm(cnt, cnt, 1);
+        asm.cmp_imm(cnt, 0);
+        asm.b_to(dsa_isa::Cond::Ne, top);
+        asm.halt();
+    }
+    let kernel = kb.finish();
+    let init = move |m: &mut Machine| {
+        for i in 0..64u32 {
+            m.mem.write_u32(la + 4 * i, i);
+        }
+    };
+    let (_, scalar_m) = run_scalar(&kernel, &init);
+    let (out, m, dsa) = run_dsa(&kernel, DsaConfig::original(), &init);
+    assert_same_memory(&scalar_m, &m);
+    let stats = dsa.stats();
+    // Entry 1 is analysed and vectorized; entries 2-3 run scalar while
+    // the (failing) nest-fusion probe observes the outer loop; entries
+    // 4-8 vectorize instantly through the DSA cache.
+    assert_eq!(stats.loops_vectorized, 6, "entries 1 and 4..8 vectorized");
+    assert!(stats.dsa_cache_hits >= 5, "entries 4..8 hit the cache");
+    assert!(out.timing.covered > 0);
+    let census = dsa.census();
+    assert_eq!(census.count(LoopClass::Count), 1);
+    assert_eq!(census.count(LoopClass::Nest), 1);
+}
+
+#[test]
+fn leftover_iterations_handled() {
+    // 403 iterations: 100 chunks of 4 + 3 leftovers.
+    let (kernel, la, lb, _) = count_kernel(403);
+    let init = move |m: &mut Machine| {
+        for i in 0..403u32 {
+            m.mem.write_u32(la + 4 * i, i);
+            m.mem.write_u32(lb + 4 * i, i);
+        }
+    };
+    let (_, scalar_m) = run_scalar(&kernel, &init);
+    let (_, m, dsa) = run_dsa(&kernel, DsaConfig::full(), &init);
+    assert_same_memory(&scalar_m, &m);
+    assert_eq!(dsa.stats().loops_vectorized, 1);
+}
+
+#[test]
+fn detection_latency_is_small_fraction() {
+    let (kernel, la, lb, _) = count_kernel(2000);
+    let init = move |m: &mut Machine| {
+        for i in 0..2000u32 {
+            m.mem.write_u32(la + 4 * i, i);
+            m.mem.write_u32(lb + 4 * i, i);
+        }
+    };
+    let (out, _, dsa) = run_dsa(&kernel, DsaConfig::full(), &init);
+    let frac = dsa.stats().detection_fraction(out.cycles);
+    assert!(frac > 0.0 && frac < 0.10, "detection fraction {frac}");
+}

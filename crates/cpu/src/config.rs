@@ -1,0 +1,106 @@
+//! Timing-model configuration.
+
+use dsa_mem::MemoryConfig;
+
+/// NEON-engine timing parameters.
+///
+/// Defaults follow the A8-class engine described in §2.2.2 of the
+/// dissertation: a 16-entry instruction queue feeding the NEON pipeline,
+/// two NEON instructions dispatched per core cycle, and multi-cycle
+/// element operations on 128-bit registers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeonConfig {
+    /// Instruction-queue depth; the core stalls when it fills.
+    pub queue_depth: u32,
+    /// Latency of element-wise non-multiply ops, cycles.
+    pub alu_latency: u32,
+    /// Latency of element-wise multiplies, cycles.
+    pub mul_latency: u32,
+    /// Extra latency of a vector load beyond the data-cache latency.
+    pub load_extra: u32,
+    /// Latency of a vector store, cycles.
+    pub store_latency: u32,
+    /// Latency of permute/duplicate/transfer ops, cycles.
+    pub move_latency: u32,
+    /// Load/store-pipe slots taken by an unaligned-form vector memory
+    /// access. Statically compiled NEON code must use the unaligned-safe
+    /// forms (alignment cannot be proved at compile time); the DSA
+    /// observes real addresses and issues aligned accesses.
+    pub unaligned_mem_slots: u32,
+}
+
+impl Default for NeonConfig {
+    fn default() -> NeonConfig {
+        NeonConfig {
+            queue_depth: 16,
+            alu_latency: 3,
+            mul_latency: 5,
+            load_extra: 2,
+            store_latency: 2,
+            move_latency: 2,
+            unaligned_mem_slots: 2,
+        }
+    }
+}
+
+/// Full CPU timing configuration.
+///
+/// Defaults reproduce the paper's system setup (Table 4): a 2-wide
+/// superscalar ARMv7-class core at 1 GHz with 64 KB L1 / 512 KB L2 and a
+/// 128-bit NEON engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuConfig {
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Core clock in GHz (used to convert cycles to seconds/energy).
+    pub clock_ghz: f64,
+    /// Integer ALU latency, cycles.
+    pub int_alu_latency: u32,
+    /// Integer multiply latency, cycles.
+    pub int_mul_latency: u32,
+    /// Scalar FP add/sub latency, cycles.
+    pub fp_alu_latency: u32,
+    /// Scalar FP multiply latency, cycles.
+    pub fp_mul_latency: u32,
+    /// Cycles lost on a branch misprediction.
+    pub branch_mispredict_penalty: u32,
+    /// Reorder-buffer entries (out-of-order execution window).
+    pub rob_size: u32,
+    /// Memory-hierarchy configuration.
+    pub mem: MemoryConfig,
+    /// NEON-engine configuration.
+    pub neon: NeonConfig,
+}
+
+impl Default for CpuConfig {
+    fn default() -> CpuConfig {
+        CpuConfig {
+            issue_width: 2,
+            clock_ghz: 1.0,
+            int_alu_latency: 1,
+            int_mul_latency: 3,
+            fp_alu_latency: 4,
+            fp_mul_latency: 5,
+            branch_mispredict_penalty: 8,
+            rob_size: 40,
+            mem: MemoryConfig::default(),
+            neon: NeonConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = CpuConfig::default();
+        assert_eq!(c.issue_width, 2);
+        assert_eq!(c.clock_ghz, 1.0);
+        assert_eq!(c.neon.queue_depth, 16);
+        // 64 KB total L1, 512 KB L2.
+        assert_eq!(c.mem.l1i.size_bytes + c.mem.l1d.size_bytes, 64 * 1024);
+        assert_eq!(c.mem.l2.size_bytes, 512 * 1024);
+    }
+}

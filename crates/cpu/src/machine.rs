@@ -1,0 +1,519 @@
+//! Architectural state and the functional step.
+
+use dsa_isa::{AddrMode, AluOp, Cond, Instr, MemSize, Operand, Program, QReg, Reg};
+use dsa_mem::MainMemory;
+
+use crate::trace::{BranchOutcome, MemAccess, TraceEvent};
+use crate::vec128;
+
+/// NZCV condition flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Carry (unsigned no-borrow on compares).
+    pub c: bool,
+    /// Signed overflow.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Evaluates a condition code against the flags.
+    pub fn check(self, cond: Cond) -> bool {
+        match cond {
+            Cond::Eq => self.z,
+            Cond::Ne => !self.z,
+            Cond::Ge => self.n == self.v,
+            Cond::Lt => self.n != self.v,
+            Cond::Gt => !self.z && self.n == self.v,
+            Cond::Le => self.z || self.n != self.v,
+            Cond::Al => true,
+        }
+    }
+}
+
+/// Error from the functional executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// The PC walked off the end of the program without hitting `halt`.
+    PcOutOfRange {
+        /// The offending PC (instruction units).
+        pc: u32,
+    },
+    /// `step` was called after the machine halted.
+    Halted,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+            ExecError::Halted => write!(f, "machine is halted"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Full architectural state: sixteen scalar registers, sixteen 128-bit
+/// vector registers, the NZCV flags and main memory.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    regs: [u32; 16],
+    qregs: [[u8; 16]; 16],
+    flags: Flags,
+    /// Data memory (instructions are fetched from the [`Program`], not
+    /// from this address space).
+    pub mem: MainMemory,
+    halted: bool,
+}
+
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine::new()
+    }
+}
+
+/// Default stack-pointer value: stacks grow down from 240 MB, well above
+/// the data segments used by the workloads.
+pub const DEFAULT_SP: u32 = 0x0F00_0000;
+
+impl Machine {
+    /// Creates a machine with zeroed registers, `sp` at [`DEFAULT_SP`]
+    /// and empty memory.
+    pub fn new() -> Machine {
+        let mut m = Machine {
+            regs: [0; 16],
+            qregs: [[0; 16]; 16],
+            flags: Flags::default(),
+            mem: MainMemory::new(),
+            halted: false,
+        };
+        m.regs[Reg::SP.index() as usize] = DEFAULT_SP;
+        m
+    }
+
+    /// Reads a scalar register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Writes a scalar register.
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        self.regs[r.index() as usize] = value;
+    }
+
+    /// Reads a vector register.
+    pub fn qreg(&self, q: QReg) -> [u8; 16] {
+        self.qregs[q.index() as usize]
+    }
+
+    /// Writes a vector register.
+    pub fn set_qreg(&mut self, q: QReg, value: [u8; 16]) {
+        self.qregs[q.index() as usize] = value;
+    }
+
+    /// Current condition flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Current program counter (instruction units).
+    pub fn pc(&self) -> u32 {
+        self.regs[Reg::PC.index() as usize]
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.regs[Reg::PC.index() as usize] = pc;
+    }
+
+    /// Whether `halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn operand(&self, op: Operand) -> u32 {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(i) => i as i32 as u32,
+        }
+    }
+
+    fn set_cmp_flags(&mut self, a: u32, b: u32) {
+        let (res, borrow) = a.overflowing_sub(b);
+        let sa = a as i32;
+        let sb = b as i32;
+        self.flags = Flags {
+            n: (res as i32) < 0,
+            z: res == 0,
+            c: !borrow,
+            v: sa.checked_sub(sb).is_none(),
+        };
+    }
+
+    fn alu_result(&self, op: AluOp, a: u32, b: u32) -> u32 {
+        match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Rsb => b.wrapping_sub(a),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Orr => a | b,
+            AluOp::Eor => a ^ b,
+            AluOp::Lsl => a.wrapping_shl(b & 31),
+            AluOp::Lsr => a.wrapping_shr(b & 31),
+            AluOp::Asr => (a as i32).wrapping_shr(b & 31) as u32,
+            AluOp::FAdd => (f32::from_bits(a) + f32::from_bits(b)).to_bits(),
+            AluOp::FSub => (f32::from_bits(a) - f32::from_bits(b)).to_bits(),
+            AluOp::FMul => (f32::from_bits(a) * f32::from_bits(b)).to_bits(),
+        }
+    }
+
+    /// Resolves an addressing mode against the current base value,
+    /// returning `(effective address, new base if writeback)`.
+    fn resolve(&self, rn: Reg, mode: AddrMode) -> (u32, Option<u32>) {
+        let base = self.reg(rn);
+        match mode {
+            AddrMode::Offset(i) => (base.wrapping_add(i as i32 as u32), None),
+            AddrMode::PostInc(i) => (base, Some(base.wrapping_add(i as i32 as u32))),
+            AddrMode::PreInc(i) => {
+                let a = base.wrapping_add(i as i32 as u32);
+                (a, Some(a))
+            }
+        }
+    }
+
+    fn load_sized(&self, addr: u32, size: MemSize) -> u32 {
+        match size {
+            MemSize::B => self.mem.read_u8(addr) as u32,
+            MemSize::H => self.mem.read_u16(addr) as u32,
+            MemSize::W => self.mem.read_u32(addr),
+        }
+    }
+
+    fn store_sized(&mut self, addr: u32, size: MemSize, value: u32) {
+        match size {
+            MemSize::B => self.mem.write_u8(addr, value as u8),
+            MemSize::H => self.mem.write_u16(addr, value as u16),
+            MemSize::W => self.mem.write_u32(addr, value),
+        }
+    }
+
+    /// Executes one instruction of `program` and returns the committed
+    /// trace event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Halted`] after `halt` and
+    /// [`ExecError::PcOutOfRange`] if the PC leaves the program text.
+    pub fn step(&mut self, program: &Program) -> Result<TraceEvent, ExecError> {
+        if self.halted {
+            return Err(ExecError::Halted);
+        }
+        let pc = self.pc();
+        let instr = program.fetch(pc).ok_or(ExecError::PcOutOfRange { pc })?;
+        let mut ev = TraceEvent::simple(pc, instr);
+        let mut next_pc = pc.wrapping_add(1);
+
+        match instr {
+            Instr::Nop => {}
+            Instr::Halt => self.halted = true,
+            Instr::MovImm { rd, imm } => self.set_reg(rd, imm as i32 as u32),
+            Instr::MovTop { rd, imm } => {
+                let low = self.reg(rd) & 0xffff;
+                self.set_reg(rd, (imm as u32) << 16 | low);
+            }
+            Instr::Mov { rd, rm } => {
+                let v = self.reg(rm);
+                self.set_reg(rd, v);
+            }
+            Instr::Alu { op, rd, rn, src2 } => {
+                let v = self.alu_result(op, self.reg(rn), self.operand(src2));
+                self.set_reg(rd, v);
+            }
+            Instr::Cmp { rn, src2 } => {
+                self.set_cmp_flags(self.reg(rn), self.operand(src2));
+            }
+            Instr::B { cond, offset } => {
+                let target = (pc as i64 + offset as i64) as u32;
+                let taken = self.flags.check(cond);
+                if taken {
+                    next_pc = target;
+                }
+                ev.branch = Some(BranchOutcome { target, taken });
+            }
+            Instr::Bl { offset } => {
+                let target = (pc as i64 + offset as i64) as u32;
+                self.set_reg(Reg::LR, pc.wrapping_add(1));
+                next_pc = target;
+                ev.branch = Some(BranchOutcome { target, taken: true });
+            }
+            Instr::BxLr => {
+                let target = self.reg(Reg::LR);
+                next_pc = target;
+                ev.branch = Some(BranchOutcome { target, taken: true });
+            }
+            Instr::Ldr { rd, rn, mode, size } => {
+                let (addr, wb) = self.resolve(rn, mode);
+                let v = self.load_sized(addr, size);
+                if let Some(nb) = wb {
+                    self.set_reg(rn, nb);
+                }
+                self.set_reg(rd, v);
+                ev.read = Some(MemAccess { addr, bytes: size.bytes() as u8 });
+            }
+            Instr::Str { rs, rn, mode, size } => {
+                let (addr, wb) = self.resolve(rn, mode);
+                let v = self.reg(rs);
+                self.store_sized(addr, size, v);
+                if let Some(nb) = wb {
+                    self.set_reg(rn, nb);
+                }
+                ev.write = Some(MemAccess { addr, bytes: size.bytes() as u8 });
+            }
+            Instr::LdrReg { rd, rn, rm, lsl, size } => {
+                let addr = self.reg(rn).wrapping_add(self.reg(rm) << lsl);
+                let v = self.load_sized(addr, size);
+                self.set_reg(rd, v);
+                ev.read = Some(MemAccess { addr, bytes: size.bytes() as u8 });
+            }
+            Instr::StrReg { rs, rn, rm, lsl, size } => {
+                let addr = self.reg(rn).wrapping_add(self.reg(rm) << lsl);
+                self.store_sized(addr, size, self.reg(rs));
+                ev.write = Some(MemAccess { addr, bytes: size.bytes() as u8 });
+            }
+            Instr::Vld1 { qd, rn, writeback, .. } => {
+                let addr = self.reg(rn);
+                let v = self.mem.read_vec128(addr);
+                self.set_qreg(qd, v);
+                if writeback {
+                    self.set_reg(rn, addr.wrapping_add(16));
+                }
+                ev.read = Some(MemAccess { addr, bytes: 16 });
+            }
+            Instr::Vst1 { qs, rn, writeback, .. } => {
+                let addr = self.reg(rn);
+                self.mem.write_vec128(addr, self.qreg(qs));
+                if writeback {
+                    self.set_reg(rn, addr.wrapping_add(16));
+                }
+                ev.write = Some(MemAccess { addr, bytes: 16 });
+            }
+            Instr::Vld1Lane { qd, lane, rn, writeback, et } => {
+                let addr = self.reg(rn);
+                let v = self.load_sized(addr, et.mem_size());
+                let mut q = self.qreg(qd);
+                vec128::scalar_to_lane(et, &mut q, lane, v);
+                self.set_qreg(qd, q);
+                if writeback {
+                    self.set_reg(rn, addr.wrapping_add(et.lane_bytes()));
+                }
+                ev.read = Some(MemAccess { addr, bytes: et.lane_bytes() as u8 });
+            }
+            Instr::Vst1Lane { qs, lane, rn, writeback, et } => {
+                let addr = self.reg(rn);
+                let v = vec128::lane_to_scalar(et, self.qreg(qs), lane);
+                self.store_sized(addr, et.mem_size(), v);
+                if writeback {
+                    self.set_reg(rn, addr.wrapping_add(et.lane_bytes()));
+                }
+                ev.write = Some(MemAccess { addr, bytes: et.lane_bytes() as u8 });
+            }
+            Instr::Vop { op, et, qd, qn, qm } => {
+                let v = vec128::apply(op, et, self.qreg(qn), self.qreg(qm));
+                self.set_qreg(qd, v);
+            }
+            Instr::VshrImm { qd, qn, shift, et } => {
+                let v = vec128::shr(et, self.qreg(qn), shift);
+                self.set_qreg(qd, v);
+            }
+            Instr::Vdup { qd, rm, et } => {
+                self.set_qreg(qd, vec128::splat_scalar(et, self.reg(rm)));
+            }
+            Instr::VdupImm { qd, imm, et } => {
+                self.set_qreg(qd, vec128::splat(et, imm));
+            }
+            Instr::Vmov { qd, qm } => {
+                let v = self.qreg(qm);
+                self.set_qreg(qd, v);
+            }
+            Instr::Vaddv { rd, qn, et } => {
+                let v = vec128::reduce_add(et, self.qreg(qn));
+                self.set_reg(rd, v);
+            }
+            Instr::VmovToScalar { rd, qn, lane, et } => {
+                let v = vec128::lane_to_scalar(et, self.qreg(qn), lane);
+                self.set_reg(rd, v);
+            }
+            Instr::VmovFromScalar { qd, lane, rm, et } => {
+                let mut q = self.qreg(qd);
+                vec128::scalar_to_lane(et, &mut q, lane, self.reg(rm));
+                self.set_qreg(qd, q);
+            }
+        }
+
+        self.set_pc(next_pc);
+        Ok(ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_isa::{Asm, ElemType, VecOp};
+
+    fn run_to_halt(program: &Program) -> Machine {
+        let mut m = Machine::new();
+        for _ in 0..1_000_000 {
+            if m.is_halted() {
+                return m;
+            }
+            m.step(program).expect("step");
+        }
+        panic!("did not halt");
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::R0, 7);
+        a.mov_imm(Reg::R1, 5);
+        a.sub(Reg::R2, Reg::R0, Reg::R1); // 2
+        a.mul(Reg::R3, Reg::R2, Reg::R0); // 14
+        a.cmp_imm(Reg::R3, 14);
+        a.halt();
+        let m = run_to_halt(&a.finish());
+        assert_eq!(m.reg(Reg::R2), 2);
+        assert_eq!(m.reg(Reg::R3), 14);
+        assert!(m.flags().z);
+        assert!(m.flags().check(Cond::Eq));
+        assert!(!m.flags().check(Cond::Ne));
+    }
+
+    #[test]
+    fn signed_compare_conditions() {
+        let mut m = Machine::new();
+        m.set_cmp_flags((-5i32) as u32, 3);
+        assert!(m.flags().check(Cond::Lt));
+        assert!(!m.flags().check(Cond::Ge));
+        m.set_cmp_flags(3, (-5i32) as u32);
+        assert!(m.flags().check(Cond::Gt));
+        m.set_cmp_flags(i32::MIN as u32, 1); // overflow case
+        assert!(m.flags().check(Cond::Lt));
+    }
+
+    #[test]
+    fn loop_with_post_increment_stores() {
+        // for i in 0..8: mem[0x100 + 4i] = i
+        let mut a = Asm::new();
+        a.mov_imm(Reg::R0, 0); // i
+        a.mov_imm(Reg::R1, 0x100); // ptr
+        let top = a.here();
+        a.str_post(Reg::R0, Reg::R1, 4);
+        a.add_imm(Reg::R0, Reg::R0, 1);
+        a.cmp_imm(Reg::R0, 8);
+        a.b_to(Cond::Ne, top);
+        a.halt();
+        let m = run_to_halt(&a.finish());
+        for i in 0..8 {
+            assert_eq!(m.mem.read_u32(0x100 + 4 * i), i);
+        }
+        assert_eq!(m.reg(Reg::R1), 0x100 + 32);
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        let mut a = Asm::new();
+        let func = a.new_label();
+        a.mov_imm(Reg::R0, 1);
+        a.bl(func);
+        a.add_imm(Reg::R0, Reg::R0, 100); // after return
+        a.halt();
+        a.bind(func);
+        a.add_imm(Reg::R0, Reg::R0, 10);
+        a.bx_lr();
+        let m = run_to_halt(&a.finish());
+        assert_eq!(m.reg(Reg::R0), 111);
+    }
+
+    #[test]
+    fn stack_push_pop() {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::R0, 42);
+        a.push(Reg::R0);
+        a.mov_imm(Reg::R0, 0);
+        a.pop(Reg::R1);
+        a.halt();
+        let m = run_to_halt(&a.finish());
+        assert_eq!(m.reg(Reg::R1), 42);
+        assert_eq!(m.reg(Reg::SP), DEFAULT_SP);
+    }
+
+    #[test]
+    fn float_scalar_ops() {
+        let mut a = Asm::new();
+        a.mov_imm_f32(Reg::R0, 1.5);
+        a.mov_imm_f32(Reg::R1, 2.0);
+        a.fmul(Reg::R2, Reg::R0, Reg::R1);
+        a.fadd(Reg::R3, Reg::R2, Reg::R0);
+        a.halt();
+        let m = run_to_halt(&a.finish());
+        assert_eq!(f32::from_bits(m.reg(Reg::R2)), 3.0);
+        assert_eq!(f32::from_bits(m.reg(Reg::R3)), 4.5);
+    }
+
+    #[test]
+    fn vector_load_op_store() {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::R0, 0x200);
+        a.mov_imm(Reg::R1, 0x300);
+        a.mov_imm(Reg::R2, 0x400);
+        a.vld1(QReg::Q0, Reg::R0, true, ElemType::I32);
+        a.vld1(QReg::Q1, Reg::R1, true, ElemType::I32);
+        a.vop(VecOp::Add, ElemType::I32, QReg::Q2, QReg::Q0, QReg::Q1);
+        a.vst1(QReg::Q2, Reg::R2, true, ElemType::I32);
+        a.halt();
+        let program = a.finish();
+
+        let mut m = Machine::new();
+        for i in 0..4u32 {
+            m.mem.write_u32(0x200 + 4 * i, i + 1);
+            m.mem.write_u32(0x300 + 4 * i, 10 * (i + 1));
+        }
+        while !m.is_halted() {
+            m.step(&program).expect("step");
+        }
+        for i in 0..4u32 {
+            assert_eq!(m.mem.read_u32(0x400 + 4 * i), 11 * (i + 1));
+        }
+        assert_eq!(m.reg(Reg::R0), 0x210, "writeback advanced base");
+    }
+
+    #[test]
+    fn trace_events_report_memory() {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::R0, 0x500);
+        a.ldr_post(Reg::R1, Reg::R0, 4);
+        a.halt();
+        let p = a.finish();
+        let mut m = Machine::new();
+        m.step(&p).unwrap();
+        let ev = m.step(&p).unwrap();
+        assert_eq!(ev.read, Some(MemAccess { addr: 0x500, bytes: 4 }));
+        assert_eq!(ev.write, None);
+    }
+
+    #[test]
+    fn errors() {
+        let p = Program::new(vec![Instr::Halt]);
+        let mut m = Machine::new();
+        m.step(&p).unwrap();
+        assert_eq!(m.step(&p), Err(ExecError::Halted));
+        let empty = Program::new(vec![]);
+        let mut m = Machine::new();
+        assert_eq!(m.step(&empty), Err(ExecError::PcOutOfRange { pc: 0 }));
+    }
+}

@@ -1,0 +1,273 @@
+//! The simulation driver: functional execution + timing + commit hooks.
+
+use dsa_isa::Program;
+use dsa_mem::MemoryStats;
+
+use crate::config::CpuConfig;
+use crate::machine::{ExecError, Machine};
+use crate::timing::{InjectedOp, TimingModel, TimingStats};
+use crate::trace::TraceEvent;
+
+/// Control surface handed to a [`CommitHook`] on every committed
+/// instruction. This is how the DSA "adjusts the timing model": it can
+/// suppress scalar charging of covered iterations, inject vector work
+/// into the Issue stage, and charge pipeline flushes.
+#[derive(Debug)]
+pub struct SimControl<'a> {
+    timing: &'a mut TimingModel,
+    suppress: &'a mut bool,
+}
+
+impl SimControl<'_> {
+    /// From the next committed instruction on, events are functionally
+    /// executed but not charged on the scalar pipeline (their work is
+    /// represented by injected vector operations instead).
+    pub fn begin_coverage(&mut self) {
+        *self.suppress = true;
+    }
+
+    /// Re-enables scalar charging.
+    pub fn end_coverage(&mut self) {
+        *self.suppress = false;
+    }
+
+    /// Whether coverage (suppression) is currently active.
+    pub fn coverage_active(&self) -> bool {
+        *self.suppress
+    }
+
+    /// Injects operations into the Issue stage (vector work the DSA built).
+    pub fn inject(&mut self, ops: &[InjectedOp]) {
+        self.timing.charge_injected(ops);
+    }
+
+    /// Charges a frontend stall of `cycles` (e.g. the pipeline flush the
+    /// DSA performs before switching to NEON execution).
+    pub fn stall(&mut self, cycles: u64) {
+        self.timing.charge_stall(cycles);
+    }
+
+    /// Current cycle count.
+    pub fn cycles(&self) -> u64 {
+        self.timing.cycles()
+    }
+}
+
+/// Observer invoked after every committed instruction.
+pub trait CommitHook {
+    /// Called with the committed event, the post-commit machine state and
+    /// the timing control surface.
+    fn on_commit(&mut self, ev: &TraceEvent, machine: &Machine, ctl: &mut SimControl<'_>);
+
+    /// Called once when the run finishes (halt or fuel exhaustion).
+    fn on_finish(&mut self, _machine: &Machine) {}
+}
+
+/// A hook that does nothing (plain scalar simulation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullHook;
+
+impl CommitHook for NullHook {
+    fn on_commit(&mut self, _ev: &TraceEvent, _machine: &Machine, _ctl: &mut SimControl<'_>) {}
+}
+
+/// Result of a finished simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Committed instructions (functional, including covered ones).
+    pub committed: u64,
+    /// Whether the program reached `halt` (vs. running out of fuel).
+    pub halted: bool,
+    /// Timing statistics.
+    pub timing: TimingStats,
+    /// Memory-hierarchy statistics.
+    pub mem: MemoryStats,
+}
+
+impl RunOutcome {
+    /// Seconds of simulated time at the configured clock.
+    pub fn seconds(&self, clock_ghz: f64) -> f64 {
+        self.cycles as f64 / (clock_ghz * 1e9)
+    }
+}
+
+/// Couples a [`Machine`], a [`TimingModel`] and a [`Program`].
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    machine: Machine,
+    timing: TimingModel,
+    program: Program,
+    suppress: bool,
+    committed: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator with a fresh machine.
+    pub fn new(program: Program, config: CpuConfig) -> Simulator {
+        Simulator::with_machine(program, config, Machine::new())
+    }
+
+    /// Creates a simulator over a pre-initialised machine (e.g. with
+    /// workload data already written to memory).
+    pub fn with_machine(program: Program, config: CpuConfig, machine: Machine) -> Simulator {
+        Simulator {
+            machine,
+            timing: TimingModel::new(config),
+            program,
+            suppress: false,
+            committed: 0,
+        }
+    }
+
+    /// The machine state.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine state (for data initialisation).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The program under simulation.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The timing model.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// Pre-loads a data region into the L2 cache, modelling inputs made
+    /// resident by the program's input phase.
+    pub fn warm_region(&mut self, base: u32, len: u32) {
+        self.timing.warm_region(base, len);
+    }
+
+    /// Runs without a hook for at most `fuel` committed instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from the functional executor.
+    pub fn run(&mut self, fuel: u64) -> Result<RunOutcome, ExecError> {
+        self.run_with_hook(fuel, &mut NullHook)
+    }
+
+    /// Runs with a commit hook for at most `fuel` committed instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from the functional executor.
+    pub fn run_with_hook(
+        &mut self,
+        fuel: u64,
+        hook: &mut dyn CommitHook,
+    ) -> Result<RunOutcome, ExecError> {
+        let mut remaining = fuel;
+        while !self.machine.is_halted() && remaining > 0 {
+            remaining -= 1;
+            let ev = self.machine.step(&self.program)?;
+            self.committed += 1;
+            if self.suppress {
+                self.timing.note_covered(&ev);
+            } else {
+                self.timing.charge_event(&ev);
+            }
+            let mut ctl =
+                SimControl { timing: &mut self.timing, suppress: &mut self.suppress };
+            hook.on_commit(&ev, &self.machine, &mut ctl);
+        }
+        hook.on_finish(&self.machine);
+        Ok(self.outcome())
+    }
+
+    /// Snapshot of the current outcome.
+    pub fn outcome(&self) -> RunOutcome {
+        RunOutcome {
+            cycles: self.timing.cycles(),
+            committed: self.committed,
+            halted: self.machine.is_halted(),
+            timing: self.timing.stats(),
+            mem: self.timing.mem_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_isa::{Asm, Cond, Reg};
+
+    fn count_loop(n: i32) -> Program {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::R0, 0);
+        a.mov_imm(Reg::R1, n);
+        let top = a.here();
+        a.add_imm(Reg::R0, Reg::R0, 1);
+        a.cmp(Reg::R0, Reg::R1);
+        a.b_to(Cond::Ne, top);
+        a.halt();
+        a.finish()
+    }
+
+    #[test]
+    fn runs_to_halt() {
+        let mut sim = Simulator::new(count_loop(100), CpuConfig::default());
+        let out = sim.run(10_000).expect("ok");
+        assert!(out.halted);
+        assert_eq!(sim.machine().reg(Reg::R0), 100);
+        assert!(out.cycles > 100, "loop takes at least a cycle per iteration");
+        assert_eq!(out.committed, out.timing.committed);
+    }
+
+    #[test]
+    fn fuel_exhaustion_reported() {
+        let mut sim = Simulator::new(count_loop(1_000_000), CpuConfig::default());
+        let out = sim.run(10).expect("ok");
+        assert!(!out.halted);
+        assert_eq!(out.committed, 10);
+    }
+
+    #[test]
+    fn hook_sees_every_commit() {
+        struct Counter(u64);
+        impl CommitHook for Counter {
+            fn on_commit(&mut self, _: &TraceEvent, _: &Machine, _: &mut SimControl<'_>) {
+                self.0 += 1;
+            }
+        }
+        let mut sim = Simulator::new(count_loop(10), CpuConfig::default());
+        let mut h = Counter(0);
+        let out = sim.run_with_hook(10_000, &mut h).expect("ok");
+        assert_eq!(h.0, out.committed);
+    }
+
+    #[test]
+    fn coverage_suppresses_charging() {
+        struct CoverAll;
+        impl CommitHook for CoverAll {
+            fn on_commit(&mut self, _: &TraceEvent, _: &Machine, ctl: &mut SimControl<'_>) {
+                ctl.begin_coverage();
+            }
+        }
+        let mut covered = Simulator::new(count_loop(1000), CpuConfig::default());
+        let cov = covered.run_with_hook(100_000, &mut CoverAll).expect("ok");
+        let mut scalar = Simulator::new(count_loop(1000), CpuConfig::default());
+        let sc = scalar.run(100_000).expect("ok");
+        assert!(cov.cycles < sc.cycles / 5, "{} vs {}", cov.cycles, sc.cycles);
+        assert!(cov.timing.covered > 0);
+        // Functional result identical.
+        assert_eq!(covered.machine().reg(Reg::R0), scalar.machine().reg(Reg::R0));
+    }
+
+    #[test]
+    fn scalar_and_simulated_time() {
+        let mut sim = Simulator::new(count_loop(10), CpuConfig::default());
+        let out = sim.run(1_000).expect("ok");
+        let secs = out.seconds(1.0);
+        assert!(secs > 0.0 && secs < 1.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Lane-wise arithmetic on 128-bit vectors.
+//!
+//! These helpers implement the functional semantics of the NEON-style
+//! vector instructions and are shared with the DSA core (which reuses
+//! them for its Array-Map speculative-select logic).
+
+use dsa_isa::{ElemType, VecOp};
+
+/// Applies `op` lane-wise over two 128-bit values.
+pub fn apply(op: VecOp, et: ElemType, a: [u8; 16], b: [u8; 16]) -> [u8; 16] {
+    match et {
+        ElemType::I8 => map_lanes::<1>(a, b, |x, y| {
+            let (x, y) = (x[0] as i8, y[0] as i8);
+            [int_op(op, x as i64, y as i64) as u8]
+        }),
+        ElemType::I16 => map_lanes::<2>(a, b, |x, y| {
+            let x = i16::from_le_bytes(x);
+            let y = i16::from_le_bytes(y);
+            (int_op(op, x as i64, y as i64) as i16).to_le_bytes()
+        }),
+        ElemType::I32 => map_lanes::<4>(a, b, |x, y| {
+            let x = i32::from_le_bytes(x);
+            let y = i32::from_le_bytes(y);
+            (int_op(op, x as i64, y as i64) as i32).to_le_bytes()
+        }),
+        ElemType::F32 => map_lanes::<4>(a, b, |x, y| {
+            let x = f32::from_le_bytes(x);
+            let y = f32::from_le_bytes(y);
+            float_op(op, x, y).to_le_bytes()
+        }),
+    }
+}
+
+fn map_lanes<const W: usize>(
+    a: [u8; 16],
+    b: [u8; 16],
+    mut f: impl FnMut([u8; W], [u8; W]) -> [u8; W],
+) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for lane in 0..(16 / W) {
+        let lo = lane * W;
+        let x: [u8; W] = a[lo..lo + W].try_into().expect("lane width");
+        let y: [u8; W] = b[lo..lo + W].try_into().expect("lane width");
+        out[lo..lo + W].copy_from_slice(&f(x, y));
+    }
+    out
+}
+
+fn int_op(op: VecOp, x: i64, y: i64) -> i64 {
+    match op {
+        VecOp::Add => x.wrapping_add(y),
+        VecOp::Sub => x.wrapping_sub(y),
+        VecOp::Mul => x.wrapping_mul(y),
+        VecOp::Min => x.min(y),
+        VecOp::Max => x.max(y),
+        VecOp::And => x & y,
+        VecOp::Orr => x | y,
+        VecOp::Eor => x ^ y,
+    }
+}
+
+fn float_op(op: VecOp, x: f32, y: f32) -> f32 {
+    match op {
+        VecOp::Add => x + y,
+        VecOp::Sub => x - y,
+        VecOp::Mul => x * y,
+        VecOp::Min => x.min(y),
+        VecOp::Max => x.max(y),
+        VecOp::And => f32::from_bits(x.to_bits() & y.to_bits()),
+        VecOp::Orr => f32::from_bits(x.to_bits() | y.to_bits()),
+        VecOp::Eor => f32::from_bits(x.to_bits() ^ y.to_bits()),
+    }
+}
+
+/// Splats a sign-extended immediate into every lane.
+pub fn splat(et: ElemType, imm: i16) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    match et {
+        ElemType::I8 => out.fill(imm as i8 as u8),
+        ElemType::I16 => {
+            for lane in 0..8 {
+                out[lane * 2..lane * 2 + 2].copy_from_slice(&imm.to_le_bytes());
+            }
+        }
+        ElemType::I32 => {
+            for lane in 0..4 {
+                out[lane * 4..lane * 4 + 4].copy_from_slice(&(imm as i32).to_le_bytes());
+            }
+        }
+        ElemType::F32 => {
+            for lane in 0..4 {
+                out[lane * 4..lane * 4 + 4].copy_from_slice(&(imm as f32).to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Lane-wise logical shift right (integer lanes only).
+///
+/// # Panics
+///
+/// Panics if `et` is a float type or `shift` is at least the lane width.
+pub fn shr(et: ElemType, v: [u8; 16], shift: u8) -> [u8; 16] {
+    assert!(!et.is_float(), "vector shift is integer-only");
+    assert!((shift as u32) < et.lane_bytes() * 8, "shift exceeds lane width");
+    let mut out = [0u8; 16];
+    let w = et.lane_bytes() as usize;
+    for lane in 0..(16 / w) {
+        let lo = lane * w;
+        match et {
+            ElemType::I8 => out[lo] = v[lo] >> shift,
+            ElemType::I16 => {
+                let x = u16::from_le_bytes([v[lo], v[lo + 1]]) >> shift;
+                out[lo..lo + 2].copy_from_slice(&x.to_le_bytes());
+            }
+            ElemType::I32 => {
+                let x = u32::from_le_bytes(v[lo..lo + 4].try_into().expect("lane")) >> shift;
+                out[lo..lo + 4].copy_from_slice(&x.to_le_bytes());
+            }
+            ElemType::F32 => unreachable!("rejected above"),
+        }
+    }
+    out
+}
+
+/// Splats a 32-bit scalar register value into every lane (truncating to
+/// the lane width for I8/I16).
+pub fn splat_scalar(et: ElemType, value: u32) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for lane in 0..et.lanes() as u8 {
+        scalar_to_lane(et, &mut out, lane, value);
+    }
+    out
+}
+
+/// Reads lane `lane` as a 32-bit scalar (sign-extended for I8/I16, raw
+/// bits for I32/F32).
+///
+/// # Panics
+///
+/// Panics if `lane >= et.lanes()`.
+pub fn lane_to_scalar(et: ElemType, v: [u8; 16], lane: u8) -> u32 {
+    assert!((lane as u32) < et.lanes(), "lane out of range");
+    let lo = lane as usize * et.lane_bytes() as usize;
+    match et {
+        ElemType::I8 => v[lo] as i8 as i32 as u32,
+        ElemType::I16 => i16::from_le_bytes([v[lo], v[lo + 1]]) as i32 as u32,
+        ElemType::I32 | ElemType::F32 => {
+            u32::from_le_bytes([v[lo], v[lo + 1], v[lo + 2], v[lo + 3]])
+        }
+    }
+}
+
+/// Writes a 32-bit scalar into lane `lane` (truncating for I8/I16).
+///
+/// # Panics
+///
+/// Panics if `lane >= et.lanes()`.
+pub fn scalar_to_lane(et: ElemType, v: &mut [u8; 16], lane: u8, value: u32) {
+    assert!((lane as u32) < et.lanes(), "lane out of range");
+    let lo = lane as usize * et.lane_bytes() as usize;
+    match et {
+        ElemType::I8 => v[lo] = value as u8,
+        ElemType::I16 => v[lo..lo + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+        ElemType::I32 | ElemType::F32 => v[lo..lo + 4].copy_from_slice(&value.to_le_bytes()),
+    }
+}
+
+/// Horizontal reduce-add of all lanes into a 32-bit scalar. Integer lanes
+/// are sign-extended and summed with wrapping arithmetic; float lanes are
+/// summed in lane order.
+pub fn reduce_add(et: ElemType, v: [u8; 16]) -> u32 {
+    if et.is_float() {
+        let mut acc = 0f32;
+        for lane in 0..4 {
+            acc += f32::from_bits(lane_to_scalar(et, v, lane));
+        }
+        acc.to_bits()
+    } else {
+        let mut acc = 0i32;
+        for lane in 0..et.lanes() as u8 {
+            acc = acc.wrapping_add(lane_to_scalar(et, v, lane) as i32);
+        }
+        acc as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v_i32(a: [i32; 4]) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for (i, x) in a.into_iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn i32_add_and_mul() {
+        let a = v_i32([1, 2, 3, i32::MAX]);
+        let b = v_i32([10, 20, 30, 1]);
+        assert_eq!(apply(VecOp::Add, ElemType::I32, a, b), v_i32([11, 22, 33, i32::MIN]));
+        assert_eq!(apply(VecOp::Mul, ElemType::I32, a, b), v_i32([10, 40, 90, i32::MAX]));
+    }
+
+    #[test]
+    fn i8_lanes_independent() {
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        a[0] = 0xFF; // -1
+        b[0] = 1;
+        a[15] = 5;
+        b[15] = 7;
+        let sum = apply(VecOp::Add, ElemType::I8, a, b);
+        assert_eq!(sum[0], 0); // -1 + 1
+        assert_eq!(sum[1], 0);
+        assert_eq!(sum[15], 12);
+    }
+
+    #[test]
+    fn f32_ops() {
+        let a = {
+            let mut v = [0u8; 16];
+            for i in 0..4 {
+                v[i * 4..i * 4 + 4].copy_from_slice(&(i as f32 + 0.5).to_le_bytes());
+            }
+            v
+        };
+        let out = apply(VecOp::Mul, ElemType::F32, a, a);
+        assert_eq!(f32::from_le_bytes(out[0..4].try_into().unwrap()), 0.25);
+        assert_eq!(f32::from_le_bytes(out[12..16].try_into().unwrap()), 12.25);
+    }
+
+    #[test]
+    fn min_max_signed() {
+        let a = v_i32([-5, 3, 0, 7]);
+        let b = v_i32([1, -3, 0, 9]);
+        assert_eq!(apply(VecOp::Min, ElemType::I32, a, b), v_i32([-5, -3, 0, 7]));
+        assert_eq!(apply(VecOp::Max, ElemType::I32, a, b), v_i32([1, 3, 0, 9]));
+    }
+
+    #[test]
+    fn splat_and_lane_access() {
+        let v = splat(ElemType::I16, -2);
+        for lane in 0..8 {
+            assert_eq!(lane_to_scalar(ElemType::I16, v, lane) as i32, -2);
+        }
+        let mut v = [0u8; 16];
+        scalar_to_lane(ElemType::I32, &mut v, 2, 0xDEAD);
+        assert_eq!(lane_to_scalar(ElemType::I32, v, 2), 0xDEAD);
+        assert_eq!(lane_to_scalar(ElemType::I32, v, 0), 0);
+    }
+
+    #[test]
+    fn reduce_add_int_and_float() {
+        assert_eq!(reduce_add(ElemType::I32, v_i32([1, 2, 3, 4])) as i32, 10);
+        let v = splat(ElemType::I8, -1);
+        assert_eq!(reduce_add(ElemType::I8, v) as i32, -16);
+        let f = splat(ElemType::F32, 2);
+        assert_eq!(f32::from_bits(reduce_add(ElemType::F32, f)), 8.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn lane_out_of_range_panics() {
+        let _ = lane_to_scalar(ElemType::I32, [0; 16], 4);
+    }
+}

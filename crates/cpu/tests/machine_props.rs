@@ -1,0 +1,116 @@
+//! Property tests of the functional executor and the timing model:
+//! determinism, timing monotonicity in configuration, and structural
+//! invariants of the statistics.
+
+use dsa_cpu::{CpuConfig, Machine, Simulator};
+use dsa_isa::{Asm, Cond, Program, Reg};
+use dsa_mem::MemoryConfig;
+use proptest::prelude::*;
+
+/// Builds a random but always-terminating straight-line + loop program.
+fn program_from(seed: &[u8], trip: u16) -> Program {
+    let mut a = Asm::new();
+    a.mov_imm(Reg::R0, 0);
+    a.mov_imm(Reg::R2, 0x4000);
+    a.mov_imm(Reg::R3, 0x6000);
+    let top = a.here();
+    for (i, &b) in seed.iter().enumerate() {
+        let rd = Reg::new(4 + (b % 6));
+        match b % 7 {
+            0 => a.add_imm(rd, rd, (b as i16) - 100),
+            1 => a.mul(rd, rd, Reg::new(4 + ((b / 7) % 6))),
+            2 => a.eor(rd, rd, Reg::new(4 + ((b / 3) % 6))),
+            3 => a.ldr(rd, Reg::R2, (i as i16 % 32) * 4),
+            4 => a.str(rd, Reg::R3, (i as i16 % 32) * 4),
+            5 => a.lsr_imm(rd, rd, (b % 15) as i16),
+            _ => a.sub(rd, rd, Reg::new(4 + ((b / 5) % 6))),
+        }
+    }
+    a.add_imm(Reg::R0, Reg::R0, 1);
+    a.cmp_imm(Reg::R0, trip.max(1) as i16);
+    a.b_to(Cond::Ne, top);
+    a.halt();
+    a.finish()
+}
+
+fn run(program: &Program, config: CpuConfig) -> (u64, u64, Machine) {
+    let mut sim = Simulator::new(program.clone(), config);
+    let out = sim.run(5_000_000).expect("runs");
+    assert!(out.halted);
+    (out.cycles, out.committed, sim.machine().clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulation_is_deterministic(
+        seed in prop::collection::vec(any::<u8>(), 1..40),
+        trip in 1u16..50,
+    ) {
+        let p = program_from(&seed, trip);
+        let (c1, n1, m1) = run(&p, CpuConfig::default());
+        let (c2, n2, m2) = run(&p, CpuConfig::default());
+        prop_assert_eq!(c1, c2);
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(m1.mem.digest(), m2.mem.digest());
+    }
+
+    #[test]
+    fn wider_issue_never_slower(
+        seed in prop::collection::vec(any::<u8>(), 1..40),
+        trip in 1u16..50,
+    ) {
+        let p = program_from(&seed, trip);
+        let narrow = CpuConfig { issue_width: 1, ..CpuConfig::default() };
+        let wide = CpuConfig { issue_width: 4, ..CpuConfig::default() };
+        let (c1, ..) = run(&p, narrow);
+        let (c4, ..) = run(&p, wide);
+        prop_assert!(c4 <= c1, "4-wide {c4} vs 1-wide {c1}");
+    }
+
+    #[test]
+    fn bigger_rob_never_slower(
+        seed in prop::collection::vec(any::<u8>(), 1..40),
+        trip in 1u16..50,
+    ) {
+        let p = program_from(&seed, trip);
+        let small = CpuConfig { rob_size: 4, ..CpuConfig::default() };
+        let big = CpuConfig { rob_size: 128, ..CpuConfig::default() };
+        let (cs, ..) = run(&p, small);
+        let (cb, ..) = run(&p, big);
+        prop_assert!(cb <= cs, "rob 128 {cb} vs rob 4 {cs}");
+    }
+
+    #[test]
+    fn slower_memory_never_faster(
+        seed in prop::collection::vec(any::<u8>(), 1..40),
+        trip in 1u16..50,
+    ) {
+        let p = program_from(&seed, trip);
+        let fast = CpuConfig::default();
+        let slow = CpuConfig {
+            mem: MemoryConfig {
+                l2_latency: 40,
+                dram_latency: 400,
+                ..MemoryConfig::default()
+            },
+            ..CpuConfig::default()
+        };
+        let (cf, ..) = run(&p, fast);
+        let (cs, ..) = run(&p, slow);
+        prop_assert!(cs >= cf, "slow memory {cs} vs fast {cf}");
+    }
+
+    #[test]
+    fn committed_matches_functional_steps(
+        seed in prop::collection::vec(any::<u8>(), 1..30),
+        trip in 1u16..30,
+    ) {
+        let p = program_from(&seed, trip);
+        let (_, committed, _) = run(&p, CpuConfig::default());
+        // 3 setup + trip * (body + 3 loop overhead) + halt.
+        let expect = 3 + trip as u64 * (seed.len() as u64 + 3) + 1;
+        prop_assert_eq!(committed, expect);
+    }
+}

@@ -1,0 +1,100 @@
+//! The RTL-Compiler-substitute area model (Article 1, Table 3).
+
+/// Area constants in µm², calibrated so the default DSA configuration
+/// reproduces the paper's reported overheads: DSA detection logic
+/// ≈ 2.18 % of the ARM core, and ≈ 10.37 % once the DSA and
+/// Verification caches are included.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// ARM core cell area.
+    pub core_cell: f64,
+    /// ARM core net area.
+    pub core_net: f64,
+    /// Core-side cache area (the L1s the paper includes).
+    pub core_caches: f64,
+    /// DSA detection-logic cell area.
+    pub dsa_cell: f64,
+    /// DSA detection-logic net area.
+    pub dsa_net: f64,
+    /// SRAM area per KB for the DSA-side memories.
+    pub sram_per_kb: f64,
+    /// Area of one 128-bit Array Map register.
+    pub array_map_each: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> AreaModel {
+        AreaModel {
+            core_cell: 391_158.0,
+            core_net: 219_015.0,
+            core_caches: 182_540.0,
+            dsa_cell: 8_667.0,
+            dsa_net: 4_607.0,
+            // 9 KB of DSA-side SRAM (8 KB DSA cache + 1 KB V-cache)
+            // accounted for 68 962 µm² in the paper's totals.
+            sram_per_kb: 7_662.0,
+            array_map_each: 160.0,
+        }
+    }
+}
+
+/// Computed areas and overhead percentages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// ARM core logic area (cell + net), µm².
+    pub core_logic: f64,
+    /// ARM core including its caches, µm².
+    pub core_total: f64,
+    /// DSA detection logic (cell + net), µm².
+    pub dsa_logic: f64,
+    /// DSA including its caches and Array Maps, µm².
+    pub dsa_total: f64,
+    /// Logic-only overhead, percent of the core.
+    pub logic_overhead_pct: f64,
+    /// Total overhead, percent of core + caches.
+    pub total_overhead_pct: f64,
+}
+
+impl AreaModel {
+    /// Computes the report for a DSA with the given structure sizes.
+    pub fn report(&self, dsa_cache_bytes: u32, vcache_bytes: u32, array_maps: u32) -> AreaReport {
+        let core_logic = self.core_cell + self.core_net;
+        let core_total = core_logic + self.core_caches;
+        let dsa_logic = self.dsa_cell + self.dsa_net;
+        let sram_kb = (dsa_cache_bytes + vcache_bytes) as f64 / 1024.0;
+        let dsa_total =
+            dsa_logic + sram_kb * self.sram_per_kb + array_maps as f64 * self.array_map_each;
+        AreaReport {
+            core_logic,
+            core_total,
+            dsa_logic,
+            dsa_total,
+            logic_overhead_pct: 100.0 * dsa_logic / core_logic,
+            total_overhead_pct: 100.0 * dsa_total / core_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table3() {
+        let r = AreaModel::default().report(8 * 1024, 1024, 4);
+        assert!((r.logic_overhead_pct - 2.18).abs() < 0.05, "{}", r.logic_overhead_pct);
+        assert!((r.total_overhead_pct - 10.37).abs() < 0.35, "{}", r.total_overhead_pct);
+        assert!((r.dsa_logic - 13_274.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bigger_caches_cost_more_area() {
+        let m = AreaModel::default();
+        let small = m.report(4 * 1024, 1024, 4);
+        let big = m.report(32 * 1024, 1024, 4);
+        assert!(big.dsa_total > small.dsa_total);
+        assert!(big.total_overhead_pct > small.total_overhead_pct);
+        // Logic overhead does not depend on cache size.
+        assert_eq!(big.logic_overhead_pct, small.logic_overhead_pct);
+    }
+}

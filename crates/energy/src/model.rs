@@ -1,0 +1,277 @@
+//! The McPAT-substitute energy model.
+
+use dsa_core::DsaStats;
+use dsa_cpu::RunOutcome;
+use dsa_isa::InstrClass;
+
+/// Per-event dynamic energies (picojoules) and leakage powers
+/// (picojoules per cycle at 1 GHz ≡ microwatts × 10⁻³… i.e. mW).
+///
+/// Values are representative of a 40 nm-class embedded core; see the
+/// crate docs for why only the ratios matter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyTable {
+    /// Fetch + decode + rename + commit overhead per scalar instruction.
+    pub frontend_per_instr: f64,
+    /// Integer ALU operation.
+    pub int_alu: f64,
+    /// Integer multiply.
+    pub int_mul: f64,
+    /// Scalar FP add/sub.
+    pub fp_alu: f64,
+    /// Scalar FP multiply.
+    pub fp_mul: f64,
+    /// Branch (incl. predictor access).
+    pub branch: f64,
+    /// L1 cache access.
+    pub l1_access: f64,
+    /// L2 cache access.
+    pub l2_access: f64,
+    /// DRAM access.
+    pub dram_access: f64,
+    /// 128-bit vector non-multiply op.
+    pub vec_alu: f64,
+    /// 128-bit vector multiply.
+    pub vec_mul: f64,
+    /// Vector load/store (datapath only; cache energy counted separately).
+    pub vec_mem: f64,
+    /// Vector permute/move/duplicate.
+    pub vec_move: f64,
+    /// Core leakage per cycle.
+    pub core_leak_per_cycle: f64,
+    /// NEON-engine leakage per cycle (clock-gated when no vector work
+    /// was issued in the whole run).
+    pub neon_leak_per_cycle: f64,
+    /// DSA leakage per cycle (always on; the price of the detector).
+    pub dsa_leak_per_cycle: f64,
+    /// DSA cache access.
+    pub dsa_cache_access: f64,
+    /// Verification-Cache access.
+    pub dsa_vcache_access: f64,
+    /// One CIDP evaluation.
+    pub dsa_cidp: f64,
+    /// One Array-Map access.
+    pub dsa_array_map: f64,
+    /// One speculative select.
+    pub dsa_select: f64,
+}
+
+impl Default for EnergyTable {
+    fn default() -> EnergyTable {
+        EnergyTable {
+            frontend_per_instr: 24.0,
+            int_alu: 8.0,
+            int_mul: 22.0,
+            fp_alu: 26.0,
+            fp_mul: 36.0,
+            branch: 10.0,
+            l1_access: 18.0,
+            l2_access: 110.0,
+            dram_access: 1800.0,
+            vec_alu: 30.0,
+            vec_mul: 52.0,
+            vec_mem: 34.0,
+            vec_move: 16.0,
+            core_leak_per_cycle: 55.0,
+            neon_leak_per_cycle: 18.0,
+            dsa_leak_per_cycle: 1.4,
+            dsa_cache_access: 5.0,
+            dsa_vcache_access: 3.0,
+            dsa_cidp: 8.0,
+            dsa_array_map: 4.0,
+            dsa_select: 6.0,
+        }
+    }
+}
+
+/// Energy of one run, split by component, in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Scalar-core dynamic energy.
+    pub core_dynamic: f64,
+    /// Core + cache leakage over the run.
+    pub core_static: f64,
+    /// NEON dynamic energy.
+    pub neon_dynamic: f64,
+    /// NEON leakage (zero when the engine stayed clock-gated).
+    pub neon_static: f64,
+    /// Cache/DRAM access energy.
+    pub memory: f64,
+    /// DSA detection energy (dynamic + leakage).
+    pub dsa: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.core_dynamic
+            + self.core_static
+            + self.neon_dynamic
+            + self.neon_static
+            + self.memory
+            + self.dsa
+    }
+
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.total_pj() / 1000.0
+    }
+
+    /// Energy saving of `self` relative to `baseline`, in percent
+    /// (positive = `self` consumes less).
+    pub fn saving_vs(&self, baseline: &EnergyBreakdown) -> f64 {
+        100.0 * (1.0 - self.total_pj() / baseline.total_pj())
+    }
+}
+
+/// Evaluates [`EnergyBreakdown`]s from run outcomes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyModel {
+    table: EnergyTable,
+}
+
+impl EnergyModel {
+    /// Creates a model over the given table.
+    pub fn new(table: EnergyTable) -> EnergyModel {
+        EnergyModel { table }
+    }
+
+    /// The table in use.
+    pub fn table(&self) -> &EnergyTable {
+        &self.table
+    }
+
+    /// Computes the energy of a finished run. Pass the DSA statistics
+    /// when the run used the DSA (its detection energy and leakage are
+    /// added, reproducing the paper's "DSA Energy Consumption" analysis).
+    pub fn evaluate(&self, out: &RunOutcome, dsa: Option<&DsaStats>) -> EnergyBreakdown {
+        let t = &self.table;
+        let c = &out.timing.counts;
+        let i = &out.timing.injected_counts;
+        let count = |cc: &dsa_cpu::ClassCounts, k: InstrClass| cc.count(k) as f64;
+
+        let scalar_ops = count(c, InstrClass::IntAlu) * t.int_alu
+            + count(c, InstrClass::IntMul) * t.int_mul
+            + count(c, InstrClass::FpAlu) * t.fp_alu
+            + count(c, InstrClass::FpMul) * t.fp_mul
+            + (count(c, InstrClass::Branch)
+                + count(c, InstrClass::Call)
+                + count(c, InstrClass::Return))
+                * t.branch
+            + (count(c, InstrClass::Load) + count(c, InstrClass::Store)) * t.int_alu;
+        let frontend = out.timing.committed as f64 * t.frontend_per_instr;
+        let core_dynamic = scalar_ops + frontend;
+
+        let vec_ops = |cc: &dsa_cpu::ClassCounts| {
+            count(cc, InstrClass::VecAlu) * t.vec_alu
+                + count(cc, InstrClass::VecMul) * t.vec_mul
+                + (count(cc, InstrClass::VecLoad) + count(cc, InstrClass::VecStore)) * t.vec_mem
+                + count(cc, InstrClass::VecMove) * t.vec_move
+        };
+        let neon_dynamic = vec_ops(c) + vec_ops(i);
+        let neon_active = c.vector_total() + i.vector_total() > 0;
+
+        let m = &out.mem;
+        let memory = (m.l1i.accesses() + m.l1d.accesses()) as f64 * t.l1_access
+            + m.l2.accesses() as f64 * t.l2_access
+            + m.dram_accesses as f64 * t.dram_access;
+
+        let cycles = out.cycles as f64;
+        let core_static = cycles * t.core_leak_per_cycle;
+        let neon_static = if neon_active { cycles * t.neon_leak_per_cycle } else { 0.0 };
+
+        let dsa_energy = match dsa {
+            None => 0.0,
+            Some(s) => {
+                cycles * t.dsa_leak_per_cycle
+                    + (s.dsa_cache_hits + s.dsa_cache_misses) as f64 * t.dsa_cache_access
+                    + s.vcache_accesses as f64 * t.dsa_vcache_access
+                    + s.cidp_evaluations as f64 * t.dsa_cidp
+                    + s.array_map_accesses as f64 * t.dsa_array_map
+                    + s.stage_speculative as f64 * t.dsa_select
+            }
+        };
+
+        EnergyBreakdown {
+            core_dynamic,
+            core_static,
+            neon_dynamic,
+            neon_static,
+            memory,
+            dsa: dsa_energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_cpu::{CpuConfig, Simulator};
+    use dsa_isa::{Asm, Cond, ElemType, QReg, Reg};
+
+    fn scalar_loop(n: i32) -> dsa_isa::Program {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::R0, n);
+        let top = a.here();
+        a.sub_imm(Reg::R0, Reg::R0, 1);
+        a.cmp_imm(Reg::R0, 0);
+        a.b_to(Cond::Ne, top);
+        a.halt();
+        a.finish()
+    }
+
+    #[test]
+    fn more_work_more_energy() {
+        let model = EnergyModel::default();
+        let mut small = Simulator::new(scalar_loop(10), CpuConfig::default());
+        let mut big = Simulator::new(scalar_loop(1000), CpuConfig::default());
+        let es = model.evaluate(&small.run(1_000_000).unwrap(), None);
+        let eb = model.evaluate(&big.run(1_000_000).unwrap(), None);
+        assert!(eb.total_pj() > 10.0 * es.total_pj());
+    }
+
+    #[test]
+    fn neon_leakage_only_when_used() {
+        let model = EnergyModel::default();
+        let mut scalar = Simulator::new(scalar_loop(100), CpuConfig::default());
+        let e = model.evaluate(&scalar.run(1_000_000).unwrap(), None);
+        assert_eq!(e.neon_static, 0.0);
+        assert_eq!(e.neon_dynamic, 0.0);
+
+        let mut a = Asm::new();
+        a.mov_imm(Reg::R0, 0x1000);
+        a.vld1(QReg::Q0, Reg::R0, false, ElemType::I32);
+        a.halt();
+        let mut vec = Simulator::new(a.finish(), CpuConfig::default());
+        let e = model.evaluate(&vec.run(1_000).unwrap(), None);
+        assert!(e.neon_static > 0.0);
+        assert!(e.neon_dynamic > 0.0);
+    }
+
+    #[test]
+    fn saving_percentage() {
+        let a = EnergyBreakdown { core_dynamic: 50.0, ..EnergyBreakdown::default() };
+        let b = EnergyBreakdown { core_dynamic: 100.0, ..EnergyBreakdown::default() };
+        assert_eq!(a.saving_vs(&b), 50.0);
+        assert_eq!(b.saving_vs(&b), 0.0);
+    }
+
+    #[test]
+    fn dsa_energy_counted_when_present() {
+        let model = EnergyModel::default();
+        let mut sim = Simulator::new(scalar_loop(100), CpuConfig::default());
+        let out = sim.run(1_000_000).unwrap();
+        let without = model.evaluate(&out, None);
+        let stats = DsaStats {
+            dsa_cache_misses: 5,
+            vcache_accesses: 20,
+            cidp_evaluations: 4,
+            ..DsaStats::default()
+        };
+        let with = model.evaluate(&out, Some(&stats));
+        assert!(with.dsa > 0.0);
+        assert!(with.total_pj() > without.total_pj());
+        // ... but the detector is a tiny fraction of the core.
+        assert!(with.dsa < 0.1 * with.total_pj(), "dsa share too large");
+    }
+}

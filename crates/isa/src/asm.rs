@@ -1,0 +1,450 @@
+//! A small assembler with forward-reference label support.
+//!
+//! [`Asm`] accumulates instructions and resolves label fixups when
+//! [`Asm::finish`] is called. Helper methods cover every instruction form
+//! plus common macro-ops (32-bit constant materialisation, push/pop).
+
+use crate::instr::{AddrMode, AluOp, Cond, ElemType, Instr, MemSize, Operand, VecOp};
+use crate::program::Program;
+use crate::reg::{QReg, Reg};
+
+/// A code label; create with [`Asm::new_label`] or [`Asm::here`], bind with
+/// [`Asm::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Assembler state. See the [crate-level example](crate).
+#[derive(Debug, Default)]
+pub struct Asm {
+    instrs: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<(usize, Label, FixKind)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FixKind {
+    Branch,
+    Call,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Current emission position, in instruction units.
+    pub fn pos(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Creates an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let pos = self.pos();
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(pos);
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instr) {
+        self.instrs.push(instr);
+    }
+
+    // --- moves and constants -------------------------------------------
+
+    /// `rd = rm`.
+    pub fn mov(&mut self, rd: Reg, rm: Reg) {
+        self.emit(Instr::Mov { rd, rm });
+    }
+
+    /// Materialises an arbitrary 32-bit constant (one or two instructions).
+    pub fn mov_imm(&mut self, rd: Reg, value: i32) {
+        let low = value as i16;
+        if low as i32 == value {
+            self.emit(Instr::MovImm { rd, imm: low });
+        } else {
+            self.emit(Instr::MovImm { rd, imm: (value & 0xffff) as u16 as i16 });
+            self.emit(Instr::MovTop { rd, imm: (value as u32 >> 16) as u16 });
+        }
+    }
+
+    /// Materialises a float constant by its bit pattern.
+    pub fn mov_imm_f32(&mut self, rd: Reg, value: f32) {
+        self.mov_imm(rd, value.to_bits() as i32);
+    }
+
+    // --- ALU -------------------------------------------------------------
+
+    /// Generic three-operand ALU instruction.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rn: Reg, src2: Operand) {
+        self.emit(Instr::Alu { op, rd, rn, src2 });
+    }
+
+    /// `rd = rn + rm`.
+    pub fn add(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::Add, rd, rn, Operand::Reg(rm));
+    }
+
+    /// `rd = rn + imm`.
+    pub fn add_imm(&mut self, rd: Reg, rn: Reg, imm: i16) {
+        self.alu(AluOp::Add, rd, rn, Operand::Imm(imm));
+    }
+
+    /// `rd = rn - rm`.
+    pub fn sub(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::Sub, rd, rn, Operand::Reg(rm));
+    }
+
+    /// `rd = rn - imm`.
+    pub fn sub_imm(&mut self, rd: Reg, rn: Reg, imm: i16) {
+        self.alu(AluOp::Sub, rd, rn, Operand::Imm(imm));
+    }
+
+    /// `rd = rn * rm`.
+    pub fn mul(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::Mul, rd, rn, Operand::Reg(rm));
+    }
+
+    /// `rd = rn & rm`.
+    pub fn and_(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::And, rd, rn, Operand::Reg(rm));
+    }
+
+    /// `rd = rn & imm`.
+    pub fn and_imm(&mut self, rd: Reg, rn: Reg, imm: i16) {
+        self.alu(AluOp::And, rd, rn, Operand::Imm(imm));
+    }
+
+    /// `rd = rn | rm`.
+    pub fn orr(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::Orr, rd, rn, Operand::Reg(rm));
+    }
+
+    /// `rd = rn ^ rm`.
+    pub fn eor(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::Eor, rd, rn, Operand::Reg(rm));
+    }
+
+    /// `rd = rn << imm`.
+    pub fn lsl_imm(&mut self, rd: Reg, rn: Reg, imm: i16) {
+        self.alu(AluOp::Lsl, rd, rn, Operand::Imm(imm));
+    }
+
+    /// `rd = rn >> imm` (logical).
+    pub fn lsr_imm(&mut self, rd: Reg, rn: Reg, imm: i16) {
+        self.alu(AluOp::Lsr, rd, rn, Operand::Imm(imm));
+    }
+
+    /// `rd = rn >> imm` (arithmetic).
+    pub fn asr_imm(&mut self, rd: Reg, rn: Reg, imm: i16) {
+        self.alu(AluOp::Asr, rd, rn, Operand::Imm(imm));
+    }
+
+    /// Float add.
+    pub fn fadd(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::FAdd, rd, rn, Operand::Reg(rm));
+    }
+
+    /// Float subtract.
+    pub fn fsub(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::FSub, rd, rn, Operand::Reg(rm));
+    }
+
+    /// Float multiply.
+    pub fn fmul(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        self.alu(AluOp::FMul, rd, rn, Operand::Reg(rm));
+    }
+
+    // --- compare and branch ----------------------------------------------
+
+    /// Compare two registers.
+    pub fn cmp(&mut self, rn: Reg, rm: Reg) {
+        self.emit(Instr::Cmp { rn, src2: Operand::Reg(rm) });
+    }
+
+    /// Compare register with immediate.
+    pub fn cmp_imm(&mut self, rn: Reg, imm: i16) {
+        self.emit(Instr::Cmp { rn, src2: Operand::Imm(imm) });
+    }
+
+    /// Conditional branch to `label`.
+    pub fn b_to(&mut self, cond: Cond, label: Label) {
+        self.fixups.push((self.instrs.len(), label, FixKind::Branch));
+        self.emit(Instr::B { cond, offset: 0 });
+        // Patch the condition in place (offset fixed up later).
+        let idx = self.instrs.len() - 1;
+        self.instrs[idx] = Instr::B { cond, offset: 0 };
+    }
+
+    /// Unconditional branch to `label`.
+    pub fn b(&mut self, label: Label) {
+        self.b_to(Cond::Al, label);
+    }
+
+    /// Call `label` (`bl`).
+    pub fn bl(&mut self, label: Label) {
+        self.fixups.push((self.instrs.len(), label, FixKind::Call));
+        self.emit(Instr::Bl { offset: 0 });
+    }
+
+    /// Return (`bx lr`).
+    pub fn bx_lr(&mut self) {
+        self.emit(Instr::BxLr);
+    }
+
+    // --- memory ------------------------------------------------------------
+
+    /// Word load at `[rn + offset]`.
+    pub fn ldr(&mut self, rd: Reg, rn: Reg, offset: i16) {
+        self.emit(Instr::Ldr { rd, rn, mode: AddrMode::Offset(offset), size: MemSize::W });
+    }
+
+    /// Word load at `[rn]`, then `rn += inc`.
+    pub fn ldr_post(&mut self, rd: Reg, rn: Reg, inc: i16) {
+        self.emit(Instr::Ldr { rd, rn, mode: AddrMode::PostInc(inc), size: MemSize::W });
+    }
+
+    /// Byte load at `[rn + offset]`.
+    pub fn ldrb(&mut self, rd: Reg, rn: Reg, offset: i16) {
+        self.emit(Instr::Ldr { rd, rn, mode: AddrMode::Offset(offset), size: MemSize::B });
+    }
+
+    /// Byte load at `[rn]`, then `rn += inc`.
+    pub fn ldrb_post(&mut self, rd: Reg, rn: Reg, inc: i16) {
+        self.emit(Instr::Ldr { rd, rn, mode: AddrMode::PostInc(inc), size: MemSize::B });
+    }
+
+    /// Half-word load at `[rn]`, then `rn += inc`.
+    pub fn ldrh_post(&mut self, rd: Reg, rn: Reg, inc: i16) {
+        self.emit(Instr::Ldr { rd, rn, mode: AddrMode::PostInc(inc), size: MemSize::H });
+    }
+
+    /// Word store at `[rn + offset]`.
+    pub fn str(&mut self, rs: Reg, rn: Reg, offset: i16) {
+        self.emit(Instr::Str { rs, rn, mode: AddrMode::Offset(offset), size: MemSize::W });
+    }
+
+    /// Word store at `[rn]`, then `rn += inc`.
+    pub fn str_post(&mut self, rs: Reg, rn: Reg, inc: i16) {
+        self.emit(Instr::Str { rs, rn, mode: AddrMode::PostInc(inc), size: MemSize::W });
+    }
+
+    /// Byte store at `[rn + offset]`.
+    pub fn strb(&mut self, rs: Reg, rn: Reg, offset: i16) {
+        self.emit(Instr::Str { rs, rn, mode: AddrMode::Offset(offset), size: MemSize::B });
+    }
+
+    /// Byte store at `[rn]`, then `rn += inc`.
+    pub fn strb_post(&mut self, rs: Reg, rn: Reg, inc: i16) {
+        self.emit(Instr::Str { rs, rn, mode: AddrMode::PostInc(inc), size: MemSize::B });
+    }
+
+    /// Register-indexed load: `rd = mem[rn + (rm << lsl)]`.
+    pub fn ldr_idx(&mut self, rd: Reg, rn: Reg, rm: Reg, lsl: u8, size: MemSize) {
+        self.emit(Instr::LdrReg { rd, rn, rm, lsl, size });
+    }
+
+    /// Register-indexed store: `mem[rn + (rm << lsl)] = rs`.
+    pub fn str_idx(&mut self, rs: Reg, rn: Reg, rm: Reg, lsl: u8, size: MemSize) {
+        self.emit(Instr::StrReg { rs, rn, rm, lsl, size });
+    }
+
+    /// Push one register onto the stack (`str rs, [sp, #-4]!`).
+    pub fn push(&mut self, rs: Reg) {
+        self.emit(Instr::Str { rs, rn: Reg::SP, mode: AddrMode::PreInc(-4), size: MemSize::W });
+    }
+
+    /// Pop one register off the stack (`ldr rd, [sp], #4`).
+    pub fn pop(&mut self, rd: Reg) {
+        self.emit(Instr::Ldr { rd, rn: Reg::SP, mode: AddrMode::PostInc(4), size: MemSize::W });
+    }
+
+    // --- vector -------------------------------------------------------------
+
+    /// 128-bit vector load, with post-increment if `writeback`.
+    pub fn vld1(&mut self, qd: QReg, rn: Reg, writeback: bool, et: ElemType) {
+        self.emit(Instr::Vld1 { qd, rn, writeback, et });
+    }
+
+    /// 128-bit vector store, with post-increment if `writeback`.
+    pub fn vst1(&mut self, qs: QReg, rn: Reg, writeback: bool, et: ElemType) {
+        self.emit(Instr::Vst1 { qs, rn, writeback, et });
+    }
+
+    /// Element-wise vector op.
+    pub fn vop(&mut self, op: VecOp, et: ElemType, qd: QReg, qn: QReg, qm: QReg) {
+        self.emit(Instr::Vop { op, et, qd, qn, qm });
+    }
+
+    /// Element-wise vector add.
+    pub fn vadd(&mut self, et: ElemType, qd: QReg, qn: QReg, qm: QReg) {
+        self.vop(VecOp::Add, et, qd, qn, qm);
+    }
+
+    /// Element-wise vector multiply.
+    pub fn vmul(&mut self, et: ElemType, qd: QReg, qn: QReg, qm: QReg) {
+        self.vop(VecOp::Mul, et, qd, qn, qm);
+    }
+
+    /// Splat an immediate into all lanes.
+    pub fn vdup_imm(&mut self, qd: QReg, imm: i16, et: ElemType) {
+        self.emit(Instr::VdupImm { qd, imm, et });
+    }
+
+    /// Splat a scalar register into all lanes.
+    pub fn vdup(&mut self, qd: QReg, rm: Reg, et: ElemType) {
+        self.emit(Instr::Vdup { qd, rm, et });
+    }
+
+    /// Lane-wise logical shift right by an immediate.
+    pub fn vshr_imm(&mut self, qd: QReg, qn: QReg, shift: u8, et: ElemType) {
+        self.emit(Instr::VshrImm { qd, qn, shift, et });
+    }
+
+    /// Horizontal reduce-add into a scalar register.
+    pub fn vaddv(&mut self, rd: Reg, qn: QReg, et: ElemType) {
+        self.emit(Instr::Vaddv { rd, qn, et });
+    }
+
+    // --- control ------------------------------------------------------------
+
+    /// Emit `nop`.
+    pub fn nop(&mut self) {
+        self.emit(Instr::Nop);
+    }
+
+    /// Emit `halt`.
+    pub fn halt(&mut self) {
+        self.emit(Instr::Halt);
+    }
+
+    /// Resolves all label fixups and returns the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn finish(mut self) -> Program {
+        for (at, label, kind) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label.0].expect("label referenced but never bound");
+            let offset = target as i64 - at as i64;
+            let offset = i32::try_from(offset).expect("branch offset overflow");
+            self.instrs[at] = match (kind, self.instrs[at]) {
+                (FixKind::Branch, Instr::B { cond, .. }) => Instr::B { cond, offset },
+                (FixKind::Call, Instr::Bl { .. }) => Instr::Bl { offset },
+                _ => unreachable!("fixup does not point at a branch"),
+            };
+        }
+        Program::new(self.instrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_backward_and_forward() {
+        let mut a = Asm::new();
+        let end = a.new_label();
+        let top = a.here();
+        a.nop();
+        a.b_to(Cond::Eq, end); // forward
+        a.b(top); // backward
+        a.bind(end);
+        a.halt();
+        let p = a.finish();
+        assert_eq!(p.fetch(1), Some(Instr::B { cond: Cond::Eq, offset: 2 }));
+        assert_eq!(p.fetch(2), Some(Instr::B { cond: Cond::Al, offset: -2 }));
+    }
+
+    #[test]
+    fn mov_imm_small_is_single_instruction() {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::R0, 100);
+        a.mov_imm(Reg::R1, -1);
+        assert_eq!(a.pos(), 2);
+    }
+
+    #[test]
+    fn mov_imm_large_uses_movt() {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::R0, 0x0012_3456);
+        let p = a.finish();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.fetch(0), Some(Instr::MovImm { rd: Reg::R0, imm: 0x3456 }));
+        assert_eq!(p.fetch(1), Some(Instr::MovTop { rd: Reg::R0, imm: 0x12 }));
+    }
+
+    #[test]
+    fn call_fixup() {
+        let mut a = Asm::new();
+        let func = a.new_label();
+        a.bl(func);
+        a.halt();
+        a.bind(func);
+        a.bx_lr();
+        let p = a.finish();
+        assert_eq!(p.fetch(0), Some(Instr::Bl { offset: 2 }));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unbound_label_panics() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.b(l);
+        let _ = a.finish();
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_bind_panics() {
+        let mut a = Asm::new();
+        let l = a.here();
+        a.bind(l);
+    }
+
+    #[test]
+    fn push_pop_forms() {
+        let mut a = Asm::new();
+        a.push(Reg::R4);
+        a.pop(Reg::R4);
+        let p = a.finish();
+        assert_eq!(
+            p.fetch(0),
+            Some(Instr::Str {
+                rs: Reg::R4,
+                rn: Reg::SP,
+                mode: AddrMode::PreInc(-4),
+                size: MemSize::W
+            })
+        );
+        assert_eq!(
+            p.fetch(1),
+            Some(Instr::Ldr {
+                rd: Reg::R4,
+                rn: Reg::SP,
+                mode: AddrMode::PostInc(4),
+                size: MemSize::W
+            })
+        );
+    }
+}

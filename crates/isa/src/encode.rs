@@ -1,0 +1,569 @@
+//! Binary encoding of instructions into 32-bit words and back.
+//!
+//! The encoding is a clean-slate layout (not the real ARM encoding): the
+//! top four bits select an instruction class, the rest are fixed fields.
+//! Every encodable instruction round-trips exactly through
+//! [`encode`]/[`decode`]; this is verified by exhaustive and property
+//! tests.
+
+use std::fmt;
+
+use crate::instr::{AddrMode, AluOp, Cond, ElemType, Instr, MemSize, Operand, VecOp};
+use crate::reg::{QReg, Reg};
+
+/// Error returned by [`decode`] for words that do not correspond to any
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending word.
+    pub word: u32,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode word {:#010x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const CLASS_MISC: u32 = 0;
+const CLASS_MOV_IMM: u32 = 1;
+const CLASS_MOV_TOP: u32 = 2;
+const CLASS_MOV: u32 = 3;
+const CLASS_ALU_REG: u32 = 4;
+const CLASS_ALU_IMM: u32 = 5;
+const CLASS_CMP_REG: u32 = 6;
+const CLASS_CMP_IMM: u32 = 7;
+const CLASS_B: u32 = 8;
+const CLASS_BL: u32 = 9;
+const CLASS_LDR: u32 = 10;
+const CLASS_STR: u32 = 11;
+const CLASS_LDR_REG: u32 = 12;
+const CLASS_STR_REG: u32 = 13;
+const CLASS_VMEM: u32 = 14;
+const CLASS_VALU: u32 = 15;
+
+fn cond_code(c: Cond) -> u32 {
+    Cond::ALL.iter().position(|&x| x == c).expect("cond in table") as u32
+}
+
+fn alu_code(op: AluOp) -> u32 {
+    AluOp::ALL.iter().position(|&x| x == op).expect("alu op in table") as u32
+}
+
+fn vec_code(op: VecOp) -> u32 {
+    VecOp::ALL.iter().position(|&x| x == op).expect("vec op in table") as u32
+}
+
+fn et_code(et: ElemType) -> u32 {
+    ElemType::ALL.iter().position(|&x| x == et).expect("elem type in table") as u32
+}
+
+fn size_code(s: MemSize) -> u32 {
+    match s {
+        MemSize::B => 0,
+        MemSize::H => 1,
+        MemSize::W => 2,
+    }
+}
+
+fn mode_code(m: AddrMode) -> (u32, i16) {
+    match m {
+        AddrMode::Offset(i) => (0, i),
+        AddrMode::PostInc(i) => (1, i),
+        AddrMode::PreInc(i) => (2, i),
+    }
+}
+
+fn class_of(word: u32) -> u32 {
+    word >> 28
+}
+
+fn field(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+/// Maximum forward/backward reach of PC-relative branches, in
+/// instruction units (24-bit signed offset field).
+pub(crate) const BRANCH_RANGE: i32 = 1 << 23;
+
+/// Encodes one instruction into its 32-bit word.
+///
+/// # Panics
+///
+/// Panics if a field is out of its encodable range: a branch offset
+/// outside `±2^23` instructions, a lane index not valid for the element
+/// type, or a shift amount above 7. The [`crate::Asm`] builder validates
+/// these before emitting.
+pub fn encode(instr: Instr) -> u32 {
+    let c = |class: u32| class << 28;
+    match instr {
+        Instr::Nop => c(CLASS_MISC),
+        Instr::Halt => c(CLASS_MISC) | 1 << 24,
+        Instr::BxLr => c(CLASS_MISC) | 2 << 24,
+        Instr::MovImm { rd, imm } => {
+            c(CLASS_MOV_IMM) | (rd.index() as u32) << 24 | (imm as u16 as u32)
+        }
+        Instr::MovTop { rd, imm } => {
+            c(CLASS_MOV_TOP) | (rd.index() as u32) << 24 | imm as u32
+        }
+        Instr::Mov { rd, rm } => {
+            c(CLASS_MOV) | (rd.index() as u32) << 24 | (rm.index() as u32) << 20
+        }
+        Instr::Alu { op, rd, rn, src2 } => match src2 {
+            Operand::Reg(rm) => {
+                c(CLASS_ALU_REG)
+                    | alu_code(op) << 24
+                    | (rd.index() as u32) << 20
+                    | (rn.index() as u32) << 16
+                    | (rm.index() as u32) << 12
+            }
+            Operand::Imm(imm) => {
+                c(CLASS_ALU_IMM)
+                    | alu_code(op) << 24
+                    | (rd.index() as u32) << 20
+                    | (rn.index() as u32) << 16
+                    | (imm as u16 as u32)
+            }
+        },
+        Instr::Cmp { rn, src2 } => match src2 {
+            Operand::Reg(rm) => {
+                c(CLASS_CMP_REG) | (rn.index() as u32) << 24 | (rm.index() as u32) << 20
+            }
+            Operand::Imm(imm) => {
+                c(CLASS_CMP_IMM) | (rn.index() as u32) << 24 | (imm as u16 as u32)
+            }
+        },
+        Instr::B { cond, offset } => {
+            assert!(
+                (-BRANCH_RANGE..BRANCH_RANGE).contains(&offset),
+                "branch offset {offset} out of 24-bit range"
+            );
+            c(CLASS_B) | cond_code(cond) << 24 | (offset as u32 & 0x00ff_ffff)
+        }
+        Instr::Bl { offset } => {
+            assert!(
+                (-BRANCH_RANGE..BRANCH_RANGE).contains(&offset),
+                "call offset {offset} out of 24-bit range"
+            );
+            c(CLASS_BL) | (offset as u32 & 0x00ff_ffff)
+        }
+        Instr::Ldr { rd, rn, mode, size } => {
+            let (kind, imm) = mode_code(mode);
+            c(CLASS_LDR)
+                | (rd.index() as u32) << 24
+                | (rn.index() as u32) << 20
+                | kind << 18
+                | size_code(size) << 16
+                | (imm as u16 as u32)
+        }
+        Instr::Str { rs, rn, mode, size } => {
+            let (kind, imm) = mode_code(mode);
+            c(CLASS_STR)
+                | (rs.index() as u32) << 24
+                | (rn.index() as u32) << 20
+                | kind << 18
+                | size_code(size) << 16
+                | (imm as u16 as u32)
+        }
+        Instr::LdrReg { rd, rn, rm, lsl, size } => {
+            assert!(lsl <= 7, "register-indexed shift {lsl} out of range");
+            c(CLASS_LDR_REG)
+                | (rd.index() as u32) << 24
+                | (rn.index() as u32) << 20
+                | (rm.index() as u32) << 16
+                | (lsl as u32) << 13
+                | size_code(size) << 11
+        }
+        Instr::StrReg { rs, rn, rm, lsl, size } => {
+            assert!(lsl <= 7, "register-indexed shift {lsl} out of range");
+            c(CLASS_STR_REG)
+                | (rs.index() as u32) << 24
+                | (rn.index() as u32) << 20
+                | (rm.index() as u32) << 16
+                | (lsl as u32) << 13
+                | size_code(size) << 11
+        }
+        Instr::Vld1 { qd, rn, writeback, et } => {
+            vmem(0, qd.index(), rn, writeback, et, 0)
+        }
+        Instr::Vst1 { qs, rn, writeback, et } => {
+            vmem(1, qs.index(), rn, writeback, et, 0)
+        }
+        Instr::Vld1Lane { qd, lane, rn, writeback, et } => {
+            assert!((lane as u32) < et.lanes(), "lane {lane} invalid for {et}");
+            vmem(2, qd.index(), rn, writeback, et, lane)
+        }
+        Instr::Vst1Lane { qs, lane, rn, writeback, et } => {
+            assert!((lane as u32) < et.lanes(), "lane {lane} invalid for {et}");
+            vmem(3, qs.index(), rn, writeback, et, lane)
+        }
+        Instr::Vop { op, et, qd, qn, qm } => {
+            c(CLASS_VALU)
+                | vec_code(op) << 21
+                | et_code(et) << 19
+                | (qd.index() as u32) << 15
+                | (qn.index() as u32) << 11
+                | (qm.index() as u32) << 7
+        }
+        Instr::VshrImm { qd, qn, shift, et } => {
+            assert!(!et.is_float(), "vector shift is integer-only");
+            assert!((shift as u32) < et.lane_bytes() * 8, "shift {shift} exceeds lane width");
+            c(CLASS_VALU)
+                | 6 << 25
+                | (qd.index() as u32) << 21
+                | (qn.index() as u32) << 17
+                | et_code(et) << 15
+                | (shift as u32) << 10
+        }
+        Instr::Vdup { qd, rm, et } => {
+            c(CLASS_VALU)
+                | 7 << 25
+                | (qd.index() as u32) << 21
+                | (rm.index() as u32) << 17
+                | et_code(et) << 15
+        }
+        Instr::VdupImm { qd, imm, et } => {
+            c(CLASS_VALU)
+                | 1 << 25
+                | (qd.index() as u32) << 21
+                | et_code(et) << 19
+                | (imm as u16 as u32)
+        }
+        Instr::Vmov { qd, qm } => {
+            c(CLASS_VALU) | 2 << 25 | (qd.index() as u32) << 21 | (qm.index() as u32) << 17
+        }
+        Instr::Vaddv { rd, qn, et } => {
+            c(CLASS_VALU)
+                | 3 << 25
+                | (rd.index() as u32) << 21
+                | (qn.index() as u32) << 17
+                | et_code(et) << 15
+        }
+        Instr::VmovToScalar { rd, qn, lane, et } => {
+            assert!((lane as u32) < et.lanes(), "lane {lane} invalid for {et}");
+            c(CLASS_VALU)
+                | 4 << 25
+                | (rd.index() as u32) << 21
+                | (qn.index() as u32) << 17
+                | (lane as u32) << 12
+                | et_code(et) << 10
+        }
+        Instr::VmovFromScalar { qd, lane, rm, et } => {
+            assert!((lane as u32) < et.lanes(), "lane {lane} invalid for {et}");
+            c(CLASS_VALU)
+                | 5 << 25
+                | (qd.index() as u32) << 21
+                | (rm.index() as u32) << 17
+                | (lane as u32) << 12
+                | et_code(et) << 10
+        }
+    }
+}
+
+fn vmem(sub: u32, q: u8, rn: Reg, writeback: bool, et: ElemType, lane: u8) -> u32 {
+    (CLASS_VMEM << 28)
+        | sub << 26
+        | (q as u32) << 22
+        | (rn.index() as u32) << 18
+        | (writeback as u32) << 17
+        | et_code(et) << 15
+        | (lane as u32) << 10
+}
+
+fn sign_extend_24(v: u32) -> i32 {
+    ((v << 8) as i32) >> 8
+}
+
+/// Decodes one 32-bit word back into an [`Instr`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the word's class/subcode/field values do
+/// not correspond to any encodable instruction.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let err = |reason| Err(DecodeError { word, reason });
+    let reg = |hi, lo| Reg::new(field(word, hi, lo) as u8);
+    let qreg = |hi, lo| QReg::new(field(word, hi, lo) as u8);
+    let alu_op = |hi, lo| {
+        AluOp::ALL
+            .get(field(word, hi, lo) as usize)
+            .copied()
+            .ok_or(DecodeError { word, reason: "invalid alu opcode" })
+    };
+    let mem_size = |hi, lo| match field(word, hi, lo) {
+        0 => Ok(MemSize::B),
+        1 => Ok(MemSize::H),
+        2 => Ok(MemSize::W),
+        _ => Err(DecodeError { word, reason: "invalid memory size" }),
+    };
+    let elem = |hi, lo| ElemType::ALL[field(word, hi, lo) as usize];
+    let addr_mode = |kind_hi, kind_lo| {
+        let imm = field(word, 15, 0) as u16 as i16;
+        match field(word, kind_hi, kind_lo) {
+            0 => Ok(AddrMode::Offset(imm)),
+            1 => Ok(AddrMode::PostInc(imm)),
+            2 => Ok(AddrMode::PreInc(imm)),
+            _ => Err(DecodeError { word, reason: "invalid addressing mode" }),
+        }
+    };
+
+    match class_of(word) {
+        CLASS_MISC => match field(word, 27, 24) {
+            0 => Ok(Instr::Nop),
+            1 => Ok(Instr::Halt),
+            2 => Ok(Instr::BxLr),
+            _ => err("invalid misc subcode"),
+        },
+        CLASS_MOV_IMM => Ok(Instr::MovImm {
+            rd: reg(27, 24),
+            imm: field(word, 15, 0) as u16 as i16,
+        }),
+        CLASS_MOV_TOP => Ok(Instr::MovTop {
+            rd: reg(27, 24),
+            imm: field(word, 15, 0) as u16,
+        }),
+        CLASS_MOV => Ok(Instr::Mov { rd: reg(27, 24), rm: reg(23, 20) }),
+        CLASS_ALU_REG => Ok(Instr::Alu {
+            op: alu_op(27, 24)?,
+            rd: reg(23, 20),
+            rn: reg(19, 16),
+            src2: Operand::Reg(reg(15, 12)),
+        }),
+        CLASS_ALU_IMM => Ok(Instr::Alu {
+            op: alu_op(27, 24)?,
+            rd: reg(23, 20),
+            rn: reg(19, 16),
+            src2: Operand::Imm(field(word, 15, 0) as u16 as i16),
+        }),
+        CLASS_CMP_REG => Ok(Instr::Cmp {
+            rn: reg(27, 24),
+            src2: Operand::Reg(reg(23, 20)),
+        }),
+        CLASS_CMP_IMM => Ok(Instr::Cmp {
+            rn: reg(27, 24),
+            src2: Operand::Imm(field(word, 15, 0) as u16 as i16),
+        }),
+        CLASS_B => {
+            let cond = Cond::ALL
+                .get(field(word, 27, 24) as usize)
+                .copied()
+                .ok_or(DecodeError { word, reason: "invalid condition code" })?;
+            Ok(Instr::B { cond, offset: sign_extend_24(field(word, 23, 0)) })
+        }
+        CLASS_BL => Ok(Instr::Bl { offset: sign_extend_24(field(word, 23, 0)) }),
+        CLASS_LDR => Ok(Instr::Ldr {
+            rd: reg(27, 24),
+            rn: reg(23, 20),
+            mode: addr_mode(19, 18)?,
+            size: mem_size(17, 16)?,
+        }),
+        CLASS_STR => Ok(Instr::Str {
+            rs: reg(27, 24),
+            rn: reg(23, 20),
+            mode: addr_mode(19, 18)?,
+            size: mem_size(17, 16)?,
+        }),
+        CLASS_LDR_REG => Ok(Instr::LdrReg {
+            rd: reg(27, 24),
+            rn: reg(23, 20),
+            rm: reg(19, 16),
+            lsl: field(word, 15, 13) as u8,
+            size: mem_size(12, 11)?,
+        }),
+        CLASS_STR_REG => Ok(Instr::StrReg {
+            rs: reg(27, 24),
+            rn: reg(23, 20),
+            rm: reg(19, 16),
+            lsl: field(word, 15, 13) as u8,
+            size: mem_size(12, 11)?,
+        }),
+        CLASS_VMEM => {
+            let q = qreg(25, 22);
+            let rn = reg(21, 18);
+            let writeback = field(word, 17, 17) == 1;
+            let et = elem(16, 15);
+            let lane = field(word, 14, 10) as u8;
+            match field(word, 27, 26) {
+                0 => Ok(Instr::Vld1 { qd: q, rn, writeback, et }),
+                1 => Ok(Instr::Vst1 { qs: q, rn, writeback, et }),
+                2 if (lane as u32) < et.lanes() => {
+                    Ok(Instr::Vld1Lane { qd: q, lane, rn, writeback, et })
+                }
+                3 if (lane as u32) < et.lanes() => {
+                    Ok(Instr::Vst1Lane { qs: q, lane, rn, writeback, et })
+                }
+                _ => err("invalid vector-memory lane"),
+            }
+        }
+        CLASS_VALU => match field(word, 27, 25) {
+            0 => {
+                let op = VecOp::ALL
+                    .get(field(word, 24, 21) as usize)
+                    .copied()
+                    .ok_or(DecodeError { word, reason: "invalid vector opcode" })?;
+                Ok(Instr::Vop {
+                    op,
+                    et: elem(20, 19),
+                    qd: qreg(18, 15),
+                    qn: qreg(14, 11),
+                    qm: qreg(10, 7),
+                })
+            }
+            1 => Ok(Instr::VdupImm {
+                qd: qreg(24, 21),
+                et: elem(20, 19),
+                imm: field(word, 15, 0) as u16 as i16,
+            }),
+            2 => Ok(Instr::Vmov { qd: qreg(24, 21), qm: qreg(20, 17) }),
+            3 => Ok(Instr::Vaddv {
+                rd: reg(24, 21),
+                qn: qreg(20, 17),
+                et: elem(16, 15),
+            }),
+            4 => {
+                let et = elem(11, 10);
+                let lane = field(word, 16, 12) as u8;
+                if (lane as u32) >= et.lanes() {
+                    return err("invalid lane for element type");
+                }
+                Ok(Instr::VmovToScalar { rd: reg(24, 21), qn: qreg(20, 17), lane, et })
+            }
+            5 => {
+                let et = elem(11, 10);
+                let lane = field(word, 16, 12) as u8;
+                if (lane as u32) >= et.lanes() {
+                    return err("invalid lane for element type");
+                }
+                Ok(Instr::VmovFromScalar { qd: qreg(24, 21), lane, rm: reg(20, 17), et })
+            }
+            6 => {
+                let et = elem(16, 15);
+                let shift = field(word, 14, 10) as u8;
+                if et.is_float() || (shift as u32) >= et.lane_bytes() * 8 {
+                    return err("invalid vector shift");
+                }
+                Ok(Instr::VshrImm { qd: qreg(24, 21), qn: qreg(20, 17), shift, et })
+            }
+            7 => Ok(Instr::Vdup { qd: qreg(24, 21), rm: reg(20, 17), et: elem(16, 15) }),
+            _ => err("invalid vector-alu subcode"),
+        },
+        _ => unreachable!("class field is 4 bits"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instr) {
+        let w = encode(i);
+        let back = decode(w).unwrap_or_else(|e| panic!("{e} for {i}"));
+        assert_eq!(i, back, "word {w:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_misc() {
+        roundtrip(Instr::Nop);
+        roundtrip(Instr::Halt);
+        roundtrip(Instr::BxLr);
+    }
+
+    #[test]
+    fn roundtrip_moves_and_alu() {
+        roundtrip(Instr::MovImm { rd: Reg::R7, imm: -1234 });
+        roundtrip(Instr::MovTop { rd: Reg::R0, imm: 0xBEEF });
+        roundtrip(Instr::Mov { rd: Reg::SP, rm: Reg::LR });
+        for op in AluOp::ALL {
+            roundtrip(Instr::Alu { op, rd: Reg::R1, rn: Reg::R2, src2: Operand::Reg(Reg::R3) });
+            roundtrip(Instr::Alu { op, rd: Reg::R1, rn: Reg::R2, src2: Operand::Imm(-7) });
+        }
+        roundtrip(Instr::Cmp { rn: Reg::R4, src2: Operand::Reg(Reg::R5) });
+        roundtrip(Instr::Cmp { rn: Reg::R4, src2: Operand::Imm(400) });
+    }
+
+    #[test]
+    fn roundtrip_branches() {
+        for cond in Cond::ALL {
+            roundtrip(Instr::B { cond, offset: -100 });
+            roundtrip(Instr::B { cond, offset: 100 });
+        }
+        roundtrip(Instr::B { cond: Cond::Al, offset: BRANCH_RANGE - 1 });
+        roundtrip(Instr::B { cond: Cond::Al, offset: -BRANCH_RANGE });
+        roundtrip(Instr::Bl { offset: 42 });
+        roundtrip(Instr::Bl { offset: -42 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn branch_offset_overflow_panics() {
+        let _ = encode(Instr::B { cond: Cond::Al, offset: BRANCH_RANGE });
+    }
+
+    #[test]
+    fn roundtrip_memory() {
+        for size in [MemSize::B, MemSize::H, MemSize::W] {
+            for mode in [AddrMode::Offset(-4), AddrMode::PostInc(4), AddrMode::PreInc(8)] {
+                roundtrip(Instr::Ldr { rd: Reg::R3, rn: Reg::R5, mode, size });
+                roundtrip(Instr::Str { rs: Reg::R3, rn: Reg::R5, mode, size });
+            }
+            roundtrip(Instr::LdrReg { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2, lsl: 2, size });
+            roundtrip(Instr::StrReg { rs: Reg::R0, rn: Reg::R1, rm: Reg::R2, lsl: 7, size });
+        }
+    }
+
+    #[test]
+    fn roundtrip_vector() {
+        for et in ElemType::ALL {
+            roundtrip(Instr::Vld1 { qd: QReg::Q8, rn: Reg::R5, writeback: true, et });
+            roundtrip(Instr::Vst1 { qs: QReg::Q9, rn: Reg::R2, writeback: false, et });
+            let lane = (et.lanes() - 1) as u8;
+            roundtrip(Instr::Vld1Lane { qd: QReg::Q1, lane, rn: Reg::R0, writeback: true, et });
+            roundtrip(Instr::Vst1Lane { qs: QReg::Q1, lane, rn: Reg::R0, writeback: false, et });
+            for op in VecOp::ALL {
+                roundtrip(Instr::Vop { op, et, qd: QReg::Q0, qn: QReg::Q15, qm: QReg::Q7 });
+            }
+            roundtrip(Instr::VdupImm { qd: QReg::Q3, imm: -9, et });
+            roundtrip(Instr::Vdup { qd: QReg::Q3, rm: Reg::R9, et });
+            if !et.is_float() {
+                let max_shift = (et.lane_bytes() * 8 - 1) as u8;
+                roundtrip(Instr::VshrImm { qd: QReg::Q5, qn: QReg::Q6, shift: max_shift, et });
+                roundtrip(Instr::VshrImm { qd: QReg::Q5, qn: QReg::Q6, shift: 0, et });
+            }
+            roundtrip(Instr::Vaddv { rd: Reg::R12, qn: QReg::Q4, et });
+            roundtrip(Instr::VmovToScalar { rd: Reg::R1, qn: QReg::Q2, lane, et });
+            roundtrip(Instr::VmovFromScalar { qd: QReg::Q2, lane, rm: Reg::R1, et });
+        }
+        roundtrip(Instr::Vmov { qd: QReg::Q10, qm: QReg::Q11 });
+    }
+
+    #[test]
+    fn invalid_words_error() {
+        // misc subcode 9
+        assert!(decode(9 << 24).is_err());
+        // alu-reg with opcode 15 (only 13 ops)
+        assert!(decode((4 << 28) | (15 << 24)).is_err());
+        // branch with condition code 9
+        assert!(decode((8 << 28) | (9 << 24)).is_err());
+        // load with size code 3
+        assert!(decode((10 << 28) | (3 << 16)).is_err());
+        // lane 20 for i32 (4 lanes)
+        let bad = (14 << 28) | (2 << 26) | (2 << 15) | (20 << 10);
+        assert!(decode(bad).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn encode_invalid_lane_panics() {
+        let _ = encode(Instr::Vld1Lane {
+            qd: QReg::Q0,
+            lane: 4,
+            rn: Reg::R0,
+            writeback: false,
+            et: ElemType::I32,
+        });
+    }
+}

@@ -1,0 +1,127 @@
+//! Assembled programs.
+
+use std::fmt;
+
+use crate::encode::{decode, encode, DecodeError};
+use crate::instr::Instr;
+
+/// A fully assembled program: a flat sequence of instructions with entry
+/// point 0.
+///
+/// Instruction addresses are instruction-unit indices; `program.fetch(pc)`
+/// returns the instruction at that index.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Creates a program from a list of instructions.
+    pub fn new(instrs: Vec<Instr>) -> Program {
+        Program { instrs }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Fetches the instruction at `pc`, or `None` past the end.
+    pub fn fetch(&self, pc: u32) -> Option<Instr> {
+        self.instrs.get(pc as usize).copied()
+    }
+
+    /// Iterator over the instructions in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instr> {
+        self.instrs.iter()
+    }
+
+    /// The instructions as a slice.
+    pub fn as_slice(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Serialises the program to its 32-bit machine words.
+    pub fn to_words(&self) -> Vec<u32> {
+        self.instrs.iter().map(|&i| encode(i)).collect()
+    }
+
+    /// Reconstructs a program from machine words.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`] encountered.
+    pub fn from_words(words: &[u32]) -> Result<Program, DecodeError> {
+        let instrs = words.iter().map(|&w| decode(w)).collect::<Result<_, _>>()?;
+        Ok(Program { instrs })
+    }
+
+    /// Number of vector (NEON) instructions in the program text.
+    pub fn vector_instr_count(&self) -> usize {
+        self.instrs.iter().filter(|i| i.is_vector()).count()
+    }
+}
+
+impl FromIterator<Instr> for Program {
+    fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Program {
+        Program { instrs: iter.into_iter().collect() }
+    }
+}
+
+impl fmt::Display for Program {
+    /// Disassembly listing, one instruction per line with its address.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            writeln!(f, "{pc:6}:  {instr}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Cond, Instr};
+    use crate::reg::Reg;
+
+    #[test]
+    fn fetch_and_bounds() {
+        let p = Program::new(vec![Instr::Nop, Instr::Halt]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.fetch(0), Some(Instr::Nop));
+        assert_eq!(p.fetch(1), Some(Instr::Halt));
+        assert_eq!(p.fetch(2), None);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let p = Program::new(vec![
+            Instr::MovImm { rd: Reg::R1, imm: 42 },
+            Instr::B { cond: Cond::Ne, offset: -1 },
+            Instr::Halt,
+        ]);
+        let words = p.to_words();
+        assert_eq!(Program::from_words(&words).unwrap(), p);
+    }
+
+    #[test]
+    fn display_lists_addresses() {
+        let p = Program::new(vec![Instr::Nop, Instr::Halt]);
+        let text = p.to_string();
+        assert!(text.contains("0:  nop"));
+        assert!(text.contains("1:  halt"));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: Program = [Instr::Nop, Instr::Halt].into_iter().collect();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.vector_instr_count(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Scalar and vector register names.
+
+use std::fmt;
+
+/// A scalar (general-purpose) register, `r0`–`r15`.
+///
+/// `r13` is the stack pointer, `r14` the link register and `r15` the
+/// program counter, mirroring the ARM convention. The program counter is
+/// never encoded as an operand of ALU/memory instructions in this reduced
+/// ISA; it is only updated by branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    pub const R0: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    /// Stack pointer (`r13`).
+    pub const SP: Reg = Reg(13);
+    /// Link register (`r14`).
+    pub const LR: Reg = Reg(14);
+    /// Program counter (`r15`).
+    pub const PC: Reg = Reg(15);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 15`.
+    pub fn new(index: u8) -> Reg {
+        assert!(index <= 15, "scalar register index out of range: {index}");
+        Reg(index)
+    }
+
+    /// The register's index, `0..=15`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Iterator over all sixteen scalar registers.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..16).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            13 => write!(f, "sp"),
+            14 => write!(f, "lr"),
+            15 => write!(f, "pc"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// A 128-bit vector register, `q0`–`q15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QReg(u8);
+
+impl QReg {
+    pub const Q0: QReg = QReg(0);
+    pub const Q1: QReg = QReg(1);
+    pub const Q2: QReg = QReg(2);
+    pub const Q3: QReg = QReg(3);
+    pub const Q4: QReg = QReg(4);
+    pub const Q5: QReg = QReg(5);
+    pub const Q6: QReg = QReg(6);
+    pub const Q7: QReg = QReg(7);
+    pub const Q8: QReg = QReg(8);
+    pub const Q9: QReg = QReg(9);
+    pub const Q10: QReg = QReg(10);
+    pub const Q11: QReg = QReg(11);
+    pub const Q12: QReg = QReg(12);
+    pub const Q13: QReg = QReg(13);
+    pub const Q14: QReg = QReg(14);
+    pub const Q15: QReg = QReg(15);
+
+    /// Creates a vector register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 15`.
+    pub fn new(index: u8) -> QReg {
+        assert!(index <= 15, "vector register index out of range: {index}");
+        QReg(index)
+    }
+
+    /// The register's index, `0..=15`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Iterator over all sixteen Q registers.
+    pub fn all() -> impl Iterator<Item = QReg> {
+        (0..16).map(QReg)
+    }
+}
+
+impl fmt::Display for QReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_and_names() {
+        for i in 0..16 {
+            assert_eq!(Reg::new(i).index(), i);
+        }
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::LR.to_string(), "lr");
+        assert_eq!(Reg::PC.to_string(), "pc");
+        assert_eq!(Reg::R7.to_string(), "r7");
+    }
+
+    #[test]
+    #[should_panic]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn qreg_roundtrip_and_names() {
+        for i in 0..16 {
+            assert_eq!(QReg::new(i).index(), i);
+        }
+        assert_eq!(QReg::Q9.to_string(), "q9");
+        assert_eq!(QReg::all().count(), 16);
+        assert_eq!(Reg::all().count(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn qreg_out_of_range_panics() {
+        let _ = QReg::new(99);
+    }
+}

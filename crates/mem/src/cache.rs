@@ -1,0 +1,273 @@
+//! Set-associative cache with true-LRU replacement.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// Creates a configuration, validating the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_bytes` is a power of two and
+    /// `size_bytes` is divisible by `line_bytes * ways`.
+    pub fn new(size_bytes: u32, line_bytes: u32, ways: u32) -> CacheConfig {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways >= 1, "associativity must be at least 1");
+        assert_eq!(
+            size_bytes % (line_bytes * ways),
+            0,
+            "capacity must divide into sets"
+        );
+        assert!(size_bytes / (line_bytes * ways) >= 1, "at least one set required");
+        CacheConfig { size_bytes, line_bytes, ways }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+}
+
+/// Hit/miss statistics for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total number of accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `0.0..=1.0` (1.0 when there were no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u32,
+    /// Monotonic counter of last use; smallest = least recently used.
+    last_use: u64,
+}
+
+/// One level of a write-back, write-allocate cache with true-LRU
+/// replacement. The cache is a tag store only — data lives in
+/// [`crate::MainMemory`]; this models timing and occupancy, which is all
+/// the simulator needs.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Whether a dirty victim had to be written back.
+    pub writeback: bool,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Cache {
+        let total_lines = (config.sets() * config.ways) as usize;
+        Cache { config, lines: vec![Line::default(); total_lines], tick: 0, stats: CacheStats::default() }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_range(&self, addr: u32) -> (usize, usize) {
+        let line = addr / self.config.line_bytes;
+        let set = (line % self.config.sets()) as usize;
+        let start = set * self.config.ways as usize;
+        (start, start + self.config.ways as usize)
+    }
+
+    fn tag_of(&self, addr: u32) -> u32 {
+        addr / self.config.line_bytes / self.config.sets()
+    }
+
+    /// Performs an access, allocating on miss; returns hit/writeback info.
+    pub fn access(&mut self, addr: u32, write: bool) -> Lookup {
+        self.tick += 1;
+        let tag = self.tag_of(addr);
+        let (start, end) = self.set_range(addr);
+        // Hit path.
+        for line in &mut self.lines[start..end] {
+            if line.valid && line.tag == tag {
+                line.last_use = self.tick;
+                line.dirty |= write;
+                self.stats.hits += 1;
+                return Lookup { hit: true, writeback: false };
+            }
+        }
+        // Miss: pick victim (invalid first, else true LRU).
+        self.stats.misses += 1;
+        let set = &mut self.lines[start..end];
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| (l.valid, l.last_use))
+            .map(|(i, _)| i)
+            .expect("non-empty set");
+        let evicted_dirty = set[victim].valid && set[victim].dirty;
+        set[victim] = Line { valid: true, dirty: write, tag, last_use: self.tick };
+        if evicted_dirty {
+            self.stats.writebacks += 1;
+        }
+        Lookup { hit: false, writeback: evicted_dirty }
+    }
+
+    /// Whether the line containing `addr` is currently resident (no state
+    /// change, no statistics update).
+    pub fn probe(&self, addr: u32) -> bool {
+        let tag = self.tag_of(addr);
+        let (start, end) = self.set_range(addr);
+        self.lines[start..end].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Installs the line containing `addr` without touching statistics —
+    /// models data made resident by an earlier program phase (input
+    /// generation / file load).
+    pub fn warm(&mut self, addr: u32) {
+        self.tick += 1;
+        let tag = self.tag_of(addr);
+        let (start, end) = self.set_range(addr);
+        if self.lines[start..end].iter().any(|l| l.valid && l.tag == tag) {
+            return;
+        }
+        let set = &mut self.lines[start..end];
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| (l.valid, l.last_use))
+            .map(|(i, _)| i)
+            .expect("non-empty set");
+        set[victim] = Line { valid: true, dirty: false, tag, last_use: self.tick };
+    }
+
+    /// Invalidates all lines (statistics are kept).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 16B lines = 128 B
+        Cache::new(CacheConfig::new(128, 16, 2))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::new(64 * 1024, 64, 4);
+        assert_eq!(c.sets(), 256);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_panics() {
+        let _ = CacheConfig::new(100, 16, 2);
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = small();
+        assert!(!c.access(0x40, false).hit);
+        assert!(c.access(0x40, false).hit);
+        assert!(c.access(0x4C, false).hit, "same 16B line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Three lines mapping to set 0 (stride = sets*line = 4*16 = 64).
+        c.access(0, false); // A
+        c.access(64, false); // B
+        c.access(0, false); // touch A -> B is LRU
+        c.access(128, false); // C evicts B
+        assert!(c.probe(0), "A resident");
+        assert!(!c.probe(64), "B evicted");
+        assert!(c.probe(128), "C resident");
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = small();
+        c.access(0, true); // dirty A
+        c.access(64, false); // B
+        c.access(128, false); // evicts A (LRU), dirty -> writeback
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = small();
+        c.access(0, false);
+        assert!(c.probe(0));
+        c.flush();
+        assert!(!c.probe(0));
+        assert!(!c.access(0, false).hit);
+    }
+
+    #[test]
+    fn hit_rate_monotonic_in_size() {
+        // A larger cache never has a lower hit-count on the same trace.
+        let trace: Vec<u32> = (0..2000u32).map(|i| (i * 97) % 4096).collect();
+        let mut prev_hits = 0;
+        for size in [128u32, 256, 512, 1024, 4096] {
+            let mut c = Cache::new(CacheConfig::new(size, 16, 2));
+            for &a in &trace {
+                c.access(a, false);
+            }
+            assert!(c.stats().hits >= prev_hits, "size {size}");
+            prev_hits = c.stats().hits;
+        }
+    }
+}

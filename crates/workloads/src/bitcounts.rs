@@ -1,0 +1,154 @@
+//! BitCounts: per-element bit counting over a runtime-sized buffer.
+//!
+//! Like MiBench's `bitcnts`, the application mixes several counting
+//! algorithms: eight mask rounds of a *conditional dynamic-range* loop
+//! (`if (a[i] & mask) != 0 then cnt[i]++`, trip read from memory at
+//! startup), a nibble-table lookup pass (`ntbl_bitcnt` — indirect
+//! addressing, vectorizable by nothing) and a register reduction. Only
+//! the extended/full DSA touches the conditional rounds.
+
+use dsa_compiler::{regs, BinOp, Body, CmpOp, DataType, Expr, KernelBuilder, LoopIr, Trip, Variant};
+use dsa_isa::{Cond, Reg};
+
+use crate::data;
+use crate::{BuiltWorkload, Scale};
+
+pub(crate) fn build(variant: Variant, scale: Scale) -> BuiltWorkload {
+    let n: u32 = match scale {
+        Scale::Small => 256,
+        Scale::Paper => 4096,
+    };
+    // The runtime trip: most of the buffer, not known statically.
+    let n_rt: u32 = n - n / 16;
+
+    let mut kb = KernelBuilder::new(variant);
+    let a = kb.alloc("a", DataType::I32, n);
+    let cnt = kb.alloc("cnt", DataType::I32, n);
+    let out = kb.alloc("out", DataType::I32, 1);
+    let tcnt = kb.alloc("tcnt", DataType::I32, n);
+    let ntbl = kb.alloc("ntbl", DataType::I32, 16);
+    let params = kb.alloc("params", DataType::I32, 1);
+    let locals = kb.alloc("locals", DataType::I32, 1);
+    let (la, lc, lnt, lo, lp, ll) = (
+        kb.layout().buf(a).base,
+        kb.layout().buf(cnt).base,
+        kb.layout().buf(ntbl).base,
+        kb.layout().buf(out).base,
+        kb.layout().buf(params).base,
+        kb.layout().buf(locals).base,
+    );
+    let lt = kb.layout().buf(tcnt).base;
+
+    // cnt[i] = 0 — the one statically vectorizable loop.
+    kb.emit_loop(LoopIr {
+        name: "bitcnt_init".into(),
+        trip: Trip::Const(n),
+        elem: DataType::I32,
+        body: Body::Map { dst: cnt.at(0), expr: Expr::Imm(0) },
+        ..LoopIr::default()
+    });
+
+    let round_top;
+    {
+        let asm = kb.asm_mut();
+        // r11 = runtime element count (dynamic range).
+        asm.mov_imm(Reg::R12, lp as i32);
+        asm.ldr(Reg::R11, Reg::R12, 0);
+        // r10 = mask; round counter in locals[0].
+        asm.mov_imm(regs::PARAM[0], 1);
+        asm.mov_imm(Reg::R6, 0);
+        asm.mov_imm(Reg::R12, ll as i32);
+        asm.str(Reg::R6, Reg::R12, 0);
+        round_top = asm.here();
+    }
+
+    // if (a[i] & mask) != 0 { cnt[i] = cnt[i] + 1 } over i in 0..n_rt.
+    kb.emit_loop(LoopIr {
+        name: "bitcnt_test".into(),
+        trip: Trip::Reg(Reg::R11),
+        elem: DataType::I32,
+        body: Body::Select {
+            cond_lhs: Expr::load(a.at(0)) & Expr::Var(0),
+            cmp: CmpOp::Ne,
+            cond_rhs: Expr::Imm(0),
+            then_dst: cnt.at(0),
+            then_expr: Expr::load(cnt.at(0)) + Expr::Imm(1),
+            else_arm: None,
+        },
+        ..LoopIr::default()
+    });
+
+    {
+        let asm = kb.asm_mut();
+        // mask <<= 1; 8 rounds.
+        asm.lsl_imm(regs::PARAM[0], regs::PARAM[0], 1);
+        asm.mov_imm(Reg::R12, ll as i32);
+        asm.ldr(Reg::R6, Reg::R12, 0);
+        asm.add_imm(Reg::R6, Reg::R6, 1);
+        asm.str(Reg::R6, Reg::R12, 0);
+        asm.cmp_imm(Reg::R6, 4);
+        asm.b_to(Cond::Ne, round_top);
+    }
+
+    // ntbl_bitcnt / BW_btbl: two per-element nibble-table lookup passes
+    // (gather — stays scalar on every system, like the MiBench variants).
+    for pass in ["bitcnt_ntbl", "bitcnt_btbl"] {
+        kb.emit_loop(LoopIr {
+            name: pass.into(),
+            trip: Trip::Reg(Reg::R11),
+            elem: DataType::I32,
+            body: Body::Map {
+                dst: tcnt.at(0),
+                expr: Expr::Gather(ntbl, Box::new(Expr::load(a.at(0)) & Expr::Imm(15)))
+                    + Expr::Gather(ntbl, Box::new(Expr::load(a.at(0)).shr(4) & Expr::Imm(15))),
+            },
+            ..LoopIr::default()
+        });
+    }
+
+    // out[0] = sum(cnt[0..n_rt]) — a register reduction.
+    kb.emit_loop(LoopIr {
+        name: "bitcnt_sum".into(),
+        trip: Trip::Reg(Reg::R11),
+        elem: DataType::I32,
+        body: Body::Reduce {
+            op: BinOp::Add,
+            expr: Expr::load(cnt.at(0)),
+            out: out.at(0),
+            init: 0,
+        },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    let kernel = kb.finish();
+
+    let av = data::ints(0x81, n as usize, 0, 256);
+    // Conditional rounds count the low nibble; the table passes count all
+    // eight bits.
+    let cnt_ref: Vec<i32> = (0..n as usize)
+        .map(|i| if i < n_rt as usize { (av[i] & 0xF).count_ones() as i32 } else { 0 })
+        .collect();
+    let tcnt_ref: Vec<i32> = (0..n as usize)
+        .map(|i| if i < n_rt as usize { (av[i] & 0xFF).count_ones() as i32 } else { 0 })
+        .collect();
+    let ntbl_ref: Vec<i32> = (0..16).map(|v: i32| v.count_ones() as i32).collect();
+    let total: i32 = cnt_ref[..n_rt as usize].iter().sum();
+    // Output region spans cnt, out and tcnt (with alignment padding).
+    let mut ref_bytes = data::i32_bytes(&cnt_ref);
+    ref_bytes.resize((lo - lc) as usize, 0);
+    ref_bytes.extend_from_slice(&total.to_le_bytes());
+    ref_bytes.resize((lt - lc) as usize, 0);
+    ref_bytes.extend_from_slice(&data::i32_bytes(&tcnt_ref));
+    let expected = crate::checksum_bytes(&ref_bytes);
+
+    BuiltWorkload {
+        kernel,
+        init: Box::new(move |m| {
+            m.mem.write_bytes(la, &data::i32_bytes(&av));
+            m.mem.write_bytes(lnt, &data::i32_bytes(&ntbl_ref));
+            m.mem.write_u32(lp, n_rt);
+        }),
+        out_region: (lc, lt - lc + n * 4),
+        expected,
+    }
+}

@@ -1,0 +1,64 @@
+//! Deterministic input-data generation shared by the simulated kernels
+//! and their Rust reference implementations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded RNG so every build of a workload sees identical data.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `n` pseudo-random `i32` values in `lo..hi`.
+pub fn ints(seed: u64, n: usize, lo: i32, hi: i32) -> Vec<i32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+/// `n` pseudo-random `f32` values in `lo..hi`, quantised to 1/64 so
+/// float operations stay exactly representable across orderings used by
+/// the kernels.
+pub fn floats(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|_| {
+            let v: f32 = r.gen_range(lo..hi);
+            (v * 64.0).round() / 64.0
+        })
+        .collect()
+}
+
+/// Serialises `i32`s to little-endian bytes.
+pub fn i32_bytes(values: &[i32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Serialises `f32`s to little-endian bytes.
+pub fn f32_bytes(values: &[f32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(ints(1, 16, 0, 100), ints(1, 16, 0, 100));
+        assert_ne!(ints(1, 16, 0, 100), ints(2, 16, 0, 100));
+        assert_eq!(floats(7, 8, -1.0, 1.0), floats(7, 8, -1.0, 1.0));
+    }
+
+    #[test]
+    fn ranges_respected() {
+        for v in ints(3, 1000, 5, 10) {
+            assert!((5..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn byte_serialisation() {
+        assert_eq!(i32_bytes(&[1]), vec![1, 0, 0, 0]);
+        assert_eq!(f32_bytes(&[0.0]), vec![0, 0, 0, 0]);
+    }
+}

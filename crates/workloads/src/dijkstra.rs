@@ -1,0 +1,176 @@
+//! Dijkstra single-source shortest paths over a dense weight matrix.
+//!
+//! The hot relax loop is a *conditional* loop (`if new < dist[j] then
+//! dist[j] = new`) that only the extended/full DSA vectorizes; the
+//! min-scan uses indexed addressing and stays scalar everywhere — the
+//! paper's "low static DLP, high dynamic DLP" case.
+
+use dsa_compiler::{Body, CmpOp, DataType, Expr, KernelBuilder, LoopIr, Trip, Variant};
+use dsa_isa::{Cond, MemSize, Reg};
+
+use crate::data;
+use crate::{BuiltWorkload, Scale};
+
+const INF: i32 = 0x000F_FFFF;
+
+pub(crate) fn build(variant: Variant, scale: Scale) -> BuiltWorkload {
+    let n: u32 = match scale {
+        Scale::Small => 12,
+        Scale::Paper => 64,
+    };
+
+    let mut kb = KernelBuilder::new(variant);
+    let w = kb.alloc("w", DataType::I32, n * n);
+    let dist = kb.alloc("dist", DataType::I32, n);
+    let visited = kb.alloc("visited", DataType::I32, n);
+    let scratch = kb.alloc("scratch", DataType::I32, 4);
+    let locals = kb.alloc("locals", DataType::I32, 2);
+    let (lw, ld, lv, ll) = (
+        kb.layout().buf(w).base,
+        kb.layout().buf(dist).base,
+        kb.layout().buf(visited).base,
+        kb.layout().buf(locals).base,
+    );
+
+    // dist[i] = INF (count loop, vectorizable by every system).
+    kb.emit_loop(LoopIr {
+        name: "dijkstra_init".into(),
+        trip: Trip::Const(n),
+        elem: DataType::I32,
+        body: Body::Map { dst: dist.at(0), expr: Expr::Imm(INF) },
+        ..LoopIr::default()
+    });
+
+    let round_top;
+    {
+        let asm = kb.asm_mut();
+        // dist[0] = 0; round counter in locals[0].
+        asm.mov_imm(Reg::R2, ld as i32);
+        asm.mov_imm(Reg::R6, 0);
+        asm.str(Reg::R6, Reg::R2, 0);
+        asm.mov_imm(Reg::R12, ll as i32);
+        asm.str(Reg::R6, Reg::R12, 0);
+        round_top = asm.here();
+        // --- min-scan (indexed, non-vectorizable): find unvisited u with
+        // minimal dist.
+        asm.mov_imm(Reg::R2, ld as i32); // dist base
+        asm.mov_imm(Reg::R3, lv as i32); // visited base
+        asm.mov_imm(Reg::R7, INF + 1); // best
+        asm.mov_imm(Reg::R8, 0); // u
+        asm.mov_imm(Reg::R6, 0); // j
+        let scan_top = asm.here();
+        let skip = asm.new_label();
+        asm.ldr_idx(Reg::R9, Reg::R3, Reg::R6, 2, MemSize::W);
+        asm.cmp_imm(Reg::R9, 0);
+        asm.b_to(Cond::Ne, skip);
+        asm.ldr_idx(Reg::R9, Reg::R2, Reg::R6, 2, MemSize::W);
+        asm.cmp(Reg::R9, Reg::R7);
+        asm.b_to(Cond::Ge, skip);
+        asm.mov(Reg::R7, Reg::R9); // best = dist[j]
+        asm.mov(Reg::R8, Reg::R6); // u = j
+        asm.bind(skip);
+        asm.add_imm(Reg::R6, Reg::R6, 1);
+        asm.cmp_imm(Reg::R6, n as i16);
+        asm.b_to(Cond::Ne, scan_top);
+        // visited[u] = 1; spill u to locals[1].
+        asm.mov_imm(Reg::R9, 1);
+        asm.str_idx(Reg::R9, Reg::R3, Reg::R8, 2, MemSize::W);
+        asm.mov_imm(Reg::R12, ll as i32);
+        asm.str(Reg::R8, Reg::R12, 4);
+        // r11 = &w[u*n] for the snapshot loop.
+        asm.mov_imm(Reg::R9, (n * 4) as i32);
+        asm.mul(Reg::R11, Reg::R8, Reg::R9);
+        asm.mov_imm(Reg::R9, lw as i32);
+        asm.add(Reg::R11, Reg::R9, Reg::R11);
+    }
+
+    // Per-round bookkeeping: snapshot the first entries of the row (a
+    // trip-3 loop the auto-vectorizer versions at a net loss).
+    kb.emit_loop(LoopIr {
+        name: "dijkstra_snapshot".into(),
+        trip: Trip::Const(3),
+        elem: DataType::I32,
+        body: Body::Map { dst: scratch.at(0), expr: Expr::load(w.at(0)) },
+        ptr_overrides: vec![(w, Reg::R11)],
+        ..LoopIr::default()
+    });
+    {
+        // The snapshot clobbered the loop registers; recompute r10/r11.
+        let asm = kb.asm_mut();
+        asm.mov_imm(Reg::R12, ll as i32);
+        asm.ldr(Reg::R8, Reg::R12, 4); // u (spilled below)
+        asm.mov_imm(Reg::R2, ld as i32);
+        asm.ldr_idx(Reg::R10, Reg::R2, Reg::R8, 2, MemSize::W);
+        asm.mov_imm(Reg::R9, (n * 4) as i32);
+        asm.mul(Reg::R11, Reg::R8, Reg::R9);
+        asm.mov_imm(Reg::R9, lw as i32);
+        asm.add(Reg::R11, Reg::R9, Reg::R11);
+    }
+
+    // --- relax: the conditional loop.
+    kb.emit_loop(LoopIr {
+        name: "dijkstra_relax".into(),
+        trip: Trip::Const(n),
+        elem: DataType::I32,
+        body: Body::Select {
+            cond_lhs: Expr::load(w.at(0)) + Expr::Var(0),
+            cmp: CmpOp::Lt,
+            cond_rhs: Expr::load(dist.at(0)),
+            then_dst: dist.at(0),
+            then_expr: Expr::load(w.at(0)) + Expr::Var(0),
+            else_arm: None,
+        },
+        ptr_overrides: vec![(w, Reg::R11)],
+        ..LoopIr::default()
+    });
+
+    {
+        let asm = kb.asm_mut();
+        // round++ < n ?
+        asm.mov_imm(Reg::R12, ll as i32);
+        asm.ldr(Reg::R6, Reg::R12, 0);
+        asm.add_imm(Reg::R6, Reg::R6, 1);
+        asm.str(Reg::R6, Reg::R12, 0);
+        asm.cmp_imm(Reg::R6, n as i16);
+        asm.b_to(Cond::Lt, round_top);
+        asm.halt();
+    }
+    let kernel = kb.finish();
+
+    // Weight matrix: 1..100, diagonal 0.
+    let mut wv = data::ints(0x71, (n * n) as usize, 1, 100);
+    for i in 0..n as usize {
+        wv[i * n as usize + i] = 0;
+    }
+    // Reference mirroring the kernel exactly (n rounds, relax all j).
+    let mut dref = vec![INF; n as usize];
+    let mut vref = vec![false; n as usize];
+    dref[0] = 0;
+    for _ in 0..n as usize {
+        let mut best = INF + 1;
+        let mut u = 0usize;
+        for j in 0..n as usize {
+            if !vref[j] && dref[j] < best {
+                best = dref[j];
+                u = j;
+            }
+        }
+        vref[u] = true;
+        for j in 0..n as usize {
+            let nd = wv[u * n as usize + j] + dref[u];
+            if nd < dref[j] {
+                dref[j] = nd;
+            }
+        }
+    }
+    let expected = crate::checksum_bytes(&data::i32_bytes(&dref));
+
+    BuiltWorkload {
+        kernel,
+        init: Box::new(move |m| {
+            m.mem.write_bytes(lw, &data::i32_bytes(&wv));
+        }),
+        out_region: (ld, n * 4),
+        expected,
+    }
+}

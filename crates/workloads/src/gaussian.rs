@@ -1,0 +1,62 @@
+//! Gaussian filter: two passes of a 3-tap smoothing window.
+//!
+//! `tmp[i] = (in[i] + 2·in[i+1] + in[i+2]) >> 2`, then the same window
+//! over `tmp` — two count loops with multi-offset load streams.
+
+use dsa_compiler::{Body, BufId, DataType, Expr, KernelBuilder, LoopIr, Trip, Variant};
+
+use crate::data;
+use crate::{BuiltWorkload, Scale};
+
+fn window(src: BufId) -> Expr {
+    (Expr::load(src.at(0)) + Expr::Imm(2) * Expr::load(src.at(1)) + Expr::load(src.at(2))).shr(2)
+}
+
+pub(crate) fn build(variant: Variant, scale: Scale) -> BuiltWorkload {
+    let n: u32 = match scale {
+        Scale::Small => 512,
+        Scale::Paper => 8192,
+    };
+
+    let mut kb = KernelBuilder::new(variant);
+    let input = kb.alloc("in", DataType::I32, n);
+    let tmp = kb.alloc("tmp", DataType::I32, n);
+    let out = kb.alloc("out", DataType::I32, n);
+    let (li, lo) = (kb.layout().buf(input).base, kb.layout().buf(out).base);
+
+    kb.emit_loop(LoopIr {
+        name: "gauss_pass1".into(),
+        trip: Trip::Const(n - 2),
+        elem: DataType::I32,
+        body: Body::Map { dst: tmp.at(0), expr: window(input) },
+        ..LoopIr::default()
+    });
+    kb.emit_loop(LoopIr {
+        name: "gauss_pass2".into(),
+        trip: Trip::Const(n - 4),
+        elem: DataType::I32,
+        body: Body::Map { dst: out.at(0), expr: window(tmp) },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    let kernel = kb.finish();
+
+    let iv = data::ints(0x41, n as usize, 0, 256);
+    let pass = |src: &[i32], count: usize| -> Vec<i32> {
+        (0..count)
+            .map(|i| ((src[i] + 2 * src[i + 1] + src[i + 2]) as u32 >> 2) as i32)
+            .collect()
+    };
+    let t = pass(&iv, (n - 2) as usize);
+    let o = pass(&t, (n - 4) as usize);
+    let expected = crate::checksum_bytes(&data::i32_bytes(&o));
+
+    BuiltWorkload {
+        kernel,
+        init: Box::new(move |m| {
+            m.mem.write_bytes(li, &data::i32_bytes(&iv));
+        }),
+        out_region: (lo, (n - 4) * 4),
+        expected,
+    }
+}

@@ -1,0 +1,126 @@
+//! MM 64×64: single-precision matrix multiply in saxpy form.
+//!
+//! `C[i][j] += A[i][k] * B[k][j]` with the `j` loop innermost: two raw
+//! outer loops drive one vectorizable count loop whose pointers (the `C`
+//! and `B` rows) and scalar (`s = A[i][k]`) change per entry — the
+//! loop-nest reuse case the DSA cache accelerates.
+
+use dsa_compiler::{Body, DataType, Expr, KernelBuilder, LoopIr, Trip, Variant};
+use dsa_isa::{Cond, MemSize, Reg};
+
+use crate::data;
+use crate::{BuiltWorkload, Scale};
+
+pub(crate) fn build(variant: Variant, scale: Scale) -> BuiltWorkload {
+    let n: u32 = match scale {
+        Scale::Small => 8,
+        Scale::Paper => 64,
+    };
+    let log2n = n.trailing_zeros() as i16;
+
+    let mut kb = KernelBuilder::new(variant);
+    let a = kb.alloc("a", DataType::F32, n * n);
+    let b = kb.alloc("b", DataType::F32, n * n);
+    let c = kb.alloc("c", DataType::F32, n * n);
+    let locals = kb.alloc("locals", DataType::I32, 2);
+    let (la, lb, lc, ll) = (
+        kb.layout().buf(a).base,
+        kb.layout().buf(b).base,
+        kb.layout().buf(c).base,
+        kb.layout().buf(locals).base,
+    );
+
+    // locals[0] = i, locals[1] = k.
+    let (outer_i, outer_k);
+    {
+        let asm = kb.asm_mut();
+        asm.mov_imm(Reg::R6, 0);
+        asm.mov_imm(Reg::R12, ll as i32);
+        asm.str(Reg::R6, Reg::R12, 0); // i = 0
+        outer_i = asm.here();
+        asm.mov_imm(Reg::R6, 0);
+        asm.mov_imm(Reg::R12, ll as i32);
+        asm.str(Reg::R6, Reg::R12, 4); // k = 0
+        outer_k = asm.here();
+        // r6 = i, r7 = k.
+        asm.mov_imm(Reg::R12, ll as i32);
+        asm.ldr(Reg::R6, Reg::R12, 0);
+        asm.ldr(Reg::R7, Reg::R12, 4);
+        // r10 = s = A[i*n + k].
+        asm.lsl_imm(Reg::R8, Reg::R6, log2n);
+        asm.add(Reg::R8, Reg::R8, Reg::R7);
+        asm.lsl_imm(Reg::R8, Reg::R8, 2);
+        asm.mov_imm(Reg::R9, la as i32);
+        asm.add(Reg::R8, Reg::R9, Reg::R8);
+        asm.emit(dsa_isa::Instr::Ldr {
+            rd: Reg::R10,
+            rn: Reg::R8,
+            mode: dsa_isa::AddrMode::Offset(0),
+            size: MemSize::W,
+        });
+        // r11 = &C[i*n], r12 = &B[k*n].
+        asm.lsl_imm(Reg::R11, Reg::R6, log2n + 2);
+        asm.mov_imm(Reg::R9, lc as i32);
+        asm.add(Reg::R11, Reg::R9, Reg::R11);
+        asm.lsl_imm(Reg::R12, Reg::R7, log2n + 2);
+        asm.mov_imm(Reg::R9, lb as i32);
+        asm.add(Reg::R12, Reg::R9, Reg::R12);
+    }
+
+    // Inner saxpy loop: c[j] = c[j] + s * b[j].
+    kb.emit_loop(LoopIr {
+        name: "mm_saxpy".into(),
+        trip: Trip::Const(n),
+        elem: DataType::F32,
+        body: Body::Map {
+            dst: c.at(0),
+            expr: Expr::load(c.at(0)) + Expr::Var(0) * Expr::load(b.at(0)),
+        },
+        ptr_overrides: vec![(c, Reg::R11), (b, Reg::R12)],
+        ..LoopIr::default()
+    });
+
+    {
+        let asm = kb.asm_mut();
+        // k++.
+        asm.mov_imm(Reg::R12, ll as i32);
+        asm.ldr(Reg::R7, Reg::R12, 4);
+        asm.add_imm(Reg::R7, Reg::R7, 1);
+        asm.str(Reg::R7, Reg::R12, 4);
+        asm.cmp_imm(Reg::R7, n as i16);
+        asm.b_to(Cond::Lt, outer_k);
+        // i++.
+        asm.ldr(Reg::R6, Reg::R12, 0);
+        asm.add_imm(Reg::R6, Reg::R6, 1);
+        asm.str(Reg::R6, Reg::R12, 0);
+        asm.cmp_imm(Reg::R6, n as i16);
+        asm.b_to(Cond::Lt, outer_i);
+        asm.halt();
+    }
+    let kernel = kb.finish();
+
+    // Inputs and the reference result (identical operation order).
+    let av = data::floats(0x11, (n * n) as usize, -1.0, 2.0);
+    let bv = data::floats(0x22, (n * n) as usize, -1.0, 2.0);
+    let mut cref = vec![0f32; (n * n) as usize];
+    for i in 0..n as usize {
+        for k in 0..n as usize {
+            let s = av[i * n as usize + k];
+            for j in 0..n as usize {
+                cref[i * n as usize + j] += s * bv[k * n as usize + j];
+            }
+        }
+    }
+    let expected = crate::checksum_bytes(&data::f32_bytes(&cref));
+
+    let (av2, bv2) = (av, bv);
+    BuiltWorkload {
+        kernel,
+        init: Box::new(move |m| {
+            m.mem.write_bytes(la, &data::f32_bytes(&av2));
+            m.mem.write_bytes(lb, &data::f32_bytes(&bv2));
+        }),
+        out_region: (lc, n * n * 4),
+        expected,
+    }
+}

@@ -1,0 +1,128 @@
+//! Q Sort: iterative quicksort (Lomuto partition) with an explicit work
+//! stack — the low-DLP workload. A tiny per-partition pivot-sampling
+//! count loop is the only vectorizable region; its trip (4) is short
+//! enough that static vectorization costs more than it saves, while the
+//! DSA's profitability gate leaves it scalar.
+
+use dsa_compiler::{Body, DataType, Expr, KernelBuilder, LoopIr, Trip, Variant};
+use dsa_cpu::DEFAULT_SP;
+use dsa_isa::{Cond, MemSize, Reg};
+
+use crate::data;
+use crate::{BuiltWorkload, Scale};
+
+pub(crate) fn build(variant: Variant, scale: Scale) -> BuiltWorkload {
+    let n: u32 = match scale {
+        Scale::Small => 128,
+        Scale::Paper => 2048,
+    };
+
+    let mut kb = KernelBuilder::new(variant);
+    let arr = kb.alloc("arr", DataType::I32, n);
+    let sample = kb.alloc("sample", DataType::I32, 4);
+    let locals = kb.alloc("locals", DataType::I32, 2);
+    let la = kb.layout().buf(arr).base;
+    let ll = kb.layout().buf(locals).base;
+    let _ = sample;
+
+    let (main_top, done);
+    {
+        let asm = kb.asm_mut();
+        // Push the initial (lo=0, hi=n-1) range.
+        asm.mov_imm(Reg::R0, 0);
+        asm.push(Reg::R0);
+        asm.mov_imm(Reg::R0, (n - 1) as i32);
+        asm.push(Reg::R0);
+        main_top = asm.here();
+        done = asm.new_label();
+        // Empty stack -> done.
+        asm.mov_imm(Reg::R7, DEFAULT_SP as i32);
+        asm.cmp(Reg::SP, Reg::R7);
+        asm.b_to(Cond::Eq, done);
+        asm.pop(Reg::R1); // hi
+        asm.pop(Reg::R0); // lo
+        asm.cmp(Reg::R0, Reg::R1);
+        asm.b_to(Cond::Ge, main_top);
+        // Spill lo/hi around the sample loop.
+        asm.mov_imm(Reg::R12, ll as i32);
+        asm.str(Reg::R0, Reg::R12, 0);
+        asm.str(Reg::R1, Reg::R12, 4);
+        // r11 = &arr[lo] for the sample loop.
+        asm.lsl_imm(Reg::R11, Reg::R0, 2);
+        asm.mov_imm(Reg::R9, la as i32);
+        asm.add(Reg::R11, Reg::R9, Reg::R11);
+    }
+
+    // Pivot sampling: copy 3 candidates — a trip so short that static
+    // vectorization strictly loses (setup + runtime checks, no full
+    // vector), while the DSA's profitability gate leaves it alone.
+    kb.emit_loop(LoopIr {
+        name: "pivot_sample".into(),
+        trip: Trip::Const(3),
+        elem: DataType::I32,
+        body: Body::Map { dst: sample.at(0), expr: Expr::load(arr.at(0)) },
+        ptr_overrides: vec![(arr, Reg::R11)],
+        ..LoopIr::default()
+    });
+
+    {
+        let asm = kb.asm_mut();
+        // Reload state.
+        asm.mov_imm(Reg::R12, ll as i32);
+        asm.ldr(Reg::R0, Reg::R12, 0); // lo
+        asm.ldr(Reg::R1, Reg::R12, 4); // hi
+        asm.mov_imm(Reg::R4, la as i32);
+        // Lomuto: pivot = arr[hi].
+        asm.ldr_idx(Reg::R5, Reg::R4, Reg::R1, 2, MemSize::W);
+        asm.mov(Reg::R2, Reg::R0);
+        asm.sub_imm(Reg::R2, Reg::R2, 1); // i = lo - 1
+        asm.mov(Reg::R3, Reg::R0); // j = lo
+        let part_top = asm.here();
+        let part_done = asm.new_label();
+        asm.cmp(Reg::R3, Reg::R1);
+        asm.b_to(Cond::Ge, part_done);
+        asm.ldr_idx(Reg::R6, Reg::R4, Reg::R3, 2, MemSize::W);
+        asm.cmp(Reg::R6, Reg::R5);
+        let no_swap = asm.new_label();
+        asm.b_to(Cond::Gt, no_swap);
+        asm.add_imm(Reg::R2, Reg::R2, 1);
+        asm.ldr_idx(Reg::R7, Reg::R4, Reg::R2, 2, MemSize::W);
+        asm.str_idx(Reg::R6, Reg::R4, Reg::R2, 2, MemSize::W);
+        asm.str_idx(Reg::R7, Reg::R4, Reg::R3, 2, MemSize::W);
+        asm.bind(no_swap);
+        asm.add_imm(Reg::R3, Reg::R3, 1);
+        asm.b(part_top);
+        asm.bind(part_done);
+        // p = i + 1; swap arr[p] <-> arr[hi].
+        asm.add_imm(Reg::R2, Reg::R2, 1);
+        asm.ldr_idx(Reg::R6, Reg::R4, Reg::R2, 2, MemSize::W);
+        asm.ldr_idx(Reg::R7, Reg::R4, Reg::R1, 2, MemSize::W);
+        asm.str_idx(Reg::R7, Reg::R4, Reg::R2, 2, MemSize::W);
+        asm.str_idx(Reg::R6, Reg::R4, Reg::R1, 2, MemSize::W);
+        // Push (lo, p-1) and (p+1, hi).
+        asm.push(Reg::R0);
+        asm.sub_imm(Reg::R8, Reg::R2, 1);
+        asm.push(Reg::R8);
+        asm.add_imm(Reg::R8, Reg::R2, 1);
+        asm.push(Reg::R8);
+        asm.push(Reg::R1);
+        asm.b(main_top);
+        asm.bind(done);
+        asm.halt();
+    }
+    let kernel = kb.finish();
+
+    let av = data::ints(0x61, n as usize, 0, 30_000);
+    let mut sorted = av.clone();
+    sorted.sort_unstable();
+    let expected = crate::checksum_bytes(&data::i32_bytes(&sorted));
+
+    BuiltWorkload {
+        kernel,
+        init: Box::new(move |m| {
+            m.mem.write_bytes(la, &data::i32_bytes(&av));
+        }),
+        out_region: (la, n * 4),
+        expected,
+    }
+}

@@ -1,0 +1,63 @@
+//! RGB → grayscale: one large fixed-point count loop.
+//!
+//! `gray[i] = (77·r[i] + 150·g[i] + 29·b[i]) >> 8` over planar channel
+//! arrays — the highest-DLP workload of the suite.
+
+use dsa_compiler::{Body, DataType, Expr, KernelBuilder, LoopIr, Trip, Variant};
+
+use crate::data;
+use crate::{BuiltWorkload, Scale};
+
+pub(crate) fn build(variant: Variant, scale: Scale) -> BuiltWorkload {
+    let n: u32 = match scale {
+        Scale::Small => 512,
+        Scale::Paper => 16384,
+    };
+
+    let mut kb = KernelBuilder::new(variant);
+    let r = kb.alloc("r", DataType::I32, n);
+    let g = kb.alloc("g", DataType::I32, n);
+    let b = kb.alloc("b", DataType::I32, n);
+    let gray = kb.alloc("gray", DataType::I32, n);
+    let (lr, lg, lb, lgray) = (
+        kb.layout().buf(r).base,
+        kb.layout().buf(g).base,
+        kb.layout().buf(b).base,
+        kb.layout().buf(gray).base,
+    );
+
+    kb.emit_loop(LoopIr {
+        name: "rgb_to_gray".into(),
+        trip: Trip::Const(n),
+        elem: DataType::I32,
+        body: Body::Map {
+            dst: gray.at(0),
+            expr: (Expr::Imm(77) * Expr::load(r.at(0))
+                + Expr::Imm(150) * Expr::load(g.at(0))
+                + Expr::Imm(29) * Expr::load(b.at(0)))
+            .shr(8),
+        },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    let kernel = kb.finish();
+
+    let rv = data::ints(0x31, n as usize, 0, 256);
+    let gv = data::ints(0x32, n as usize, 0, 256);
+    let bv = data::ints(0x33, n as usize, 0, 256);
+    let reference: Vec<i32> = (0..n as usize)
+        .map(|i| ((77 * rv[i] + 150 * gv[i] + 29 * bv[i]) as u32 >> 8) as i32)
+        .collect();
+    let expected = crate::checksum_bytes(&data::i32_bytes(&reference));
+
+    BuiltWorkload {
+        kernel,
+        init: Box::new(move |m| {
+            m.mem.write_bytes(lr, &data::i32_bytes(&rv));
+            m.mem.write_bytes(lg, &data::i32_bytes(&gv));
+            m.mem.write_bytes(lb, &data::i32_bytes(&bv));
+        }),
+        out_region: (lgray, n * 4),
+        expected,
+    }
+}

@@ -1,0 +1,96 @@
+//! SUSAN-style edge detection: a conditional thresholding loop, a count
+//! smoothing loop and a non-vectorizable histogram — the medium-DLP mix
+//! of the paper.
+
+use dsa_compiler::{Body, CmpOp, DataType, Expr, KernelBuilder, LoopIr, Trip, Variant};
+use dsa_isa::{Cond, MemSize, Reg};
+
+use crate::data;
+use crate::{BuiltWorkload, Scale};
+
+const THRESHOLD: i32 = 100;
+
+pub(crate) fn build(variant: Variant, scale: Scale) -> BuiltWorkload {
+    let n: u32 = match scale {
+        Scale::Small => 512,
+        Scale::Paper => 8192,
+    };
+
+    let mut kb = KernelBuilder::new(variant);
+    let input = kb.alloc("in", DataType::I32, n);
+    let edge = kb.alloc("edge", DataType::I32, n);
+    let out = kb.alloc("out", DataType::I32, n);
+    let hist = kb.alloc("hist", DataType::I32, 32);
+    let (li, lo, lh) = (
+        kb.layout().buf(input).base,
+        kb.layout().buf(edge).base, // (edge base unused by init)
+        kb.layout().buf(hist).base,
+    );
+    let lout = kb.layout().buf(out).base;
+    let _ = lo;
+
+    // Phase 1 — conditional thresholding (the USAN response).
+    kb.emit_loop(LoopIr {
+        name: "susan_threshold".into(),
+        trip: Trip::Const(n),
+        elem: DataType::I32,
+        body: Body::Select {
+            cond_lhs: Expr::load(input.at(0)),
+            cmp: CmpOp::Gt,
+            cond_rhs: Expr::Imm(THRESHOLD),
+            then_dst: edge.at(0),
+            then_expr: Expr::load(input.at(0)) - Expr::Imm(THRESHOLD),
+            else_arm: Some((edge.at(0), Expr::Imm(0))),
+        },
+        ..LoopIr::default()
+    });
+
+    // Phase 2 — smoothing of the response (count loop).
+    kb.emit_loop(LoopIr {
+        name: "susan_smooth".into(),
+        trip: Trip::Const(n - 1),
+        elem: DataType::I32,
+        body: Body::Map {
+            dst: out.at(0),
+            expr: (Expr::load(edge.at(0)) + Expr::load(edge.at(1))).shr(1),
+        },
+        ..LoopIr::default()
+    });
+
+    // Phase 3 — brightness histogram (indirect addressing: never
+    // vectorized by anything).
+    {
+        let asm = kb.asm_mut();
+        asm.mov_imm(Reg::R2, li as i32);
+        asm.mov_imm(Reg::R3, lh as i32);
+        asm.mov_imm(Reg::R0, 0);
+        let top = asm.here();
+        asm.ldr_post(Reg::R6, Reg::R2, 4);
+        asm.and_imm(Reg::R6, Reg::R6, 31);
+        asm.ldr_idx(Reg::R7, Reg::R3, Reg::R6, 2, MemSize::W);
+        asm.add_imm(Reg::R7, Reg::R7, 1);
+        asm.str_idx(Reg::R7, Reg::R3, Reg::R6, 2, MemSize::W);
+        asm.add_imm(Reg::R0, Reg::R0, 1);
+        asm.cmp_imm(Reg::R0, n as i16);
+        asm.b_to(Cond::Ne, top);
+        asm.halt();
+    }
+    let kernel = kb.finish();
+
+    let iv = data::ints(0x51, n as usize, 0, 256);
+    let edge_ref: Vec<i32> =
+        iv.iter().map(|&v| if v > THRESHOLD { v - THRESHOLD } else { 0 }).collect();
+    let out_ref: Vec<i32> = (0..(n - 1) as usize)
+        .map(|i| ((edge_ref[i] + edge_ref[i + 1]) as u32 >> 1) as i32)
+        .collect();
+    let expected = crate::checksum_bytes(&data::i32_bytes(&out_ref));
+
+    BuiltWorkload {
+        kernel,
+        init: Box::new(move |m| {
+            m.mem.write_bytes(li, &data::i32_bytes(&iv));
+        }),
+        out_region: (lout, (n - 1) * 4),
+        expected,
+    }
+}

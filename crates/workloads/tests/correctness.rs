@@ -1,0 +1,120 @@
+//! Every workload must reproduce its Rust reference result under every
+//! compiler variant and under the DSA.
+
+use dsa_compiler::Variant;
+use dsa_core::{Dsa, DsaConfig};
+use dsa_cpu::{CpuConfig, Simulator};
+use dsa_workloads::{build, micro, BuiltWorkload, Scale, WorkloadId};
+
+const FUEL: u64 = 100_000_000;
+
+fn run(w: &BuiltWorkload) -> Simulator {
+    let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+    (w.init)(sim.machine_mut());
+    let out = sim.run(FUEL).expect("execution ok");
+    assert!(out.halted, "workload must halt");
+    sim
+}
+
+fn run_with_dsa(w: &BuiltWorkload, config: DsaConfig) -> (Simulator, Dsa) {
+    let mut dsa = Dsa::new(config);
+    let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+    (w.init)(sim.machine_mut());
+    let out = sim.run_with_hook(FUEL, &mut dsa).expect("execution ok");
+    assert!(out.halted, "workload must halt");
+    (sim, dsa)
+}
+
+#[test]
+fn all_workloads_all_variants_match_reference() {
+    for id in WorkloadId::all() {
+        for variant in [Variant::Scalar, Variant::AutoVec, Variant::HandVec] {
+            let w = build(id, variant, Scale::Small);
+            let sim = run(&w);
+            assert!(
+                w.check(sim.machine()),
+                "{} [{variant:?}]: got {:#x}, want {:#x}",
+                id.name(),
+                w.actual(sim.machine()),
+                w.expected
+            );
+        }
+    }
+}
+
+#[test]
+fn all_workloads_under_full_dsa_match_reference() {
+    for id in WorkloadId::all() {
+        let w = build(id, Variant::Scalar, Scale::Small);
+        let (sim, _dsa) = run_with_dsa(&w, DsaConfig::full());
+        assert!(w.check(sim.machine()), "{} under full DSA", id.name());
+    }
+}
+
+#[test]
+fn all_workloads_under_original_dsa_match_reference() {
+    for id in WorkloadId::all() {
+        let w = build(id, Variant::Scalar, Scale::Small);
+        let (sim, _dsa) = run_with_dsa(&w, DsaConfig::original());
+        assert!(w.check(sim.machine()), "{} under original DSA", id.name());
+    }
+}
+
+#[test]
+fn all_microkernels_all_variants_match_reference() {
+    for m in micro::Micro::all() {
+        for variant in [Variant::Scalar, Variant::AutoVec, Variant::HandVec] {
+            let w = micro::build(m, variant, Scale::Small);
+            let sim = run(&w);
+            assert!(w.check(sim.machine()), "micro {} [{variant:?}]", m.name());
+        }
+        let w = micro::build(m, Variant::Scalar, Scale::Small);
+        let (sim, _dsa) = run_with_dsa(&w, DsaConfig::full());
+        assert!(w.check(sim.machine()), "micro {} under DSA", m.name());
+    }
+}
+
+#[test]
+fn dsa_vectorizes_the_expected_workloads() {
+    use dsa_core::LoopClass;
+    // RGB-Gray: one big count loop, vectorized even by the original DSA.
+    let w = build(WorkloadId::RgbGray, Variant::Scalar, Scale::Small);
+    let (_, dsa) = run_with_dsa(&w, DsaConfig::original());
+    assert!(dsa.stats().loops_vectorized >= 1);
+    assert_eq!(dsa.census().count(LoopClass::Count), 1);
+
+    // BitCounts: the original DSA only reaches the static init loop …
+    let w = build(WorkloadId::BitCounts, Variant::Scalar, Scale::Small);
+    let (sim_o, dsa_o) = run_with_dsa(&w, DsaConfig::original());
+    assert!(dsa_o.stats().loops_vectorized <= 1, "init loop at most");
+    assert_eq!(dsa_o.census().count(LoopClass::Conditional), 1, "bit-test loop gated off");
+    // … while the extended DSA covers the conditional dynamic-range
+    // rounds too and runs strictly faster.
+    let (sim_e, dsa_e) = run_with_dsa(&w, DsaConfig::extended());
+    assert!(
+        dsa_e.stats().loops_vectorized > dsa_o.stats().loops_vectorized,
+        "extended DSA handles BitCounts rounds"
+    );
+    assert!(sim_e.outcome().cycles < sim_o.outcome().cycles);
+
+    // Dijkstra: the relax loop is conditional.
+    let w = build(WorkloadId::Dijkstra, Variant::Scalar, Scale::Small);
+    let (_, dsa) = run_with_dsa(&w, DsaConfig::extended());
+    assert!(dsa.census().count(LoopClass::Conditional) >= 1);
+}
+
+#[test]
+fn autovec_reports_expected_verdicts() {
+    let w = build(WorkloadId::BitCounts, Variant::AutoVec, Scale::Small);
+    let vectorized: Vec<_> =
+        w.kernel.reports.iter().filter(|r| r.vectorized).map(|r| r.name.clone()).collect();
+    assert_eq!(vectorized, vec!["bitcnt_init"], "only the static init loop");
+
+    let w = build(WorkloadId::MatMul, Variant::AutoVec, Scale::Small);
+    assert!(w.kernel.reports.iter().all(|r| r.vectorized), "saxpy inner loop vectorizes");
+
+    let w = build(WorkloadId::SusanEdges, Variant::AutoVec, Scale::Small);
+    let by_name = |n: &str| w.kernel.reports.iter().find(|r| r.name == n).expect("report");
+    assert!(!by_name("susan_threshold").vectorized);
+    assert!(by_name("susan_smooth").vectorized);
+}

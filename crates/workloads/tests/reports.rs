@@ -1,0 +1,88 @@
+//! The per-loop lowering reports of every workload: which loops exist,
+//! and which each static baseline vectorizes — the workload-level
+//! counterpart of the dissertation's Table 1.
+
+use dsa_compiler::{InhibitReason, Variant};
+use dsa_workloads::{build, Scale, WorkloadId};
+
+fn reports(id: WorkloadId, variant: Variant) -> Vec<(String, bool, Option<InhibitReason>)> {
+    build(id, variant, Scale::Small)
+        .kernel
+        .reports
+        .iter()
+        .map(|r| (r.name.clone(), r.vectorized, r.inhibit))
+        .collect()
+}
+
+#[test]
+fn matmul_inner_loop_vectorizes_statically() {
+    for v in [Variant::AutoVec, Variant::HandVec] {
+        let r = reports(WorkloadId::MatMul, v);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].1, "{v:?} vectorizes the saxpy loop");
+    }
+}
+
+#[test]
+fn susan_reports_by_variant() {
+    let r = reports(WorkloadId::SusanEdges, Variant::AutoVec);
+    let find = |n: &str| r.iter().find(|(name, ..)| name == n).expect("loop present");
+    assert_eq!(find("susan_threshold").2, Some(InhibitReason::ConditionalCode));
+    assert!(find("susan_smooth").1);
+}
+
+#[test]
+fn bitcounts_reports_by_variant() {
+    let auto = reports(WorkloadId::BitCounts, Variant::AutoVec);
+    let vectorized: Vec<&str> =
+        auto.iter().filter(|(_, v, _)| *v).map(|(n, ..)| n.as_str()).collect();
+    assert_eq!(vectorized, ["bitcnt_init"], "autovec only reaches the static init");
+    let find = |n: &str| auto.iter().find(|(name, ..)| name == n).expect("loop present");
+    // Both the runtime trip and the conditional body inhibit; the trip
+    // check fires first.
+    assert_eq!(find("bitcnt_test").2, Some(InhibitReason::IterationCountNotFixed));
+    assert_eq!(find("bitcnt_ntbl").2, Some(InhibitReason::IndirectAddressing));
+    assert_eq!(find("bitcnt_sum").2, Some(InhibitReason::IterationCountNotFixed));
+
+    // The hand-coder also vectorizes the runtime-trip integer reduction.
+    let hand = reports(WorkloadId::BitCounts, Variant::HandVec);
+    let find = |n: &str| hand.iter().find(|(name, ..)| name == n).expect("loop present");
+    assert!(find("bitcnt_sum").1, "handvec vectorizes the add-reduction");
+}
+
+#[test]
+fn dijkstra_reports_by_variant() {
+    let r = reports(WorkloadId::Dijkstra, Variant::AutoVec);
+    let find = |n: &str| r.iter().find(|(name, ..)| name == n).expect("loop present");
+    assert!(find("dijkstra_init").1, "plain init loop vectorizes");
+    assert_eq!(find("dijkstra_relax").2, Some(InhibitReason::ConditionalCode));
+    assert!(find("dijkstra_snapshot").1, "the tiny trap loop is versioned anyway");
+}
+
+#[test]
+fn qsort_trap_loop_is_vectorized_by_autovec_only_profitably_by_nobody() {
+    let auto = reports(WorkloadId::QSort, Variant::AutoVec);
+    assert!(auto[0].1, "autovec versions the 3-trip sample loop");
+    let scalar = reports(WorkloadId::QSort, Variant::Scalar);
+    assert!(!scalar[0].1);
+}
+
+#[test]
+fn scalar_variant_never_vectorizes() {
+    for id in WorkloadId::all() {
+        for r in reports(id, Variant::Scalar) {
+            assert!(!r.1, "{}: loop {} must stay scalar", id.name(), r.0);
+        }
+    }
+}
+
+#[test]
+fn every_workload_has_named_loops() {
+    for id in WorkloadId::all() {
+        let r = reports(id, Variant::Scalar);
+        assert!(!r.is_empty(), "{} declares loops", id.name());
+        for (name, ..) in &r {
+            assert!(!name.is_empty());
+        }
+    }
+}

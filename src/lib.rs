@@ -1,0 +1,21 @@
+//! Umbrella crate for the Dynamic SIMD Assembler (DSA) reproduction.
+//!
+//! Re-exports every layer of the stack so the examples and integration
+//! tests can depend on a single crate:
+//!
+//! * [`isa`] — the ARMv7-inspired instruction set.
+//! * [`mem`] — the L1/L2/DRAM memory hierarchy.
+//! * [`cpu`] — the superscalar + NEON-engine timing simulator.
+//! * [`compiler`] — the loop IR with scalar / auto-vectorized /
+//!   hand-vectorized code generators.
+//! * [`core`] — the Dynamic SIMD Assembler itself.
+//! * [`energy`] — the energy and area models.
+//! * [`workloads`] — the benchmark suite.
+
+pub use dsa_compiler as compiler;
+pub use dsa_core as core;
+pub use dsa_cpu as cpu;
+pub use dsa_energy as energy;
+pub use dsa_isa as isa;
+pub use dsa_mem as mem;
+pub use dsa_workloads as workloads;

@@ -1,0 +1,238 @@
+//! The crown-jewel invariant (DESIGN.md §7.1): for *randomized* loop
+//! programs, the scalar build, the auto-vectorized build, the
+//! hand-vectorized build and the scalar build running under the DSA all
+//! produce identical final memory.
+
+use dsa_suite::compiler::{
+    Body, CmpOp, DataType, Expr, KernelBuilder, LoopIr, Trip, Variant,
+};
+use dsa_suite::core::{Dsa, DsaConfig};
+use dsa_suite::cpu::{CpuConfig, Machine, Simulator};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct LoopSpec {
+    trip_kind: u8,
+    trip: u32,
+    elem: u8,
+    body_kind: u8,
+    op_seed: u8,
+    imm: i16,
+    dst_equals_src: bool,
+    dst_offset: u8,
+    data_seed: u64,
+    cmp_kind: u8,
+    threshold: i16,
+}
+
+fn any_spec() -> impl Strategy<Value = LoopSpec> {
+    (
+        0u8..3,
+        1u32..70,
+        0u8..3,
+        0u8..3,
+        any::<u8>(),
+        -50i16..50,
+        any::<bool>(),
+        0u8..3,
+        any::<u64>(),
+        0u8..6,
+        -40i16..40,
+    )
+        .prop_map(
+            |(
+                trip_kind,
+                trip,
+                elem,
+                body_kind,
+                op_seed,
+                imm,
+                dst_equals_src,
+                dst_offset,
+                data_seed,
+                cmp_kind,
+                threshold,
+            )| LoopSpec {
+                trip_kind,
+                trip,
+                elem,
+                body_kind,
+                op_seed,
+                imm,
+                dst_equals_src,
+                dst_offset,
+                data_seed,
+                cmp_kind,
+                threshold,
+            },
+        )
+}
+
+fn pick_op(seed: u8, a: Expr, b: Expr) -> Expr {
+    use dsa_suite::compiler::BinOp;
+    let op = match seed % 5 {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::And,
+        _ => BinOp::Eor,
+    };
+    Expr::bin(op, a, b)
+}
+
+fn pick_cmp(seed: u8) -> CmpOp {
+    match seed % 6 {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Le,
+    }
+}
+
+/// Builds the kernel described by `spec` for `variant` and returns the
+/// final memory digest after execution (with or without the DSA).
+fn digest(spec: &LoopSpec, variant: Variant, dsa: Option<DsaConfig>) -> u64 {
+    let elem = match spec.elem {
+        0 => DataType::I8,
+        1 => DataType::I32,
+        _ => DataType::F32,
+    };
+    // Sentinel loops operate on bytes with a guaranteed terminator.
+    let sentinel = spec.trip_kind == 2;
+    let elem = if sentinel { DataType::I8 } else { elem };
+
+    let alloc = 96u32;
+    let mut kb = KernelBuilder::new(variant);
+    let src = kb.alloc("src", elem, alloc);
+    let aux = kb.alloc("aux", elem, alloc);
+    let dst = kb.alloc("dst", elem, alloc + 4);
+    let (ls, la2) = (kb.layout().buf(src).base, kb.layout().buf(aux).base);
+
+    let trip = match spec.trip_kind {
+        0 => Trip::Const(spec.trip),
+        1 => {
+            kb.asm_mut().mov_imm(dsa_suite::compiler::regs::PARAM[1], spec.trip as i32);
+            Trip::Reg(dsa_suite::compiler::regs::PARAM[1])
+        }
+        _ => Trip::Sentinel { buf: src, value: 0 },
+    };
+
+    // Destination: either a fresh buffer or an in-place/offset update of
+    // `src` (offset updates create cross-iteration dependencies that the
+    // analyses must handle soundly).
+    let dst_acc = if spec.dst_equals_src && !sentinel {
+        src.at(spec.dst_offset as i32)
+    } else {
+        dst.at(0)
+    };
+
+    let base_expr = || {
+        pick_op(
+            spec.op_seed,
+            Expr::load(src.at(0)),
+            pick_op(spec.op_seed / 5, Expr::load(aux.at(0)), Expr::Imm(spec.imm as i32)),
+        )
+    };
+    let body = match (spec.body_kind, sentinel) {
+        (_, true) | (0, _) => Body::Map { dst: dst_acc, expr: base_expr() },
+        (1, _) => Body::Select {
+            cond_lhs: Expr::load(src.at(0)),
+            cmp: pick_cmp(spec.cmp_kind),
+            cond_rhs: Expr::Imm(spec.threshold as i32),
+            then_dst: dst_acc,
+            then_expr: base_expr(),
+            else_arm: if spec.op_seed.is_multiple_of(2) {
+                Some((dst_acc, Expr::load(aux.at(0))))
+            } else {
+                None
+            },
+        },
+        _ => Body::Reduce {
+            op: dsa_suite::compiler::BinOp::Add,
+            expr: base_expr(),
+            out: dst.at(0),
+            init: if spec.op_seed.is_multiple_of(3) { 5 } else { 0 },
+        },
+    };
+
+    // Float loops cannot use And/Eor meaningfully, but the semantics are
+    // still deterministic bitwise ops — acceptable for an equivalence
+    // test. Shifts are not generated (float-illegal).
+    kb.emit_loop(LoopIr {
+        name: "random".into(),
+        trip,
+        elem,
+        body,
+        ..LoopIr::default()
+    });
+    kb.halt();
+    let kernel = kb.finish();
+
+    let mut sim = Simulator::new(kernel.program, CpuConfig::default());
+    init_data(sim.machine_mut(), ls, la2, alloc, elem, spec, sentinel);
+    match dsa {
+        Some(cfg) => {
+            let mut hook = Dsa::new(cfg);
+            sim.run_with_hook(5_000_000, &mut hook).expect("runs")
+        }
+        None => sim.run(5_000_000).expect("runs"),
+    };
+    assert!(sim.machine().is_halted(), "random kernel must halt");
+    sim.machine().mem.digest()
+}
+
+fn init_data(
+    m: &mut Machine,
+    ls: u32,
+    la: u32,
+    alloc: u32,
+    elem: DataType,
+    spec: &LoopSpec,
+    sentinel: bool,
+) {
+    let mut state = spec.data_seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    for i in 0..alloc {
+        match elem {
+            DataType::I8 => {
+                let v = if sentinel {
+                    if i == spec.trip.min(alloc - 1) { 0 } else { (next() % 99 + 1) as u8 }
+                } else {
+                    next() as u8
+                };
+                m.mem.write_u8(ls + i, v);
+                m.mem.write_u8(la + i, next() as u8);
+            }
+            DataType::I32 => {
+                m.mem.write_u32(ls + 4 * i, next() % 100_000);
+                m.mem.write_u32(la + 4 * i, next() % 100_000);
+            }
+            _ => {
+                m.mem.write_f32(ls + 4 * i, (next() % 256) as f32 / 8.0);
+                m.mem.write_f32(la + 4 * i, (next() % 256) as f32 / 8.0);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_systems_agree_on_random_loops(spec in any_spec()) {
+        let scalar = digest(&spec, Variant::Scalar, None);
+        let autovec = digest(&spec, Variant::AutoVec, None);
+        prop_assert_eq!(scalar, autovec, "autovec diverged: {:?}", spec);
+        let handvec = digest(&spec, Variant::HandVec, None);
+        prop_assert_eq!(scalar, handvec, "handvec diverged: {:?}", spec);
+        let dsa_full = digest(&spec, Variant::Scalar, Some(DsaConfig::full()));
+        prop_assert_eq!(scalar, dsa_full, "full DSA diverged: {:?}", spec);
+        let dsa_orig = digest(&spec, Variant::Scalar, Some(DsaConfig::original()));
+        prop_assert_eq!(scalar, dsa_orig, "original DSA diverged: {:?}", spec);
+    }
+}
