@@ -3,10 +3,10 @@
 //! benchmarks of the *simulator stack itself* (events per second), run
 //! at small scale so the suite completes quickly.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use dsa_core::{Dsa, DsaConfig};
-use dsa_cpu::{CpuConfig, Simulator};
+use dsa_cpu::{CommitHook, CpuConfig, Simulator};
 use dsa_workloads::{build, BuiltWorkload, Scale, WorkloadId};
 
 fn simulate(w: &BuiltWorkload, dsa: bool) -> u64 {
@@ -48,5 +48,46 @@ fn bench_workloads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_workloads);
+/// One prepared simulator per iteration, so the dispatch comparison
+/// measures only the run loop.
+fn prepared(w: &BuiltWorkload) -> Simulator {
+    let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+    (w.init)(sim.machine_mut());
+    for buf in w.kernel.layout.bufs() {
+        sim.warm_region(buf.base, buf.size_bytes());
+    }
+    sim
+}
+
+/// Virtual dispatch (`&mut dyn CommitHook`) vs the monomorphized
+/// generic fast path, on the same workload and hook. The generic path
+/// inlines `Dsa::on_commit` into the step loop; the dyn path pays an
+/// indirect call per committed instruction.
+fn bench_hook_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hook-dispatch");
+    group.sample_size(20);
+    let w = build(WorkloadId::RgbGray, dsa_compiler::Variant::Scalar, Scale::Small);
+    group.bench_function("dyn-hook", |b| {
+        b.iter(|| {
+            let mut sim = prepared(&w);
+            let mut hook = Dsa::new(DsaConfig::full());
+            let dyn_hook: &mut dyn CommitHook = &mut hook;
+            let out = sim.run_with_dyn_hook(100_000_000, dyn_hook).expect("runs");
+            assert!(out.halted);
+            black_box(out.committed)
+        })
+    });
+    group.bench_function("generic-hook", |b| {
+        b.iter(|| {
+            let mut sim = prepared(&w);
+            let mut hook = Dsa::new(DsaConfig::full());
+            let out = sim.run_with_hook(100_000_000, &mut hook).expect("runs");
+            assert!(out.halted);
+            black_box(out.committed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads, bench_hook_dispatch);
 criterion_main!(benches);

@@ -1,30 +1,66 @@
 //! Runs every experiment of the reproduction in sequence — the paper's
 //! complete evaluation section.
+//!
+//! Before any figure renders, the full (workload × system) grid is
+//! simulated once in parallel ([`dsa_bench::cache`]); the figures then
+//! read memoized results. `DSA_JOBS=<n>` caps the warm-up threads
+//! (default: all cores). Tables go to stdout; per-section wall-clock
+//! and cache statistics go to stderr so piped output stays clean.
+use std::time::Instant;
+
+use dsa_bench::cache;
 use dsa_bench::experiments as e;
 use dsa_bench::System;
 
+type Section = (&'static str, fn() -> String);
+
 fn main() {
-    for section in [
-        e::table_setups(),
-        e::table2_techniques(),
-        e::a1_fig12_performance(),
-        e::a1_table3_area(),
-        e::neon_parallelism(),
-        e::a2_fig16_extended(),
-        e::dsa_latency_table(System::DsaExtended, "A2 Table 3 - DSA latency"),
-        e::a3_fig7_loop_census(),
-        e::a3_fig8_performance(),
-        e::a3_fig9_energy(),
-        e::dsa_latency_table(System::DsaFull, "A3 Table 2 - DSA detection latency"),
-        e::a3_table3_dsa_energy(),
-        e::table1_inhibitors(),
-        e::ablation_leftovers(),
-        e::ablation_partial(),
-        e::ablation_dsa_cache(),
-        e::ablation_sentinel(),
-        e::ablation_hardware(),
-    ] {
-        println!("{section}");
+    let sections: [Section; 18] = [
+        ("table_setups", e::table_setups),
+        ("table2_techniques", e::table2_techniques),
+        ("a1_fig12_performance", e::a1_fig12_performance),
+        ("a1_table3_area", e::a1_table3_area),
+        ("neon_parallelism", e::neon_parallelism),
+        ("a2_fig16_extended", e::a2_fig16_extended),
+        ("a2_table3_latency", || {
+            e::dsa_latency_table(System::DsaExtended, "A2 Table 3 - DSA latency")
+        }),
+        ("a3_fig7_loop_census", e::a3_fig7_loop_census),
+        ("a3_fig8_performance", e::a3_fig8_performance),
+        ("a3_fig9_energy", e::a3_fig9_energy),
+        ("a3_table2_latency", || {
+            e::dsa_latency_table(System::DsaFull, "A3 Table 2 - DSA detection latency")
+        }),
+        ("a3_table3_dsa_energy", e::a3_table3_dsa_energy),
+        ("table1_inhibitors", e::table1_inhibitors),
+        ("ablation_leftovers", e::ablation_leftovers),
+        ("ablation_partial", e::ablation_partial),
+        ("ablation_dsa_cache", e::ablation_dsa_cache),
+        ("ablation_sentinel", e::ablation_sentinel),
+        ("ablation_hardware", e::ablation_hardware),
+    ];
+
+    let total = Instant::now();
+    let jobs = cache::jobs_from_env();
+    let grid = cache::paper_grid();
+    eprintln!("warming {} (workload x system) combos on {jobs} thread(s)...", grid.len());
+    let warm = Instant::now();
+    cache::global().warm(&grid, dsa_workloads::Scale::Paper, jobs);
+    eprintln!("warm-up: {:.2}s", warm.elapsed().as_secs_f64());
+
+    for (name, section) in sections {
+        let t = Instant::now();
+        let text = section();
+        eprintln!("{name}: {:.2}s", t.elapsed().as_secs_f64());
+        println!("{text}");
         println!("{}", "=".repeat(100));
     }
+
+    let stats = cache::global().stats();
+    eprintln!(
+        "total: {:.2}s ({} simulations, {} cache hits, DSA_JOBS={jobs})",
+        total.elapsed().as_secs_f64(),
+        stats.simulations,
+        stats.hits,
+    );
 }

@@ -1,0 +1,253 @@
+//! Memoized, parallel experiment runs.
+//!
+//! The paper's figures overlap heavily: `a1_fig12_performance`,
+//! `a2_fig16_extended`, `a3_fig8_performance`, `a3_fig9_energy` and both
+//! latency tables all re-measure the same (workload × system) points at
+//! [`Scale::Paper`]. A [`RunCache`] keys every measured run by
+//! `(workload, system, scale, DSA-config fingerprint)` and simulates
+//! each key exactly once per process; repeated requests return the
+//! memoized [`RunResult`].
+//!
+//! [`RunCache::warm`] fans the whole grid out across OS threads before
+//! any figure renders (the `DSA_JOBS` environment variable caps the
+//! thread count). Runs are deterministic and independent, so the warmed
+//! cache is bit-identical to one filled sequentially — the figures
+//! render the same bytes either way, just without re-simulating.
+//!
+//! The thread pool is `std::thread::scope`-based: the workspace builds
+//! fully offline and vendors no work-stealing runtime (rayon), so a
+//! shared atomic work index over the combo list stands in for
+//! `par_iter` — the grid is coarse (dozens of multi-second runs), where
+//! work stealing would add nothing.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use dsa_core::DsaConfig;
+use dsa_workloads::{micro, Scale, WorkloadId};
+
+use crate::{run_built, RunResult, System};
+
+/// A cacheable workload: one of the paper's seven applications or one
+/// of the loop-class microkernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// A paper application (Figures 8/9/12/16, latency tables).
+    App(WorkloadId),
+    /// A loop-class microkernel (A3 Table 3).
+    Micro(micro::Micro),
+}
+
+impl Workload {
+    fn build(self, system: System, scale: Scale) -> dsa_workloads::BuiltWorkload {
+        match self {
+            Workload::App(id) => dsa_workloads::build(id, system.variant(), scale),
+            Workload::Micro(m) => micro::build(m, system.variant(), scale),
+        }
+    }
+}
+
+/// Cache key: the exact inputs that determine a run's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    workload: Workload,
+    system: System,
+    scale: Scale,
+    /// Fingerprint of the DSA configuration (0 without a DSA), so
+    /// ablations probing non-default configs get distinct entries.
+    dsa_fingerprint: u64,
+}
+
+impl RunKey {
+    fn new(workload: Workload, system: System, scale: Scale) -> RunKey {
+        RunKey {
+            workload,
+            system,
+            scale,
+            dsa_fingerprint: fingerprint(&system.dsa_config()),
+        }
+    }
+}
+
+/// Order-independent digest of a DSA configuration (FNV-1a over the
+/// `Debug` rendering — `DsaConfig` is plain data with a stable
+/// field-by-field format).
+pub fn fingerprint(cfg: &Option<DsaConfig>) -> u64 {
+    match cfg {
+        None => 0,
+        Some(c) => {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in format!("{c:?}").bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        }
+    }
+}
+
+/// Counters describing what the cache did so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Simulations actually executed (one per distinct key).
+    pub simulations: u64,
+    /// Requests served from the cache without simulating.
+    pub hits: u64,
+}
+
+/// Memoizing run table; see the module docs.
+#[derive(Debug, Default)]
+pub struct RunCache {
+    slots: Mutex<HashMap<RunKey, Arc<OnceLock<Arc<RunResult>>>>>,
+    simulations: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl RunCache {
+    /// An empty cache.
+    pub fn new() -> RunCache {
+        RunCache::default()
+    }
+
+    /// Counters for reporting (`all_experiments` prints them).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            simulations: self.simulations.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The memoized result for `(workload, system, scale)`, simulating
+    /// on first request. Concurrent requests for the same key block on
+    /// the single in-flight simulation instead of duplicating it.
+    pub fn get(&self, workload: Workload, system: System, scale: Scale) -> Arc<RunResult> {
+        let key = RunKey::new(workload, system, scale);
+        let slot = {
+            let mut slots = self.slots.lock().expect("run-cache poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut simulated = false;
+        let result = slot.get_or_init(|| {
+            simulated = true;
+            self.simulations.fetch_add(1, Ordering::Relaxed);
+            let w = workload.build(system, scale);
+            Arc::new(run_built(&w, system))
+        });
+        if !simulated {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(result)
+    }
+
+    /// Fills the cache for every combo, fanning the simulations out over
+    /// `jobs` OS threads (clamped to at least one). Returns once every
+    /// combo is resident.
+    pub fn warm(&self, combos: &[(Workload, System)], scale: Scale, jobs: usize) {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.clamp(1, combos.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(workload, system)) = combos.get(i) else { break };
+                    self.get(workload, system, scale);
+                });
+            }
+        });
+    }
+}
+
+/// The full (application × system) grid at one scale, plus the
+/// microkernel runs `a3_table3_dsa_energy` needs — everything
+/// `all_experiments` measures through the cache.
+pub fn paper_grid() -> Vec<(Workload, System)> {
+    let systems = [
+        System::Original,
+        System::AutoVec,
+        System::HandVec,
+        System::DsaOriginal,
+        System::DsaExtended,
+        System::DsaFull,
+    ];
+    let mut combos: Vec<(Workload, System)> = WorkloadId::all()
+        .into_iter()
+        .flat_map(|id| systems.into_iter().map(move |s| (Workload::App(id), s)))
+        .collect();
+    combos.extend(micro::Micro::all().into_iter().map(|m| (Workload::Micro(m), System::DsaFull)));
+    combos
+}
+
+/// Worker threads for [`RunCache::warm`]: `DSA_JOBS` if set and
+/// positive, else the machine's available parallelism.
+pub fn jobs_from_env() -> usize {
+    std::env::var("DSA_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// The process-wide cache behind [`run_cached`] and [`run_micro_cached`].
+pub fn global() -> &'static RunCache {
+    static GLOBAL: OnceLock<RunCache> = OnceLock::new();
+    GLOBAL.get_or_init(RunCache::new)
+}
+
+/// Memoized [`crate::run_system`]: each `(workload, system, scale)` is
+/// simulated at most once per process.
+pub fn run_cached(id: WorkloadId, system: System, scale: Scale) -> Arc<RunResult> {
+    global().get(Workload::App(id), system, scale)
+}
+
+/// Memoized microkernel run (the micro analogue of [`run_cached`]).
+pub fn run_micro_cached(m: micro::Micro, system: System, scale: Scale) -> Arc<RunResult> {
+    global().get(Workload::Micro(m), system, scale)
+}
+
+// Compile-time guarantee that cached results may cross warm-up threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RunCache>();
+    assert_send_sync::<Arc<RunResult>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_distinguishes_dsa_configs() {
+        let orig = fingerprint(&Some(DsaConfig::original()));
+        let full = fingerprint(&Some(DsaConfig::full()));
+        assert_ne!(orig, full);
+        assert_eq!(fingerprint(&None), 0);
+        assert_ne!(
+            RunKey::new(Workload::App(WorkloadId::QSort), System::DsaOriginal, Scale::Small),
+            RunKey::new(Workload::App(WorkloadId::QSort), System::DsaFull, Scale::Small),
+        );
+    }
+
+    #[test]
+    fn second_request_is_a_hit_and_shares_the_result() {
+        let cache = RunCache::new();
+        let a = cache.get(Workload::App(WorkloadId::RgbGray), System::Original, Scale::Small);
+        let b = cache.get(Workload::App(WorkloadId::RgbGray), System::Original, Scale::Small);
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the memoized allocation");
+        assert_eq!(cache.stats(), CacheStats { simulations: 1, hits: 1 });
+    }
+
+    #[test]
+    fn jobs_env_parsing() {
+        // Only checks the fallback path (mutating the environment would
+        // race other tests).
+        assert!(jobs_from_env() >= 1);
+    }
+
+    #[test]
+    fn paper_grid_covers_every_figure_combo() {
+        let grid = paper_grid();
+        assert_eq!(grid.len(), 7 * 6 + 10);
+        assert!(grid.contains(&(Workload::App(WorkloadId::Dijkstra), System::HandVec)));
+        assert!(grid.contains(&(Workload::Micro(micro::Micro::all()[0]), System::DsaFull)));
+    }
+}

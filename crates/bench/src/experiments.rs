@@ -6,7 +6,8 @@ use dsa_cpu::{CpuConfig, Simulator};
 use dsa_energy::AreaModel;
 use dsa_workloads::{micro, Scale, WorkloadId};
 
-use crate::{geomean_improvement, improvement_pct, render_table, run_built, run_system, System};
+use crate::cache::{run_cached, run_micro_cached};
+use crate::{geomean_improvement, improvement_pct, render_table, System};
 
 fn pct(v: f64) -> String {
     format!("{v:+.1}%")
@@ -105,9 +106,9 @@ pub fn a1_fig12_performance() -> String {
     let mut rows = Vec::new();
     let (mut auto_impr, mut dsa_impr) = (Vec::new(), Vec::new());
     for id in set {
-        let base = run_system(id, System::Original, Scale::Paper);
-        let auto = run_system(id, System::AutoVec, Scale::Paper);
-        let dsa = run_system(id, System::DsaOriginal, Scale::Paper);
+        let base = run_cached(id, System::Original, Scale::Paper);
+        let auto = run_cached(id, System::AutoVec, Scale::Paper);
+        let dsa = run_cached(id, System::DsaOriginal, Scale::Paper);
         let ai = improvement_pct(base.cycles(), auto.cycles());
         let di = improvement_pct(base.cycles(), dsa.cycles());
         auto_impr.push(ai);
@@ -155,18 +156,18 @@ pub fn a2_fig16_extended() -> String {
     let mut rows = Vec::new();
     let (mut a, mut o, mut e) = (Vec::new(), Vec::new(), Vec::new());
     for id in WorkloadId::all() {
-        let base = run_system(id, System::Original, Scale::Paper);
+        let base = run_cached(id, System::Original, Scale::Paper);
         let auto = improvement_pct(
             base.cycles(),
-            run_system(id, System::AutoVec, Scale::Paper).cycles(),
+            run_cached(id, System::AutoVec, Scale::Paper).cycles(),
         );
         let orig = improvement_pct(
             base.cycles(),
-            run_system(id, System::DsaOriginal, Scale::Paper).cycles(),
+            run_cached(id, System::DsaOriginal, Scale::Paper).cycles(),
         );
         let ext = improvement_pct(
             base.cycles(),
-            run_system(id, System::DsaExtended, Scale::Paper).cycles(),
+            run_cached(id, System::DsaExtended, Scale::Paper).cycles(),
         );
         a.push(auto);
         o.push(orig);
@@ -186,7 +187,7 @@ pub fn a2_fig16_extended() -> String {
 pub fn dsa_latency_table(system: System, title: &str) -> String {
     let mut rows = Vec::new();
     for id in WorkloadId::all() {
-        let r = run_system(id, system, Scale::Paper);
+        let r = run_cached(id, system, Scale::Paper);
         let stats = r.dsa.expect("DSA system");
         rows.push(vec![
             id.name().into(),
@@ -219,8 +220,8 @@ pub fn a3_fig7_loop_census() -> String {
     ];
     let mut rows = Vec::new();
     for id in WorkloadId::all() {
-        let r = run_system(id, System::DsaFull, Scale::Paper);
-        let census = r.census.expect("DSA run");
+        let r = run_cached(id, System::DsaFull, Scale::Paper);
+        let census = r.census.as_ref().expect("DSA run");
         let mut row = vec![id.name().to_string()];
         for c in classes {
             row.push(if census.count(c) > 0 {
@@ -246,13 +247,13 @@ pub fn a3_fig8_performance() -> String {
     let mut rows = Vec::new();
     let (mut a, mut h, mut d) = (Vec::new(), Vec::new(), Vec::new());
     for id in WorkloadId::all() {
-        let base = run_system(id, System::Original, Scale::Paper);
+        let base = run_cached(id, System::Original, Scale::Paper);
         let auto =
-            improvement_pct(base.cycles(), run_system(id, System::AutoVec, Scale::Paper).cycles());
+            improvement_pct(base.cycles(), run_cached(id, System::AutoVec, Scale::Paper).cycles());
         let hand =
-            improvement_pct(base.cycles(), run_system(id, System::HandVec, Scale::Paper).cycles());
+            improvement_pct(base.cycles(), run_cached(id, System::HandVec, Scale::Paper).cycles());
         let dsa =
-            improvement_pct(base.cycles(), run_system(id, System::DsaFull, Scale::Paper).cycles());
+            improvement_pct(base.cycles(), run_cached(id, System::DsaFull, Scale::Paper).cycles());
         a.push(auto);
         h.push(hand);
         d.push(dsa);
@@ -282,10 +283,10 @@ pub fn a3_fig9_energy() -> String {
     let mut rows = Vec::new();
     let mut savings = Vec::new();
     for id in WorkloadId::all() {
-        let base = run_system(id, System::Original, Scale::Paper);
-        let auto = run_system(id, System::AutoVec, Scale::Paper);
-        let hand = run_system(id, System::HandVec, Scale::Paper);
-        let dsa = run_system(id, System::DsaFull, Scale::Paper);
+        let base = run_cached(id, System::Original, Scale::Paper);
+        let auto = run_cached(id, System::AutoVec, Scale::Paper);
+        let hand = run_cached(id, System::HandVec, Scale::Paper);
+        let dsa = run_cached(id, System::DsaFull, Scale::Paper);
         let s = dsa.energy.saving_vs(&base.energy);
         savings.push(s);
         rows.push(vec![
@@ -317,8 +318,7 @@ pub fn a3_table3_dsa_energy() -> String {
     let table = dsa_energy::EnergyTable::default();
     let mut rows = Vec::new();
     for m in micro::Micro::all() {
-        let w = micro::build(m, dsa_compiler::Variant::Scalar, Scale::Paper);
-        let r = run_built(&w, System::DsaFull);
+        let r = run_micro_cached(m, System::DsaFull, Scale::Paper);
         let s = r.dsa.expect("DSA run");
         // Detection energy only (the per-scenario analysis of Figure 32).
         let detect_pj = (s.dsa_cache_hits + s.dsa_cache_misses) as f64 * table.dsa_cache_access

@@ -15,7 +15,10 @@
 //! Every run asserts the workload's golden checksum, so a reported
 //! speedup can never come from wrong results.
 
+pub mod cache;
 pub mod experiments;
+
+pub use cache::{run_cached, run_micro_cached, RunCache};
 
 use dsa_compiler::Variant;
 use dsa_core::{Dsa, DsaConfig, DsaStats, LoopCensus};
@@ -77,7 +80,7 @@ impl System {
 }
 
 /// Result of one measured run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Simulator outcome (cycles, instruction mix, memory statistics).
     pub outcome: RunOutcome,
@@ -150,15 +153,21 @@ pub fn improvement_pct(baseline_cycles: u64, x_cycles: u64) -> f64 {
 }
 
 /// Geometric mean of speedup ratios derived from improvement
-/// percentages.
+/// percentages. An empty slice has no improvement: `0.0`.
 pub fn geomean_improvement(improvements_pct: &[f64]) -> f64 {
+    if improvements_pct.is_empty() {
+        return 0.0;
+    }
     let log_sum: f64 =
         improvements_pct.iter().map(|p| (1.0 + p / 100.0).ln()).sum();
     ((log_sum / improvements_pct.len() as f64).exp() - 1.0) * 100.0
 }
 
-/// Renders a simple aligned text table.
+/// Renders a simple aligned text table. No headers, no table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    if headers.is_empty() {
+        return String::new();
+    }
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -206,10 +215,23 @@ mod tests {
     }
 
     #[test]
+    fn geomean_of_empty_slice_is_zero() {
+        let g = geomean_improvement(&[]);
+        assert_eq!(g, 0.0);
+        assert!(!g.is_nan());
+    }
+
+    #[test]
     fn table_renders() {
         let t = render_table(&["a", "bb"], &[vec!["1".into(), "2".into()]]);
         assert!(t.contains("a"));
         assert!(t.lines().count() == 3);
+    }
+
+    #[test]
+    fn empty_headers_render_empty_table() {
+        assert_eq!(render_table(&[], &[]), "");
+        assert_eq!(render_table(&[], &[vec!["orphan".into()]]), "");
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! The memoization layer must be invisible in the results: a cached
+//! run is identical to a fresh one, and a parallel warm-up fills the
+//! cache with exactly the bytes a sequential fill would.
+
+use std::sync::Arc;
+
+use dsa_bench::cache::{jobs_from_env, paper_grid, RunCache, Workload};
+use dsa_bench::{run_system, System};
+use dsa_workloads::{Scale, WorkloadId};
+
+/// Combos kept at `Scale::Small` so the test finishes quickly in debug
+/// builds while still covering scalar, vectorized and DSA systems.
+fn small_grid() -> Vec<(Workload, System)> {
+    let systems = [System::Original, System::AutoVec, System::HandVec, System::DsaFull];
+    WorkloadId::all()
+        .into_iter()
+        .flat_map(|id| systems.into_iter().map(move |s| (Workload::App(id), s)))
+        .collect()
+}
+
+#[test]
+fn cached_result_matches_fresh_run() {
+    let cache = RunCache::new();
+    for (id, system) in
+        [(WorkloadId::RgbGray, System::DsaFull), (WorkloadId::QSort, System::AutoVec)]
+    {
+        let fresh = run_system(id, system, Scale::Small);
+        let cached = cache.get(Workload::App(id), system, Scale::Small);
+        let again = cache.get(Workload::App(id), system, Scale::Small);
+        assert!(Arc::ptr_eq(&cached, &again), "second request must be a hit");
+        assert_eq!(
+            format!("{fresh:?}"),
+            format!("{:?}", *cached),
+            "memoized {id:?}/{system:?} run diverged from an uncached one"
+        );
+    }
+}
+
+#[test]
+fn parallel_warm_up_is_bit_identical_to_sequential() {
+    let combos = small_grid();
+
+    let sequential = RunCache::new();
+    for &(w, s) in &combos {
+        sequential.get(w, s, Scale::Small);
+    }
+    assert_eq!(sequential.stats().simulations, combos.len() as u64);
+
+    let parallel = RunCache::new();
+    parallel.warm(&combos, Scale::Small, 4);
+    assert_eq!(parallel.stats().simulations, combos.len() as u64);
+
+    for &(w, s) in &combos {
+        let a = sequential.get(w, s, Scale::Small);
+        let b = parallel.get(w, s, Scale::Small);
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "parallel warm-up changed the result for {w:?}/{s:?}"
+        );
+    }
+}
+
+#[test]
+fn warm_up_simulates_each_combo_exactly_once() {
+    let cache = RunCache::new();
+    let combos = small_grid();
+    cache.warm(&combos, Scale::Small, jobs_from_env());
+    // Warming again adds no simulations, only hits.
+    cache.warm(&combos, Scale::Small, 2);
+    let stats = cache.stats();
+    assert_eq!(stats.simulations, combos.len() as u64);
+    assert_eq!(stats.hits, combos.len() as u64);
+}
+
+#[test]
+fn paper_grid_has_no_duplicate_keys() {
+    let grid = paper_grid();
+    let mut seen = std::collections::HashSet::new();
+    for combo in &grid {
+        assert!(seen.insert(*combo), "duplicate combo {combo:?} would waste a warm-up slot");
+    }
+}

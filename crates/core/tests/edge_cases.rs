@@ -311,7 +311,7 @@ fn sentinel_speculation_always_profitable_on_long_strings() {
     use dsa_workloads::micro::{build, Micro};
     use dsa_workloads::Scale;
     let w = build(Micro::Sentinel, Variant::Scalar, Scale::Paper);
-    let mut run_once = |with_dsa: bool| -> (u64, u64) {
+    let run_once = |with_dsa: bool| -> (u64, u64) {
         let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
         (w.init)(sim.machine_mut());
         for buf in w.kernel.layout.bufs() {

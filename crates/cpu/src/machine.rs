@@ -210,11 +210,24 @@ impl Machine {
     /// Returns [`ExecError::Halted`] after `halt` and
     /// [`ExecError::PcOutOfRange`] if the PC leaves the program text.
     pub fn step(&mut self, program: &Program) -> Result<TraceEvent, ExecError> {
+        self.step_slice(program.as_slice())
+    }
+
+    /// [`Machine::step`] over the program's raw instruction slice — the
+    /// simulator's hot loop borrows the slice once and calls this,
+    /// avoiding the per-step `Program` indirection.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Machine::step`].
+    #[inline]
+    pub fn step_slice(&mut self, instrs: &[Instr]) -> Result<TraceEvent, ExecError> {
         if self.halted {
             return Err(ExecError::Halted);
         }
         let pc = self.pc();
-        let instr = program.fetch(pc).ok_or(ExecError::PcOutOfRange { pc })?;
+        let instr =
+            instrs.get(pc as usize).copied().ok_or(ExecError::PcOutOfRange { pc })?;
         let mut ev = TraceEvent::simple(pc, instr);
         let mut next_pc = pc.wrapping_add(1);
 

@@ -158,18 +158,27 @@ impl Simulator {
 
     /// Runs with a commit hook for at most `fuel` committed instructions.
     ///
+    /// Generic over the hook type so the per-commit callback and the
+    /// suppress branch monomorphize into the step loop (a `NullHook`
+    /// compiles to a plain interpreter loop with no call overhead).
+    /// `?Sized` keeps `&mut dyn CommitHook` callers working unchanged.
+    ///
     /// # Errors
     ///
     /// Propagates [`ExecError`] from the functional executor.
-    pub fn run_with_hook(
+    pub fn run_with_hook<H: CommitHook + ?Sized>(
         &mut self,
         fuel: u64,
-        hook: &mut dyn CommitHook,
+        hook: &mut H,
     ) -> Result<RunOutcome, ExecError> {
+        // Borrow the instruction slice once; `machine`/`timing` are
+        // disjoint fields, so the hot loop fetches with a single bounds
+        // check and no per-step `Program` indirection.
+        let instrs = self.program.as_slice();
         let mut remaining = fuel;
         while !self.machine.is_halted() && remaining > 0 {
             remaining -= 1;
-            let ev = self.machine.step(&self.program)?;
+            let ev = self.machine.step_slice(instrs)?;
             self.committed += 1;
             if self.suppress {
                 self.timing.note_covered(&ev);
@@ -182,6 +191,21 @@ impl Simulator {
         }
         hook.on_finish(&self.machine);
         Ok(self.outcome())
+    }
+
+    /// Dynamic-dispatch entry point for callers that only have a
+    /// `&mut dyn CommitHook` (thin wrapper over the generic fast path;
+    /// used by the dispatch benchmarks as the "before" shape).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from the functional executor.
+    pub fn run_with_dyn_hook(
+        &mut self,
+        fuel: u64,
+        hook: &mut dyn CommitHook,
+    ) -> Result<RunOutcome, ExecError> {
+        self.run_with_hook(fuel, hook)
     }
 
     /// Snapshot of the current outcome.

@@ -32,6 +32,7 @@ impl Program {
     }
 
     /// Fetches the instruction at `pc`, or `None` past the end.
+    #[inline]
     pub fn fetch(&self, pc: u32) -> Option<Instr> {
         self.instrs.get(pc as usize).copied()
     }
@@ -41,7 +42,9 @@ impl Program {
         self.instrs.iter()
     }
 
-    /// The instructions as a slice.
+    /// The instructions as a slice (the simulator's hot loop fetches
+    /// straight from this, skipping per-step method dispatch).
+    #[inline]
     pub fn as_slice(&self) -> &[Instr] {
         &self.instrs
     }

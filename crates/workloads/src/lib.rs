@@ -95,7 +95,7 @@ impl WorkloadId {
 
 /// Problem size selector: `Paper` matches the evaluation, `Small` keeps
 /// debug-build tests fast.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Reduced sizes for unit/integration tests.
     Small,

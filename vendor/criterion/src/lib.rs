@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, `Bencher::iter`/`iter_batched`) backed by a simple
+//! wall-clock sampler: warm up briefly, then take timed samples and
+//! report min/mean/max per iteration. No statistics engine, no plots —
+//! but `cargo bench` runs and prints comparable numbers offline.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortises setup; the stub treats all variants the
+/// same (setup runs outside the timed section either way).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measures one benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher { samples, per_iter: Vec::new() }
+    }
+
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call (fills caches, faults pages).
+        std_black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.per_iter.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup is not
+    /// timed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            self.per_iter.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let min = *samples.iter().min().expect("non-empty");
+    let max = *samples.iter().max().expect("non-empty");
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<44} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+}
+
+/// Entry point collecting benchmarks, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&name, &b.per_iter);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&full, &b.per_iter);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the given benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut calls = 0;
+        c.bench_function("counting", |b| b.iter(|| calls += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut sum = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| sum += x, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(sum, 63);
+    }
+}
