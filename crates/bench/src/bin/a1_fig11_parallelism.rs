@@ -1,4 +1,4 @@
 //! A1 Figure 11 — NEON type-dependent parallelism.
 fn main() {
-    println!("{}", dsa_bench::experiments::neon_parallelism());
+    dsa_bench::emit(dsa_bench::experiments::neon_parallelism());
 }

@@ -1,4 +1,4 @@
 //! E1 — Article 1 Figure 12: AutoVec vs original DSA.
 fn main() {
-    println!("{}", dsa_bench::experiments::a1_fig12_performance());
+    dsa_bench::emit(dsa_bench::experiments::a1_fig12_performance());
 }

@@ -1,4 +1,4 @@
 //! E2 — Article 1 Table 3: DSA area overhead.
 fn main() {
-    println!("{}", dsa_bench::experiments::a1_table3_area());
+    dsa_bench::emit(dsa_bench::experiments::a1_table3_area());
 }

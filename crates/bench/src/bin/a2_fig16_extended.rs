@@ -1,4 +1,4 @@
 //! E3 — Article 2 Figure 16: AutoVec vs original vs extended DSA.
 fn main() {
-    println!("{}", dsa_bench::experiments::a2_fig16_extended());
+    dsa_bench::emit(dsa_bench::experiments::a2_fig16_extended());
 }

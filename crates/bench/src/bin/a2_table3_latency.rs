@@ -1,10 +1,7 @@
 //! E4 — Article 2 Table 3: DSA detection latency (extended DSA).
 fn main() {
-    println!(
-        "{}",
-        dsa_bench::experiments::dsa_latency_table(
-            dsa_bench::System::DsaExtended,
-            "A2 Table 3 - DSA latency"
-        )
-    );
+    dsa_bench::emit(dsa_bench::experiments::dsa_latency_table(
+        dsa_bench::System::DsaExtended,
+        "A2 Table 3 - DSA latency",
+    ));
 }

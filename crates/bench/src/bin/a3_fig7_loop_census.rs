@@ -1,4 +1,4 @@
 //! E5 — Article 3 Figure 7: loop-type census.
 fn main() {
-    println!("{}", dsa_bench::experiments::a3_fig7_loop_census());
+    dsa_bench::emit(dsa_bench::experiments::a3_fig7_loop_census());
 }

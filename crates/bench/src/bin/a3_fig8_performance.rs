@@ -1,4 +1,4 @@
 //! E6 — Article 3 Figure 8: AutoVec vs Hand vs full DSA (headline).
 fn main() {
-    println!("{}", dsa_bench::experiments::a3_fig8_performance());
+    dsa_bench::emit(dsa_bench::experiments::a3_fig8_performance());
 }

@@ -1,4 +1,4 @@
 //! E7 — Article 3 Figure 9: energy savings.
 fn main() {
-    println!("{}", dsa_bench::experiments::a3_fig9_energy());
+    dsa_bench::emit(dsa_bench::experiments::a3_fig9_energy());
 }

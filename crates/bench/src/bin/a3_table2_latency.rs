@@ -1,10 +1,7 @@
 //! E8 — Article 3 Table 2: DSA detection latency (full DSA).
 fn main() {
-    println!(
-        "{}",
-        dsa_bench::experiments::dsa_latency_table(
-            dsa_bench::System::DsaFull,
-            "A3 Table 2 - DSA detection latency"
-        )
-    );
+    dsa_bench::emit(dsa_bench::experiments::dsa_latency_table(
+        dsa_bench::System::DsaFull,
+        "A3 Table 2 - DSA detection latency",
+    ));
 }

@@ -1,4 +1,4 @@
 //! E9 — Article 3 Table 3: DSA energy per loop-type scenario.
 fn main() {
-    println!("{}", dsa_bench::experiments::a3_table3_dsa_energy());
+    dsa_bench::emit(dsa_bench::experiments::a3_table3_dsa_energy());
 }

@@ -1,4 +1,4 @@
 //! X3 — ablation: DSA cache capacity sweep.
 fn main() {
-    println!("{}", dsa_bench::experiments::ablation_dsa_cache());
+    dsa_bench::emit(dsa_bench::experiments::ablation_dsa_cache());
 }

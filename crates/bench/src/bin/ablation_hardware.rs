@@ -1,4 +1,4 @@
 //! X5 — ablation: ROB window and NEON queue depth sensitivity.
 fn main() {
-    println!("{}", dsa_bench::experiments::ablation_hardware());
+    dsa_bench::emit(dsa_bench::experiments::ablation_hardware());
 }

@@ -1,4 +1,4 @@
 //! X1 — ablation: leftover strategies.
 fn main() {
-    println!("{}", dsa_bench::experiments::ablation_leftovers());
+    dsa_bench::emit(dsa_bench::experiments::ablation_leftovers());
 }

@@ -1,4 +1,4 @@
 //! X2 — ablation: partial vectorization vs dependency distance.
 fn main() {
-    println!("{}", dsa_bench::experiments::ablation_partial());
+    dsa_bench::emit(dsa_bench::experiments::ablation_partial());
 }

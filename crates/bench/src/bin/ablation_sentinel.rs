@@ -1,4 +1,4 @@
 //! X4 — ablation: sentinel speculative-range adaptation.
 fn main() {
-    println!("{}", dsa_bench::experiments::ablation_sentinel());
+    dsa_bench::emit(dsa_bench::experiments::ablation_sentinel());
 }

@@ -10,9 +10,9 @@ use std::time::Instant;
 
 use dsa_bench::cache;
 use dsa_bench::experiments as e;
-use dsa_bench::System;
+use dsa_bench::{RunError, System};
 
-type Section = (&'static str, fn() -> String);
+type Section = (&'static str, fn() -> Result<String, RunError>);
 
 fn main() {
     let sections: [Section; 18] = [
@@ -48,11 +48,18 @@ fn main() {
     cache::global().warm(&grid, dsa_workloads::Scale::Paper, jobs);
     eprintln!("warm-up: {:.2}s", warm.elapsed().as_secs_f64());
 
+    let mut failed = 0u32;
     for (name, section) in sections {
         let t = Instant::now();
-        let text = section();
+        let section = section();
         eprintln!("{name}: {:.2}s", t.elapsed().as_secs_f64());
-        println!("{text}");
+        match section {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                failed += 1;
+                eprintln!("{name}: error: {e}");
+            }
+        }
         println!("{}", "=".repeat(100));
     }
 
@@ -63,4 +70,9 @@ fn main() {
         stats.simulations,
         stats.hits,
     );
+    eprintln!("{}", cache::global().degradation_summary());
+    if failed > 0 {
+        eprintln!("error: {failed} section(s) failed");
+        std::process::exit(1);
+    }
 }

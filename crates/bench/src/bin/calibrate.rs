@@ -2,10 +2,10 @@
 //! paper scale so timing/energy constants can be tuned against the
 //! paper's reported shapes.
 
-use dsa_bench::{improvement_pct, render_table, run_system, System};
+use dsa_bench::{improvement_pct, render_table, run_system, RunError, System};
 use dsa_workloads::{Scale, WorkloadId};
 
-fn main() {
+fn matrix() -> Result<String, RunError> {
     let systems = [
         System::Original,
         System::AutoVec,
@@ -16,10 +16,10 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for id in WorkloadId::all() {
-        let base = run_system(id, System::Original, Scale::Paper);
+        let base = run_system(id, System::Original, Scale::Paper)?;
         let mut row = vec![id.name().to_string(), base.cycles().to_string()];
         for sys in &systems[1..] {
-            let r = run_system(id, *sys, Scale::Paper);
+            let r = run_system(id, *sys, Scale::Paper)?;
             row.push(format!(
                 "{} ({:+.1}%)",
                 r.cycles(),
@@ -27,24 +27,25 @@ fn main() {
             ));
         }
         // Energy saving of the full DSA vs original.
-        let dsa = run_system(id, System::DsaFull, Scale::Paper);
+        let dsa = run_system(id, System::DsaFull, Scale::Paper)?;
         row.push(format!("{:+.1}%", dsa.energy.saving_vs(&base.energy)));
         rows.push(row);
     }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "workload",
-                "original",
-                "autovec",
-                "handvec",
-                "dsa-orig",
-                "dsa-ext",
-                "dsa-full",
-                "energy-saving"
-            ],
-            &rows
-        )
-    );
+    Ok(render_table(
+        &[
+            "workload",
+            "original",
+            "autovec",
+            "handvec",
+            "dsa-orig",
+            "dsa-ext",
+            "dsa-full",
+            "energy-saving"
+        ],
+        &rows
+    ))
+}
+
+fn main() {
+    dsa_bench::emit(matrix());
 }

@@ -1,0 +1,25 @@
+//! R1 — the fault-injection matrix: runs the differential scalar oracle
+//! over every fault site × seed × application and fails (exit code 1)
+//! on the first divergence. Seeds come from the command line; without
+//! arguments the CI's eight fixed seeds are used.
+//!
+//! ```text
+//! cargo run --release -p dsa-bench --bin fault_matrix -- 1 2 3
+//! ```
+
+/// The eight fixed seeds CI sweeps (see `.github/workflows/ci.yml`).
+const CI_SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+fn main() {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .map(|a| {
+            a.parse().unwrap_or_else(|_| {
+                eprintln!("error: seed `{a}` is not a u64");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let seeds = if args.is_empty() { CI_SEEDS.to_vec() } else { args };
+    dsa_bench::emit(dsa_bench::experiments::fault_matrix(&seeds));
+}

@@ -42,8 +42,15 @@ fn main() {
         }
     }
 
+    let run = |w: &dsa_workloads::BuiltWorkload, system| {
+        run_built(w, system).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        })
+    };
+
     println!("\n== full DSA at runtime ==");
-    let result = run_built(&scalar, System::DsaFull);
+    let result = run(&scalar, System::DsaFull);
     let stats = result.dsa.expect("DSA run");
     println!(
         "  loop entries observed: {}, vectorized: {}, cache hits: {}, \
@@ -64,7 +71,7 @@ fn main() {
     for (class, n) in result.census.as_ref().expect("census").iter() {
         println!("    {class}: {n}");
     }
-    let base = run_built(&build(id, Variant::Scalar, Scale::Small), System::Original);
+    let base = run(&build(id, Variant::Scalar, Scale::Small), System::Original);
     println!(
         "  cycles: {} original -> {} with the DSA ({:+.1}%)",
         base.cycles(),

@@ -1,4 +1,4 @@
 //! E11 — dissertation Table 1: auto-vectorization inhibiting factors.
 fn main() {
-    println!("{}", dsa_bench::experiments::table1_inhibitors());
+    dsa_bench::emit(dsa_bench::experiments::table1_inhibitors());
 }

@@ -1,4 +1,4 @@
 //! Dissertation Table 2 — vectorization techniques comparison.
 fn main() {
-    println!("{}", dsa_bench::experiments::table2_techniques());
+    dsa_bench::emit(dsa_bench::experiments::table2_techniques());
 }

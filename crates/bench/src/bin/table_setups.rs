@@ -1,4 +1,4 @@
 //! E10 — the systems-setup table.
 fn main() {
-    println!("{}", dsa_bench::experiments::table_setups());
+    dsa_bench::emit(dsa_bench::experiments::table_setups());
 }

@@ -27,7 +27,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use dsa_core::DsaConfig;
 use dsa_workloads::{micro, Scale, WorkloadId};
 
-use crate::{run_built, RunResult, System};
+use crate::{run_built, RunError, RunResult, System};
 
 /// A cacheable workload: one of the paper's seven applications or one
 /// of the loop-class microkernels.
@@ -96,13 +96,19 @@ pub struct CacheStats {
     pub hits: u64,
 }
 
-/// Memoizing run table; see the module docs.
+/// Memoizing run table; see the module docs. Failed runs are memoized
+/// too (`RunError` is `Copy`): a key that watchdogged or produced a
+/// wrong result reports the same error to every requester instead of
+/// re-simulating a known-bad combination.
 #[derive(Debug, Default)]
 pub struct RunCache {
-    slots: Mutex<HashMap<RunKey, Arc<OnceLock<Arc<RunResult>>>>>,
+    slots: Mutex<HashMap<RunKey, Arc<Slot>>>,
     simulations: AtomicU64,
     hits: AtomicU64,
 }
+
+/// One memoization slot: filled exactly once with the run's outcome.
+type Slot = OnceLock<Result<Arc<RunResult>, RunError>>;
 
 impl RunCache {
     /// An empty cache.
@@ -121,7 +127,16 @@ impl RunCache {
     /// The memoized result for `(workload, system, scale)`, simulating
     /// on first request. Concurrent requests for the same key block on
     /// the single in-flight simulation instead of duplicating it.
-    pub fn get(&self, workload: Workload, system: System, scale: Scale) -> Arc<RunResult> {
+    ///
+    /// # Errors
+    ///
+    /// Returns the (memoized) [`RunError`] if the run failed.
+    pub fn get(
+        &self,
+        workload: Workload,
+        system: System,
+        scale: Scale,
+    ) -> Result<Arc<RunResult>, RunError> {
         let key = RunKey::new(workload, system, scale);
         let slot = {
             let mut slots = self.slots.lock().expect("run-cache poisoned");
@@ -132,17 +147,18 @@ impl RunCache {
             simulated = true;
             self.simulations.fetch_add(1, Ordering::Relaxed);
             let w = workload.build(system, scale);
-            Arc::new(run_built(&w, system))
+            run_built(&w, system).map(Arc::new)
         });
         if !simulated {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        Arc::clone(result)
+        result.clone()
     }
 
     /// Fills the cache for every combo, fanning the simulations out over
     /// `jobs` OS threads (clamped to at least one). Returns once every
-    /// combo is resident.
+    /// combo is resident; failures stay memoized for the figure that
+    /// requests them to report.
     pub fn warm(&self, combos: &[(Workload, System)], scale: Scale, jobs: usize) {
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -150,10 +166,39 @@ impl RunCache {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&(workload, system)) = combos.get(i) else { break };
-                    self.get(workload, system, scale);
+                    let _ = self.get(workload, system, scale);
                 });
             }
         });
+    }
+
+    /// One-line degradation summary over every resident run: how many
+    /// DSA runs silently fell back to scalar (and how many poisoned),
+    /// so graceful degradation is observable instead of silent.
+    pub fn degradation_summary(&self) -> String {
+        let slots = self.slots.lock().expect("run-cache poisoned");
+        let (mut runs, mut degraded_runs, mut degradations, mut poisoned, mut errors) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        for slot in slots.values() {
+            match slot.get() {
+                Some(Ok(r)) => {
+                    runs += 1;
+                    if let Some(s) = &r.dsa {
+                        if s.degradations > 0 {
+                            degraded_runs += 1;
+                        }
+                        degradations += s.degradations;
+                        poisoned += s.poison_events;
+                    }
+                }
+                Some(Err(_)) => errors += 1,
+                None => {}
+            }
+        }
+        format!(
+            "degradation summary: {degraded_runs}/{runs} runs degraded to scalar \
+             ({degradations} rollbacks, {poisoned} poisoned, {errors} failed runs)"
+        )
     }
 }
 
@@ -195,12 +240,28 @@ pub fn global() -> &'static RunCache {
 
 /// Memoized [`crate::run_system`]: each `(workload, system, scale)` is
 /// simulated at most once per process.
-pub fn run_cached(id: WorkloadId, system: System, scale: Scale) -> Arc<RunResult> {
+///
+/// # Errors
+///
+/// Returns the (memoized) [`RunError`] if the run failed.
+pub fn run_cached(
+    id: WorkloadId,
+    system: System,
+    scale: Scale,
+) -> Result<Arc<RunResult>, RunError> {
     global().get(Workload::App(id), system, scale)
 }
 
 /// Memoized microkernel run (the micro analogue of [`run_cached`]).
-pub fn run_micro_cached(m: micro::Micro, system: System, scale: Scale) -> Arc<RunResult> {
+///
+/// # Errors
+///
+/// Returns the (memoized) [`RunError`] if the run failed.
+pub fn run_micro_cached(
+    m: micro::Micro,
+    system: System,
+    scale: Scale,
+) -> Result<Arc<RunResult>, RunError> {
     global().get(Workload::Micro(m), system, scale)
 }
 
@@ -230,10 +291,15 @@ mod tests {
     #[test]
     fn second_request_is_a_hit_and_shares_the_result() {
         let cache = RunCache::new();
-        let a = cache.get(Workload::App(WorkloadId::RgbGray), System::Original, Scale::Small);
-        let b = cache.get(Workload::App(WorkloadId::RgbGray), System::Original, Scale::Small);
+        let a = cache
+            .get(Workload::App(WorkloadId::RgbGray), System::Original, Scale::Small)
+            .expect("runs");
+        let b = cache
+            .get(Workload::App(WorkloadId::RgbGray), System::Original, Scale::Small)
+            .expect("runs");
         assert!(Arc::ptr_eq(&a, &b), "hit must return the memoized allocation");
         assert_eq!(cache.stats(), CacheStats { simulations: 1, hits: 1 });
+        assert!(cache.degradation_summary().contains("0 poisoned"));
     }
 
     #[test]

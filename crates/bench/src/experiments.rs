@@ -1,5 +1,7 @@
 //! One function per paper table/figure; each returns the rendered text
-//! that the corresponding binary prints (see `src/bin/`).
+//! that the corresponding binary prints (see `src/bin/`), or the
+//! [`RunError`] that stopped it — binaries route either through
+//! [`crate::emit`].
 
 use dsa_core::{Dsa, DsaConfig, LoopClass};
 use dsa_cpu::{CpuConfig, Simulator};
@@ -7,7 +9,7 @@ use dsa_energy::AreaModel;
 use dsa_workloads::{micro, Scale, WorkloadId};
 
 use crate::cache::{run_cached, run_micro_cached};
-use crate::{geomean_improvement, improvement_pct, render_table, System};
+use crate::{geomean_improvement, improvement_pct, render_table, RunError, System};
 
 fn pct(v: f64) -> String {
     format!("{v:+.1}%")
@@ -15,7 +17,7 @@ fn pct(v: f64) -> String {
 
 /// Dissertation Table 2 — vectorization-technique comparison, with the
 /// properties demonstrated by this reproduction's own measurements.
-pub fn table2_techniques() -> String {
+pub fn table2_techniques() -> Result<String, RunError> {
     let rows = vec![
         vec![
             "Hand-Code Programming".into(),
@@ -46,7 +48,7 @@ pub fn table2_techniques() -> String {
             "no (parallel hardware)".into(),
         ],
     ];
-    format!(
+    Ok(format!(
         "Dissertation Table 2 — vectorization techniques comparison
          (the DSA row's claims are measured: binary compatibility = the same scalar binary runs
          under every system; zero penalty = QSort is cycle-identical with the DSA attached)
@@ -56,11 +58,11 @@ pub fn table2_techniques() -> String {
             &["technique", "code recompilation", "SW productivity", "vectorization", "perf. penalty"],
             &rows
         )
-    )
+    ))
 }
 
 /// E10 — the systems-setup table (dissertation Table 4).
-pub fn table_setups() -> String {
+pub fn table_setups() -> Result<String, RunError> {
     let cpu = CpuConfig::default();
     let dsa = DsaConfig::default();
     let rows = vec![
@@ -85,15 +87,15 @@ pub fn table_setups() -> String {
         vec!["Verification cache".into(), format!("{} KB", dsa.vcache_bytes / 1024)],
         vec!["Array maps".into(), format!("{} (128-bit wide)", dsa.array_maps)],
     ];
-    format!(
+    Ok(format!(
         "Table 4 / A1 Table 2 / A2 Table 2 / A3 Table 1 — Systems Setup\n\n{}",
         render_table(&["parameter", "value"], &rows)
-    )
+    ))
 }
 
 /// E1 — Article 1, Figure 12: NEON AutoVec vs original DSA over the ARM
 /// Original Execution.
-pub fn a1_fig12_performance() -> String {
+pub fn a1_fig12_performance() -> Result<String, RunError> {
     // Article 1 evaluates the six benchmarks without BitCounts.
     let set = [
         WorkloadId::MatMul,
@@ -106,9 +108,9 @@ pub fn a1_fig12_performance() -> String {
     let mut rows = Vec::new();
     let (mut auto_impr, mut dsa_impr) = (Vec::new(), Vec::new());
     for id in set {
-        let base = run_cached(id, System::Original, Scale::Paper);
-        let auto = run_cached(id, System::AutoVec, Scale::Paper);
-        let dsa = run_cached(id, System::DsaOriginal, Scale::Paper);
+        let base = run_cached(id, System::Original, Scale::Paper)?;
+        let auto = run_cached(id, System::AutoVec, Scale::Paper)?;
+        let dsa = run_cached(id, System::DsaOriginal, Scale::Paper)?;
         let ai = improvement_pct(base.cycles(), auto.cycles());
         let di = improvement_pct(base.cycles(), dsa.cycles());
         auto_impr.push(ai);
@@ -121,14 +123,14 @@ pub fn a1_fig12_performance() -> String {
         pct(auto_impr.iter().sum::<f64>() / auto_impr.len() as f64),
         pct(dsa_impr.iter().sum::<f64>() / dsa_impr.len() as f64),
     ]);
-    format!(
+    Ok(format!(
         "A1 Figure 12 — performance improvement over ARM Original Execution\n\n{}",
         render_table(&["workload", "original cycles", "NEON AutoVec", "DSA (original)"], &rows)
-    )
+    ))
 }
 
 /// E2 — Article 1, Table 3: DSA area overhead.
-pub fn a1_table3_area() -> String {
+pub fn a1_table3_area() -> Result<String, RunError> {
     let cfg = DsaConfig::default();
     let r = AreaModel::default().report(cfg.dsa_cache_bytes, cfg.vcache_bytes, cfg.array_maps);
     let rows = vec![
@@ -145,29 +147,29 @@ pub fn a1_table3_area() -> String {
         ],
         vec!["DSA + caches".into(), format!("{:.0}", r.dsa_total), pct(r.total_overhead_pct)],
     ];
-    format!(
+    Ok(format!(
         "A1 Table 3 — area overhead of the DSA (um^2)\n\n{}",
         render_table(&["component", "area", "overhead"], &rows)
-    )
+    ))
 }
 
 /// E3 — Article 2, Figure 16: AutoVec vs original DSA vs extended DSA.
-pub fn a2_fig16_extended() -> String {
+pub fn a2_fig16_extended() -> Result<String, RunError> {
     let mut rows = Vec::new();
     let (mut a, mut o, mut e) = (Vec::new(), Vec::new(), Vec::new());
     for id in WorkloadId::all() {
-        let base = run_cached(id, System::Original, Scale::Paper);
+        let base = run_cached(id, System::Original, Scale::Paper)?;
         let auto = improvement_pct(
             base.cycles(),
-            run_cached(id, System::AutoVec, Scale::Paper).cycles(),
+            run_cached(id, System::AutoVec, Scale::Paper)?.cycles(),
         );
         let orig = improvement_pct(
             base.cycles(),
-            run_cached(id, System::DsaOriginal, Scale::Paper).cycles(),
+            run_cached(id, System::DsaOriginal, Scale::Paper)?.cycles(),
         );
         let ext = improvement_pct(
             base.cycles(),
-            run_cached(id, System::DsaExtended, Scale::Paper).cycles(),
+            run_cached(id, System::DsaExtended, Scale::Paper)?.cycles(),
         );
         a.push(auto);
         o.push(orig);
@@ -176,18 +178,18 @@ pub fn a2_fig16_extended() -> String {
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     rows.push(vec!["average".into(), pct(avg(&a)), pct(avg(&o)), pct(avg(&e))]);
-    format!(
+    Ok(format!(
         "A2 Figure 16 — improvement over ARM Original Execution\n\n{}",
         render_table(&["workload", "NEON AutoVec", "DSA original", "DSA extended"], &rows)
-    )
+    ))
 }
 
 /// E4/E8 — DSA detection latency as a fraction of execution time
 /// (A2 Table 3 / A3 Table 2).
-pub fn dsa_latency_table(system: System, title: &str) -> String {
+pub fn dsa_latency_table(system: System, title: &str) -> Result<String, RunError> {
     let mut rows = Vec::new();
     for id in WorkloadId::all() {
-        let r = run_cached(id, system, Scale::Paper);
+        let r = run_cached(id, system, Scale::Paper)?;
         let stats = r.dsa.expect("DSA system");
         rows.push(vec![
             id.name().into(),
@@ -197,17 +199,17 @@ pub fn dsa_latency_table(system: System, title: &str) -> String {
             stats.dsa_cache_hits.to_string(),
         ]);
     }
-    format!(
+    Ok(format!(
         "{title}\n(detection runs in parallel with the core: reported, never added to the critical path)\n\n{}",
         render_table(
             &["workload", "detect cycles", "of runtime", "loops vectorized", "cache hits"],
             &rows
         )
-    )
+    ))
 }
 
 /// E5 — Article 3, Figure 7: percentage of loop types per application.
-pub fn a3_fig7_loop_census() -> String {
+pub fn a3_fig7_loop_census() -> Result<String, RunError> {
     let classes = [
         LoopClass::Count,
         LoopClass::Function,
@@ -220,7 +222,7 @@ pub fn a3_fig7_loop_census() -> String {
     ];
     let mut rows = Vec::new();
     for id in WorkloadId::all() {
-        let r = run_cached(id, System::DsaFull, Scale::Paper);
+        let r = run_cached(id, System::DsaFull, Scale::Paper)?;
         let census = r.census.as_ref().expect("DSA run");
         let mut row = vec![id.name().to_string()];
         for c in classes {
@@ -236,24 +238,24 @@ pub fn a3_fig7_loop_census() -> String {
         .chain(classes.iter().map(|c| c.to_string()))
         .collect();
     let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    format!(
+    Ok(format!(
         "A3 Figure 7 — percentage of loop types in the selected applications\n\n{}",
         render_table(&hdr_refs, &rows)
-    )
+    ))
 }
 
 /// E6 — Article 3, Figure 8: AutoVec vs Hand-coded vs full DSA.
-pub fn a3_fig8_performance() -> String {
+pub fn a3_fig8_performance() -> Result<String, RunError> {
     let mut rows = Vec::new();
     let (mut a, mut h, mut d) = (Vec::new(), Vec::new(), Vec::new());
     for id in WorkloadId::all() {
-        let base = run_cached(id, System::Original, Scale::Paper);
+        let base = run_cached(id, System::Original, Scale::Paper)?;
         let auto =
-            improvement_pct(base.cycles(), run_cached(id, System::AutoVec, Scale::Paper).cycles());
+            improvement_pct(base.cycles(), run_cached(id, System::AutoVec, Scale::Paper)?.cycles());
         let hand =
-            improvement_pct(base.cycles(), run_cached(id, System::HandVec, Scale::Paper).cycles());
+            improvement_pct(base.cycles(), run_cached(id, System::HandVec, Scale::Paper)?.cycles());
         let dsa =
-            improvement_pct(base.cycles(), run_cached(id, System::DsaFull, Scale::Paper).cycles());
+            improvement_pct(base.cycles(), run_cached(id, System::DsaFull, Scale::Paper)?.cycles());
         a.push(auto);
         h.push(hand);
         d.push(dsa);
@@ -271,22 +273,22 @@ pub fn a3_fig8_performance() -> String {
         (1.0 + geomean_improvement(&d) / 100.0) / (1.0 + geomean_improvement(&h) / 100.0) * 100.0
             - 100.0,
     );
-    format!(
+    Ok(format!(
         "A3 Figure 8 — performance improvements over ARM Original Execution\n\n{}\n{summary}\n",
         render_table(&["workload", "NEON AutoVec", "NEON Hand-Coded", "DSA (full)"], &rows)
-    )
+    ))
 }
 
 /// E7 — Article 3, Figure 9: energy savings over the ARM Original
 /// Execution.
-pub fn a3_fig9_energy() -> String {
+pub fn a3_fig9_energy() -> Result<String, RunError> {
     let mut rows = Vec::new();
     let mut savings = Vec::new();
     for id in WorkloadId::all() {
-        let base = run_cached(id, System::Original, Scale::Paper);
-        let auto = run_cached(id, System::AutoVec, Scale::Paper);
-        let hand = run_cached(id, System::HandVec, Scale::Paper);
-        let dsa = run_cached(id, System::DsaFull, Scale::Paper);
+        let base = run_cached(id, System::Original, Scale::Paper)?;
+        let auto = run_cached(id, System::AutoVec, Scale::Paper)?;
+        let hand = run_cached(id, System::HandVec, Scale::Paper)?;
+        let dsa = run_cached(id, System::DsaFull, Scale::Paper)?;
         let s = dsa.energy.saving_vs(&base.energy);
         savings.push(s);
         rows.push(vec![
@@ -304,21 +306,21 @@ pub fn a3_fig9_energy() -> String {
         String::new(),
         pct(savings.iter().sum::<f64>() / savings.len() as f64),
     ]);
-    format!(
+    Ok(format!(
         "A3 Figure 9 — energy savings over ARM Original Execution (paper: DSA ~45% avg)\n\n{}",
         render_table(
             &["workload", "original nJ", "AutoVec", "Hand-Coded", "DSA (full)"],
             &rows
         )
-    )
+    ))
 }
 
 /// E9 — Article 3, Table 3: DSA energy per loop-type scenario.
-pub fn a3_table3_dsa_energy() -> String {
+pub fn a3_table3_dsa_energy() -> Result<String, RunError> {
     let table = dsa_energy::EnergyTable::default();
     let mut rows = Vec::new();
     for m in micro::Micro::all() {
-        let r = run_micro_cached(m, System::DsaFull, Scale::Paper);
+        let r = run_micro_cached(m, System::DsaFull, Scale::Paper)?;
         let s = r.dsa.expect("DSA run");
         // Detection energy only (the per-scenario analysis of Figure 32).
         let detect_pj = (s.dsa_cache_hits + s.dsa_cache_misses) as f64 * table.dsa_cache_access
@@ -336,17 +338,17 @@ pub fn a3_table3_dsa_energy() -> String {
             format!("{:.3}%", 100.0 * r.energy.dsa / r.energy.total_pj()),
         ]);
     }
-    format!(
+    Ok(format!(
         "A3 Table 3 — DSA energy per loop-type scenario (detection stages exercised)\n\n{}",
         render_table(
             &["loop type", "collect", "dep-analysis", "mapping", "speculative", "detect energy", "DSA share of total"],
             &rows
         )
-    )
+    ))
 }
 
 /// E11 — dissertation Table 1: which inhibiting factor fires per loop.
-pub fn table1_inhibitors() -> String {
+pub fn table1_inhibitors() -> Result<String, RunError> {
     let mut rows = Vec::new();
     for m in micro::Micro::all() {
         let w = micro::build(m, dsa_compiler::Variant::AutoVec, Scale::Small);
@@ -359,14 +361,14 @@ pub fn table1_inhibitors() -> String {
             ]);
         }
     }
-    format!(
+    Ok(format!(
         "Dissertation Table 1 — auto-vectorization inhibiting factors, as they fire\n\n{}",
         render_table(&["microkernel", "loop", "autovec verdict", "inhibiting factor"], &rows)
-    )
+    ))
 }
 
 /// X1 — ablation: the three leftover strategies across trip counts.
-pub fn ablation_leftovers() -> String {
+pub fn ablation_leftovers() -> Result<String, RunError> {
     use dsa_core::LeftoverPolicy;
     let mut rows = Vec::new();
     for trip in [17u32, 21, 30, 63, 127] {
@@ -400,23 +402,23 @@ pub fn ablation_leftovers() -> String {
                 sim.machine_mut().mem.write_u32(la + 4 * i, i);
             }
             sim.warm_region(dsa_compiler::DATA_BASE_ADDR, 64 << 10);
-            let out = sim.run_with_hook(10_000_000, &mut dsa).expect("ok");
+            let out = sim.run_with_hook(10_000_000, &mut dsa)?;
             row.push(format!("{}", out.cycles));
         }
         rows.push(row);
     }
-    format!(
+    Ok(format!(
         "Ablation — leftover strategies (cycles; trip counts not multiples of 4 lanes)\n\n{}",
         render_table(&["trip", "single", "overlap", "larger", "auto"], &rows)
-    )
+    ))
 }
 
 /// X2 — ablation: partial vectorization across dependency distances.
-pub fn ablation_partial() -> String {
+pub fn ablation_partial() -> Result<String, RunError> {
     let mut rows = Vec::new();
     for dist in [2u32, 4, 8, 16, 32, 64] {
         let n = 512u32;
-        let build_run = |features_partial: bool| -> u64 {
+        let build_run = |features_partial: bool| -> Result<u64, RunError> {
             let mut kb = dsa_compiler::KernelBuilder::new(dsa_compiler::Variant::Scalar);
             let b = kb.alloc("b", dsa_compiler::DataType::I32, n);
             let v = kb.alloc("v", dsa_compiler::DataType::I32, n + dist);
@@ -441,10 +443,10 @@ pub fn ablation_partial() -> String {
                 sim.machine_mut().mem.write_u32(lb + 4 * i, i);
             }
             sim.warm_region(dsa_compiler::DATA_BASE_ADDR, 64 << 10);
-            sim.run_with_hook(10_000_000, &mut dsa).expect("ok").cycles
+            Ok(sim.run_with_hook(10_000_000, &mut dsa)?.cycles)
         };
-        let without = build_run(false);
-        let with = build_run(true);
+        let without = build_run(false)?;
+        let with = build_run(true)?;
         rows.push(vec![
             dist.to_string(),
             without.to_string(),
@@ -452,14 +454,14 @@ pub fn ablation_partial() -> String {
             pct(improvement_pct(without, with)),
         ]);
     }
-    format!(
+    Ok(format!(
         "Ablation — partial vectorization, v[i] = v[i-d] + b[i] (512 iterations)\n\n{}",
         render_table(&["distance d", "partial off", "partial on", "gain"], &rows)
-    )
+    ))
 }
 
 /// X3 — ablation: DSA cache size sweep over a loop-rich program.
-pub fn ablation_dsa_cache() -> String {
+pub fn ablation_dsa_cache() -> Result<String, RunError> {
     // A "loop zoo": 48 distinct count loops, re-entered 4 times each.
     let loops = 48u32;
     let trip = 64u32;
@@ -499,7 +501,7 @@ pub fn ablation_dsa_cache() -> String {
             sim.machine_mut().mem.write_u32(la + 4 * i, i);
         }
         sim.warm_region(dsa_compiler::DATA_BASE_ADDR, 64 << 10);
-        let out = sim.run_with_hook(50_000_000, &mut dsa).expect("ok");
+        let out = sim.run_with_hook(50_000_000, &mut dsa)?;
         let s = dsa.stats();
         let area = AreaModel::default().report(kb_size, 1024, 4);
         rows.push(vec![
@@ -510,15 +512,15 @@ pub fn ablation_dsa_cache() -> String {
             format!("{:.2}%", area.total_overhead_pct),
         ]);
     }
-    format!(
+    Ok(format!(
         "Ablation — DSA cache size over a 48-loop program re-entered 4x\n\n{}",
         render_table(&["cache size", "cycles", "hits", "misses", "area overhead"], &rows)
-    )
+    ))
 }
 
 /// A1 Figure 11 — NEON type-dependent parallelism: the same kernel over
 /// 8-, 16- and 32-bit elements exercises 16, 8 and 4 lanes.
-pub fn neon_parallelism() -> String {
+pub fn neon_parallelism() -> Result<String, RunError> {
     use dsa_compiler::DataType;
     let n = 8192u32;
     let mut rows = Vec::new();
@@ -544,7 +546,7 @@ pub fn neon_parallelism() -> String {
             kb.halt();
             (kb.finish(), a, b)
         };
-        let run = |with_dsa: bool| -> u64 {
+        let run = |with_dsa: bool| -> Result<u64, RunError> {
             let (kernel, a, b) = build_kernel();
             let (la, lb) = (kernel.layout.buf(a).base, kernel.layout.buf(b).base);
             let mut sim = Simulator::new(kernel.program.clone(), CpuConfig::default());
@@ -568,13 +570,13 @@ pub fn neon_parallelism() -> String {
             sim.warm_region(dsa_compiler::DATA_BASE_ADDR, 256 << 10);
             if with_dsa {
                 let mut dsa = Dsa::new(DsaConfig::full());
-                sim.run_with_hook(100_000_000, &mut dsa).expect("ok").cycles
+                Ok(sim.run_with_hook(100_000_000, &mut dsa)?.cycles)
             } else {
-                sim.run(100_000_000).expect("ok").cycles
+                Ok(sim.run(100_000_000)?.cycles)
             }
         };
-        let scalar = run(false);
-        let dsa = run(true);
+        let scalar = run(false)?;
+        let dsa = run(true)?;
         rows.push(vec![
             name.into(),
             scalar.to_string(),
@@ -582,21 +584,21 @@ pub fn neon_parallelism() -> String {
             pct(improvement_pct(scalar, dsa)),
         ]);
     }
-    format!(
+    Ok(format!(
         "A1 Figure 11 — NEON type-dependent parallelism ((a[i]+b[i])>>1 over 8192 elements)
 
 {}",
         render_table(&["element type", "scalar cycles", "DSA cycles", "improvement"], &rows)
-    )
+    ))
 }
 
 /// X5 — ablation: microarchitecture sensitivity (ROB window and NEON
 /// queue depth) for the scalar baseline and the DSA.
-pub fn ablation_hardware() -> String {
+pub fn ablation_hardware() -> Result<String, RunError> {
     use dsa_cpu::NeonConfig;
     use dsa_workloads::build as build_workload;
     let w = build_workload(WorkloadId::RgbGray, dsa_compiler::Variant::Scalar, Scale::Paper);
-    let run = |cfg: CpuConfig, with_dsa: bool, warm: bool| -> u64 {
+    let run = |cfg: CpuConfig, with_dsa: bool, warm: bool| -> Result<u64, RunError> {
         let mut sim = Simulator::new(w.kernel.program.clone(), cfg);
         (w.init)(sim.machine_mut());
         if warm {
@@ -606,22 +608,28 @@ pub fn ablation_hardware() -> String {
         }
         let out = if with_dsa {
             let mut dsa = Dsa::new(DsaConfig::full());
-            sim.run_with_hook(1_000_000_000, &mut dsa).expect("ok")
+            sim.run_with_hook(1_000_000_000, &mut dsa)?
         } else {
-            sim.run(1_000_000_000).expect("ok")
+            sim.run(1_000_000_000)?
         };
-        assert!(w.check(sim.machine()));
-        out.cycles
+        if !w.check(sim.machine()) {
+            return Err(RunError::WrongResult {
+                system: if with_dsa { System::DsaFull } else { System::Original },
+                got: w.actual(sim.machine()),
+                want: w.expected,
+            });
+        }
+        Ok(out.cycles)
     };
     let mut rows = Vec::new();
     for rob in [8u32, 16, 40, 128] {
         let cfg = CpuConfig { rob_size: rob, ..CpuConfig::default() };
         rows.push(vec![
             format!("ROB {rob}"),
-            run(cfg, false, true).to_string(),
-            run(cfg, true, true).to_string(),
-            run(cfg, false, false).to_string(),
-            run(cfg, true, false).to_string(),
+            run(cfg, false, true)?.to_string(),
+            run(cfg, true, true)?.to_string(),
+            run(cfg, false, false)?.to_string(),
+            run(cfg, true, false)?.to_string(),
         ]);
     }
     for q in [4u32, 8, 16, 32] {
@@ -631,13 +639,13 @@ pub fn ablation_hardware() -> String {
         };
         rows.push(vec![
             format!("NEON queue {q}"),
-            run(cfg, false, true).to_string(),
-            run(cfg, true, true).to_string(),
-            run(cfg, false, false).to_string(),
-            run(cfg, true, false).to_string(),
+            run(cfg, false, true)?.to_string(),
+            run(cfg, true, true)?.to_string(),
+            run(cfg, false, false)?.to_string(),
+            run(cfg, true, false)?.to_string(),
         ]);
     }
-    format!(
+    Ok(format!(
         "Ablation — microarchitecture sensitivity on RGB-Gray (cycles; the in-flight \
          windows matter when misses must overlap, i.e. with cold DRAM)
 
@@ -646,11 +654,11 @@ pub fn ablation_hardware() -> String {
             &["configuration", "scalar/L2-warm", "DSA/L2-warm", "scalar/cold", "DSA/cold"],
             &rows
         )
-    )
+    ))
 }
 
 /// X4 — ablation: sentinel speculative-range adaptation.
-pub fn ablation_sentinel() -> String {
+pub fn ablation_sentinel() -> Result<String, RunError> {
     // One sentinel loop executed over strings of different lengths;
     // the DSA's speculative range follows the last actual length.
     let lengths = [40u32, 40, 12, 12, 72, 72];
@@ -683,7 +691,7 @@ pub fn ablation_sentinel() -> String {
         }
         sim.warm_region(dsa_compiler::DATA_BASE_ADDR, 64 << 10);
         let before = dsa.stats().discarded_lanes;
-        let out = sim.run_with_hook(10_000_000, &mut dsa).expect("ok");
+        let out = sim.run_with_hook(10_000_000, &mut dsa)?;
         let s = dsa.stats();
         rows.push(vec![
             format!("run {}", run + 1),
@@ -693,10 +701,155 @@ pub fn ablation_sentinel() -> String {
             s.loops_vectorized.to_string(),
         ]);
     }
-    format!(
+    Ok(format!(
         "Ablation — sentinel speculative range across executions (shared DSA cache)\n\n{}",
         render_table(&["execution", "actual length", "cycles", "lanes discarded", "vectorized so far"], &rows)
-    )
+    ))
+}
+
+/// R1 — the fault-injection matrix: every fault site (and all sites at
+/// once) × every seed, each cell running the differential oracle over
+/// all seven applications. A cell passes only if every DSA-attached run
+/// under the armed [`FaultPlan`](dsa_core::FaultPlan) finishes with
+/// architectural state bit-identical to the scalar-only reference.
+///
+/// # Errors
+///
+/// Returns [`RunError::OracleMismatch`] naming the first failing
+/// `(site, seed)` cell, or [`RunError::Sim`] if a reference run failed.
+pub fn fault_matrix(seeds: &[u64]) -> Result<String, RunError> {
+    use dsa_core::{DifferentialOracle, FaultPlan, FaultSite, OracleVerdict};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Aggregate of one (site, seed) cell over the workload set.
+    #[derive(Debug, Clone, Copy, Default)]
+    struct Cell {
+        checks: u64,
+        fired: u64,
+        degradations: u64,
+        poisoned: u64,
+    }
+
+    let sites: Vec<(&'static str, Option<FaultSite>)> = std::iter::once(("all", None))
+        .chain(FaultSite::ALL.into_iter().map(|s| (s.name(), Some(s))))
+        .collect();
+    let cells: Vec<(&'static str, Option<FaultSite>, u64)> = sites
+        .iter()
+        .flat_map(|&(name, site)| seeds.iter().map(move |&seed| (name, site, seed)))
+        .collect();
+
+    let results: Vec<Mutex<Option<Result<Cell, RunError>>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let oracle = DifferentialOracle::new(crate::FUEL);
+    std::thread::scope(|scope| {
+        for _ in 0..crate::cache::jobs_from_env().clamp(1, cells.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(name, site, seed)) = cells.get(i) else { break };
+                let plan = match site {
+                    None => FaultPlan::all(seed),
+                    Some(s) => FaultPlan::only(seed, s),
+                };
+                let mut cell = Cell::default();
+                let mut outcome = Ok(());
+                let grade = |cell: &mut Cell, report: &dsa_core::OracleReport| {
+                    cell.checks += 1;
+                    match report.verdict {
+                        OracleVerdict::Match => Ok(()),
+                        OracleVerdict::ScalarFailed(e) | OracleVerdict::DsaFailed(e) => {
+                            Err(RunError::Sim(e))
+                        }
+                        OracleVerdict::Mismatch { .. } => {
+                            Err(RunError::OracleMismatch { seed, site: name })
+                        }
+                    }
+                };
+                for id in WorkloadId::all() {
+                    let w = build_workload_scalar(id);
+                    let config = DsaConfig::full().with_faults(plan);
+                    let report = oracle.check(&w.kernel.program, config, &w.init);
+                    cell.fired += report.stats.faults_injected;
+                    cell.degradations += report.stats.degradations;
+                    cell.poisoned += report.stats.poison_events;
+                    outcome = grade(&mut cell, &report);
+                    if outcome.is_err() {
+                        break;
+                    }
+                }
+                // The sentinel-lie site only fires at a DSA-executed
+                // sentinel exit, which needs the loop's template cached
+                // from earlier entrances — no application reaches that
+                // from a cold engine. Drive the sentinel microkernel
+                // through one persistent engine, three entrances.
+                if outcome.is_ok() {
+                    let w = dsa_workloads::micro::build(
+                        dsa_workloads::micro::Micro::Sentinel,
+                        dsa_compiler::Variant::Scalar,
+                        Scale::Small,
+                    );
+                    let mut dsa = dsa_core::Dsa::new(DsaConfig::full().with_faults(plan));
+                    for _ in 0..3 {
+                        let report = oracle.check_with(&w.kernel.program, &mut dsa, &w.init);
+                        outcome = grade(&mut cell, &report);
+                        if outcome.is_err() {
+                            break;
+                        }
+                    }
+                    // Engine stats are cumulative; fold them in once.
+                    let s = dsa.stats();
+                    cell.fired += s.faults_injected;
+                    cell.degradations += s.degradations;
+                    cell.poisoned += s.poison_events;
+                }
+                *results[i].lock().expect("fault-matrix slot") =
+                    Some(outcome.map(|()| cell));
+            });
+        }
+    });
+
+    // Aggregate per site, in site order; the first failing cell aborts.
+    let mut rows = Vec::new();
+    for &(name, _) in &sites {
+        let mut total = Cell::default();
+        for (cell, slot) in cells.iter().zip(&results) {
+            if cell.0 != name {
+                continue;
+            }
+            let got = slot.lock().expect("fault-matrix slot").take().expect("cell computed");
+            let c = got?;
+            total.checks += c.checks;
+            total.fired += c.fired;
+            total.degradations += c.degradations;
+            total.poisoned += c.poisoned;
+        }
+        rows.push(vec![
+            name.into(),
+            total.checks.to_string(),
+            total.fired.to_string(),
+            total.degradations.to_string(),
+            total.poisoned.to_string(),
+            "match".into(),
+        ]);
+    }
+    Ok(format!(
+        "Fault matrix — differential oracle over {} seeds x {} applications per site\n\
+         (plus three entrances of the sentinel microkernel through a persistent engine,\n\
+         so cache-resident fault sites have injection opportunities; each check runs\n\
+         scalar-only and DSA-attached under the armed fault plan and compares final\n\
+         registers, vector registers, flags and memory bit for bit)\n\n{}",
+        seeds.len(),
+        WorkloadId::all().len(),
+        render_table(
+            &["fault site", "oracle checks", "faults fired", "degradations", "poisoned", "state"],
+            &rows
+        )
+    ))
+}
+
+fn build_workload_scalar(id: WorkloadId) -> dsa_workloads::BuiltWorkload {
+    dsa_workloads::build(id, dsa_compiler::Variant::Scalar, Scale::Small)
 }
 
 #[cfg(test)]
@@ -705,10 +858,20 @@ mod tests {
 
     #[test]
     fn static_tables_render() {
-        assert!(table_setups().contains("DSA cache"));
-        assert!(a1_table3_area().contains("overhead"));
-        let inh = table1_inhibitors();
+        assert!(table_setups().expect("static").contains("DSA cache"));
+        assert!(a1_table3_area().expect("static").contains("overhead"));
+        let inh = table1_inhibitors().expect("static");
         assert!(inh.contains("indirect addressing"));
         assert!(inh.contains("iteration count not fixed"));
+    }
+
+    #[test]
+    fn fault_matrix_holds_for_one_seed() {
+        let text = fault_matrix(&[0xD5A]).expect("oracle must hold");
+        assert!(text.contains("corrupt-template"));
+        assert!(text.contains("skip-rollback-flush"));
+        // Every site row (5 single sites + "all") reports a
+        // bit-identical final state.
+        assert_eq!(text.matches("match").count(), 6, "one `match` verdict per site row");
     }
 }

@@ -22,12 +22,76 @@ pub use cache::{run_cached, run_micro_cached, RunCache};
 
 use dsa_compiler::Variant;
 use dsa_core::{Dsa, DsaConfig, DsaStats, LoopCensus};
-use dsa_cpu::{CpuConfig, RunOutcome, Simulator};
+use dsa_cpu::{CpuConfig, RunOutcome, SimError, Simulator};
 use dsa_energy::{EnergyBreakdown, EnergyModel, EnergyTable};
 use dsa_workloads::{build, BuiltWorkload, Scale, WorkloadId};
 
 /// Instruction budget per run.
 pub const FUEL: u64 = 2_000_000_000;
+
+/// A failed measurement run. `Copy` so the memoizing [`RunCache`] can
+/// hand the same error to every requester of a bad key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// The simulator failed: watchdog expiry or an executor error.
+    Sim(SimError),
+    /// The run halted but produced a result different from the
+    /// workload's golden reference.
+    WrongResult {
+        /// The system that produced the wrong result.
+        system: System,
+        /// Checksum observed.
+        got: u64,
+        /// Golden checksum expected.
+        want: u64,
+    },
+    /// The differential oracle found a DSA run diverging from its
+    /// scalar-only reference (fault matrix).
+    OracleMismatch {
+        /// Fault-plan seed of the failing schedule.
+        seed: u64,
+        /// Name of the armed fault site (or "all").
+        site: &'static str,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            RunError::WrongResult { system, got, want } => write!(
+                f,
+                "{} produced a wrong result: got {got:#x}, want {want:#x}",
+                system.name()
+            ),
+            RunError::OracleMismatch { seed, site } => write!(
+                f,
+                "differential oracle mismatch under fault site `{site}` (seed {seed})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> RunError {
+        RunError::Sim(e)
+    }
+}
+
+/// Prints an experiment's output, or reports its error cleanly: message
+/// to stderr, exit code 1, no backtrace. Shared by every `dsa-bench`
+/// binary so a failed run reads like a diagnostic, not a crash.
+pub fn emit(section: Result<String, RunError>) {
+    match section {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 /// The systems compared in the paper's figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,11 +165,13 @@ impl RunResult {
 
 /// Runs a prebuilt workload under one system.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the run does not halt or produces a result different from
-/// the workload's golden reference.
-pub fn run_built(w: &BuiltWorkload, system: System) -> RunResult {
+/// Returns [`RunError::Sim`] if the run does not halt within [`FUEL`]
+/// steps (the watchdog) or the executor fails, and
+/// [`RunError::WrongResult`] if the final state differs from the
+/// workload's golden reference.
+pub fn run_built(w: &BuiltWorkload, system: System) -> Result<RunResult, RunError> {
     let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
     (w.init)(sim.machine_mut());
     // Inputs are L2-resident, as left behind by the input phase that
@@ -114,34 +180,37 @@ pub fn run_built(w: &BuiltWorkload, system: System) -> RunResult {
         sim.warm_region(buf.base, buf.size_bytes());
     }
     let (outcome, dsa) = match system.dsa_config() {
-        None => (sim.run(FUEL).expect("run ok"), None),
+        None => (sim.run(FUEL)?, None),
         Some(cfg) => {
             let mut dsa = Dsa::new(cfg);
-            let out = sim.run_with_hook(FUEL, &mut dsa).expect("run ok");
+            let out = sim.run_with_hook(FUEL, &mut dsa)?;
             (out, Some(dsa))
         }
     };
-    assert!(outcome.halted, "workload exhausted fuel");
-    assert!(
-        w.check(sim.machine()),
-        "{:?} produced a wrong result: got {:#x}, want {:#x}",
-        system,
-        w.actual(sim.machine()),
-        w.expected
-    );
+    if !w.check(sim.machine()) {
+        return Err(RunError::WrongResult {
+            system,
+            got: w.actual(sim.machine()),
+            want: w.expected,
+        });
+    }
     let model = EnergyModel::new(EnergyTable::default());
     let stats = dsa.as_ref().map(|d| d.stats());
     let energy = model.evaluate(&outcome, stats.as_ref());
-    RunResult {
+    Ok(RunResult {
         outcome,
         dsa: stats,
         census: dsa.as_ref().map(|d| d.census()),
         energy,
-    }
+    })
 }
 
 /// Builds and runs one workload under one system.
-pub fn run_system(id: WorkloadId, system: System, scale: Scale) -> RunResult {
+///
+/// # Errors
+///
+/// Same contract as [`run_built`].
+pub fn run_system(id: WorkloadId, system: System, scale: Scale) -> Result<RunResult, RunError> {
     let w = build(id, system.variant(), scale);
     run_built(&w, system)
 }
@@ -236,9 +305,20 @@ mod tests {
 
     #[test]
     fn smoke_run_one_system() {
-        let r = run_system(WorkloadId::RgbGray, System::DsaFull, Scale::Small);
+        let r = run_system(WorkloadId::RgbGray, System::DsaFull, Scale::Small).expect("runs");
         assert!(r.cycles() > 0);
         assert!(r.dsa.is_some());
         assert!(r.energy.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn run_errors_render_cleanly() {
+        use dsa_cpu::SimError;
+        let e = RunError::from(SimError::StepBudgetExceeded { pc: 0x40, steps: 9 });
+        assert_eq!(e.to_string(), "simulation failed: did not halt within 9 steps (stuck at pc 64)");
+        let w = RunError::WrongResult { system: System::DsaFull, got: 1, want: 2 };
+        assert!(w.to_string().contains("wrong result"));
+        let o = RunError::OracleMismatch { seed: 3, site: "all" };
+        assert!(o.to_string().contains("seed 3"));
     }
 }

@@ -24,9 +24,9 @@ fn cached_result_matches_fresh_run() {
     for (id, system) in
         [(WorkloadId::RgbGray, System::DsaFull), (WorkloadId::QSort, System::AutoVec)]
     {
-        let fresh = run_system(id, system, Scale::Small);
-        let cached = cache.get(Workload::App(id), system, Scale::Small);
-        let again = cache.get(Workload::App(id), system, Scale::Small);
+        let fresh = run_system(id, system, Scale::Small).expect("fresh run");
+        let cached = cache.get(Workload::App(id), system, Scale::Small).expect("cached run");
+        let again = cache.get(Workload::App(id), system, Scale::Small).expect("cached run");
         assert!(Arc::ptr_eq(&cached, &again), "second request must be a hit");
         assert_eq!(
             format!("{fresh:?}"),
@@ -42,7 +42,7 @@ fn parallel_warm_up_is_bit_identical_to_sequential() {
 
     let sequential = RunCache::new();
     for &(w, s) in &combos {
-        sequential.get(w, s, Scale::Small);
+        sequential.get(w, s, Scale::Small).expect("sequential fill");
     }
     assert_eq!(sequential.stats().simulations, combos.len() as u64);
 
@@ -51,8 +51,8 @@ fn parallel_warm_up_is_bit_identical_to_sequential() {
     assert_eq!(parallel.stats().simulations, combos.len() as u64);
 
     for &(w, s) in &combos {
-        let a = sequential.get(w, s, Scale::Small);
-        let b = parallel.get(w, s, Scale::Small);
+        let a = sequential.get(w, s, Scale::Small).expect("sequential result");
+        let b = parallel.get(w, s, Scale::Small).expect("parallel result");
         assert_eq!(
             format!("{a:?}"),
             format!("{b:?}"),

@@ -1,5 +1,7 @@
 //! DSA configuration: feature set, structure sizes, stage latencies.
 
+use crate::faults::FaultPlan;
+
 /// Which loop classes the DSA can vectorize.
 ///
 /// The three presets reproduce the three publications:
@@ -119,6 +121,9 @@ pub struct DsaConfig {
     pub min_profitable_iterations: u32,
     /// Leftover strategy.
     pub leftover: LeftoverPolicy,
+    /// Optional deterministic fault-injection schedule (robustness
+    /// testing only; `None` in every normal configuration).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for DsaConfig {
@@ -140,6 +145,7 @@ impl Default for DsaConfig {
             conditional_analysis_limit: 64,
             min_profitable_iterations: 8,
             leftover: LeftoverPolicy::Auto,
+            faults: None,
         }
     }
 }
@@ -158,6 +164,11 @@ impl DsaConfig {
     /// Configuration for the full DSA (Article 3 / DATE 2019).
     pub fn full() -> DsaConfig {
         DsaConfig::default()
+    }
+
+    /// The same configuration with a fault-injection schedule armed.
+    pub fn with_faults(self, plan: FaultPlan) -> DsaConfig {
+        DsaConfig { faults: Some(plan), ..self }
     }
 }
 

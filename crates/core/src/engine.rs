@@ -9,9 +9,48 @@ use dsa_isa::{Cond, Instr};
 use crate::caches::{CachedKind, DsaCache, VerificationCache};
 use crate::cidp::{self, CidpOutcome};
 use crate::config::DsaConfig;
+use crate::faults::{FaultSite, FaultState};
 use crate::plan::{self, ArmTemplate, LoopTemplate, OpMix, StreamTemplate};
 use crate::profile::{CmpObs, IterationProfile, IterationRecorder};
 use crate::stats::{DsaStats, LoopCensus, LoopClass};
+
+/// Upper bound on a stored sentinel speculative range. Real ranges track
+/// observed trip counts; anything beyond this is treated as corrupted
+/// state (e.g. a lying trip predictor) and degrades the loop to scalar.
+const MAX_SPEC_RANGE: u32 = 1 << 26;
+
+/// An impossible state-machine transition inside the engine. These were
+/// `unreachable!()` panics; they are now typed values that *poison* the
+/// DSA — it ends coverage, detaches itself and lets the run complete
+/// scalar-only, losing speedup but never correctness or the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineError {
+    /// The mode the handler required.
+    pub expected: &'static str,
+    /// The operation that found itself in the wrong mode.
+    pub during: &'static str,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DSA state-machine violation: {} requires mode {}", self.during, self.expected)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Destructures the current mode or returns the typed invariant
+/// violation that used to be an `unreachable!()`.
+macro_rules! expect_mode {
+    ($dsa:expr, $variant:ident, $during:expr) => {
+        match &mut $dsa.mode {
+            Mode::$variant(inner) => inner,
+            _ => {
+                return Err(EngineError { expected: stringify!($variant), during: $during })
+            }
+        }
+    };
+}
 
 /// The Dynamic SIMD Assembler. Attach to a
 /// [`Simulator`](dsa_cpu::Simulator) via
@@ -25,6 +64,8 @@ pub struct Dsa {
     stats: DsaStats,
     census: HashMap<u32, LoopClass>,
     mode: Mode,
+    faults: Option<FaultState>,
+    error: Option<EngineError>,
 }
 
 #[derive(Debug)]
@@ -32,6 +73,9 @@ enum Mode {
     Probing,
     Analyzing(Box<Analysis>),
     Executing(Box<Execution>),
+    /// Terminal: an [`EngineError`] occurred; the DSA has detached and
+    /// ignores every further commit (the run completes scalar-only).
+    Poisoned,
 }
 
 #[derive(Debug)]
@@ -135,7 +179,22 @@ impl Dsa {
             stats: DsaStats::default(),
             census: HashMap::new(),
             mode: Mode::Probing,
+            faults: config.faults.map(FaultState::new),
+            error: None,
         }
+    }
+
+    /// The engine error that poisoned this DSA, if any. A poisoned DSA
+    /// has detached itself: the run completed (or will complete) with
+    /// correct scalar-only results.
+    pub fn poisoned(&self) -> Option<EngineError> {
+        self.error
+    }
+
+    /// The fault-injection state, when a [`FaultPlan`](crate::FaultPlan)
+    /// is armed (inspection for tests and the fault matrix).
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     /// The configuration in effect.
@@ -177,21 +236,90 @@ impl Dsa {
         self.mode = Mode::Probing;
     }
 
+    /// Registers one fault opportunity at `site`; `true` means the armed
+    /// plan injects a fault here.
+    fn fault_fires(&mut self, site: FaultSite) -> bool {
+        let fires = self.faults.as_mut().is_some_and(|f| f.fire(site));
+        if fires {
+            self.stats.faults_injected += 1;
+        }
+        fires
+    }
+
+    /// Detected-inconsistency rollback: the engine found its own state
+    /// for loop `id` untrustworthy, so it discards it, flushes any
+    /// active coverage and falls back to scalar execution. Correctness
+    /// is unaffected — the scalar core has been computing the real
+    /// results all along; only the speedup for this loop is lost.
+    fn degrade(&mut self, id: u32, class: LoopClass, ctl: &mut SimControl<'_>) {
+        if ctl.coverage_active() {
+            ctl.end_coverage();
+            ctl.stall(self.config.resync_latency as u64);
+        }
+        self.cache.insert(id, CachedKind::NonVectorizable(class));
+        self.classify(id, class);
+        self.stats.degradations += 1;
+        self.mode = Mode::Probing;
+    }
+
+    /// Terminal degradation: an impossible state transition. The DSA
+    /// flushes coverage, records the error and detaches itself; every
+    /// further commit is ignored and the run completes scalar-only.
+    fn poison(&mut self, err: EngineError, ctl: &mut SimControl<'_>) {
+        if ctl.coverage_active() {
+            ctl.end_coverage();
+            ctl.stall(self.config.resync_latency as u64);
+        }
+        self.stats.degradations += 1;
+        self.stats.poison_events += 1;
+        self.error = Some(err);
+        self.mode = Mode::Poisoned;
+    }
+
     // ----- Probing -------------------------------------------------------
 
-    fn probe(&mut self, ev: &TraceEvent) {
+    fn probe(&mut self, ev: &TraceEvent, ctl: &mut SimControl<'_>) {
+        // Self-check: probing with coverage still suppressed means a
+        // rollback flush was skipped at the end of the last vectorized
+        // region. Recover it here — one commit of wrongly-covered timing,
+        // no functional effect — and count the degradation.
+        if ctl.coverage_active() {
+            ctl.end_coverage();
+            ctl.stall(self.config.resync_latency as u64);
+            self.stats.degradations += 1;
+        }
         if !is_loop_branch(ev) {
             return;
         }
-        let id = ev.branch.expect("backward branch has outcome").target;
+        let Some(branch) = ev.branch else { return };
+        let id = branch.target;
         self.stats.loops_detected += 1;
         self.stats.stage_loop_detection += 1;
         match self.cache.probe(id).cloned() {
             // A cached negative verdict ends detection immediately — the
             // probe is pipelined with the core and costs nothing.
             Some(CachedKind::NonVectorizable(_)) => {}
-            Some(CachedKind::Vectorizable(t)) => {
+            Some(CachedKind::Vectorizable(mut t)) => {
                 self.stats.detection_cycles += self.config.dsa_cache_latency as u64;
+                if self.fault_fires(FaultSite::CorruptTemplate) {
+                    // Model a bit flip on the cache read path. Every
+                    // variant is a structural defect that
+                    // `LoopTemplate::validate` must catch in
+                    // `hit_execute` before any lane math runs.
+                    let variant =
+                        self.faults.as_ref().map_or(0, |f| f.pick(FaultSite::CorruptTemplate, 3));
+                    match variant {
+                        0 => t.elem_bytes = 0,
+                        1 => t.elem_bytes = 3,
+                        _ => {
+                            if let Some(s) = t.streams.first_mut() {
+                                s.gap = 7;
+                            } else {
+                                t.arms.clear();
+                            }
+                        }
+                    }
+                }
                 self.mode = Mode::Analyzing(Box::new(Analysis {
                     id,
                     end_pc: ev.pc,
@@ -226,8 +354,13 @@ impl Dsa {
 
     /// Handles one event while analysing; returns `true` if the event
     /// must be re-dispatched from probing (nest abandonment).
-    fn analyze(&mut self, ev: &TraceEvent, machine: &Machine, ctl: &mut SimControl<'_>) -> bool {
-        let Mode::Analyzing(a) = &mut self.mode else { unreachable!() };
+    fn analyze(
+        &mut self,
+        ev: &TraceEvent,
+        machine: &Machine,
+        ctl: &mut SimControl<'_>,
+    ) -> Result<bool, EngineError> {
+        let a = expect_mode!(self, Analyzing, "analyze");
         let id = a.id;
         let end_pc = a.end_pc;
 
@@ -239,17 +372,17 @@ impl Dsa {
 
         // Closing branch of the tracked loop?
         if ev.pc == end_pc && matches!(ev.branch, Some(b) if b.taken && b.target == id) {
-            self.finish_iteration(ev, machine, ctl);
-            return false;
+            self.finish_iteration(ev, machine, ctl)?;
+            return Ok(false);
         }
 
         // A different loop boundary: an inner loop of the tracked one.
         if is_loop_branch(ev) {
-            let b = ev.branch.expect("loop branch has outcome");
+            let Some(b) = ev.branch else { return Ok(false) };
             let inner_ok = id < b.target && ev.pc < end_pc;
             match (&a.nest, inner_ok) {
                 // Already observing this inner loop: expected.
-                (Some(n), true) if n.inner_id == b.target => return false,
+                (Some(n), true) if n.inner_id == b.target => return Ok(false),
                 (None, true) if self.config.features.loop_nests && a.hit.is_none() => {
                     // Fusion candidate when the inner loop is already
                     // verified as a plain count loop with a static trip.
@@ -261,30 +394,28 @@ impl Dsa {
                             && t.streams.iter().all(|s| s.occ == 0)
                             && t.trip_imm.is_some();
                         if fusable {
-                            let Mode::Analyzing(a) = &mut self.mode else { unreachable!() };
-                            a.nest = Some(NestAnalysis {
+                            let nest = NestAnalysis {
                                 inner_id: b.target,
                                 inner_end: ev.pc,
-                                inner_trip: t.trip_imm.expect("checked") as u32,
+                                inner_trip: t.trip_imm.unwrap_or(1) as u32,
                                 inner_template: t.clone(),
-                            });
-                            return false;
+                            };
+                            let a = expect_mode!(self, Analyzing, "nest observation");
+                            a.nest = Some(nest);
+                            return Ok(false);
                         }
                     }
                     self.give_up(id, LoopClass::Nest);
-                    return true;
+                    return Ok(true);
                 }
                 _ => {
                     self.give_up(id, LoopClass::Nest);
-                    return true;
+                    return Ok(true);
                 }
             }
         }
 
-        let a = match &mut self.mode {
-            Mode::Analyzing(a) => a,
-            _ => unreachable!(),
-        };
+        let a = expect_mode!(self, Analyzing, "iteration recording");
         a.rec.record(ev, machine);
 
         // Loop exited before analysis finished (trip shorter than the
@@ -296,15 +427,20 @@ impl Dsa {
             // only abandon when control is definitely past the loop.
             self.mode = Mode::Probing;
         }
-        false
+        Ok(false)
     }
 
-    fn finish_iteration(&mut self, ev: &TraceEvent, machine: &Machine, ctl: &mut SimControl<'_>) {
-        let Mode::Analyzing(a) = &mut self.mode else { unreachable!() };
+    fn finish_iteration(
+        &mut self,
+        ev: &TraceEvent,
+        machine: &Machine,
+        ctl: &mut SimControl<'_>,
+    ) -> Result<(), EngineError> {
+        let a = expect_mode!(self, Analyzing, "finish_iteration");
         let closing_unconditional = matches!(ev.instr, Instr::B { cond: Cond::Al, .. });
         let index_reg = a.rec.last_cmp_reg();
         let rec = std::mem::replace(&mut a.rec, IterationRecorder::new(a.id, a.end_pc));
-        let profile = rec.finish(index_reg);
+        let mut profile = rec.finish(index_reg);
         a.iter += 1;
         let iter = a.iter;
         let id = a.id;
@@ -315,77 +451,80 @@ impl Dsa {
         self.stats.detection_cycles += n_acc * self.config.vcache_latency as u64;
         self.vcache.record_accesses(n_acc);
 
-        let a = match &mut self.mode {
-            Mode::Analyzing(a) => a,
-            _ => unreachable!(),
-        };
+        // Fault injection: lose one Verification-Cache entry after the
+        // traffic was accounted.
+        if self.fault_fires(FaultSite::DropVcacheEntry) {
+            profile.accesses.pop();
+        }
+        // Consistency check: the analysis pipeline must agree with the
+        // Verification-Cache accounting; a lost entry means the recorded
+        // streams can no longer be trusted.
+        if profile.accesses.len() as u64 != n_acc {
+            self.degrade(id, LoopClass::NonVectorizable, ctl);
+            return Ok(());
+        }
+
+        let a = expect_mode!(self, Analyzing, "post-vcache analysis");
         // Nest observation stores only the per-stream heads, not every
         // inner-iteration address, so the capacity check is skipped.
         if a.nest.is_none() && !self.vcache.fits(profile.accesses.len()) {
             self.give_up(id, LoopClass::NonVectorizable);
-            return;
+            return Ok(());
         }
 
         // Cache-hit fast path: one collection iteration, then execute.
         if let Some(t) = a.hit.clone() {
             self.stats.stage_store_id_execution += 1;
-            self.hit_execute(t, profile, machine, ctl);
-            return;
+            return self.hit_execute(t, profile, machine, ctl);
         }
 
         // Nest-fusion path: the iteration contained a verified inner
         // count loop; check the outer body is pure overhead.
         if a.nest.is_some() {
-            self.nest_step(profile, ctl);
-            return;
+            return self.nest_step(profile, ctl);
         }
 
         // Structural rejections discovered during Data Collection.
         if profile.body.nonvec > 0 || profile.body.elem_bytes.is_none() {
             self.give_up(id, LoopClass::NonVectorizable);
-            return;
+            return Ok(());
         }
         if profile.has_call && !self.config.features.function_loops {
             self.give_up(id, LoopClass::Function);
-            return;
+            return Ok(());
         }
         if closing_unconditional || profile.exit_check_pc.is_some() && profile.closing_cmp.is_none()
         {
             // Sentinel shape.
             if !self.config.features.sentinel_loops || profile.cond_branches > 0 {
                 self.give_up(id, LoopClass::Sentinel);
-                return;
+                return Ok(());
             }
         }
         if profile.cond_branches > 0 {
             if !self.config.features.conditional_loops {
                 self.give_up(id, LoopClass::Conditional);
-                return;
+                return Ok(());
             }
             self.stats.stage_mapping += 1;
             self.stats.array_map_accesses += 1;
             self.stats.detection_cycles += self.config.array_map_latency as u64;
-            self.conditional_step(profile, iter, machine, ctl);
-            return;
+            return self.conditional_step(profile, iter, machine, ctl);
         }
 
-        let a = match &mut self.mode {
-            Mode::Analyzing(a) => a,
-            _ => unreachable!(),
-        };
+        let a = expect_mode!(self, Analyzing, "data collection");
         if a.collected.is_none() {
             a.collected = Some(profile);
             self.stats.stage_data_collection += 1;
-            return;
+            return Ok(());
         }
 
         // Dependency Analysis: two straight-line profiles available.
         self.stats.stage_dependency_analysis += 1;
-        let p2 = match &self.mode {
-            Mode::Analyzing(a) => a.collected.clone().expect("iteration 2 collected"),
-            _ => unreachable!(),
+        let Some(p2) = a.collected.clone() else {
+            return Err(EngineError { expected: "collected profile", during: "dependency analysis" });
         };
-        self.decide_straight(p2, profile, closing_unconditional, machine, ctl);
+        self.decide_straight(p2, profile, closing_unconditional, machine, ctl)
     }
 
     /// Matches two profiles into stream templates (per-iteration gaps).
@@ -449,18 +588,21 @@ impl Dsa {
         closing_unconditional: bool,
         _machine: &Machine,
         ctl: &mut SimControl<'_>,
-    ) {
-        let (id, end_pc) = match &self.mode {
-            Mode::Analyzing(a) => (a.id, a.end_pc),
-            _ => unreachable!(),
-        };
+    ) -> Result<(), EngineError> {
+        let a = expect_mode!(self, Analyzing, "decide_straight");
+        let (id, end_pc) = (a.id, a.end_pc);
         let sentinel = closing_unconditional;
 
         let Some(streams_all) = Self::match_streams(&p2, &p3, 1) else {
             self.give_up(id, LoopClass::NonVectorizable);
-            return;
+            return Ok(());
         };
-        let elem = p3.body.elem_bytes.expect("checked in collection") as i64;
+        let Some(elem) = p3.body.elem_bytes.map(i64::from) else {
+            // Checked during collection; a missing width here means the
+            // profile was corrupted between stages.
+            self.give_up(id, LoopClass::NonVectorizable);
+            return Ok(());
+        };
 
         // Split invariant re-loads (gap 0) from vectorizable streams.
         let mut streams: Vec<(StreamTemplate, u32)> = Vec::new();
@@ -470,7 +612,7 @@ impl Dsa {
             }
             if s.gap != elem {
                 self.give_up(id, LoopClass::NonVectorizable);
-                return;
+                return Ok(());
             }
             streams.push((*s, *addr));
         }
@@ -478,7 +620,7 @@ impl Dsa {
             // Reductions into registers / pure address walks: the DSA has
             // no vector-register carry support.
             self.give_up(id, LoopClass::NonVectorizable);
-            return;
+            return Ok(());
         }
 
         // Trip prediction.
@@ -500,12 +642,12 @@ impl Dsa {
                 }
                 None => {
                     self.give_up(id, LoopClass::NonVectorizable);
-                    return;
+                    return Ok(());
                 }
             }
             if !rhs_is_imm && !self.config.features.dynamic_range_loops {
                 self.give_up(id, LoopClass::DynamicRange);
-                return;
+                return Ok(());
             }
         }
 
@@ -531,7 +673,7 @@ impl Dsa {
                     Some(distance)
                 } else {
                     self.give_up(id, LoopClass::NonVectorizable);
-                    return;
+                    return Ok(());
                 }
             }
         };
@@ -587,7 +729,7 @@ impl Dsa {
         // iteration-3 closing compare is vectorized.
         let count = if sentinel { budget } else { remaining_after3 as u32 };
         let _ = trip_step;
-        self.launch(template, bases, count, ctl);
+        self.launch(template, bases, count, ctl)
     }
 
     /// Cache-hit path: one observed iteration gives fresh stream bases.
@@ -597,40 +739,49 @@ impl Dsa {
         profile: IterationProfile,
         _machine: &Machine,
         ctl: &mut SimControl<'_>,
-    ) {
-        let (id, end_pc) = match &self.mode {
-            Mode::Analyzing(a) => (a.id, a.end_pc),
-            _ => unreachable!(),
-        };
+    ) -> Result<(), EngineError> {
+        let a = expect_mode!(self, Analyzing, "hit_execute");
+        let (id, end_pc) = (a.id, a.end_pc);
+
+        // Validate the template as it leaves the cache: a corrupted
+        // entry (bit flip, fault injection) must degrade the loop to
+        // scalar, not drive the planner's lane math into a panic.
+        if template.validate().is_err() {
+            self.degrade(id, template.class, ctl);
+            return Ok(());
+        }
         if template.class == LoopClass::Conditional {
             // Arms are (re-)located as they execute; go straight to
             // conditional execution with nothing injected yet.
             self.begin_conditional_execution(id, end_pc, template, ctl);
-            return;
+            return Ok(());
         }
 
         // Recompute this instance's remaining trip.
-        let (count, budget_elems);
+        let count;
         if template.class == LoopClass::Sentinel {
-            let budget =
-                (template.spec_range.max(1)).div_ceil(template.lanes()) * template.lanes();
-            count = budget;
-            budget_elems = budget;
+            // Sanity-check the stored speculative range: a lying trip
+            // predictor would otherwise grow the injected block without
+            // bound and the watchdog — not the DSA — would end the run.
+            if template.spec_range > MAX_SPEC_RANGE {
+                self.degrade(id, LoopClass::Sentinel, ctl);
+                return Ok(());
+            }
+            count = (template.spec_range.max(1)).div_ceil(template.lanes()) * template.lanes();
         } else {
             let Some(cmp) = profile.closing_cmp else {
                 self.mode = Mode::Probing;
-                return;
+                return Ok(());
             };
             let diff = cmp.rhs - cmp.lhs;
             if diff <= 0 {
                 self.mode = Mode::Probing;
-                return;
+                return Ok(());
             }
             // For a fused nest the observed iteration is one *outer*
             // iteration: each remaining one is worth `inner_trip`
             // elements and the streams advance a whole row per entry.
             count = diff as u32 * template.fused_inner_trip.unwrap_or(1);
-            budget_elems = 0;
         }
 
         // Fresh bases: this iteration's addresses plus one stride.
@@ -643,12 +794,11 @@ impl Dsa {
                     // The cached shape no longer matches; re-analyse.
                     self.cache.insert(id, CachedKind::NonVectorizable(LoopClass::NonVectorizable));
                     self.mode = Mode::Probing;
-                    return;
+                    return Ok(());
                 }
             }
         }
-        let _ = budget_elems;
-        self.launch(template, bases, count, ctl);
+        self.launch(template, bases, count, ctl)
     }
 
     /// Flushes, injects the SIMD work and enters coverage.
@@ -658,16 +808,14 @@ impl Dsa {
         bases: Vec<(StreamTemplate, u32)>,
         count: u32,
         ctl: &mut SimControl<'_>,
-    ) {
-        let (id, end_pc) = match &self.mode {
-            Mode::Analyzing(a) => (a.id, a.end_pc),
-            _ => unreachable!(),
-        };
+    ) -> Result<(), EngineError> {
+        let a = expect_mode!(self, Analyzing, "launch");
+        let (id, end_pc) = (a.id, a.end_pc);
         if count < self.config.min_profitable_iterations {
             // Not worth a pipeline flush; the verdict stays cached so a
             // longer instance of the same loop can still vectorize.
             self.mode = Mode::Probing;
-            return;
+            return Ok(());
         }
 
         // Alignment peeling: delay vector execution by up to lanes-1
@@ -696,7 +844,7 @@ impl Dsa {
         }
         if count < self.config.min_profitable_iterations {
             self.mode = Mode::Probing;
-            return;
+            return Ok(());
         }
         ctl.stall(self.config.flush_latency as u64);
 
@@ -756,6 +904,7 @@ impl Dsa {
             iters: 0,
             call_depth: 0,
         }));
+        Ok(())
     }
 
     /// Second analysis phase for a fusable nest: two observed outer
@@ -763,11 +912,17 @@ impl Dsa {
     /// body is pure overhead and the inner streams are contiguous row to
     /// row, the nest executes as one fused loop (§4.6.3, scenario with
     /// no instructions between the loops).
-    fn nest_step(&mut self, profile: IterationProfile, ctl: &mut SimControl<'_>) {
-        let Mode::Analyzing(a) = &mut self.mode else { unreachable!() };
+    fn nest_step(
+        &mut self,
+        profile: IterationProfile,
+        ctl: &mut SimControl<'_>,
+    ) -> Result<(), EngineError> {
+        let a = expect_mode!(self, Analyzing, "nest_step");
         let id = a.id;
         let end_pc = a.end_pc;
-        let nest = a.nest.as_ref().expect("nest mode");
+        let Some(nest) = a.nest.as_ref() else {
+            return Err(EngineError { expected: "nest observation", during: "nest_step" });
+        };
         let (inner_id, inner_end) = (nest.inner_id, nest.inner_end);
         let inner_trip = nest.inner_trip;
         let template = nest.inner_template.clone();
@@ -780,15 +935,17 @@ impl Dsa {
             && profile.cond_branch_pcs.iter().all(|&pc| in_inner(pc) || pc < inner_id);
         if !overhead_only {
             self.give_up(id, LoopClass::Nest);
-            return;
+            return Ok(());
         }
 
         if a.collected.is_none() {
             a.collected = Some(profile);
             self.stats.stage_data_collection += 1;
-            return;
+            return Ok(());
         }
-        let p2 = a.collected.clone().expect("first outer iteration collected");
+        let Some(p2) = a.collected.clone() else {
+            return Err(EngineError { expected: "collected outer iteration", during: "nest_step" });
+        };
         self.stats.stage_dependency_analysis += 1;
 
         // Row-to-row gaps must be exactly one inner trip of elements.
@@ -796,12 +953,12 @@ impl Dsa {
         for s in &template.streams {
             let (Some(a2), Some(a3)) = (p2.find(s.pc, 0), profile.find(s.pc, 0)) else {
                 self.give_up(id, LoopClass::Nest);
-                return;
+                return Ok(());
             };
             let row_gap = a3.addr as i64 - a2.addr as i64;
             if row_gap != s.gap * inner_trip as i64 {
                 self.give_up(id, LoopClass::Nest);
-                return;
+                return Ok(());
             }
             bases.push((*s, (a3.addr as i64 + row_gap) as u32));
         }
@@ -811,11 +968,11 @@ impl Dsa {
             Self::trip_info(p2.closing_cmp, profile.closing_cmp)
         else {
             self.give_up(id, LoopClass::Nest);
-            return;
+            return Ok(());
         };
         if !rhs_is_imm && !self.config.features.dynamic_range_loops {
             self.give_up(id, LoopClass::Nest);
-            return;
+            return Ok(());
         }
 
         let fused = LoopTemplate {
@@ -830,27 +987,36 @@ impl Dsa {
         self.cache.insert(id, CachedKind::Vectorizable(fused.clone()));
         self.classify(id, LoopClass::Nest);
         let count = remaining_outer as u32 * inner_trip;
-        self.launch(fused, bases, count, ctl);
+        self.launch(fused, bases, count, ctl)
     }
 
     // ----- Conditional loops ----------------------------------------------
 
     fn conditional_step(
         &mut self,
-        profile: IterationProfile,
+        mut profile: IterationProfile,
         iter: u32,
         _machine: &Machine,
         ctl: &mut SimControl<'_>,
-    ) {
-        let (id, end_pc) = match &self.mode {
-            Mode::Analyzing(a) => (a.id, a.end_pc),
-            _ => unreachable!(),
-        };
+    ) -> Result<(), EngineError> {
+        let a = expect_mode!(self, Analyzing, "conditional_step");
+        let (id, end_pc) = (a.id, a.end_pc);
         if iter > self.config.conditional_analysis_limit {
             self.give_up(id, LoopClass::Conditional);
-            return;
+            return Ok(());
         }
-        let Mode::Analyzing(a) = &mut self.mode else { unreachable!() };
+
+        // Fault injection: a stuck Array-Map bit flips the condition
+        // path observed for this iteration.
+        if self.fault_fires(FaultSite::FlipArrayMapCondition) {
+            let bit = self
+                .faults
+                .as_ref()
+                .map_or(0, |f| f.pick(FaultSite::FlipArrayMapCondition, 63));
+            profile.path ^= 1 << bit;
+        }
+
+        let a = expect_mode!(self, Analyzing, "condition mapping");
         let cond = a.cond.get_or_insert_with(|| CondAnalysis {
             arms: BTreeMap::new(),
             pcs_seen: HashSet::new(),
@@ -859,6 +1025,17 @@ impl Dsa {
         cond.pcs_seen.extend(profile.pcs.iter().copied());
         let path = profile.path;
         let closing = profile.closing_cmp;
+
+        // Consistency check: the path hash must agree with the visited
+        // PC set. An iteration whose PCs match a known arm but whose
+        // path differs means an Array Map lied — discard the analysis
+        // and run this loop scalar.
+        let map_lied =
+            cond.arms.iter().any(|(&p, (obs, _, _))| p != path && obs.pcs == profile.pcs);
+        if map_lied {
+            self.degrade(id, LoopClass::Conditional, ctl);
+            return Ok(());
+        }
 
         let arms_limit = self.config.array_maps + self.config.spare_vector_regs;
         match cond.arms.get_mut(&path) {
@@ -870,11 +1047,11 @@ impl Dsa {
                 let delta = iter - *first_iter;
                 let Some(streams) = Self::match_streams(first, &profile, delta) else {
                     self.give_up(id, LoopClass::Conditional);
-                    return;
+                    return Ok(());
                 };
                 if profile.body.vec_ops() > arms_limit {
                     self.give_up(id, LoopClass::Conditional);
-                    return;
+                    return Ok(());
                 }
                 let arm = ArmTemplate {
                     path,
@@ -898,7 +1075,7 @@ impl Dsa {
         let all_verified = !cond.arms.is_empty()
             && cond.arms.values().all(|(_, _, second)| second.is_some());
         if !(all_pcs && all_verified) {
-            return;
+            return Ok(());
         }
 
         // The covered region: PCs executed in some arms but not all —
@@ -930,7 +1107,7 @@ impl Dsa {
             .unwrap_or(4);
         if closing.is_none() {
             self.give_up(id, LoopClass::Conditional);
-            return;
+            return Ok(());
         }
         for arm in &arms {
             let streams: Vec<cidp::Stream> = arm
@@ -941,7 +1118,7 @@ impl Dsa {
             // Per-arm gap sanity: unit stride only.
             if arm.streams.iter().any(|s| s.gap != elem as i64 && s.gap != 0) {
                 self.give_up(id, LoopClass::Conditional);
-                return;
+                return Ok(());
             }
             let _ = streams;
             self.stats.cidp_evaluations += 1;
@@ -969,6 +1146,7 @@ impl Dsa {
         self.classify(id, LoopClass::Conditional);
         ctl.stall(self.config.flush_latency as u64);
         self.begin_conditional_execution(id, end_pc, template, ctl);
+        Ok(())
     }
 
     fn begin_conditional_execution(
@@ -999,8 +1177,13 @@ impl Dsa {
 
     // ----- Execution -------------------------------------------------------
 
-    fn execute(&mut self, ev: &TraceEvent, machine: &Machine, ctl: &mut SimControl<'_>) {
-        let Mode::Executing(x) = &mut self.mode else { unreachable!() };
+    fn execute(
+        &mut self,
+        ev: &TraceEvent,
+        machine: &Machine,
+        ctl: &mut SimControl<'_>,
+    ) -> Result<(), EngineError> {
+        let x = expect_mode!(self, Executing, "execute");
         match ev.instr {
             Instr::Bl { .. } => x.call_depth += 1,
             Instr::BxLr => x.call_depth = x.call_depth.saturating_sub(1),
@@ -1170,6 +1353,14 @@ impl Dsa {
                     // §4.6.5: always track the latest actual range).
                     if let Some(t) = self.cache.template_mut(x.id) {
                         t.spec_range = iters.max(1);
+                        // Fault injection: a lying trip predictor stores
+                        // a wildly inflated range; `hit_execute` must
+                        // catch it before the next instance launches.
+                        if self.faults.as_mut().is_some_and(|f| f.fire(FaultSite::LieSentinelTrip))
+                        {
+                            self.stats.faults_injected += 1;
+                            t.spec_range = MAX_SPEC_RANGE + 1 + iters;
+                        }
                     }
                 }
                 ExecKind::Conditional { injected_elems, .. } => {
@@ -1181,10 +1372,18 @@ impl Dsa {
                 ExecKind::Plain { .. } => {}
             }
             self.stats.covered_iterations += iters as u64;
-            ctl.end_coverage();
-            ctl.stall(self.config.resync_latency as u64);
+            // Fault injection: skip the rollback flush, leaving coverage
+            // suppression stuck on. `probe`'s stale-coverage self-check
+            // must recover it on the next commit.
+            if self.faults.as_mut().is_some_and(|f| f.fire(FaultSite::SkipRollbackFlush)) {
+                self.stats.faults_injected += 1;
+            } else {
+                ctl.end_coverage();
+                ctl.stall(self.config.resync_latency as u64);
+            }
             self.mode = Mode::Probing;
         }
+        Ok(())
     }
 }
 
@@ -1197,16 +1396,25 @@ fn is_loop_branch(ev: &TraceEvent) -> bool {
 
 impl CommitHook for Dsa {
     fn on_commit(&mut self, ev: &TraceEvent, machine: &Machine, ctl: &mut SimControl<'_>) {
-        match &self.mode {
-            Mode::Probing => self.probe(ev),
-            Mode::Analyzing(_) => {
-                if self.analyze(ev, machine, ctl) {
+        let step = match &self.mode {
+            Mode::Probing => {
+                self.probe(ev, ctl);
+                Ok(())
+            }
+            Mode::Analyzing(_) => self.analyze(ev, machine, ctl).map(|redispatch| {
+                if redispatch {
                     // Nest abandonment: re-dispatch from probing so the
                     // inner loop's boundary is not lost.
-                    self.probe(ev);
+                    self.probe(ev, ctl);
                 }
-            }
+            }),
             Mode::Executing(_) => self.execute(ev, machine, ctl),
+            // A poisoned DSA has detached itself; the scalar core is in
+            // full control and the run completes with correct results.
+            Mode::Poisoned => Ok(()),
+        };
+        if let Err(err) = step {
+            self.poison(err, ctl);
         }
     }
 }

@@ -1,0 +1,233 @@
+//! Deterministic fault injection for the DSA's internal structures.
+//!
+//! The paper's safety argument is that the DSA only ever *speculates*
+//! about timing — architectural state is always produced by the scalar
+//! core, so a wrong template, a lying Array Map or a stale speculative
+//! range can cost cycles but never correctness. This module makes that
+//! argument testable: a [`FaultPlan`] (carried in
+//! [`DsaConfig`](crate::DsaConfig)) arms a set of named [`FaultSite`]s,
+//! and the engine corrupts its own bookkeeping at those sites in a
+//! seed-deterministic schedule. The engine's consistency checks must
+//! then *detect* each corruption, roll back, and degrade to scalar
+//! execution — which the differential oracle
+//! ([`crate::oracle`]) verifies produces bit-identical results.
+//!
+//! Everything is derived from a single `u64` seed via splitmix64, so a
+//! failing schedule is reproducible from its seed alone.
+
+/// A named point inside the engine where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Corrupt a cached [`LoopTemplate`](crate::LoopTemplate) as it is
+    /// read out of the DSA cache on a probe hit (models a bit flip in
+    /// the cache array).
+    CorruptTemplate,
+    /// Store a wildly inflated speculative trip count when a sentinel
+    /// loop exits (models a lying trip predictor).
+    LieSentinelTrip,
+    /// Flip the Array-Map condition path observed for one conditional
+    /// iteration (models a stuck Array-Map bit).
+    FlipArrayMapCondition,
+    /// Drop one Verification-Cache entry from a recorded iteration
+    /// (models a lost verification-cache line).
+    DropVcacheEntry,
+    /// Skip the rollback flush (`end_coverage`) when vector execution
+    /// ends, leaving coverage suppression stuck on.
+    SkipRollbackFlush,
+}
+
+impl FaultSite {
+    /// Every site, in a stable order (bit `i` of
+    /// [`FaultPlan::armed_mask`] corresponds to `ALL[i]`).
+    pub const ALL: [FaultSite; 5] = [
+        FaultSite::CorruptTemplate,
+        FaultSite::LieSentinelTrip,
+        FaultSite::FlipArrayMapCondition,
+        FaultSite::DropVcacheEntry,
+        FaultSite::SkipRollbackFlush,
+    ];
+
+    /// Stable human-readable name (used in reports and CI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::CorruptTemplate => "corrupt-template",
+            FaultSite::LieSentinelTrip => "lie-sentinel-trip",
+            FaultSite::FlipArrayMapCondition => "flip-array-map-condition",
+            FaultSite::DropVcacheEntry => "drop-vcache-entry",
+            FaultSite::SkipRollbackFlush => "skip-rollback-flush",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::CorruptTemplate => 0,
+            FaultSite::LieSentinelTrip => 1,
+            FaultSite::FlipArrayMapCondition => 2,
+            FaultSite::DropVcacheEntry => 3,
+            FaultSite::SkipRollbackFlush => 4,
+        }
+    }
+}
+
+/// A deterministic fault-injection schedule: a seed plus a bitmask of
+/// armed sites. `Copy` and field-for-field comparable so it can live
+/// inside [`DsaConfig`](crate::DsaConfig) without breaking memoization
+/// keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Seed for the per-site firing schedule.
+    pub seed: u64,
+    /// Bit `i` arms `FaultSite::ALL[i]`.
+    pub armed_mask: u8,
+}
+
+impl FaultPlan {
+    /// Arms every site under `seed`.
+    pub fn all(seed: u64) -> FaultPlan {
+        FaultPlan { seed, armed_mask: (1 << FaultSite::ALL.len()) - 1 }
+    }
+
+    /// Arms a single site under `seed`.
+    pub fn only(seed: u64, site: FaultSite) -> FaultPlan {
+        FaultPlan { seed, armed_mask: 1 << site.index() }
+    }
+
+    /// Whether `site` is armed.
+    pub fn armed(&self, site: FaultSite) -> bool {
+        self.armed_mask & (1 << site.index()) != 0
+    }
+
+    /// The armed sites, in stable order.
+    pub fn sites(&self) -> impl Iterator<Item = FaultSite> + '_ {
+        FaultSite::ALL.into_iter().filter(|s| self.armed(*s))
+    }
+}
+
+/// splitmix64 — the standard 64-bit mixer; deterministic, dependency-free.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runtime firing state derived from a [`FaultPlan`]. Each armed site
+/// fires on a seed-chosen subset of its opportunities: site `s` fires at
+/// opportunity `n` iff `n % period[s] == phase[s]`, with `period` in
+/// `1..=3`. Every armed site therefore fires within its first three
+/// opportunities, and keeps firing sparsely after that — enough to
+/// exercise repeated detection without drowning the run.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    period: [u32; 5],
+    phase: [u32; 5],
+    seen: [u32; 5],
+    fired: [u32; 5],
+}
+
+impl FaultState {
+    /// Derives the firing schedule for `plan`.
+    pub fn new(plan: FaultPlan) -> FaultState {
+        let mut period = [1u32; 5];
+        let mut phase = [0u32; 5];
+        for (i, site) in FaultSite::ALL.iter().enumerate() {
+            let mut s = plan.seed ^ (0xf4_417 + site.index() as u64 * 0x9e37_79b9);
+            let r = splitmix64(&mut s);
+            period[i] = 1 + (r % 3) as u32;
+            phase[i] = ((r >> 16) % period[i] as u64) as u32;
+        }
+        FaultState { plan, period, phase, seen: [0; 5], fired: [0; 5] }
+    }
+
+    /// The plan this state was derived from.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Registers one opportunity at `site` and reports whether the fault
+    /// fires there. Unarmed sites never fire (and are not counted).
+    pub fn fire(&mut self, site: FaultSite) -> bool {
+        if !self.plan.armed(site) {
+            return false;
+        }
+        let i = site.index();
+        let n = self.seen[i];
+        self.seen[i] += 1;
+        let fires = n % self.period[i] == self.phase[i];
+        if fires {
+            self.fired[i] += 1;
+        }
+        fires
+    }
+
+    /// Seed-deterministic choice in `0..n` for the current firing at
+    /// `site` (used to pick among corruption variants).
+    pub fn pick(&self, site: FaultSite, n: u32) -> u32 {
+        let i = site.index();
+        let mut s = self.plan.seed ^ ((self.seen[i] as u64) << 8) ^ site.index() as u64;
+        (splitmix64(&mut s) % n.max(1) as u64) as u32
+    }
+
+    /// Total faults fired so far, across all sites.
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().map(|&n| n as u64).sum()
+    }
+
+    /// Faults fired at `site` so far.
+    pub fn fired_at(&self, site: FaultSite) -> u32 {
+        self.fired[site.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_arm_and_iterate() {
+        let all = FaultPlan::all(42);
+        assert!(FaultSite::ALL.iter().all(|&s| all.armed(s)));
+        assert_eq!(all.sites().count(), 5);
+        let one = FaultPlan::only(42, FaultSite::DropVcacheEntry);
+        assert!(one.armed(FaultSite::DropVcacheEntry));
+        assert!(!one.armed(FaultSite::CorruptTemplate));
+        assert_eq!(one.sites().count(), 1);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_fires_early() {
+        for seed in 0..64u64 {
+            let mut a = FaultState::new(FaultPlan::all(seed));
+            let mut b = FaultState::new(FaultPlan::all(seed));
+            for site in FaultSite::ALL {
+                let fa: Vec<bool> = (0..10).map(|_| a.fire(site)).collect();
+                let fb: Vec<bool> = (0..10).map(|_| b.fire(site)).collect();
+                assert_eq!(fa, fb, "seed {seed} site {site:?}");
+                assert!(
+                    fa[..3].iter().any(|&f| f),
+                    "site must fire within 3 opportunities (seed {seed}, {site:?})"
+                );
+            }
+            assert!(a.total_fired() > 0);
+        }
+    }
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        let mut st = FaultState::new(FaultPlan::only(7, FaultSite::LieSentinelTrip));
+        for _ in 0..20 {
+            assert!(!st.fire(FaultSite::CorruptTemplate));
+        }
+        assert_eq!(st.fired_at(FaultSite::CorruptTemplate), 0);
+    }
+
+    #[test]
+    fn pick_is_bounded() {
+        let st = FaultState::new(FaultPlan::all(3));
+        for n in 1..8 {
+            assert!(st.pick(FaultSite::CorruptTemplate, n) < n);
+        }
+    }
+}

@@ -66,6 +66,8 @@ mod caches;
 mod cidp;
 mod config;
 mod engine;
+pub mod faults;
+pub mod oracle;
 mod plan;
 mod profile;
 mod stats;
@@ -73,7 +75,9 @@ mod stats;
 pub use caches::{CachedKind, DsaCache, VerificationCache};
 pub use cidp::{predict, CidpOutcome, Stream};
 pub use config::{DsaConfig, FeatureSet, LeftoverPolicy};
-pub use engine::Dsa;
-pub use plan::{build_plan, ArmTemplate, LoopTemplate, OpMix, StreamTemplate, VectorPlan};
+pub use engine::{Dsa, EngineError};
+pub use faults::{FaultPlan, FaultSite, FaultState};
+pub use oracle::{DifferentialOracle, OracleReport, OracleVerdict};
+pub use plan::{build_plan, ArmTemplate, LoopTemplate, OpMix, StreamTemplate, TemplateDefect, VectorPlan};
 pub use profile::{BodyClass, BodyProfile, IterationProfile, StreamInfo};
 pub use stats::{DsaStats, LoopCensus, LoopClass};

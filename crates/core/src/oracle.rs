@@ -1,0 +1,208 @@
+//! Differential verification of the DSA's central safety claim.
+//!
+//! The paper argues the DSA may *speculate* — sentinel trip counts,
+//! conditional Array Maps, fused nests — yet never corrupt architectural
+//! state: on any misspeculation it flushes and falls back to scalar
+//! execution, losing only speedup. The [`DifferentialOracle`] turns that
+//! claim into a checkable property: it runs the same program twice, once
+//! scalar-only and once with a DSA attached (optionally under an armed
+//! [`FaultPlan`](crate::FaultPlan)), and compares the complete final
+//! architectural state — scalar and vector register files, flags, and
+//! every allocated byte of memory — bit for bit.
+
+use dsa_cpu::{CpuConfig, Machine, NullHook, SimError, Simulator};
+use dsa_isa::Program;
+
+use crate::config::DsaConfig;
+use crate::engine::{Dsa, EngineError};
+use crate::stats::DsaStats;
+
+/// Outcome of one differential comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleVerdict {
+    /// The DSA-attached run reproduced the scalar state bit for bit.
+    Match,
+    /// Architectural state diverged — the DSA corrupted execution. The
+    /// digests and the first differing component identify where.
+    Mismatch {
+        /// Which state component differed first: `"regs"`, `"qregs"`,
+        /// `"flags"` or `"memory"`.
+        component: &'static str,
+    },
+    /// The scalar reference itself failed (e.g. the program never
+    /// halts); no verdict about the DSA is possible.
+    ScalarFailed(SimError),
+    /// The scalar run halted but the DSA-attached run did not — the DSA
+    /// prevented forward progress, which is itself a safety violation.
+    DsaFailed(SimError),
+}
+
+/// Full report from one oracle check.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// The comparison verdict.
+    pub verdict: OracleVerdict,
+    /// Digest of the scalar-only final state.
+    pub scalar_digest: u64,
+    /// Digest of the DSA-attached final state.
+    pub dsa_digest: u64,
+    /// Cycles of the scalar-only run (0 if it failed).
+    pub scalar_cycles: u64,
+    /// Cycles of the DSA-attached run (0 if it failed).
+    pub dsa_cycles: u64,
+    /// Statistics from the DSA-attached run.
+    pub stats: DsaStats,
+    /// The engine error that poisoned the DSA mid-run, if any. A
+    /// poisoned run can still (and must) match the scalar state.
+    pub poisoned: Option<EngineError>,
+}
+
+impl OracleReport {
+    /// Whether the differential property held.
+    pub fn holds(&self) -> bool {
+        self.verdict == OracleVerdict::Match
+    }
+}
+
+impl std::fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.verdict {
+            OracleVerdict::Match => write!(
+                f,
+                "oracle: match (digest {:#018x}, scalar {} cy, dsa {} cy, \
+                 {} degradations)",
+                self.scalar_digest, self.scalar_cycles, self.dsa_cycles, self.stats.degradations
+            ),
+            OracleVerdict::Mismatch { component } => write!(
+                f,
+                "oracle: MISMATCH in {component} (scalar {:#018x} != dsa {:#018x})",
+                self.scalar_digest, self.dsa_digest
+            ),
+            OracleVerdict::ScalarFailed(e) => write!(f, "oracle: scalar reference failed: {e}"),
+            OracleVerdict::DsaFailed(e) => write!(f, "oracle: dsa run failed: {e}"),
+        }
+    }
+}
+
+/// Runs a program twice — scalar-only and DSA-attached — and compares
+/// final architectural state bit for bit.
+#[derive(Debug, Clone, Copy)]
+pub struct DifferentialOracle {
+    /// Step budget for each run (the watchdog).
+    pub fuel: u64,
+    /// Timing configuration shared by both runs.
+    pub cpu: CpuConfig,
+}
+
+impl DifferentialOracle {
+    /// An oracle with the given step budget and the default CPU model.
+    pub fn new(fuel: u64) -> DifferentialOracle {
+        DifferentialOracle { fuel, cpu: CpuConfig::default() }
+    }
+
+    /// Checks `program` under `config`. `init` seeds identical initial
+    /// state (input arrays, registers) into both machines.
+    pub fn check<F>(&self, program: &Program, config: DsaConfig, init: F) -> OracleReport
+    where
+        F: Fn(&mut Machine),
+    {
+        self.check_with(program, &mut Dsa::new(config), init)
+    }
+
+    /// Like [`check`](Self::check), but drives the DSA-attached run
+    /// through an existing engine instead of a fresh one, so the
+    /// template cache persists across repeated calls with the same
+    /// program. Cache-resident fault sites — a corrupted template hit,
+    /// a lying sentinel trip count — only have injection opportunities
+    /// once a loop has been probed, analyzed and cached on earlier
+    /// entrances, which a cold engine never reaches for a
+    /// single-entrance kernel. `report.stats` are the engine's
+    /// cumulative counters, not this call's increment.
+    pub fn check_with<F>(&self, program: &Program, dsa: &mut Dsa, init: F) -> OracleReport
+    where
+        F: Fn(&mut Machine),
+    {
+        // Scalar reference.
+        let mut scalar = Simulator::new(program.clone(), self.cpu);
+        init(scalar.machine_mut());
+        let scalar_run = scalar.run_with_hook(self.fuel, &mut NullHook);
+
+        // DSA-attached run on identical initial state.
+        let mut vec = Simulator::new(program.clone(), self.cpu);
+        init(vec.machine_mut());
+        let dsa_run = vec.run_with_hook(self.fuel, dsa);
+
+        let scalar_digest = scalar.machine().arch_digest();
+        let dsa_digest = vec.machine().arch_digest();
+        let verdict = match (&scalar_run, &dsa_run) {
+            (Err(e), _) => OracleVerdict::ScalarFailed(*e),
+            (Ok(_), Err(e)) => OracleVerdict::DsaFailed(*e),
+            (Ok(_), Ok(_)) => Self::compare(scalar.machine(), vec.machine()),
+        };
+        OracleReport {
+            verdict,
+            scalar_digest,
+            dsa_digest,
+            scalar_cycles: scalar_run.map(|o| o.cycles).unwrap_or(0),
+            dsa_cycles: dsa_run.map(|o| o.cycles).unwrap_or(0),
+            stats: dsa.stats(),
+            poisoned: dsa.poisoned(),
+        }
+    }
+
+    fn compare(scalar: &Machine, dsa: &Machine) -> OracleVerdict {
+        if scalar.regs() != dsa.regs() {
+            return OracleVerdict::Mismatch { component: "regs" };
+        }
+        if scalar.qregs() != dsa.qregs() {
+            return OracleVerdict::Mismatch { component: "qregs" };
+        }
+        if scalar.arch_digest() != dsa.arch_digest() {
+            // Registers agreed, so the digests diverged over flags or
+            // memory contents; memory is by far the larger component.
+            return OracleVerdict::Mismatch { component: "memory" };
+        }
+        OracleVerdict::Match
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_compiler::{Body, DataType, Expr, KernelBuilder, LoopIr, Trip, Variant};
+
+    fn vec_add_kernel() -> dsa_compiler::Kernel {
+        let mut kb = KernelBuilder::new(Variant::Scalar);
+        let a = kb.alloc("a", DataType::F32, 256);
+        let b = kb.alloc("b", DataType::F32, 256);
+        let v = kb.alloc("v", DataType::F32, 256);
+        kb.emit_loop(LoopIr {
+            name: "vec_sum".into(),
+            trip: Trip::Const(256),
+            elem: DataType::F32,
+            body: Body::Map { dst: v.at(0), expr: Expr::load(a.at(0)) + Expr::load(b.at(0)) },
+            ..LoopIr::default()
+        });
+        kb.halt();
+        kb.finish()
+    }
+
+    #[test]
+    fn oracle_matches_on_a_vectorized_loop() {
+        let kernel = vec_add_kernel();
+        let oracle = DifferentialOracle::new(10_000_000);
+        let report = oracle.check(&kernel.program, DsaConfig::full(), |_| {});
+        assert!(report.holds(), "{report}");
+        assert!(report.stats.loops_vectorized > 0, "DSA actually engaged");
+        assert!(report.poisoned.is_none());
+    }
+
+    #[test]
+    fn oracle_reports_a_non_halting_reference() {
+        let kernel = vec_add_kernel();
+        let oracle = DifferentialOracle::new(10);
+        let report = oracle.check(&kernel.program, DsaConfig::full(), |_| {});
+        assert!(matches!(report.verdict, OracleVerdict::ScalarFailed(_)));
+        assert!(!report.holds());
+    }
+}

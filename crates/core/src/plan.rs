@@ -90,10 +90,79 @@ pub struct LoopTemplate {
     pub fused_inner_trip: Option<u32>,
 }
 
+/// A structural defect found in a cached [`LoopTemplate`] — the DSA
+/// validates every template as it leaves the cache, so a corrupted entry
+/// (bit flip, fault injection) degrades the loop to scalar execution
+/// instead of driving the planner into undefined behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateDefect {
+    /// `elem_bytes` is not 1, 2 or 4 (would break lane math).
+    BadElemBytes(u8),
+    /// A stream's gap is not the unit stride the planner requires.
+    BadStreamGap {
+        /// PC of the offending stream.
+        pc: u32,
+        /// The bad gap.
+        gap: i64,
+    },
+    /// The template carries no executable work (no streams / no arms).
+    NoWork,
+}
+
+impl std::fmt::Display for TemplateDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemplateDefect::BadElemBytes(b) => write!(f, "invalid element width {b}"),
+            TemplateDefect::BadStreamGap { pc, gap } => {
+                write!(f, "stream at pc {pc} has non-unit gap {gap}")
+            }
+            TemplateDefect::NoWork => write!(f, "template carries no streams or arms"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateDefect {}
+
 impl LoopTemplate {
     /// Lanes per 128-bit vector for this loop's element type.
     pub fn lanes(&self) -> u32 {
         16 / self.elem_bytes as u32
+    }
+
+    /// Checks the structural invariants every cache-resident template
+    /// satisfies by construction: a valid element width, unit-stride
+    /// straight-line streams, unit-or-invariant arm streams, and at
+    /// least one stream (or one arm, for conditional loops).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TemplateDefect`] found.
+    pub fn validate(&self) -> Result<(), TemplateDefect> {
+        if !matches!(self.elem_bytes, 1 | 2 | 4) {
+            return Err(TemplateDefect::BadElemBytes(self.elem_bytes));
+        }
+        let elem = self.elem_bytes as i64;
+        for s in &self.streams {
+            if s.gap != elem {
+                return Err(TemplateDefect::BadStreamGap { pc: s.pc, gap: s.gap });
+            }
+        }
+        for arm in &self.arms {
+            for s in &arm.streams {
+                if s.gap != 0 && s.gap != elem {
+                    return Err(TemplateDefect::BadStreamGap { pc: s.pc, gap: s.gap });
+                }
+            }
+        }
+        let has_work = if self.class == LoopClass::Conditional {
+            !self.arms.is_empty()
+        } else {
+            !self.streams.is_empty()
+        };
+        if !has_work {
+            return Err(TemplateDefect::NoWork);
+        }
+        Ok(())
     }
 
     /// The vector element type.
@@ -369,6 +438,38 @@ mod tests {
 
     fn count_class(plan: &VectorPlan, class: InstrClass) -> usize {
         plan.ops.iter().filter(|o| o.instr.class() == class).count()
+    }
+
+    #[test]
+    fn validate_accepts_real_templates_and_rejects_corruption() {
+        let t = LoopTemplate::test_dummy();
+        assert_eq!(t.validate(), Ok(()));
+
+        let mut bad_elem = t.clone();
+        bad_elem.elem_bytes = 0;
+        assert_eq!(bad_elem.validate(), Err(TemplateDefect::BadElemBytes(0)));
+
+        let mut bad_gap = t.clone();
+        bad_gap.streams[0].gap = 7;
+        assert_eq!(
+            bad_gap.validate(),
+            Err(TemplateDefect::BadStreamGap { pc: bad_gap.streams[0].pc, gap: 7 })
+        );
+
+        let mut empty = t.clone();
+        empty.streams.clear();
+        assert_eq!(empty.validate(), Err(TemplateDefect::NoWork));
+
+        let mut cond = t;
+        cond.class = LoopClass::Conditional;
+        cond.streams.clear();
+        assert_eq!(cond.validate(), Err(TemplateDefect::NoWork));
+        cond.arms.push(ArmTemplate {
+            path: 1,
+            streams: vec![StreamTemplate { pc: 9, occ: 0, is_write: true, bytes: 4, gap: 4 }],
+            ops: OpMix::default(),
+        });
+        assert_eq!(cond.validate(), Ok(()));
     }
 
     #[test]

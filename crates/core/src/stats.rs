@@ -121,6 +121,16 @@ pub struct DsaStats {
     /// Speculative vector work that was discarded (lanes computed past a
     /// sentinel exit or for unselected conditional arms).
     pub discarded_lanes: u64,
+    /// Faults injected by an armed [`FaultPlan`](crate::FaultPlan).
+    pub faults_injected: u64,
+    /// Graceful degradations: internal inconsistencies the engine
+    /// detected and answered by rolling back to scalar execution
+    /// (includes every poison event).
+    pub degradations: u64,
+    /// Engine poisonings: impossible state-machine transitions
+    /// ([`EngineError`](crate::EngineError)) after which the DSA detached
+    /// itself and the run completed scalar-only.
+    pub poison_events: u64,
 }
 
 impl DsaStats {

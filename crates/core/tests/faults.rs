@@ -1,0 +1,263 @@
+//! Per-site fault-injection tests: every [`FaultSite`] gets at least one
+//! test proving the full chain — the fault *fires*, the engine *detects*
+//! it and degrades to scalar, and the final architectural state is
+//! bit-identical to a scalar-only run of the same program.
+//!
+//! Sites whose detection spans executions (the DSA cache persists on the
+//! engine, not the machine) share one `Dsa` across several fresh
+//! simulator runs and compare [`Machine::arch_digest`] run by run; the
+//! single-run sites go through the [`DifferentialOracle`] directly.
+
+use dsa_compiler::{Body, CmpOp, DataType, Expr, KernelBuilder, LoopIr, Trip, Variant};
+use dsa_core::{
+    Dsa, DifferentialOracle, DsaConfig, FaultPlan, FaultSite, FaultState,
+};
+use dsa_cpu::{CpuConfig, Machine, NullHook, Simulator};
+use dsa_isa::Program;
+
+const FUEL: u64 = 10_000_000;
+
+/// The smallest seed whose schedule fires `site` at its very first
+/// opportunity, so tests do not depend on how many opportunities a
+/// program offers.
+fn seed_firing_first(site: FaultSite) -> u64 {
+    (0..1024)
+        .find(|&seed| FaultState::new(FaultPlan::only(seed, site)).fire(site))
+        .expect("a third of all seeds fire at the first opportunity")
+}
+
+/// Digest after one scalar-only run (fresh machine).
+fn scalar_digest(program: &Program, init: &dyn Fn(&mut Machine)) -> u64 {
+    let mut sim = Simulator::new(program.clone(), CpuConfig::default());
+    init(sim.machine_mut());
+    sim.run_with_hook(FUEL, &mut NullHook).expect("scalar reference halts");
+    sim.machine().arch_digest()
+}
+
+/// Digest after one DSA-attached run (fresh machine, shared engine).
+fn dsa_digest(dsa: &mut Dsa, program: &Program, init: &dyn Fn(&mut Machine)) -> u64 {
+    let mut sim = Simulator::new(program.clone(), CpuConfig::default());
+    init(sim.machine_mut());
+    sim.run_with_hook(FUEL, dsa).expect("DSA-attached run halts");
+    sim.machine().arch_digest()
+}
+
+/// `v[i] = a[i] + b[i]` over `n` i32 elements — a plain count loop.
+fn count_kernel(n: u32) -> (dsa_compiler::Kernel, impl Fn(&mut Machine)) {
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let a = kb.alloc("a", DataType::I32, n);
+    let b = kb.alloc("b", DataType::I32, n);
+    let v = kb.alloc("v", DataType::I32, n);
+    let (la, lb) = (kb.layout().buf(a).base, kb.layout().buf(b).base);
+    kb.emit_loop(LoopIr {
+        name: "count".into(),
+        trip: Trip::Const(n),
+        elem: DataType::I32,
+        body: Body::Map { dst: v.at(0), expr: Expr::load(a.at(0)) + Expr::load(b.at(0)) },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    (kb.finish(), move |m: &mut Machine| {
+        for i in 0..n {
+            m.mem.write_u32(la + 4 * i, i.wrapping_mul(3));
+            m.mem.write_u32(lb + 4 * i, i.wrapping_mul(5) ^ 0x55);
+        }
+    })
+}
+
+/// A zero-terminated byte copy — a sentinel loop over a 40-byte string.
+fn sentinel_kernel(n: u32) -> (dsa_compiler::Kernel, impl Fn(&mut Machine)) {
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let src = kb.alloc("src", DataType::I8, n);
+    let dst = kb.alloc("dst", DataType::I8, n);
+    let ls = kb.layout().buf(src).base;
+    kb.emit_loop(LoopIr {
+        name: "sentinel".into(),
+        trip: Trip::Sentinel { buf: src, value: 0 },
+        elem: DataType::I8,
+        body: Body::Map { dst: dst.at(0), expr: Expr::load(src.at(0)) + Expr::Imm(1) },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    (kb.finish(), move |m: &mut Machine| {
+        for i in 0..n {
+            m.mem.write_u8(ls + i, if i < 40 { 7 + (i % 20) as u8 } else { 0 });
+        }
+    })
+}
+
+/// `v[i] = a[i] >= 0 ? 2*a[i] : a[i]+1` — a conditional loop whose
+/// iterations all take the same path (so every iteration shares one
+/// Array-Map arm).
+fn conditional_kernel(n: u32) -> (dsa_compiler::Kernel, impl Fn(&mut Machine)) {
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let a = kb.alloc("a", DataType::I32, n);
+    let v = kb.alloc("v", DataType::I32, n);
+    let la = kb.layout().buf(a).base;
+    kb.emit_loop(LoopIr {
+        name: "cond".into(),
+        trip: Trip::Const(n),
+        elem: DataType::I32,
+        body: Body::Select {
+            cond_lhs: Expr::load(a.at(0)),
+            cmp: CmpOp::Ge,
+            cond_rhs: Expr::Imm(0),
+            then_dst: v.at(0),
+            then_expr: Expr::load(a.at(0)) + Expr::load(a.at(0)),
+            else_arm: Some((v.at(0), Expr::load(a.at(0)) + Expr::Imm(1))),
+        },
+        ..LoopIr::default()
+    });
+    kb.halt();
+    (kb.finish(), move |m: &mut Machine| {
+        for i in 0..n {
+            m.mem.write_u32(la + 4 * i, 10 + i);
+        }
+    })
+}
+
+/// Two count loops back to back, so a skipped rollback flush at the end
+/// of the first is caught by the probe while the second runs.
+fn two_loop_kernel(n: u32) -> (dsa_compiler::Kernel, impl Fn(&mut Machine)) {
+    let mut kb = KernelBuilder::new(Variant::Scalar);
+    let a = kb.alloc("a", DataType::I32, n);
+    let v = kb.alloc("v", DataType::I32, n);
+    let w = kb.alloc("w", DataType::I32, n);
+    let la = kb.layout().buf(a).base;
+    for (name, dst, add) in [("first", v, 1), ("second", w, 2)] {
+        kb.emit_loop(LoopIr {
+            name: name.into(),
+            trip: Trip::Const(n),
+            elem: DataType::I32,
+            body: Body::Map { dst: dst.at(0), expr: Expr::load(a.at(0)) + Expr::Imm(add) },
+            ..LoopIr::default()
+        });
+    }
+    kb.halt();
+    (kb.finish(), move |m: &mut Machine| {
+        for i in 0..n {
+            m.mem.write_u32(la + 4 * i, i ^ 0xA5);
+        }
+    })
+}
+
+#[test]
+fn corrupt_template_is_caught_on_the_cache_hit() {
+    // Run 1 stores the template; run 2's probe hit reads a corrupted
+    // copy, which `LoopTemplate::validate` must reject before any lane
+    // math runs.
+    let (kernel, init) = count_kernel(256);
+    let seed = seed_firing_first(FaultSite::CorruptTemplate);
+    let plan = FaultPlan::only(seed, FaultSite::CorruptTemplate);
+    let mut dsa = Dsa::new(DsaConfig::full().with_faults(plan));
+    for run in 0..2 {
+        let got = dsa_digest(&mut dsa, &kernel.program, &init);
+        let want = scalar_digest(&kernel.program, &init);
+        assert_eq!(got, want, "state diverged on run {run}");
+    }
+    let s = dsa.stats();
+    assert!(s.faults_injected >= 1, "fault never fired: {s:?}");
+    assert!(s.degradations >= 1, "corruption was not detected: {s:?}");
+    assert!(dsa.poisoned().is_none(), "detection must degrade, not poison");
+}
+
+#[test]
+fn lying_sentinel_trip_count_is_caught_before_the_next_launch() {
+    // Run 1 vectorizes the sentinel loop and stores a wildly inflated
+    // speculative range at loop exit; run 2's cache hit must refuse to
+    // launch from it and degrade the loop instead.
+    let (kernel, init) = sentinel_kernel(128);
+    let seed = seed_firing_first(FaultSite::LieSentinelTrip);
+    let plan = FaultPlan::only(seed, FaultSite::LieSentinelTrip);
+    let mut dsa = Dsa::new(DsaConfig::full().with_faults(plan));
+    for run in 0..3 {
+        let got = dsa_digest(&mut dsa, &kernel.program, &init);
+        let want = scalar_digest(&kernel.program, &init);
+        assert_eq!(got, want, "state diverged on run {run}");
+    }
+    let s = dsa.stats();
+    assert!(s.faults_injected >= 1, "fault never fired: {s:?}");
+    assert!(s.degradations >= 1, "inflated range was not detected: {s:?}");
+    assert!(dsa.poisoned().is_none());
+}
+
+#[test]
+fn flipped_array_map_condition_is_caught_during_mapping() {
+    // Every iteration takes the same path, so a flipped path bit
+    // produces an arm whose PC set matches an existing arm with a
+    // different path — the map-lied consistency check.
+    let (kernel, init) = conditional_kernel(256);
+    let seed = seed_firing_first(FaultSite::FlipArrayMapCondition);
+    let plan = FaultPlan::only(seed, FaultSite::FlipArrayMapCondition);
+    let oracle = DifferentialOracle::new(FUEL);
+    let report = oracle.check(&kernel.program, DsaConfig::full().with_faults(plan), &init);
+    assert!(report.holds(), "{report}");
+    assert!(report.stats.faults_injected >= 1, "fault never fired: {:?}", report.stats);
+    assert!(report.stats.degradations >= 1, "lie was not detected: {:?}", report.stats);
+    assert!(report.poisoned.is_none());
+}
+
+#[test]
+fn dropped_vcache_entry_is_caught_during_collection() {
+    let (kernel, init) = count_kernel(256);
+    let seed = seed_firing_first(FaultSite::DropVcacheEntry);
+    let plan = FaultPlan::only(seed, FaultSite::DropVcacheEntry);
+    let oracle = DifferentialOracle::new(FUEL);
+    let report = oracle.check(&kernel.program, DsaConfig::full().with_faults(plan), &init);
+    assert!(report.holds(), "{report}");
+    assert!(report.stats.faults_injected >= 1, "fault never fired: {:?}", report.stats);
+    assert!(report.stats.degradations >= 1, "lost entry was not detected: {:?}", report.stats);
+    assert!(report.poisoned.is_none());
+}
+
+#[test]
+fn skipped_rollback_flush_is_recovered_by_the_probe() {
+    // The first loop's vector execution ends without the rollback flush;
+    // the probe's stale-coverage self-check must recover it while the
+    // second loop runs.
+    let (kernel, init) = two_loop_kernel(256);
+    let seed = seed_firing_first(FaultSite::SkipRollbackFlush);
+    let plan = FaultPlan::only(seed, FaultSite::SkipRollbackFlush);
+    let oracle = DifferentialOracle::new(FUEL);
+    let report = oracle.check(&kernel.program, DsaConfig::full().with_faults(plan), &init);
+    assert!(report.holds(), "{report}");
+    assert!(report.stats.faults_injected >= 1, "fault never fired: {:?}", report.stats);
+    assert!(report.stats.degradations >= 1, "stale coverage was not recovered: {:?}", report.stats);
+    assert!(report.poisoned.is_none());
+}
+
+#[test]
+fn all_sites_armed_at_once_still_hold_the_oracle() {
+    // The paper-style belt-and-braces sweep: every site armed, several
+    // seeds, over a kernel mix exercising count, conditional and
+    // sentinel loops — state must stay bit-identical throughout.
+    for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+        let plan = FaultPlan::all(seed);
+        let oracle = DifferentialOracle::new(FUEL);
+        let (count, count_init) = count_kernel(256);
+        let (cond, cond_init) = conditional_kernel(256);
+        let (sent, sent_init) = sentinel_kernel(128);
+        for (program, init) in [
+            (&count.program, &count_init as &dyn Fn(&mut Machine)),
+            (&cond.program, &cond_init),
+            (&sent.program, &sent_init),
+        ] {
+            let report = oracle.check(program, DsaConfig::full().with_faults(plan), init);
+            assert!(report.holds(), "seed {seed}: {report}");
+        }
+    }
+}
+
+#[test]
+fn fault_free_runs_report_no_degradations() {
+    // Control: the same kernels without a fault plan must not degrade —
+    // otherwise the counters above prove nothing.
+    let (kernel, init) = count_kernel(256);
+    let oracle = DifferentialOracle::new(FUEL);
+    let report = oracle.check(&kernel.program, DsaConfig::full(), &init);
+    assert!(report.holds(), "{report}");
+    assert_eq!(report.stats.faults_injected, 0);
+    assert_eq!(report.stats.degradations, 0);
+    assert_eq!(report.stats.poison_events, 0);
+    assert!(report.stats.loops_vectorized > 0, "the control loop must actually vectorize");
+}

@@ -4,7 +4,7 @@ use dsa_isa::{AddrMode, AluOp, Cond, Instr, MemSize, Operand, Program, QReg, Reg
 use dsa_mem::MainMemory;
 
 use crate::trace::{BranchOutcome, MemAccess, TraceEvent};
-use crate::vec128;
+use crate::vec128::{self, LaneError};
 
 /// NZCV condition flags.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,6 +44,13 @@ pub enum ExecError {
     },
     /// `step` was called after the machine halted.
     Halted,
+    /// A vector instruction had no defined lane semantics.
+    Vector {
+        /// PC of the offending instruction.
+        pc: u32,
+        /// The lane-level rejection.
+        err: LaneError,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -51,11 +58,54 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
             ExecError::Halted => write!(f, "machine is halted"),
+            ExecError::Vector { pc, err } => write!(f, "vector instruction at pc {pc}: {err}"),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// Error from a bounded simulation run: either the functional executor
+/// failed, or the step-budget watchdog fired because the program never
+/// halted (e.g. a misspeculated sentinel loop spinning forever).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The functional executor rejected an instruction.
+    Exec(ExecError),
+    /// The watchdog budget was exhausted before `halt`.
+    StepBudgetExceeded {
+        /// PC at which the budget ran out.
+        pc: u32,
+        /// The exhausted budget (committed instructions).
+        steps: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Exec(e) => e.fmt(f),
+            SimError::StepBudgetExceeded { pc, steps } => {
+                write!(f, "did not halt within {steps} steps (stuck at pc {pc})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Exec(e) => Some(e),
+            SimError::StepBudgetExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> SimError {
+        SimError::Exec(e)
+    }
+}
 
 /// Full architectural state: sixteen scalar registers, sixteen 128-bit
 /// vector registers, the NZCV flags and main memory.
@@ -340,7 +390,8 @@ impl Machine {
                 self.set_qreg(qd, v);
             }
             Instr::VshrImm { qd, qn, shift, et } => {
-                let v = vec128::shr(et, self.qreg(qn), shift);
+                let v = vec128::shr(et, self.qreg(qn), shift)
+                    .map_err(|err| ExecError::Vector { pc, err })?;
                 self.set_qreg(qd, v);
             }
             Instr::Vdup { qd, rm, et } => {
@@ -371,6 +422,71 @@ impl Machine {
         self.set_pc(next_pc);
         Ok(ev)
     }
+
+    /// Runs `program` until `halt`, bounded by a watchdog budget of
+    /// committed instructions. Returns the number of steps executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StepBudgetExceeded`] if the program has not
+    /// halted after `step_budget` steps (carrying the PC it was stuck
+    /// at), or [`SimError::Exec`] if the functional executor rejects an
+    /// instruction.
+    pub fn run(&mut self, program: &Program, step_budget: u64) -> Result<u64, SimError> {
+        let instrs = program.as_slice();
+        let mut steps = 0u64;
+        while !self.halted {
+            if steps >= step_budget {
+                return Err(SimError::StepBudgetExceeded { pc: self.pc(), steps: step_budget });
+            }
+            self.step_slice(instrs)?;
+            steps += 1;
+        }
+        Ok(steps)
+    }
+
+    /// All sixteen scalar registers, for whole-state comparison.
+    pub fn regs(&self) -> &[u32; 16] {
+        &self.regs
+    }
+
+    /// All sixteen vector registers, for whole-state comparison.
+    pub fn qregs(&self) -> &[[u8; 16]; 16] {
+        &self.qregs
+    }
+
+    /// Stable digest over the full architectural state — scalar and
+    /// vector register files, flags, and every allocated byte of memory.
+    /// Two machines with identical architectural state produce identical
+    /// digests, which is what the differential oracle compares.
+    pub fn arch_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        let mut mix = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (i, r) in self.regs.iter().enumerate() {
+            // PC and LR are control state, not data; skip them so runs
+            // that halt at different addresses still compare equal.
+            if i == Reg::PC.index() as usize || i == Reg::LR.index() as usize {
+                continue;
+            }
+            for b in r.to_le_bytes() {
+                mix(b);
+            }
+        }
+        for q in &self.qregs {
+            for &b in q {
+                mix(b);
+            }
+        }
+        mix(self.flags.n as u8);
+        mix(self.flags.z as u8);
+        mix(self.flags.c as u8);
+        mix(self.flags.v as u8);
+        h ^= self.mem.digest();
+        h
+    }
 }
 
 #[cfg(test)]
@@ -380,13 +496,8 @@ mod tests {
 
     fn run_to_halt(program: &Program) -> Machine {
         let mut m = Machine::new();
-        for _ in 0..1_000_000 {
-            if m.is_halted() {
-                return m;
-            }
-            m.step(program).expect("step");
-        }
-        panic!("did not halt");
+        m.run(program, 1_000_000).expect("bounded run");
+        m
     }
 
     #[test]
@@ -517,6 +628,37 @@ mod tests {
         let ev = m.step(&p).unwrap();
         assert_eq!(ev.read, Some(MemAccess { addr: 0x500, bytes: 4 }));
         assert_eq!(ev.write, None);
+    }
+
+    #[test]
+    fn watchdog_reports_stuck_pc() {
+        // Infinite loop: b.al back to itself.
+        let mut a = Asm::new();
+        let top = a.here();
+        a.b_to(Cond::Al, top);
+        a.halt();
+        let mut m = Machine::new();
+        assert_eq!(
+            m.run(&a.finish(), 100),
+            Err(SimError::StepBudgetExceeded { pc: 0, steps: 100 })
+        );
+    }
+
+    #[test]
+    fn digest_tracks_architectural_state() {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::R0, 0x600);
+        a.str_post(Reg::R3, Reg::R0, 4);
+        a.halt();
+        let p = a.finish();
+        let mut x = Machine::new();
+        x.set_reg(Reg::R3, 7);
+        let mut y = x.clone();
+        assert_eq!(x.arch_digest(), y.arch_digest());
+        x.run(&p, 100).unwrap();
+        assert_ne!(x.arch_digest(), y.arch_digest(), "store changed memory");
+        y.run(&p, 100).unwrap();
+        assert_eq!(x.arch_digest(), y.arch_digest(), "same program, same state");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use dsa_isa::Program;
 use dsa_mem::MemoryStats;
 
 use crate::config::CpuConfig;
-use crate::machine::{ExecError, Machine};
+use crate::machine::{Machine, SimError};
 use crate::timing::{InjectedOp, TimingModel, TimingStats};
 use crate::trace::TraceEvent;
 
@@ -151,8 +151,10 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Propagates [`ExecError`] from the functional executor.
-    pub fn run(&mut self, fuel: u64) -> Result<RunOutcome, ExecError> {
+    /// Returns [`SimError::StepBudgetExceeded`] if the fuel watchdog
+    /// fires before `halt`, or [`SimError::Exec`] from the functional
+    /// executor.
+    pub fn run(&mut self, fuel: u64) -> Result<RunOutcome, SimError> {
         self.run_with_hook(fuel, &mut NullHook)
     }
 
@@ -163,14 +165,21 @@ impl Simulator {
     /// compiles to a plain interpreter loop with no call overhead).
     /// `?Sized` keeps `&mut dyn CommitHook` callers working unchanged.
     ///
+    /// The fuel acts as a step-budget watchdog: a program still running
+    /// when it expires (e.g. a loop whose exit condition never fires)
+    /// yields [`SimError::StepBudgetExceeded`] instead of hanging the
+    /// process. The hook's `on_finish` still runs on that path so
+    /// partial statistics stay consistent.
+    ///
     /// # Errors
     ///
-    /// Propagates [`ExecError`] from the functional executor.
+    /// Returns [`SimError::StepBudgetExceeded`] on watchdog expiry, or
+    /// [`SimError::Exec`] from the functional executor.
     pub fn run_with_hook<H: CommitHook + ?Sized>(
         &mut self,
         fuel: u64,
         hook: &mut H,
-    ) -> Result<RunOutcome, ExecError> {
+    ) -> Result<RunOutcome, SimError> {
         // Borrow the instruction slice once; `machine`/`timing` are
         // disjoint fields, so the hot loop fetches with a single bounds
         // check and no per-step `Program` indirection.
@@ -190,6 +199,12 @@ impl Simulator {
             hook.on_commit(&ev, &self.machine, &mut ctl);
         }
         hook.on_finish(&self.machine);
+        if !self.machine.is_halted() {
+            return Err(SimError::StepBudgetExceeded {
+                pc: self.machine.pc(),
+                steps: fuel,
+            });
+        }
         Ok(self.outcome())
     }
 
@@ -199,12 +214,12 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Propagates [`ExecError`] from the functional executor.
+    /// Same contract as [`Simulator::run_with_hook`].
     pub fn run_with_dyn_hook(
         &mut self,
         fuel: u64,
         hook: &mut dyn CommitHook,
-    ) -> Result<RunOutcome, ExecError> {
+    ) -> Result<RunOutcome, SimError> {
         self.run_with_hook(fuel, hook)
     }
 
@@ -250,9 +265,11 @@ mod tests {
     #[test]
     fn fuel_exhaustion_reported() {
         let mut sim = Simulator::new(count_loop(1_000_000), CpuConfig::default());
-        let out = sim.run(10).expect("ok");
-        assert!(!out.halted);
-        assert_eq!(out.committed, 10);
+        let err = sim.run(10).expect_err("watchdog fires");
+        assert!(matches!(err, SimError::StepBudgetExceeded { steps: 10, .. }), "{err:?}");
+        // Partial progress is still observable on the simulator itself.
+        assert!(!sim.outcome().halted);
+        assert_eq!(sim.outcome().committed, 10);
     }
 
     #[test]

@@ -96,14 +96,56 @@ pub fn splat(et: ElemType, imm: i16) -> [u8; 16] {
     out
 }
 
+/// Error from a lane-wise helper whose operation is not defined for the
+/// requested element type or operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneError {
+    /// The operation has no semantics for this element type (e.g. a
+    /// logical shift over float lanes).
+    UnsupportedElement {
+        /// The rejected element type.
+        et: ElemType,
+        /// The operation that rejected it.
+        op: &'static str,
+    },
+    /// The shift amount is at least the lane width.
+    ShiftOutOfRange {
+        /// Element type whose lane width was exceeded.
+        et: ElemType,
+        /// The rejected shift amount.
+        shift: u8,
+    },
+}
+
+impl std::fmt::Display for LaneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaneError::UnsupportedElement { et, op } => {
+                write!(f, "{op} is not defined for {et:?} lanes")
+            }
+            LaneError::ShiftOutOfRange { et, shift } => {
+                write!(f, "shift by {shift} exceeds the {et:?} lane width")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaneError {}
+
 /// Lane-wise logical shift right (integer lanes only).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `et` is a float type or `shift` is at least the lane width.
-pub fn shr(et: ElemType, v: [u8; 16], shift: u8) -> [u8; 16] {
-    assert!(!et.is_float(), "vector shift is integer-only");
-    assert!((shift as u32) < et.lane_bytes() * 8, "shift exceeds lane width");
+/// Returns [`LaneError::UnsupportedElement`] for float lanes and
+/// [`LaneError::ShiftOutOfRange`] if `shift` is at least the lane width,
+/// instead of trusting the (distant) encoder to have rejected both.
+pub fn shr(et: ElemType, v: [u8; 16], shift: u8) -> Result<[u8; 16], LaneError> {
+    if et.is_float() {
+        return Err(LaneError::UnsupportedElement { et, op: "vector shift" });
+    }
+    if (shift as u32) >= et.lane_bytes() * 8 {
+        return Err(LaneError::ShiftOutOfRange { et, shift });
+    }
     let mut out = [0u8; 16];
     let w = et.lane_bytes() as usize;
     for lane in 0..(16 / w) {
@@ -118,10 +160,11 @@ pub fn shr(et: ElemType, v: [u8; 16], shift: u8) -> [u8; 16] {
                 let x = u32::from_le_bytes(v[lo..lo + 4].try_into().expect("lane")) >> shift;
                 out[lo..lo + 4].copy_from_slice(&x.to_le_bytes());
             }
-            ElemType::F32 => unreachable!("rejected above"),
+            // Floats were rejected above; integer types are exhaustive.
+            ElemType::F32 => return Err(LaneError::UnsupportedElement { et, op: "vector shift" }),
         }
     }
-    out
+    Ok(out)
 }
 
 /// Splats a 32-bit scalar register value into every lane (truncating to
@@ -267,5 +310,26 @@ mod tests {
     #[should_panic]
     fn lane_out_of_range_panics() {
         let _ = lane_to_scalar(ElemType::I32, [0; 16], 4);
+    }
+
+    #[test]
+    fn shr_shifts_integer_lanes() {
+        let v = v_i32([8, 16, -4, 1024]);
+        let out = shr(ElemType::I32, v, 2).expect("integer shift");
+        // Logical shift: the sign bit is not propagated.
+        assert_eq!(out, v_i32([2, 4, ((-4i32) as u32 >> 2) as i32, 256]));
+    }
+
+    #[test]
+    fn shr_rejects_float_and_wide_shifts() {
+        assert_eq!(
+            shr(ElemType::F32, [0; 16], 1),
+            Err(LaneError::UnsupportedElement { et: ElemType::F32, op: "vector shift" })
+        );
+        assert_eq!(
+            shr(ElemType::I8, [0; 16], 8),
+            Err(LaneError::ShiftOutOfRange { et: ElemType::I8, shift: 8 })
+        );
+        assert!(shr(ElemType::I8, [0; 16], 7).is_ok());
     }
 }

@@ -1,6 +1,7 @@
 //! Property tests of the functional executor and the timing model:
-//! determinism, timing monotonicity in configuration, and structural
-//! invariants of the statistics.
+//! determinism, timing monotonicity in configuration, structural
+//! invariants of the statistics, and the differential scalar oracle
+//! under randomly seeded fault plans.
 
 use dsa_cpu::{CpuConfig, Machine, Simulator};
 use dsa_isa::{Asm, Cond, Program, Reg};
@@ -112,5 +113,25 @@ proptest! {
         // 3 setup + trip * (body + 3 loop overhead) + halt.
         let expect = 3 + trip as u64 * (seed.len() as u64 + 3) + 1;
         prop_assert_eq!(committed, expect);
+    }
+
+    /// The engine's central safety property, fuzzed: for any random
+    /// loop program and any randomly seeded, randomly armed fault plan,
+    /// a DSA-attached run ends with architectural state bit-identical
+    /// to a scalar-only run. The DSA may refuse to vectorize, degrade
+    /// or poison itself — it may never corrupt state or hang.
+    #[test]
+    fn dsa_under_random_faults_preserves_architectural_state(
+        seed in prop::collection::vec(any::<u8>(), 1..40),
+        trip in 1u16..50,
+        fault_seed in any::<u64>(),
+        armed_mask in 0u8..32,
+    ) {
+        use dsa_core::{DifferentialOracle, DsaConfig, FaultPlan};
+        let p = program_from(&seed, trip);
+        let plan = FaultPlan { seed: fault_seed, armed_mask };
+        let config = DsaConfig::full().with_faults(plan);
+        let report = DifferentialOracle::new(5_000_000).check(&p, config, |_| {});
+        prop_assert!(report.holds(), "plan {plan:?}: {report}");
     }
 }

@@ -92,15 +92,17 @@ fn dsa_leaves_already_vectorized_binaries_alone() {
 #[test]
 fn fuel_exhaustion_mid_coverage_is_reported() {
     use dsa_suite::core::Dsa;
-    use dsa_suite::cpu::{CpuConfig, Simulator};
+    use dsa_suite::cpu::{CpuConfig, SimError, Simulator};
     let w = build(WorkloadId::RgbGray, Variant::Scalar, Scale::Small);
     let mut dsa = Dsa::new(DsaConfig::full());
     let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
     (w.init)(sim.machine_mut());
-    // Enough fuel to start coverage, not enough to finish.
-    let out = sim.run_with_hook(100, &mut dsa).expect("runs");
-    assert!(!out.halted);
-    assert_eq!(out.committed, 100);
+    // Enough fuel to start coverage, not enough to finish: the watchdog
+    // must fire instead of silently returning a partial outcome.
+    let err = sim.run_with_hook(100, &mut dsa).expect_err("watchdog fires");
+    assert!(matches!(err, SimError::StepBudgetExceeded { steps: 100, .. }), "{err:?}");
+    assert!(!sim.outcome().halted);
+    assert_eq!(sim.outcome().committed, 100);
 }
 
 #[test]
