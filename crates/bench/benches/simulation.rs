@@ -89,5 +89,47 @@ fn bench_hook_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_workloads, bench_hook_dispatch);
+/// Cost of the observability layer on the monomorphized hot loop:
+/// tracer off (the default — every emit is a dead branch) vs a
+/// [`dsa_trace::NullSink`] (events built and dropped) vs the full
+/// metrics registry. `trace-off` must track `generic-hook` above; the
+/// release gate for that is `trace_overhead_guard --check`.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace-overhead");
+    group.sample_size(20);
+    let w = build(WorkloadId::BitCounts, dsa_compiler::Variant::Scalar, Scale::Small);
+    group.bench_function("trace-off", |b| {
+        b.iter(|| {
+            let mut sim = prepared(&w);
+            let mut hook = Dsa::new(DsaConfig::full());
+            let out = sim.run_with_hook(100_000_000, &mut hook).expect("runs");
+            assert!(out.halted);
+            black_box(out.cycles)
+        })
+    });
+    group.bench_function("null-sink", |b| {
+        b.iter(|| {
+            let mut sim = prepared(&w);
+            let mut hook = Dsa::new(DsaConfig::full().with_trace());
+            hook.attach_sink(dsa_trace::NullSink);
+            let out = sim.run_with_hook(100_000_000, &mut hook).expect("runs");
+            assert!(out.halted);
+            black_box(out.cycles)
+        })
+    });
+    group.bench_function("metrics-sink", |b| {
+        b.iter(|| {
+            let mut sim = prepared(&w);
+            let mut hook = Dsa::new(DsaConfig::full().with_trace());
+            let shared = dsa_trace::SharedMetrics::new();
+            hook.attach_sink(shared.clone());
+            let out = sim.run_with_hook(100_000_000, &mut hook).expect("runs");
+            assert!(out.halted);
+            black_box((out.cycles, shared.snapshot().report_text().len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads, bench_hook_dispatch, bench_trace_overhead);
 criterion_main!(benches);

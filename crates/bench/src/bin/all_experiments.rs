@@ -71,6 +71,20 @@ fn main() {
         stats.hits,
     );
     eprintln!("{}", cache::global().degradation_summary());
+    // One-page telemetry summary: per-run DSA counters always (cheap,
+    // folded from DsaStats), plus the merged metrics registry when the
+    // runs were traced (DSA_METRICS=1 — off by default so the grid
+    // warm-up stays unencumbered by per-event accounting).
+    eprintln!("telemetry summary:");
+    for line in cache::global().run_summaries() {
+        eprintln!("  {line}");
+    }
+    if let Some(metrics) = cache::global().merged_metrics() {
+        eprintln!("merged metrics registry ({} traced runs folded):", stats.simulations);
+        for line in metrics.report_text().lines() {
+            eprintln!("  {line}");
+        }
+    }
     if failed > 0 {
         eprintln!("error: {failed} section(s) failed");
         std::process::exit(1);

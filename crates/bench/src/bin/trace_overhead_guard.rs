@@ -1,0 +1,140 @@
+//! Guards the tentpole performance promise: with tracing disabled the
+//! DSA hot loop must run at the same speed as before the observability
+//! layer existed, and even the cheapest attached sink must stay within
+//! a small envelope.
+//!
+//! Two configurations are timed back-to-back on the same workload:
+//!
+//! * **off** — `Tracer::Off`, the default; every `emit` is a dead
+//!   branch the optimizer removes from the monomorphized
+//!   `run_with_hook` loop.
+//! * **null** — a [`NullSink`] attached; events are built and dropped.
+//!
+//! Both runs must produce *identical cycle counts and checksums* (the
+//! tracer is observation only), and in `--check` mode the off-vs-null
+//! wall-clock gap must stay under the threshold (default 2%).
+//!
+//! ```text
+//! cargo run --release -p dsa-bench --bin trace_overhead_guard -- --check
+//! ```
+
+use std::time::Instant;
+
+use dsa_core::Dsa;
+use dsa_cpu::{CpuConfig, RunOutcome, Simulator};
+use dsa_trace::NullSink;
+use dsa_workloads::{build, BuiltWorkload, Scale, WorkloadId};
+
+const USAGE: &str =
+    "usage: trace_overhead_guard [--check] [--reps N] [--threshold PCT]";
+
+/// Instruction budget — same as the harness.
+const FUEL: u64 = 2_000_000_000;
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("trace_overhead_guard: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn run_once(w: &BuiltWorkload, with_sink: bool) -> (RunOutcome, u64, f64) {
+    let cfg = dsa_core::DsaConfig::full();
+    let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+    (w.init)(sim.machine_mut());
+    for buf in w.kernel.layout.bufs() {
+        sim.warm_region(buf.base, buf.size_bytes());
+    }
+    let mut dsa = Dsa::new(if with_sink { cfg.with_trace() } else { cfg });
+    if with_sink {
+        dsa.attach_sink(NullSink);
+    }
+    let t = Instant::now();
+    let outcome = sim.run_with_hook(FUEL, &mut dsa).unwrap_or_else(|e| {
+        eprintln!("trace_overhead_guard: simulation failed: {e}");
+        std::process::exit(1);
+    });
+    let secs = t.elapsed().as_secs_f64();
+    if !w.check(sim.machine()) {
+        eprintln!("trace_overhead_guard: wrong result (sink={with_sink})");
+        std::process::exit(1);
+    }
+    (outcome, w.actual(sim.machine()), secs)
+}
+
+fn main() {
+    let mut check = false;
+    let mut reps: u32 = 9;
+    let mut threshold: f64 = 2.0;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let take = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+            it.next().unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--check" => check = true,
+            "--reps" => {
+                reps = take(&mut it, "--reps")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--reps needs an integer"));
+            }
+            "--threshold" => {
+                threshold = take(&mut it, "--threshold")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--threshold needs a number"));
+            }
+            "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if reps == 0 {
+        usage_error("--reps must be at least 1");
+    }
+
+    let w = build(WorkloadId::BitCounts, dsa_compiler::Variant::Scalar, Scale::Paper);
+
+    // One warm-up pass per path (page-in, branch predictors, etc.), then
+    // interleaved timed reps; keep the minimum of each — the least-noise
+    // estimator for "how fast can this path go".
+    let _ = run_once(&w, false);
+    let _ = run_once(&w, true);
+    let mut best_off = f64::INFINITY;
+    let mut best_null = f64::INFINITY;
+    let mut cycles = (0u64, 0u64);
+    let mut sums = (0u64, 0u64);
+    for _ in 0..reps {
+        let (out, sum, secs) = run_once(&w, false);
+        best_off = best_off.min(secs);
+        cycles.0 = out.cycles;
+        sums.0 = sum;
+        let (out, sum, secs) = run_once(&w, true);
+        best_null = best_null.min(secs);
+        cycles.1 = out.cycles;
+        sums.1 = sum;
+    }
+
+    let overhead = 100.0 * (best_null / best_off - 1.0);
+    println!("workload:     bitcounts (paper scale), {reps} reps, min-of-N wall clock");
+    println!("tracer off:   {:.3} ms ({} simulated cycles)", best_off * 1e3, cycles.0);
+    println!("null sink:    {:.3} ms ({} simulated cycles)", best_null * 1e3, cycles.1);
+    println!("overhead:     {overhead:+.2}% (threshold {threshold:.1}%)");
+
+    if cycles.0 != cycles.1 || sums.0 != sums.1 {
+        eprintln!(
+            "trace_overhead_guard: tracing changed the simulation! \
+             cycles {} vs {}, checksum {:#x} vs {:#x}",
+            cycles.0, cycles.1, sums.0, sums.1
+        );
+        std::process::exit(1);
+    }
+    if check && overhead > threshold {
+        eprintln!(
+            "trace_overhead_guard: null-sink overhead {overhead:+.2}% exceeds {threshold:.1}%"
+        );
+        std::process::exit(1);
+    }
+    if check {
+        println!("OK: observation layer is within budget and observation-only");
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline trace-report tool: folds a `dsa-trace/v1` JSONL file (as
+//! written by `inspect --trace` or any [`dsa_trace::JsonlSink`]) into a
+//! per-stage latency table — where every DSA-side cycle went — plus
+//! event counts and the loop lifecycle tallies.
+//!
+//! ```text
+//! DSA_TRACE=out.jsonl cargo run -p dsa-bench --bin inspect -- bitcounts --trace
+//! cargo run -p dsa-bench --bin trace_report -- --validate out.jsonl
+//! ```
+//!
+//! With `--validate` the file is first checked against the versioned
+//! schema (header line, event vocabulary, required fields); a violation
+//! reports its line number and exits 1.
+
+use std::collections::BTreeMap;
+
+use dsa_trace::json::{parse, Value};
+use dsa_trace::{validate_document, SCHEMA};
+
+const USAGE: &str = "usage: trace_report [--validate] <trace.jsonl>";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_report: {msg}");
+    std::process::exit(1);
+}
+
+#[derive(Default)]
+struct Charge {
+    events: u64,
+    dsa_cycles: u64,
+}
+
+fn main() {
+    let mut validate = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--validate" => validate = true,
+            "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("trace_report: unknown flag `{flag}`\n{USAGE}");
+                std::process::exit(2);
+            }
+            file if path.is_none() => path = Some(file.to_string()),
+            extra => {
+                eprintln!("trace_report: unexpected argument `{extra}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("trace_report: missing trace file\n{USAGE}");
+        std::process::exit(2);
+    };
+
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read `{path}`: {e}")));
+
+    if validate {
+        match validate_document(&text) {
+            Ok(n) => println!("{path}: {n} records, schema {SCHEMA} OK"),
+            Err((line, msg)) => fail(&format!("{path}:{line}: {msg}")),
+        }
+    }
+
+    // Fold the stream. Charges are keyed by *source* — the six FSM
+    // stages plus the structures that charge outside a stage transition
+    // (caches, CIDP, partial-chunk re-verification) — so the table's
+    // cycle column sums to the run's `detection_cycles`.
+    let mut charges: BTreeMap<String, Charge> = BTreeMap::new();
+    let mut types: BTreeMap<String, u64> = BTreeMap::new();
+    let mut total_cycles = 0u64;
+    let mut span = (u64::MAX, 0u64);
+    let mut records = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line)
+            .unwrap_or_else(|e| fail(&format!("{path}:{}: JSON error at byte {}: {}", i + 1, e.at, e.msg)));
+        let Some(obj) = v.as_obj() else { fail(&format!("{path}:{}: not an object", i + 1)) };
+        let record = obj.get("record").and_then(Value::as_str).unwrap_or("");
+        if record != "event" {
+            continue;
+        }
+        records += 1;
+        let ty = obj.get("type").and_then(Value::as_str).unwrap_or("?").to_string();
+        *types.entry(ty.clone()).or_insert(0) += 1;
+        if let Some(c) = obj.get("cycle").and_then(Value::as_u64) {
+            span.0 = span.0.min(c);
+            span.1 = span.1.max(c);
+        }
+        let dsa_cycles = obj.get("dsa_cycles").and_then(Value::as_u64).unwrap_or(0);
+        total_cycles += dsa_cycles;
+        let source = match ty.as_str() {
+            "stage-activated" => {
+                obj.get("stage").and_then(Value::as_str).unwrap_or("?").to_string()
+            }
+            "cache-access" => {
+                obj.get("cache").and_then(Value::as_str).unwrap_or("?").to_string()
+            }
+            "dependency-verdict" => "cidp".to_string(),
+            "partial-chunk" => "partial-chunk".to_string(),
+            _ => continue,
+        };
+        let c = charges.entry(source).or_default();
+        c.events += 1;
+        c.dsa_cycles += dsa_cycles;
+    }
+
+    println!("== {path}: {records} events ==");
+    if span.0 <= span.1 {
+        println!("  core-cycle span: {}..{}", span.0, span.1);
+    }
+
+    println!("\n== per-stage DSA latency ==");
+    let rows: Vec<Vec<String>> = charges
+        .iter()
+        .map(|(k, c)| {
+            let share = if total_cycles == 0 {
+                0.0
+            } else {
+                100.0 * c.dsa_cycles as f64 / total_cycles as f64
+            };
+            vec![
+                k.clone(),
+                c.events.to_string(),
+                c.dsa_cycles.to_string(),
+                format!("{:.2}", c.dsa_cycles as f64 / c.events.max(1) as f64),
+                format!("{share:.1}%"),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        dsa_bench::render_table(&["source", "events", "dsa-cycles", "mean", "share"], &rows)
+    );
+    println!("  total: {total_cycles} DSA-side cycles");
+
+    println!("\n== event counts ==");
+    let rows: Vec<Vec<String>> =
+        types.iter().map(|(k, v)| vec![k.clone(), v.to_string()]).collect();
+    print!("{}", dsa_bench::render_table(&["type", "count"], &rows));
+}

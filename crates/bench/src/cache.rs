@@ -46,6 +46,14 @@ impl Workload {
             Workload::Micro(m) => micro::build(m, system.variant(), scale),
         }
     }
+
+    /// Display name (figure vocabulary).
+    pub fn describe(self) -> &'static str {
+        match self {
+            Workload::App(id) => id.name(),
+            Workload::Micro(m) => m.name(),
+        }
+    }
 }
 
 /// Cache key: the exact inputs that determine a run's outcome.
@@ -199,6 +207,40 @@ impl RunCache {
             "degradation summary: {degraded_runs}/{runs} runs degraded to scalar \
              ({degradations} rollbacks, {poisoned} poisoned, {errors} failed runs)"
         )
+    }
+
+    /// One [`crate::RunResult`]-stats line per resident DSA run
+    /// (`"<workload> × <system>: <DsaStats one-liner>"`), sorted for
+    /// stable output — the body of `all_experiments`' stderr telemetry
+    /// page.
+    pub fn run_summaries(&self) -> Vec<String> {
+        let slots = self.slots.lock().expect("run-cache poisoned");
+        let mut lines: Vec<String> = slots
+            .iter()
+            .filter_map(|(key, slot)| match slot.get() {
+                Some(Ok(r)) => r.dsa.as_ref().map(|s| {
+                    format!("{} x {}: {s}", key.workload.describe(), key.system.name())
+                }),
+                _ => None,
+            })
+            .collect();
+        lines.sort();
+        lines
+    }
+
+    /// Telemetry counters merged over every resident traced run, or
+    /// `None` when no run carried metrics (tracing off — the default).
+    pub fn merged_metrics(&self) -> Option<dsa_trace::MetricsRegistry> {
+        let slots = self.slots.lock().expect("run-cache poisoned");
+        let mut merged: Option<dsa_trace::MetricsRegistry> = None;
+        for slot in slots.values() {
+            if let Some(Ok(r)) = slot.get() {
+                if let Some(m) = &r.metrics {
+                    merged.get_or_insert_with(dsa_trace::MetricsRegistry::new).merge(m);
+                }
+            }
+        }
+        merged
     }
 }
 

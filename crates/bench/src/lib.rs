@@ -24,6 +24,7 @@ use dsa_compiler::Variant;
 use dsa_core::{Dsa, DsaConfig, DsaStats, LoopCensus};
 use dsa_cpu::{CpuConfig, RunOutcome, SimError, Simulator};
 use dsa_energy::{EnergyBreakdown, EnergyModel, EnergyTable};
+use dsa_trace::{MetricsRegistry, SharedMetrics};
 use dsa_workloads::{build, BuiltWorkload, Scale, WorkloadId};
 
 /// Instruction budget per run.
@@ -154,6 +155,10 @@ pub struct RunResult {
     pub census: Option<LoopCensus>,
     /// Energy breakdown.
     pub energy: EnergyBreakdown,
+    /// Telemetry counters folded from the run's event stream — present
+    /// only when the run was traced ([`DsaConfig`]`::trace` set, or
+    /// `DSA_METRICS=1` in the environment).
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl RunResult {
@@ -179,12 +184,26 @@ pub fn run_built(w: &BuiltWorkload, system: System) -> Result<RunResult, RunErro
     for buf in w.kernel.layout.bufs() {
         sim.warm_region(buf.base, buf.size_bytes());
     }
-    let (outcome, dsa) = match system.dsa_config() {
-        None => (sim.run(FUEL)?, None),
+    let (outcome, dsa, metrics) = match system.dsa_config() {
+        None => (sim.run(FUEL)?, None, None),
         Some(cfg) => {
             let mut dsa = Dsa::new(cfg);
-            let out = sim.run_with_hook(FUEL, &mut dsa)?;
-            (out, Some(dsa))
+            if cfg.trace || metrics_requested() {
+                // Telemetry is opt-in: the metrics sink is shared between
+                // the engine (per-loop lifecycle events) and the
+                // simulator's run brackets, then snapshotted into the
+                // result. Attaching it to every grid run would tax the
+                // warm-up loop, so the flag gates it.
+                let shared = SharedMetrics::new();
+                dsa.attach_sink(shared.clone());
+                let mut boundary = shared.clone();
+                let out = sim.run_traced(FUEL, &mut dsa, &mut boundary)?;
+                dsa.finish_trace();
+                (out, Some(dsa), Some(shared.snapshot()))
+            } else {
+                let out = sim.run_with_hook(FUEL, &mut dsa)?;
+                (out, Some(dsa), None)
+            }
         }
     };
     if !w.check(sim.machine()) {
@@ -202,7 +221,14 @@ pub fn run_built(w: &BuiltWorkload, system: System) -> Result<RunResult, RunErro
         dsa: stats,
         census: dsa.as_ref().map(|d| d.census()),
         energy,
+        metrics,
     })
+}
+
+/// Whether `DSA_METRICS=1` asks every DSA run to fold telemetry into
+/// [`RunResult::metrics`].
+pub fn metrics_requested() -> bool {
+    std::env::var("DSA_METRICS").is_ok_and(|v| v == "1")
 }
 
 /// Builds and runs one workload under one system.

@@ -105,12 +105,15 @@ impl DsaCache {
     }
 
     /// Inserts (or replaces) an entry, evicting LRU entries if the
-    /// capacity would be exceeded.
-    pub fn insert(&mut self, loop_id: u32, kind: CachedKind) {
+    /// capacity would be exceeded. Returns the number of entries
+    /// displaced, so the caller can report the evictions (the engine
+    /// turns them into `cache-access`/`evict` telemetry events).
+    pub fn insert(&mut self, loop_id: u32, kind: CachedKind) -> u32 {
         self.tick += 1;
         if let Some(old) = self.entries.remove(&loop_id) {
             self.used_bytes -= old.kind.size_bytes();
         }
+        let mut evicted = 0u32;
         let size = kind.size_bytes();
         while self.used_bytes + size > self.capacity_bytes && !self.entries.is_empty() {
             let victim = self
@@ -122,11 +125,13 @@ impl DsaCache {
             let e = self.entries.remove(&victim).expect("victim present");
             self.used_bytes -= e.kind.size_bytes();
             self.evictions += 1;
+            evicted += 1;
         }
         if size <= self.capacity_bytes {
             self.used_bytes += size;
             self.entries.insert(loop_id, Entry { kind, last_use: self.tick });
         }
+        evicted
     }
 
     /// Number of resident entries.
@@ -209,7 +214,8 @@ mod tests {
         }
         assert_eq!(c.len(), 3);
         c.probe(0); // 0 recently used; 1 is LRU
-        c.insert(100, CachedKind::NonVectorizable(LoopClass::NonVectorizable));
+        let evicted = c.insert(100, CachedKind::NonVectorizable(LoopClass::NonVectorizable));
+        assert_eq!(evicted, 1, "insert reports the displaced entry");
         assert_eq!(c.len(), 3);
         assert!(c.peek(1).is_none(), "LRU entry evicted");
         assert!(c.peek(0).is_some());

@@ -121,6 +121,12 @@ pub struct DsaConfig {
     pub min_profitable_iterations: u32,
     /// Leftover strategy.
     pub leftover: LeftoverPolicy,
+    /// Opt-in telemetry: when set, the harness attaches trace sinks
+    /// (metrics registry, and — with `DSA_TRACE=<path>` — the JSONL and
+    /// Perfetto exporters) to the run. The engine itself only emits
+    /// through an attached sink, so `false` keeps the zero-overhead
+    /// disabled path.
+    pub trace: bool,
     /// Optional deterministic fault-injection schedule (robustness
     /// testing only; `None` in every normal configuration).
     pub faults: Option<FaultPlan>,
@@ -145,6 +151,7 @@ impl Default for DsaConfig {
             conditional_analysis_limit: 64,
             min_profitable_iterations: 8,
             leftover: LeftoverPolicy::Auto,
+            trace: false,
             faults: None,
         }
     }
@@ -169,6 +176,11 @@ impl DsaConfig {
     /// The same configuration with a fault-injection schedule armed.
     pub fn with_faults(self, plan: FaultPlan) -> DsaConfig {
         DsaConfig { faults: Some(plan), ..self }
+    }
+
+    /// The same configuration with telemetry opted in.
+    pub fn with_trace(self) -> DsaConfig {
+        DsaConfig { trace: true, ..self }
     }
 }
 

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use dsa_cpu::{CommitHook, Machine, SimControl, TraceEvent};
 use dsa_isa::{Cond, Instr};
+use dsa_trace::{CacheKind, CacheOutcome, Event, SpecKind, Stage, TraceSink, Tracer};
 
 use crate::caches::{CachedKind, DsaCache, VerificationCache};
 use crate::cidp::{self, CidpOutcome};
@@ -66,6 +67,12 @@ pub struct Dsa {
     mode: Mode,
     faults: Option<FaultState>,
     error: Option<EngineError>,
+    /// Telemetry: [`Tracer::Off`] unless a sink was attached, in which
+    /// case every lifecycle / stage / cache / fault observation flows
+    /// out as a [`dsa_trace::Event`]. All emission sites sit on loop
+    /// boundaries and stage transitions — never the per-commit path —
+    /// and the disabled path is a single discriminant test.
+    tracer: Tracer,
 }
 
 #[derive(Debug)]
@@ -181,7 +188,28 @@ impl Dsa {
             mode: Mode::Probing,
             faults: config.faults.map(FaultState::new),
             error: None,
+            tracer: Tracer::Off,
         }
+    }
+
+    /// Attaches a telemetry sink; every engine observation from now on
+    /// is emitted as a [`dsa_trace::Event`]. Use
+    /// [`dsa_trace::Fanout`]/[`dsa_trace::Shared`] to feed several
+    /// consumers.
+    pub fn attach_sink(&mut self, sink: impl TraceSink + Send + 'static) {
+        self.tracer = Tracer::on(sink);
+    }
+
+    /// Whether a telemetry sink is attached.
+    pub fn tracing(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Signals end-of-stream to the attached sink (flush/footer); call
+    /// after the simulation completes. Idempotent, no-op when tracing
+    /// is off.
+    pub fn finish_trace(&mut self) {
+        self.tracer.finish();
     }
 
     /// The engine error that poisoned this DSA, if any. A poisoned DSA
@@ -208,6 +236,16 @@ impl Dsa {
         let (hits, misses, _) = self.cache.counters();
         s.dsa_cache_hits = hits;
         s.dsa_cache_misses = misses;
+        // Accounting consistency: every counted miss, vcache access,
+        // CIDP evaluation, Array-Map access, select and partial chunk
+        // carries a mandatory latency charge, so the reported detection
+        // cycles can never fall below the structural floor.
+        debug_assert!(
+            s.detection_cycles >= s.structural_cycles_floor(&self.config),
+            "detection_cycles {} below structural floor {}",
+            s.detection_cycles,
+            s.structural_cycles_floor(&self.config),
+        );
         s
     }
 
@@ -225,23 +263,62 @@ impl Dsa {
         &self.cache
     }
 
-    fn classify(&mut self, id: u32, class: LoopClass) {
+    fn classify(&mut self, id: u32, class: LoopClass, cycle: u64) {
         self.census.insert(id, class);
+        let name = class.name();
+        self.tracer.emit(|| Event::LoopClassified { loop_id: id, class: name, cycle });
     }
 
-    fn give_up(&mut self, id: u32, class: LoopClass) {
-        self.cache.insert(id, CachedKind::NonVectorizable(class));
-        self.stats.detection_cycles += self.config.dsa_cache_latency as u64;
-        self.classify(id, class);
+    /// Stores `kind` in the DSA cache, charging the cache latency when
+    /// `charged` (give-up and template stores pay it; rollback stores
+    /// don't — timing behavior predates tracing and must not change),
+    /// and emits the insert (and any eviction) as telemetry.
+    fn cache_insert(&mut self, id: u32, kind: CachedKind, charged: bool, cycle: u64) {
+        let evicted = self.cache.insert(id, kind);
+        let dsa_cycles = if charged {
+            let l = self.config.dsa_cache_latency as u64;
+            self.stats.detection_cycles += l;
+            l
+        } else {
+            0
+        };
+        self.tracer.emit(|| Event::CacheAccess {
+            cache: CacheKind::Dsa,
+            outcome: CacheOutcome::Insert,
+            loop_id: id,
+            count: 1,
+            dsa_cycles,
+            cycle,
+        });
+        if evicted > 0 {
+            self.tracer.emit(|| Event::CacheAccess {
+                cache: CacheKind::Dsa,
+                outcome: CacheOutcome::Evict,
+                loop_id: id,
+                count: evicted,
+                dsa_cycles: 0,
+                cycle,
+            });
+        }
+    }
+
+    fn give_up(&mut self, id: u32, class: LoopClass, reason: &'static str, ctl: &mut SimControl<'_>) {
+        let cycle = ctl.cycles();
+        self.cache_insert(id, CachedKind::NonVectorizable(class), true, cycle);
+        let name = class.name();
+        self.tracer.emit(|| Event::LoopRejected { loop_id: id, class: name, reason, cycle });
+        self.classify(id, class, cycle);
         self.mode = Mode::Probing;
     }
 
     /// Registers one fault opportunity at `site`; `true` means the armed
     /// plan injects a fault here.
-    fn fault_fires(&mut self, site: FaultSite) -> bool {
+    fn fault_fires(&mut self, site: FaultSite, cycle: u64) -> bool {
         let fires = self.faults.as_mut().is_some_and(|f| f.fire(site));
         if fires {
             self.stats.faults_injected += 1;
+            let site = site.name();
+            self.tracer.emit(|| Event::FaultInjected { site, cycle });
         }
         fires
     }
@@ -251,13 +328,16 @@ impl Dsa {
     /// active coverage and falls back to scalar execution. Correctness
     /// is unaffected — the scalar core has been computing the real
     /// results all along; only the speedup for this loop is lost.
-    fn degrade(&mut self, id: u32, class: LoopClass, ctl: &mut SimControl<'_>) {
+    fn degrade(&mut self, id: u32, class: LoopClass, reason: &'static str, ctl: &mut SimControl<'_>) {
+        let cycle = ctl.cycles();
         if ctl.coverage_active() {
             ctl.end_coverage();
             ctl.stall(self.config.resync_latency as u64);
         }
-        self.cache.insert(id, CachedKind::NonVectorizable(class));
-        self.classify(id, class);
+        self.cache_insert(id, CachedKind::NonVectorizable(class), false, cycle);
+        let name = class.name();
+        self.tracer.emit(|| Event::LoopRolledBack { loop_id: id, class: name, reason, cycle });
+        self.classify(id, class, cycle);
         self.stats.degradations += 1;
         self.mode = Mode::Probing;
     }
@@ -266,6 +346,7 @@ impl Dsa {
     /// flushes coverage, records the error and detaches itself; every
     /// further commit is ignored and the run completes scalar-only.
     fn poison(&mut self, err: EngineError, ctl: &mut SimControl<'_>) {
+        let cycle = ctl.cycles();
         if ctl.coverage_active() {
             ctl.end_coverage();
             ctl.stall(self.config.resync_latency as u64);
@@ -273,6 +354,11 @@ impl Dsa {
         self.stats.degradations += 1;
         self.stats.poison_events += 1;
         self.error = Some(err);
+        self.tracer.emit(|| Event::EnginePoisoned {
+            during: err.during,
+            expected: err.expected,
+            cycle,
+        });
         self.mode = Mode::Poisoned;
     }
 
@@ -287,6 +373,13 @@ impl Dsa {
             ctl.end_coverage();
             ctl.stall(self.config.resync_latency as u64);
             self.stats.degradations += 1;
+            let cycle = ctl.cycles();
+            self.tracer.emit(|| Event::LoopRolledBack {
+                loop_id: 0,
+                class: "unknown",
+                reason: "stale-coverage-recovery",
+                cycle,
+            });
         }
         if !is_loop_branch(ev) {
             return;
@@ -295,13 +388,40 @@ impl Dsa {
         let id = branch.target;
         self.stats.loops_detected += 1;
         self.stats.stage_loop_detection += 1;
+        let cycle = ctl.cycles();
+        let end_pc = ev.pc;
+        self.tracer.emit(|| Event::LoopDetected { loop_id: id, end_pc, cycle });
+        self.tracer.emit(|| Event::StageActivated {
+            stage: Stage::LoopDetection,
+            loop_id: id,
+            dsa_cycles: 0,
+            cycle,
+        });
         match self.cache.probe(id).cloned() {
             // A cached negative verdict ends detection immediately — the
             // probe is pipelined with the core and costs nothing.
-            Some(CachedKind::NonVectorizable(_)) => {}
+            Some(CachedKind::NonVectorizable(_)) => {
+                self.tracer.emit(|| Event::CacheAccess {
+                    cache: CacheKind::Dsa,
+                    outcome: CacheOutcome::Hit,
+                    loop_id: id,
+                    count: 1,
+                    dsa_cycles: 0,
+                    cycle,
+                });
+            }
             Some(CachedKind::Vectorizable(mut t)) => {
-                self.stats.detection_cycles += self.config.dsa_cache_latency as u64;
-                if self.fault_fires(FaultSite::CorruptTemplate) {
+                let dsa_cycles = self.config.dsa_cache_latency as u64;
+                self.stats.detection_cycles += dsa_cycles;
+                self.tracer.emit(|| Event::CacheAccess {
+                    cache: CacheKind::Dsa,
+                    outcome: CacheOutcome::Hit,
+                    loop_id: id,
+                    count: 1,
+                    dsa_cycles,
+                    cycle,
+                });
+                if self.fault_fires(FaultSite::CorruptTemplate, cycle) {
                     // Model a bit flip on the cache read path. Every
                     // variant is a structural defect that
                     // `LoopTemplate::validate` must catch in
@@ -333,8 +453,23 @@ impl Dsa {
                 }));
             }
             None => {
-                self.stats.detection_cycles += self.config.dsa_cache_latency as u64;
+                let dsa_cycles = self.config.dsa_cache_latency as u64;
+                self.stats.detection_cycles += dsa_cycles;
                 self.stats.stage_data_collection += 1;
+                self.tracer.emit(|| Event::CacheAccess {
+                    cache: CacheKind::Dsa,
+                    outcome: CacheOutcome::Miss,
+                    loop_id: id,
+                    count: 1,
+                    dsa_cycles,
+                    cycle,
+                });
+                self.tracer.emit(|| Event::StageActivated {
+                    stage: Stage::DataCollection,
+                    loop_id: id,
+                    dsa_cycles: 0,
+                    cycle,
+                });
                 self.mode = Mode::Analyzing(Box::new(Analysis {
                     id,
                     end_pc: ev.pc,
@@ -405,11 +540,11 @@ impl Dsa {
                             return Ok(false);
                         }
                     }
-                    self.give_up(id, LoopClass::Nest);
+                    self.give_up(id, LoopClass::Nest, "nest-inner-not-fusable", ctl);
                     return Ok(true);
                 }
                 _ => {
-                    self.give_up(id, LoopClass::Nest);
+                    self.give_up(id, LoopClass::Nest, "unsupported-nest", ctl);
                     return Ok(true);
                 }
             }
@@ -446,21 +581,33 @@ impl Dsa {
         let id = a.id;
 
         // Charge Verification-Cache traffic for the recorded iteration.
+        let cycle = ctl.cycles();
         let n_acc = profile.accesses.len() as u64;
         self.stats.vcache_accesses += n_acc;
-        self.stats.detection_cycles += n_acc * self.config.vcache_latency as u64;
+        let vcache_cycles = n_acc * self.config.vcache_latency as u64;
+        self.stats.detection_cycles += vcache_cycles;
         self.vcache.record_accesses(n_acc);
+        if n_acc > 0 {
+            self.tracer.emit(|| Event::CacheAccess {
+                cache: CacheKind::Verification,
+                outcome: CacheOutcome::Insert,
+                loop_id: id,
+                count: n_acc as u32,
+                dsa_cycles: vcache_cycles,
+                cycle,
+            });
+        }
 
         // Fault injection: lose one Verification-Cache entry after the
         // traffic was accounted.
-        if self.fault_fires(FaultSite::DropVcacheEntry) {
+        if self.fault_fires(FaultSite::DropVcacheEntry, cycle) {
             profile.accesses.pop();
         }
         // Consistency check: the analysis pipeline must agree with the
         // Verification-Cache accounting; a lost entry means the recorded
         // streams can no longer be trusted.
         if profile.accesses.len() as u64 != n_acc {
-            self.degrade(id, LoopClass::NonVectorizable, ctl);
+            self.degrade(id, LoopClass::NonVectorizable, "vcache-entry-lost", ctl);
             return Ok(());
         }
 
@@ -468,13 +615,19 @@ impl Dsa {
         // Nest observation stores only the per-stream heads, not every
         // inner-iteration address, so the capacity check is skipped.
         if a.nest.is_none() && !self.vcache.fits(profile.accesses.len()) {
-            self.give_up(id, LoopClass::NonVectorizable);
+            self.give_up(id, LoopClass::NonVectorizable, "vcache-capacity", ctl);
             return Ok(());
         }
 
         // Cache-hit fast path: one collection iteration, then execute.
         if let Some(t) = a.hit.clone() {
             self.stats.stage_store_id_execution += 1;
+            self.tracer.emit(|| Event::StageActivated {
+                stage: Stage::StoreIdExecution,
+                loop_id: id,
+                dsa_cycles: 0,
+                cycle,
+            });
             return self.hit_execute(t, profile, machine, ctl);
         }
 
@@ -486,29 +639,44 @@ impl Dsa {
 
         // Structural rejections discovered during Data Collection.
         if profile.body.nonvec > 0 || profile.body.elem_bytes.is_none() {
-            self.give_up(id, LoopClass::NonVectorizable);
+            self.give_up(id, LoopClass::NonVectorizable, "non-vector-ops", ctl);
             return Ok(());
         }
         if profile.has_call && !self.config.features.function_loops {
-            self.give_up(id, LoopClass::Function);
+            self.give_up(id, LoopClass::Function, "function-loops-disabled", ctl);
             return Ok(());
         }
         if closing_unconditional || profile.exit_check_pc.is_some() && profile.closing_cmp.is_none()
         {
             // Sentinel shape.
             if !self.config.features.sentinel_loops || profile.cond_branches > 0 {
-                self.give_up(id, LoopClass::Sentinel);
+                self.give_up(id, LoopClass::Sentinel, "sentinel-unsupported", ctl);
                 return Ok(());
             }
         }
         if profile.cond_branches > 0 {
             if !self.config.features.conditional_loops {
-                self.give_up(id, LoopClass::Conditional);
+                self.give_up(id, LoopClass::Conditional, "conditional-loops-disabled", ctl);
                 return Ok(());
             }
             self.stats.stage_mapping += 1;
             self.stats.array_map_accesses += 1;
-            self.stats.detection_cycles += self.config.array_map_latency as u64;
+            let map_cycles = self.config.array_map_latency as u64;
+            self.stats.detection_cycles += map_cycles;
+            self.tracer.emit(|| Event::StageActivated {
+                stage: Stage::Mapping,
+                loop_id: id,
+                dsa_cycles: 0,
+                cycle,
+            });
+            self.tracer.emit(|| Event::CacheAccess {
+                cache: CacheKind::ArrayMap,
+                outcome: CacheOutcome::Hit,
+                loop_id: id,
+                count: 1,
+                dsa_cycles: map_cycles,
+                cycle,
+            });
             return self.conditional_step(profile, iter, machine, ctl);
         }
 
@@ -516,11 +684,23 @@ impl Dsa {
         if a.collected.is_none() {
             a.collected = Some(profile);
             self.stats.stage_data_collection += 1;
+            self.tracer.emit(|| Event::StageActivated {
+                stage: Stage::DataCollection,
+                loop_id: id,
+                dsa_cycles: 0,
+                cycle,
+            });
             return Ok(());
         }
 
         // Dependency Analysis: two straight-line profiles available.
         self.stats.stage_dependency_analysis += 1;
+        self.tracer.emit(|| Event::StageActivated {
+            stage: Stage::DependencyAnalysis,
+            loop_id: id,
+            dsa_cycles: 0,
+            cycle,
+        });
         let Some(p2) = a.collected.clone() else {
             return Err(EngineError { expected: "collected profile", during: "dependency analysis" });
         };
@@ -592,15 +772,16 @@ impl Dsa {
         let a = expect_mode!(self, Analyzing, "decide_straight");
         let (id, end_pc) = (a.id, a.end_pc);
         let sentinel = closing_unconditional;
+        let cycle = ctl.cycles();
 
         let Some(streams_all) = Self::match_streams(&p2, &p3, 1) else {
-            self.give_up(id, LoopClass::NonVectorizable);
+            self.give_up(id, LoopClass::NonVectorizable, "stream-mismatch", ctl);
             return Ok(());
         };
         let Some(elem) = p3.body.elem_bytes.map(i64::from) else {
             // Checked during collection; a missing width here means the
             // profile was corrupted between stages.
-            self.give_up(id, LoopClass::NonVectorizable);
+            self.give_up(id, LoopClass::NonVectorizable, "profile-corrupt", ctl);
             return Ok(());
         };
 
@@ -611,7 +792,7 @@ impl Dsa {
                 continue; // hoisted to a splat by the SIMD generator
             }
             if s.gap != elem {
-                self.give_up(id, LoopClass::NonVectorizable);
+                self.give_up(id, LoopClass::NonVectorizable, "non-unit-stride", ctl);
                 return Ok(());
             }
             streams.push((*s, *addr));
@@ -619,7 +800,7 @@ impl Dsa {
         if !streams.iter().any(|(s, _)| s.is_write) {
             // Reductions into registers / pure address walks: the DSA has
             // no vector-register carry support.
-            self.give_up(id, LoopClass::NonVectorizable);
+            self.give_up(id, LoopClass::NonVectorizable, "no-store-stream", ctl);
             return Ok(());
         }
 
@@ -641,12 +822,12 @@ impl Dsa {
                     budget = 0;
                 }
                 None => {
-                    self.give_up(id, LoopClass::NonVectorizable);
+                    self.give_up(id, LoopClass::NonVectorizable, "irregular-trip", ctl);
                     return Ok(());
                 }
             }
             if !rhs_is_imm && !self.config.features.dynamic_range_loops {
-                self.give_up(id, LoopClass::DynamicRange);
+                self.give_up(id, LoopClass::DynamicRange, "dynamic-range-disabled", ctl);
                 return Ok(());
             }
         }
@@ -664,15 +845,28 @@ impl Dsa {
         let pairs = cidp_streams.iter().filter(|s| s.is_write).count()
             * cidp_streams.iter().filter(|s| !s.is_write).count();
         self.stats.cidp_evaluations += pairs as u64;
-        self.stats.detection_cycles += (pairs as u64) * self.config.cidp_latency as u64;
+        let cidp_cycles = (pairs as u64) * self.config.cidp_latency as u64;
+        self.stats.detection_cycles += cidp_cycles;
         let trip_for_cidp = if sentinel { 3 + budget } else { 3 + remaining_after3 as u32 };
-        let partial_distance = match cidp::predict(&cidp_streams, trip_for_cidp) {
+        let outcome = cidp::predict(&cidp_streams, trip_for_cidp);
+        let verdict_distance = match outcome {
+            CidpOutcome::NoDependency => None,
+            CidpOutcome::Dependency { distance } => Some(distance),
+        };
+        self.tracer.emit(|| Event::DependencyVerdict {
+            loop_id: id,
+            pairs: pairs as u32,
+            distance: verdict_distance,
+            dsa_cycles: cidp_cycles,
+            cycle,
+        });
+        let partial_distance = match outcome {
             CidpOutcome::NoDependency => None,
             CidpOutcome::Dependency { distance } => {
                 if self.config.features.partial_vectorization && distance >= lanes {
                     Some(distance)
                 } else {
-                    self.give_up(id, LoopClass::NonVectorizable);
+                    self.give_up(id, LoopClass::NonVectorizable, "cross-iteration-dependency", ctl);
                     return Ok(());
                 }
             }
@@ -712,9 +906,14 @@ impl Dsa {
         };
 
         self.stats.stage_store_id_execution += 1;
-        self.stats.detection_cycles += self.config.dsa_cache_latency as u64;
-        self.cache.insert(id, CachedKind::Vectorizable(template.clone()));
-        self.classify(id, class);
+        self.tracer.emit(|| Event::StageActivated {
+            stage: Stage::StoreIdExecution,
+            loop_id: id,
+            dsa_cycles: 0,
+            cycle,
+        });
+        self.cache_insert(id, CachedKind::Vectorizable(template.clone()), true, cycle);
+        self.classify(id, class, cycle);
 
         // Remaining work starts at iteration 4; stream bases advance one
         // gap past the iteration-3 observation.
@@ -747,7 +946,7 @@ impl Dsa {
         // entry (bit flip, fault injection) must degrade the loop to
         // scalar, not drive the planner's lane math into a panic.
         if template.validate().is_err() {
-            self.degrade(id, template.class, ctl);
+            self.degrade(id, template.class, "corrupt-template", ctl);
             return Ok(());
         }
         if template.class == LoopClass::Conditional {
@@ -764,7 +963,7 @@ impl Dsa {
             // predictor would otherwise grow the injected block without
             // bound and the watchdog — not the DSA — would end the run.
             if template.spec_range > MAX_SPEC_RANGE {
-                self.degrade(id, LoopClass::Sentinel, ctl);
+                self.degrade(id, LoopClass::Sentinel, "spec-range-overflow", ctl);
                 return Ok(());
             }
             count = (template.spec_range.max(1)).div_ceil(template.lanes()) * template.lanes();
@@ -792,7 +991,19 @@ impl Dsa {
                 Some(obs) => bases.push((*s, (obs.addr as i64 + s.gap * stride) as u32)),
                 None => {
                     // The cached shape no longer matches; re-analyse.
-                    self.cache.insert(id, CachedKind::NonVectorizable(LoopClass::NonVectorizable));
+                    let cycle = ctl.cycles();
+                    self.cache_insert(
+                        id,
+                        CachedKind::NonVectorizable(LoopClass::NonVectorizable),
+                        false,
+                        cycle,
+                    );
+                    self.tracer.emit(|| Event::LoopRejected {
+                        loop_id: id,
+                        class: "non-vectorizable",
+                        reason: "template-shape-mismatch",
+                        cycle,
+                    });
                     self.mode = Mode::Probing;
                     return Ok(());
                 }
@@ -811,9 +1022,17 @@ impl Dsa {
     ) -> Result<(), EngineError> {
         let a = expect_mode!(self, Analyzing, "launch");
         let (id, end_pc) = (a.id, a.end_pc);
+        let class_name = template.class.name();
         if count < self.config.min_profitable_iterations {
             // Not worth a pipeline flush; the verdict stays cached so a
             // longer instance of the same loop can still vectorize.
+            let cycle = ctl.cycles();
+            self.tracer.emit(|| Event::LoopRejected {
+                loop_id: id,
+                class: class_name,
+                reason: "unprofitable-trip",
+                cycle,
+            });
             self.mode = Mode::Probing;
             return Ok(());
         }
@@ -843,6 +1062,13 @@ impl Dsa {
             count = count.div_ceil(lanes).max(1) * lanes;
         }
         if count < self.config.min_profitable_iterations {
+            let cycle = ctl.cycles();
+            self.tracer.emit(|| Event::LoopRejected {
+                loop_id: id,
+                class: class_name,
+                reason: "unprofitable-trip",
+                cycle,
+            });
             self.mode = Mode::Probing;
             return Ok(());
         }
@@ -861,6 +1087,13 @@ impl Dsa {
                 ctl.inject(&p.ops);
                 self.stats.partial_chunks += 1;
                 self.stats.detection_cycles += self.config.partial_chunk_latency as u64;
+                let (chunk_lat, cycle) = (self.config.partial_chunk_latency, ctl.cycles());
+                self.tracer.emit(|| Event::PartialChunk {
+                    loop_id: id,
+                    chunk_iters: n,
+                    dsa_cycles: chunk_lat as u64,
+                    cycle,
+                });
                 done += n;
                 for (s, a) in &mut chunk_bases {
                     *a = (*a as i64 + s.gap * n as i64) as u32;
@@ -874,6 +1107,16 @@ impl Dsa {
         }
 
         self.stats.loops_vectorized += 1;
+        {
+            let cycle = ctl.cycles();
+            self.tracer.emit(|| Event::LoopVectorized {
+                loop_id: id,
+                class: class_name,
+                planned: count,
+                peeled: peel,
+                cycle,
+            });
+        }
         let callee_range = template.callee_range;
         let kind = if template.class == LoopClass::Sentinel {
             // Bases for the block after the one just injected.
@@ -934,30 +1177,46 @@ impl Dsa {
             && !profile.has_call
             && profile.cond_branch_pcs.iter().all(|&pc| in_inner(pc) || pc < inner_id);
         if !overhead_only {
-            self.give_up(id, LoopClass::Nest);
+            self.give_up(id, LoopClass::Nest, "nest-outer-not-overhead", ctl);
             return Ok(());
         }
 
         if a.collected.is_none() {
             a.collected = Some(profile);
             self.stats.stage_data_collection += 1;
+            let cycle = ctl.cycles();
+            self.tracer.emit(|| Event::StageActivated {
+                stage: Stage::DataCollection,
+                loop_id: id,
+                dsa_cycles: 0,
+                cycle,
+            });
             return Ok(());
         }
         let Some(p2) = a.collected.clone() else {
             return Err(EngineError { expected: "collected outer iteration", during: "nest_step" });
         };
         self.stats.stage_dependency_analysis += 1;
+        {
+            let cycle = ctl.cycles();
+            self.tracer.emit(|| Event::StageActivated {
+                stage: Stage::DependencyAnalysis,
+                loop_id: id,
+                dsa_cycles: 0,
+                cycle,
+            });
+        }
 
         // Row-to-row gaps must be exactly one inner trip of elements.
         let mut bases = Vec::new();
         for s in &template.streams {
             let (Some(a2), Some(a3)) = (p2.find(s.pc, 0), profile.find(s.pc, 0)) else {
-                self.give_up(id, LoopClass::Nest);
+                self.give_up(id, LoopClass::Nest, "stream-mismatch", ctl);
                 return Ok(());
             };
             let row_gap = a3.addr as i64 - a2.addr as i64;
             if row_gap != s.gap * inner_trip as i64 {
-                self.give_up(id, LoopClass::Nest);
+                self.give_up(id, LoopClass::Nest, "nest-row-gap", ctl);
                 return Ok(());
             }
             bases.push((*s, (a3.addr as i64 + row_gap) as u32));
@@ -967,11 +1226,11 @@ impl Dsa {
         let Some((_, remaining_outer, rhs_is_imm)) =
             Self::trip_info(p2.closing_cmp, profile.closing_cmp)
         else {
-            self.give_up(id, LoopClass::Nest);
+            self.give_up(id, LoopClass::Nest, "irregular-trip", ctl);
             return Ok(());
         };
         if !rhs_is_imm && !self.config.features.dynamic_range_loops {
-            self.give_up(id, LoopClass::Nest);
+            self.give_up(id, LoopClass::Nest, "dynamic-range-disabled", ctl);
             return Ok(());
         }
 
@@ -983,9 +1242,15 @@ impl Dsa {
             ..template
         };
         self.stats.stage_store_id_execution += 1;
-        self.stats.detection_cycles += self.config.dsa_cache_latency as u64;
-        self.cache.insert(id, CachedKind::Vectorizable(fused.clone()));
-        self.classify(id, LoopClass::Nest);
+        let cycle = ctl.cycles();
+        self.tracer.emit(|| Event::StageActivated {
+            stage: Stage::StoreIdExecution,
+            loop_id: id,
+            dsa_cycles: 0,
+            cycle,
+        });
+        self.cache_insert(id, CachedKind::Vectorizable(fused.clone()), true, cycle);
+        self.classify(id, LoopClass::Nest, cycle);
         let count = remaining_outer as u32 * inner_trip;
         self.launch(fused, bases, count, ctl)
     }
@@ -1002,13 +1267,13 @@ impl Dsa {
         let a = expect_mode!(self, Analyzing, "conditional_step");
         let (id, end_pc) = (a.id, a.end_pc);
         if iter > self.config.conditional_analysis_limit {
-            self.give_up(id, LoopClass::Conditional);
+            self.give_up(id, LoopClass::Conditional, "mapping-budget-exhausted", ctl);
             return Ok(());
         }
 
         // Fault injection: a stuck Array-Map bit flips the condition
         // path observed for this iteration.
-        if self.fault_fires(FaultSite::FlipArrayMapCondition) {
+        if self.fault_fires(FaultSite::FlipArrayMapCondition, ctl.cycles()) {
             let bit = self
                 .faults
                 .as_ref()
@@ -1033,7 +1298,7 @@ impl Dsa {
         let map_lied =
             cond.arms.iter().any(|(&p, (obs, _, _))| p != path && obs.pcs == profile.pcs);
         if map_lied {
-            self.degrade(id, LoopClass::Conditional, ctl);
+            self.degrade(id, LoopClass::Conditional, "array-map-inconsistent", ctl);
             return Ok(());
         }
 
@@ -1046,11 +1311,11 @@ impl Dsa {
                 // Second observation: verify the arm.
                 let delta = iter - *first_iter;
                 let Some(streams) = Self::match_streams(first, &profile, delta) else {
-                    self.give_up(id, LoopClass::Conditional);
+                    self.give_up(id, LoopClass::Conditional, "stream-mismatch", ctl);
                     return Ok(());
                 };
                 if profile.body.vec_ops() > arms_limit {
-                    self.give_up(id, LoopClass::Conditional);
+                    self.give_up(id, LoopClass::Conditional, "arm-capacity", ctl);
                     return Ok(());
                 }
                 let arm = ArmTemplate {
@@ -1106,7 +1371,7 @@ impl Dsa {
             .max()
             .unwrap_or(4);
         if closing.is_none() {
-            self.give_up(id, LoopClass::Conditional);
+            self.give_up(id, LoopClass::Conditional, "irregular-trip", ctl);
             return Ok(());
         }
         for arm in &arms {
@@ -1117,12 +1382,20 @@ impl Dsa {
                 .collect();
             // Per-arm gap sanity: unit stride only.
             if arm.streams.iter().any(|s| s.gap != elem as i64 && s.gap != 0) {
-                self.give_up(id, LoopClass::Conditional);
+                self.give_up(id, LoopClass::Conditional, "non-unit-stride", ctl);
                 return Ok(());
             }
             let _ = streams;
             self.stats.cidp_evaluations += 1;
             self.stats.detection_cycles += self.config.cidp_latency as u64;
+            let (cidp_lat, cycle) = (self.config.cidp_latency, ctl.cycles());
+            self.tracer.emit(|| Event::DependencyVerdict {
+                loop_id: id,
+                pairs: 1,
+                distance: None,
+                dsa_cycles: cidp_lat as u64,
+                cycle,
+            });
         }
 
         let template = LoopTemplate {
@@ -1142,8 +1415,15 @@ impl Dsa {
             fused_inner_trip: None,
         };
         self.stats.stage_store_id_execution += 1;
-        self.cache.insert(id, CachedKind::Vectorizable(template.clone()));
-        self.classify(id, LoopClass::Conditional);
+        let cycle = ctl.cycles();
+        self.tracer.emit(|| Event::StageActivated {
+            stage: Stage::StoreIdExecution,
+            loop_id: id,
+            dsa_cycles: 0,
+            cycle,
+        });
+        self.cache_insert(id, CachedKind::Vectorizable(template.clone()), false, cycle);
+        self.classify(id, LoopClass::Conditional, cycle);
         ctl.stall(self.config.flush_latency as u64);
         self.begin_conditional_execution(id, end_pc, template, ctl);
         Ok(())
@@ -1157,6 +1437,14 @@ impl Dsa {
         ctl: &mut SimControl<'_>,
     ) {
         self.stats.loops_vectorized += 1;
+        let cycle = ctl.cycles();
+        self.tracer.emit(|| Event::LoopVectorized {
+            loop_id: id,
+            class: "conditional",
+            planned: 0,
+            peeled: 0,
+            cycle,
+        });
         ctl.begin_coverage();
         self.mode = Mode::Executing(Box::new(Execution {
             id,
@@ -1224,6 +1512,14 @@ impl Dsa {
                     self.stats.injected_ops += plan.ops.len() as u64;
                     self.stats.partial_chunks += 1;
                     self.stats.detection_cycles += self.config.partial_chunk_latency as u64;
+                    let (xid, n, chunk_lat, cycle) =
+                        (x.id, *block, self.config.partial_chunk_latency, ctl.cycles());
+                    self.tracer.emit(|| Event::PartialChunk {
+                        loop_id: xid,
+                        chunk_iters: n,
+                        dsa_cycles: chunk_lat as u64,
+                        cycle,
+                    });
                     ctl.inject(&plan.ops);
                     for (s, a) in bases.iter_mut() {
                         *a = (*a as i64 + s.gap * *block as i64) as u32;
@@ -1257,6 +1553,16 @@ impl Dsa {
                 if boundary {
                     self.stats.array_map_accesses += 1;
                     self.stats.detection_cycles += self.config.array_map_latency as u64;
+                    let (xid, map_lat, cycle) =
+                        (x.id, self.config.array_map_latency, ctl.cycles());
+                    self.tracer.emit(|| Event::CacheAccess {
+                        cache: CacheKind::ArrayMap,
+                        outcome: CacheOutcome::Hit,
+                        loop_id: xid,
+                        count: 1,
+                        dsa_cycles: map_lat as u64,
+                        cycle,
+                    });
                     let idx_reg = rec.last_cmp_reg();
                     let r = std::mem::replace(rec, IterationRecorder::new(x.lo, x.hi));
                     let p = r.finish(idx_reg);
@@ -1331,6 +1637,14 @@ impl Dsa {
                         *window_fill = 0;
                         self.stats.stage_speculative += 1;
                         self.stats.detection_cycles += self.config.select_latency as u64;
+                        let (xid, sel_lat, cycle) =
+                            (x.id, self.config.select_latency, ctl.cycles());
+                        self.tracer.emit(|| Event::StageActivated {
+                            stage: Stage::SpeculativeExecution,
+                            loop_id: xid,
+                            dsa_cycles: sel_lat as u64,
+                            cycle,
+                        });
                     }
                 }
             }
@@ -1343,15 +1657,33 @@ impl Dsa {
             || x.call_depth > 0;
         if !in_body && !in_callee {
             let iters = x.iters;
+            let xid = x.id;
+            let cycle = ctl.cycles();
+            let sel_lat = self.config.select_latency as u64;
             match &x.kind {
                 ExecKind::Sentinel { injected_elems, .. } => {
                     self.stats.stage_speculative += 1;
-                    self.stats.detection_cycles += self.config.select_latency as u64;
+                    self.stats.detection_cycles += sel_lat;
                     self.stats.discarded_lanes +=
                         (*injected_elems as u64).saturating_sub(iters as u64);
+                    let injected = *injected_elems as u64;
+                    self.tracer.emit(|| Event::StageActivated {
+                        stage: Stage::SpeculativeExecution,
+                        loop_id: xid,
+                        dsa_cycles: sel_lat,
+                        cycle,
+                    });
+                    self.tracer.emit(|| Event::SpeculationResolved {
+                        loop_id: xid,
+                        kind: SpecKind::Sentinel,
+                        injected,
+                        used: iters as u64,
+                        discarded: injected.saturating_sub(iters as u64),
+                        cycle,
+                    });
                     // Update the stored speculative range (three rules of
                     // §4.6.5: always track the latest actual range).
-                    if let Some(t) = self.cache.template_mut(x.id) {
+                    if let Some(t) = self.cache.template_mut(xid) {
                         t.spec_range = iters.max(1);
                         // Fault injection: a lying trip predictor stores
                         // a wildly inflated range; `hit_execute` must
@@ -1360,23 +1692,47 @@ impl Dsa {
                         {
                             self.stats.faults_injected += 1;
                             t.spec_range = MAX_SPEC_RANGE + 1 + iters;
+                            self.tracer.emit(|| Event::FaultInjected {
+                                site: FaultSite::LieSentinelTrip.name(),
+                                cycle,
+                            });
                         }
                     }
                 }
                 ExecKind::Conditional { injected_elems, .. } => {
                     self.stats.stage_speculative += 1;
-                    self.stats.detection_cycles += self.config.select_latency as u64;
+                    self.stats.detection_cycles += sel_lat;
                     self.stats.discarded_lanes +=
                         (*injected_elems as u64).saturating_sub(iters as u64);
+                    let injected = *injected_elems as u64;
+                    self.tracer.emit(|| Event::StageActivated {
+                        stage: Stage::SpeculativeExecution,
+                        loop_id: xid,
+                        dsa_cycles: sel_lat,
+                        cycle,
+                    });
+                    self.tracer.emit(|| Event::SpeculationResolved {
+                        loop_id: xid,
+                        kind: SpecKind::Conditional,
+                        injected,
+                        used: iters as u64,
+                        discarded: injected.saturating_sub(iters as u64),
+                        cycle,
+                    });
                 }
                 ExecKind::Plain { .. } => {}
             }
             self.stats.covered_iterations += iters as u64;
+            self.tracer.emit(|| Event::LoopFinished { loop_id: xid, iters, cycle });
             // Fault injection: skip the rollback flush, leaving coverage
             // suppression stuck on. `probe`'s stale-coverage self-check
             // must recover it on the next commit.
             if self.faults.as_mut().is_some_and(|f| f.fire(FaultSite::SkipRollbackFlush)) {
                 self.stats.faults_injected += 1;
+                self.tracer.emit(|| Event::FaultInjected {
+                    site: FaultSite::SkipRollbackFlush.name(),
+                    cycle,
+                });
             } else {
                 ctl.end_coverage();
                 ctl.stall(self.config.resync_latency as u64);

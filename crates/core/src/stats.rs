@@ -24,9 +24,12 @@ pub enum LoopClass {
     NonVectorizable,
 }
 
-impl fmt::Display for LoopClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl LoopClass {
+    /// Stable kebab-case name — shared by [`fmt::Display`] and the
+    /// telemetry event stream, so trace consumers and table renderers
+    /// agree on the vocabulary.
+    pub fn name(self) -> &'static str {
+        match self {
             LoopClass::Count => "count",
             LoopClass::Function => "function",
             LoopClass::Nest => "nest",
@@ -35,8 +38,13 @@ impl fmt::Display for LoopClass {
             LoopClass::Sentinel => "sentinel",
             LoopClass::Partial => "partial",
             LoopClass::NonVectorizable => "non-vectorizable",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for LoopClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -143,6 +151,56 @@ impl DsaStats {
             self.detection_cycles as f64 / total_cycles as f64
         }
     }
+
+    /// The lower bound on [`DsaStats::detection_cycles`] implied by the
+    /// activity counters under `cfg`'s latencies: every DSA-cache miss,
+    /// Verification-Cache access, CIDP evaluation, Array-Map access,
+    /// speculative select and partial-chunk re-verification carries a
+    /// mandatory charge. Cache hits and template stores add on top, so
+    /// a consistent engine always reports
+    /// `detection_cycles >= structural_cycles_floor(cfg)` —
+    /// [`crate::Dsa::stats`] checks this with a `debug_assert`.
+    pub fn structural_cycles_floor(&self, cfg: &crate::DsaConfig) -> u64 {
+        self.dsa_cache_misses * cfg.dsa_cache_latency as u64
+            + self.vcache_accesses * cfg.vcache_latency as u64
+            + self.cidp_evaluations * cfg.cidp_latency as u64
+            + self.array_map_accesses * cfg.array_map_latency as u64
+            + self.stage_speculative * cfg.select_latency as u64
+            + self.partial_chunks * cfg.partial_chunk_latency as u64
+    }
+
+    /// Total stage activations across the six-stage machine.
+    pub fn stage_activations(&self) -> u64 {
+        self.stage_loop_detection
+            + self.stage_data_collection
+            + self.stage_dependency_analysis
+            + self.stage_store_id_execution
+            + self.stage_mapping
+            + self.stage_speculative
+    }
+}
+
+impl fmt::Display for DsaStats {
+    /// One-line run summary (used by `all_experiments`' stderr report).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "loops {}d/{}v, {} iters covered, {} ops injected, \
+             cache {}h/{}m, dsa {} cyc over {} activations, \
+             {} degraded ({} poisoned), {} faults",
+            self.loops_detected,
+            self.loops_vectorized,
+            self.covered_iterations,
+            self.injected_ops,
+            self.dsa_cache_hits,
+            self.dsa_cache_misses,
+            self.detection_cycles,
+            self.stage_activations(),
+            self.degradations,
+            self.poison_events,
+            self.faults_injected,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -173,5 +231,54 @@ mod tests {
     #[test]
     fn class_display() {
         assert_eq!(LoopClass::DynamicRange.to_string(), "dynamic-range");
+        assert_eq!(LoopClass::DynamicRange.name(), "dynamic-range");
+    }
+
+    #[test]
+    fn structural_floor_counts_mandatory_charges() {
+        let cfg = crate::DsaConfig::default();
+        let s = DsaStats {
+            dsa_cache_misses: 3,
+            vcache_accesses: 10,
+            cidp_evaluations: 2,
+            array_map_accesses: 5,
+            stage_speculative: 4,
+            partial_chunks: 1,
+            ..DsaStats::default()
+        };
+        let floor = s.structural_cycles_floor(&cfg);
+        assert_eq!(
+            floor,
+            3 * cfg.dsa_cache_latency as u64
+                + 10 * cfg.vcache_latency as u64
+                + 2 * cfg.cidp_latency as u64
+                + 5 * cfg.array_map_latency as u64
+                + 4 * cfg.select_latency as u64
+                + cfg.partial_chunk_latency as u64
+        );
+        // A consistent stats block satisfies the floor; a cycle count
+        // below it is what the engine's debug_assert rejects.
+        let consistent = DsaStats { detection_cycles: floor, ..s };
+        assert!(consistent.detection_cycles >= consistent.structural_cycles_floor(&cfg));
+        assert_eq!(DsaStats::default().structural_cycles_floor(&cfg), 0);
+    }
+
+    #[test]
+    fn one_line_summary() {
+        let s = DsaStats {
+            loops_detected: 12,
+            loops_vectorized: 9,
+            covered_iterations: 3456,
+            injected_ops: 789,
+            stage_loop_detection: 12,
+            stage_store_id_execution: 9,
+            detection_cycles: 456,
+            ..DsaStats::default()
+        };
+        let line = s.to_string();
+        assert!(line.contains("12d/9v"));
+        assert!(line.contains("3456 iters covered"));
+        assert!(line.contains("over 21 activations"));
+        assert!(!line.contains('\n'));
     }
 }

@@ -53,6 +53,18 @@ pub enum ExecError {
     },
 }
 
+impl ExecError {
+    /// Stable kebab-case error-kind name, shared with the telemetry
+    /// stream ([`dsa_trace::Event::SimFault`]'s `kind` vocabulary).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ExecError::PcOutOfRange { .. } => "pc-out-of-range",
+            ExecError::Halted => "halted",
+            ExecError::Vector { .. } => "vector-lane",
+        }
+    }
+}
+
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -79,6 +91,33 @@ pub enum SimError {
         /// The exhausted budget (committed instructions).
         steps: u64,
     },
+}
+
+impl SimError {
+    /// Stable kebab-case error-kind name.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            SimError::Exec(e) => e.kind_name(),
+            SimError::StepBudgetExceeded { .. } => "step-budget-exceeded",
+        }
+    }
+
+    /// PC at which the failure occurred (0 when the executor error
+    /// carries no location, i.e. a post-halt step).
+    pub fn pc(&self) -> u32 {
+        match self {
+            SimError::Exec(ExecError::PcOutOfRange { pc })
+            | SimError::Exec(ExecError::Vector { pc, .. })
+            | SimError::StepBudgetExceeded { pc, .. } => *pc,
+            SimError::Exec(ExecError::Halted) => 0,
+        }
+    }
+
+    /// The [`dsa_trace::Event::SimFault`] record for this failure at
+    /// core cycle `cycle`.
+    pub fn telemetry(&self, cycle: u64) -> dsa_trace::Event {
+        dsa_trace::Event::SimFault { kind: self.kind_name(), pc: self.pc(), cycle }
+    }
 }
 
 impl std::fmt::Display for SimError {

@@ -208,6 +208,40 @@ impl Simulator {
         Ok(self.outcome())
     }
 
+    /// Runs with a commit hook, bracketing the run with telemetry: a
+    /// [`dsa_trace::Event::RunStarted`] before the first step, then
+    /// either [`dsa_trace::Event::RunFinished`] or — on watchdog expiry
+    /// or an executor error — [`dsa_trace::Event::SimFault`], all
+    /// written to `sink`. The hot loop is the same monomorphized
+    /// [`Simulator::run_with_hook`]; the sink is only touched at the
+    /// run boundaries, so tracing adds nothing per instruction.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::run_with_hook`].
+    pub fn run_traced<H: CommitHook + ?Sized>(
+        &mut self,
+        fuel: u64,
+        hook: &mut H,
+        sink: &mut dyn dsa_trace::TraceSink,
+    ) -> Result<RunOutcome, SimError> {
+        sink.record(&dsa_trace::Event::RunStarted {
+            pc: self.machine.pc(),
+            cycle: self.timing.cycles(),
+        });
+        let result = self.run_with_hook(fuel, hook);
+        let cycle = self.timing.cycles();
+        match &result {
+            Ok(out) => sink.record(&dsa_trace::Event::RunFinished {
+                cycle,
+                committed: out.committed,
+                halted: out.halted,
+            }),
+            Err(e) => sink.record(&e.telemetry(cycle)),
+        }
+        result
+    }
+
     /// Dynamic-dispatch entry point for callers that only have a
     /// `&mut dyn CommitHook` (thin wrapper over the generic fast path;
     /// used by the dispatch benchmarks as the "before" shape).
@@ -302,6 +336,35 @@ mod tests {
         assert!(cov.timing.covered > 0);
         // Functional result identical.
         assert_eq!(covered.machine().reg(Reg::R0), scalar.machine().reg(Reg::R0));
+    }
+
+    #[test]
+    fn run_traced_brackets_the_run() {
+        use dsa_trace::{Collector, Event};
+
+        let mut sim = Simulator::new(count_loop(10), CpuConfig::default());
+        let mut sink = Collector::default();
+        let out = sim.run_traced(10_000, &mut NullHook, &mut sink).expect("ok");
+        assert_eq!(sink.events.len(), 2);
+        assert!(matches!(sink.events[0], Event::RunStarted { cycle: 0, .. }));
+        match sink.events[1] {
+            Event::RunFinished { cycle, committed, halted } => {
+                assert_eq!(cycle, out.cycles);
+                assert_eq!(committed, out.committed);
+                assert!(halted);
+            }
+            ref other => panic!("expected RunFinished, got {other:?}"),
+        }
+
+        // Watchdog expiry becomes a sim-fault record, not a finish.
+        let mut stuck = Simulator::new(count_loop(1_000_000), CpuConfig::default());
+        let mut sink = Collector::default();
+        let err = stuck.run_traced(10, &mut NullHook, &mut sink).expect_err("watchdog");
+        assert!(matches!(
+            sink.events[1],
+            Event::SimFault { kind: "step-budget-exceeded", .. }
+        ));
+        assert_eq!(err.kind_name(), "step-budget-exceeded");
     }
 
     #[test]

@@ -1,0 +1,547 @@
+//! The typed telemetry vocabulary: everything the DSA and the simulator
+//! can report about a run, as plain `Copy`-ish data with stable names.
+
+use std::fmt::Write as _;
+
+/// Version tag written in the JSONL header record and checked by the
+/// schema validator. Bump on any breaking change to event field names.
+pub const SCHEMA: &str = "dsa-trace/v1";
+
+/// The six stages of the paper's detection state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Stage 1 — a taken backward branch probes the DSA cache.
+    LoopDetection,
+    /// Stage 2 — iteration profiling into the Verification Cache.
+    DataCollection,
+    /// Stage 3 — stream matching + CIDP verdict.
+    DependencyAnalysis,
+    /// Stage 4 — template stored, pipeline flushed, SIMD injected.
+    StoreIdExecution,
+    /// Stage 5 — conditional-loop Array-Map mapping.
+    Mapping,
+    /// Stage 6 — speculative select / sentinel range resolution.
+    SpeculativeExecution,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::LoopDetection,
+        Stage::DataCollection,
+        Stage::DependencyAnalysis,
+        Stage::StoreIdExecution,
+        Stage::Mapping,
+        Stage::SpeculativeExecution,
+    ];
+
+    /// Stable kebab-case name (JSONL field value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::LoopDetection => "loop-detection",
+            Stage::DataCollection => "data-collection",
+            Stage::DependencyAnalysis => "dependency-analysis",
+            Stage::StoreIdExecution => "store-id-execution",
+            Stage::Mapping => "mapping",
+            Stage::SpeculativeExecution => "speculative-execution",
+        }
+    }
+}
+
+/// Which private DSA memory a [`Event::CacheAccess`] touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKind {
+    /// The 8 KB verified-loop store.
+    Dsa,
+    /// The 1 KB Verification Cache (iteration addresses).
+    Verification,
+    /// The 128-bit Array Maps (conditional-loop lane masks).
+    ArrayMap,
+}
+
+impl CacheKind {
+    /// Stable kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheKind::Dsa => "dsa-cache",
+            CacheKind::Verification => "verification-cache",
+            CacheKind::ArrayMap => "array-map",
+        }
+    }
+}
+
+/// What a cache access did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheOutcome {
+    /// Lookup found the entry.
+    Hit,
+    /// Lookup missed.
+    Miss,
+    /// Entry written (verdict stored, addresses recorded).
+    Insert,
+    /// Entries displaced to make room.
+    Evict,
+}
+
+impl CacheOutcome {
+    /// Stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Insert => "insert",
+            CacheOutcome::Evict => "evict",
+        }
+    }
+}
+
+/// Which speculative mechanism a [`Event::SpeculationResolved`] closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecKind {
+    /// Sentinel-loop block speculation (§4.6.5).
+    Sentinel,
+    /// Conditional-loop window speculation (Array Maps).
+    Conditional,
+}
+
+impl SpecKind {
+    /// Stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecKind::Sentinel => "sentinel",
+            SpecKind::Conditional => "conditional",
+        }
+    }
+}
+
+/// One telemetry event. Every variant carries `cycle` — the core cycle
+/// count at emission — so exporters can place it on the run's timeline.
+/// String fields are `&'static str` drawn from fixed vocabularies
+/// (loop-class names, rejection reasons, fault-site names), which keeps
+/// events `Copy`-cheap and the schema enumerable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Simulation began.
+    RunStarted {
+        /// Initial program counter.
+        pc: u32,
+        /// Core cycle (0 on a fresh simulator).
+        cycle: u64,
+    },
+    /// Simulation finished (halt or watchdog).
+    RunFinished {
+        /// Total core cycles.
+        cycle: u64,
+        /// Committed instructions.
+        committed: u64,
+        /// Whether the program reached `halt`.
+        halted: bool,
+    },
+    /// The simulator failed: watchdog expiry or an executor error.
+    SimFault {
+        /// Stable error-kind name.
+        kind: &'static str,
+        /// PC at the failure.
+        pc: u32,
+        /// Core cycle.
+        cycle: u64,
+    },
+    /// Loop Detection saw a taken backward branch.
+    LoopDetected {
+        /// Loop ID (branch-target PC).
+        loop_id: u32,
+        /// PC of the closing branch.
+        end_pc: u32,
+        /// Core cycle.
+        cycle: u64,
+    },
+    /// A detection stage did one unit of work. `dsa_cycles` is the
+    /// DSA-side latency charged at this activation (0 when the work is
+    /// charged by a co-located [`Event::CacheAccess`] /
+    /// [`Event::DependencyVerdict`] instead).
+    StageActivated {
+        /// The stage.
+        stage: Stage,
+        /// Loop being analysed.
+        loop_id: u32,
+        /// DSA-side cycles charged here.
+        dsa_cycles: u64,
+        /// Core cycle.
+        cycle: u64,
+    },
+    /// One access (or batch) to a DSA-private memory.
+    CacheAccess {
+        /// Which structure.
+        cache: CacheKind,
+        /// What happened.
+        outcome: CacheOutcome,
+        /// Loop the access served.
+        loop_id: u32,
+        /// Accesses in the batch (≥ 1).
+        count: u32,
+        /// DSA-side cycles charged for the batch.
+        dsa_cycles: u64,
+        /// Core cycle.
+        cycle: u64,
+    },
+    /// CIDP produced a verdict over a loop's stream pairs.
+    DependencyVerdict {
+        /// Loop analysed.
+        loop_id: u32,
+        /// Write×read stream pairs evaluated.
+        pairs: u32,
+        /// Predicted dependency distance; `None` = no dependency.
+        distance: Option<u32>,
+        /// DSA-side cycles charged for the evaluation.
+        dsa_cycles: u64,
+        /// Core cycle.
+        cycle: u64,
+    },
+    /// The loop's class was determined (census entry written).
+    LoopClassified {
+        /// The loop.
+        loop_id: u32,
+        /// Loop-class name.
+        class: &'static str,
+        /// Core cycle.
+        cycle: u64,
+    },
+    /// Remaining iterations handed to the NEON engine.
+    LoopVectorized {
+        /// The loop.
+        loop_id: u32,
+        /// Loop-class name.
+        class: &'static str,
+        /// Iterations planned for vector execution.
+        planned: u32,
+        /// Alignment-peel iterations kept scalar.
+        peeled: u32,
+        /// Core cycle.
+        cycle: u64,
+    },
+    /// Analysis ended without vectorizing.
+    LoopRejected {
+        /// The loop.
+        loop_id: u32,
+        /// Class recorded for the census.
+        class: &'static str,
+        /// Stable rejection reason.
+        reason: &'static str,
+        /// Core cycle.
+        cycle: u64,
+    },
+    /// A detected inconsistency rolled an (analysis or coverage) back
+    /// to scalar execution.
+    LoopRolledBack {
+        /// The loop (0 when the recovery had no loop context).
+        loop_id: u32,
+        /// Class recorded for the census.
+        class: &'static str,
+        /// Stable rollback reason.
+        reason: &'static str,
+        /// Core cycle.
+        cycle: u64,
+    },
+    /// Coverage for one vectorized loop instance ended.
+    LoopFinished {
+        /// The loop.
+        loop_id: u32,
+        /// Loop iterations that ran under coverage.
+        iters: u32,
+        /// Core cycle.
+        cycle: u64,
+    },
+    /// Terminal degradation: the DSA detached itself.
+    EnginePoisoned {
+        /// Operation that hit the impossible transition.
+        during: &'static str,
+        /// Mode the operation required.
+        expected: &'static str,
+        /// Core cycle.
+        cycle: u64,
+    },
+    /// An armed fault plan corrupted DSA bookkeeping here.
+    FaultInjected {
+        /// Stable fault-site name.
+        site: &'static str,
+        /// Core cycle.
+        cycle: u64,
+    },
+    /// A partial-vectorization chunk (or continued sentinel block) was
+    /// re-verified and injected.
+    PartialChunk {
+        /// The loop.
+        loop_id: u32,
+        /// Iterations in the chunk.
+        chunk_iters: u32,
+        /// DSA-side cycles charged for the re-verification.
+        dsa_cycles: u64,
+        /// Core cycle.
+        cycle: u64,
+    },
+    /// A speculative region resolved at loop exit.
+    SpeculationResolved {
+        /// The loop.
+        loop_id: u32,
+        /// Sentinel or conditional.
+        kind: SpecKind,
+        /// Elements speculatively injected.
+        injected: u64,
+        /// Elements that turned out useful.
+        used: u64,
+        /// Lanes discarded.
+        discarded: u64,
+        /// Core cycle.
+        cycle: u64,
+    },
+}
+
+impl Event {
+    /// Stable kebab-case type name (the JSONL `type` field).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Event::RunStarted { .. } => "run-started",
+            Event::RunFinished { .. } => "run-finished",
+            Event::SimFault { .. } => "sim-fault",
+            Event::LoopDetected { .. } => "loop-detected",
+            Event::StageActivated { .. } => "stage-activated",
+            Event::CacheAccess { .. } => "cache-access",
+            Event::DependencyVerdict { .. } => "dependency-verdict",
+            Event::LoopClassified { .. } => "loop-classified",
+            Event::LoopVectorized { .. } => "loop-vectorized",
+            Event::LoopRejected { .. } => "loop-rejected",
+            Event::LoopRolledBack { .. } => "loop-rolled-back",
+            Event::LoopFinished { .. } => "loop-finished",
+            Event::EnginePoisoned { .. } => "engine-poisoned",
+            Event::FaultInjected { .. } => "fault-injected",
+            Event::PartialChunk { .. } => "partial-chunk",
+            Event::SpeculationResolved { .. } => "speculation-resolved",
+        }
+    }
+
+    /// Core cycle at emission.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            Event::RunStarted { cycle, .. }
+            | Event::RunFinished { cycle, .. }
+            | Event::SimFault { cycle, .. }
+            | Event::LoopDetected { cycle, .. }
+            | Event::StageActivated { cycle, .. }
+            | Event::CacheAccess { cycle, .. }
+            | Event::DependencyVerdict { cycle, .. }
+            | Event::LoopClassified { cycle, .. }
+            | Event::LoopVectorized { cycle, .. }
+            | Event::LoopRejected { cycle, .. }
+            | Event::LoopRolledBack { cycle, .. }
+            | Event::LoopFinished { cycle, .. }
+            | Event::EnginePoisoned { cycle, .. }
+            | Event::FaultInjected { cycle, .. }
+            | Event::PartialChunk { cycle, .. }
+            | Event::SpeculationResolved { cycle, .. } => cycle,
+        }
+    }
+
+    /// DSA-side cycles charged by this event (the accounting invariant:
+    /// a run's `DsaStats::detection_cycles` equals the sum of this over
+    /// its event stream).
+    pub fn dsa_cycles(&self) -> u64 {
+        match *self {
+            Event::StageActivated { dsa_cycles, .. }
+            | Event::CacheAccess { dsa_cycles, .. }
+            | Event::DependencyVerdict { dsa_cycles, .. }
+            | Event::PartialChunk { dsa_cycles, .. } => dsa_cycles,
+            _ => 0,
+        }
+    }
+
+    /// The loop this event concerns, if any.
+    pub fn loop_id(&self) -> Option<u32> {
+        match *self {
+            Event::LoopDetected { loop_id, .. }
+            | Event::StageActivated { loop_id, .. }
+            | Event::CacheAccess { loop_id, .. }
+            | Event::DependencyVerdict { loop_id, .. }
+            | Event::LoopClassified { loop_id, .. }
+            | Event::LoopVectorized { loop_id, .. }
+            | Event::LoopRejected { loop_id, .. }
+            | Event::LoopRolledBack { loop_id, .. }
+            | Event::LoopFinished { loop_id, .. }
+            | Event::PartialChunk { loop_id, .. }
+            | Event::SpeculationResolved { loop_id, .. } => Some(loop_id),
+            _ => None,
+        }
+    }
+
+    /// One JSONL record for this event: a single-line JSON object with
+    /// fixed field order (`record`, `type`, `cycle`, then the variant's
+    /// fields). Hand-rolled — the vocabulary contains no characters that
+    /// need escaping, but strings are escaped anyway for safety.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(s, "{{\"record\":\"event\",\"type\":\"{}\",\"cycle\":{}", self.type_name(), self.cycle());
+        match *self {
+            Event::RunStarted { pc, .. } => {
+                let _ = write!(s, ",\"pc\":{pc}");
+            }
+            Event::RunFinished { committed, halted, .. } => {
+                let _ = write!(s, ",\"committed\":{committed},\"halted\":{halted}");
+            }
+            Event::SimFault { kind, pc, .. } => {
+                let _ = write!(s, ",\"kind\":{},\"pc\":{pc}", json_str(kind));
+            }
+            Event::LoopDetected { loop_id, end_pc, .. } => {
+                let _ = write!(s, ",\"loop\":{loop_id},\"end_pc\":{end_pc}");
+            }
+            Event::StageActivated { stage, loop_id, dsa_cycles, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"stage\":{},\"loop\":{loop_id},\"dsa_cycles\":{dsa_cycles}",
+                    json_str(stage.name())
+                );
+            }
+            Event::CacheAccess { cache, outcome, loop_id, count, dsa_cycles, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"cache\":{},\"outcome\":{},\"loop\":{loop_id},\"count\":{count},\"dsa_cycles\":{dsa_cycles}",
+                    json_str(cache.name()),
+                    json_str(outcome.name())
+                );
+            }
+            Event::DependencyVerdict { loop_id, pairs, distance, dsa_cycles, .. } => {
+                let _ = write!(s, ",\"loop\":{loop_id},\"pairs\":{pairs},\"distance\":");
+                match distance {
+                    Some(d) => {
+                        let _ = write!(s, "{d}");
+                    }
+                    None => s.push_str("null"),
+                }
+                let _ = write!(s, ",\"dsa_cycles\":{dsa_cycles}");
+            }
+            Event::LoopClassified { loop_id, class, .. } => {
+                let _ = write!(s, ",\"loop\":{loop_id},\"class\":{}", json_str(class));
+            }
+            Event::LoopVectorized { loop_id, class, planned, peeled, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"loop\":{loop_id},\"class\":{},\"planned\":{planned},\"peeled\":{peeled}",
+                    json_str(class)
+                );
+            }
+            Event::LoopRejected { loop_id, class, reason, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"loop\":{loop_id},\"class\":{},\"reason\":{}",
+                    json_str(class),
+                    json_str(reason)
+                );
+            }
+            Event::LoopRolledBack { loop_id, class, reason, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"loop\":{loop_id},\"class\":{},\"reason\":{}",
+                    json_str(class),
+                    json_str(reason)
+                );
+            }
+            Event::LoopFinished { loop_id, iters, .. } => {
+                let _ = write!(s, ",\"loop\":{loop_id},\"iters\":{iters}");
+            }
+            Event::EnginePoisoned { during, expected, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"during\":{},\"expected\":{}",
+                    json_str(during),
+                    json_str(expected)
+                );
+            }
+            Event::FaultInjected { site, .. } => {
+                let _ = write!(s, ",\"site\":{}", json_str(site));
+            }
+            Event::PartialChunk { loop_id, chunk_iters, dsa_cycles, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"loop\":{loop_id},\"chunk_iters\":{chunk_iters},\"dsa_cycles\":{dsa_cycles}"
+                );
+            }
+            Event::SpeculationResolved { loop_id, kind, injected, used, discarded, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"loop\":{loop_id},\"kind\":{},\"injected\":{injected},\"used\":{used},\"discarded\":{discarded}",
+                    json_str(kind.name())
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+pub fn json_str(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert_eq!(Stage::LoopDetection.name(), "loop-detection");
+        assert_eq!(CacheKind::Dsa.name(), "dsa-cache");
+        assert_eq!(SpecKind::Sentinel.name(), "sentinel");
+    }
+
+    #[test]
+    fn json_lines_are_single_line_objects() {
+        let ev = Event::LoopVectorized { loop_id: 7, class: "count", planned: 96, peeled: 2, cycle: 1234 };
+        let line = ev.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"type\":\"loop-vectorized\""));
+        assert!(line.contains("\"planned\":96"));
+    }
+
+    #[test]
+    fn accessors_agree_with_payload() {
+        let ev = Event::CacheAccess {
+            cache: CacheKind::Verification,
+            outcome: CacheOutcome::Insert,
+            loop_id: 9,
+            count: 4,
+            dsa_cycles: 4,
+            cycle: 55,
+        };
+        assert_eq!(ev.cycle(), 55);
+        assert_eq!(ev.dsa_cycles(), 4);
+        assert_eq!(ev.loop_id(), Some(9));
+        assert_eq!(Event::RunStarted { pc: 0, cycle: 0 }.loop_id(), None);
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+}

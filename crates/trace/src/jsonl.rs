@@ -1,0 +1,295 @@
+//! The JSONL exporter and its schema validator.
+//!
+//! # Schema (`dsa-trace/v1`)
+//!
+//! One JSON object per line, no blank lines:
+//!
+//! - **Line 1 — header**: `{"record":"header","schema":"dsa-trace/v1",
+//!   "producer":"<crate>/<version>"}`. Consumers must reject files whose
+//!   `schema` they don't know.
+//! - **Every further line — event**: `{"record":"event","type":<t>,
+//!   "cycle":<u64>, ...}` where `<t>` is one of the kebab-case names in
+//!   [`Event::type_name`] and the remaining fields are the variant's
+//!   payload (see [`crate::event`]). Field additions are backwards
+//!   compatible within a schema version; renames/removals bump it.
+//!
+//! The sink is IO-error tolerant by design: tracing must never abort a
+//! simulation, so the first write failure is latched, later writes are
+//! skipped, and the error is reported by [`JsonlSink::take_error`].
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::event::{Event, SCHEMA};
+use crate::json::{self, Value};
+use crate::TraceSink;
+
+/// Streams events as JSON lines into any writer.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    wrote_header: bool,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// A sink writing to `path` (truncating), buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the file can't be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink<BufWriter<File>>> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink over `out`. The header is written lazily with the first
+    /// event, so an unused sink leaves the writer untouched.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink { out, wrote_header: false, error: None }
+    }
+
+    /// The first IO error encountered, if any (taking clears it).
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.write_all(line.as_bytes()).and_then(|()| self.out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// The header line every v1 file starts with.
+pub fn header_line() -> String {
+    format!(
+        "{{\"record\":\"header\",\"schema\":\"{SCHEMA}\",\"producer\":\"dsa-trace/{}\"}}",
+        env!("CARGO_PKG_VERSION")
+    )
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, ev: &Event) {
+        if !self.wrote_header {
+            self.wrote_header = true;
+            let header = header_line();
+            self.write_line(&header);
+        }
+        let line = ev.to_json_line();
+        self.write_line(&line);
+    }
+
+    fn finish(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Event types the v1 schema knows, with their required fields (beyond
+/// `record`/`type`/`cycle`).
+const V1_EVENTS: &[(&str, &[&str])] = &[
+    ("run-started", &["pc"]),
+    ("run-finished", &["committed", "halted"]),
+    ("sim-fault", &["kind", "pc"]),
+    ("loop-detected", &["loop", "end_pc"]),
+    ("stage-activated", &["stage", "loop", "dsa_cycles"]),
+    ("cache-access", &["cache", "outcome", "loop", "count", "dsa_cycles"]),
+    ("dependency-verdict", &["loop", "pairs", "distance", "dsa_cycles"]),
+    ("loop-classified", &["loop", "class"]),
+    ("loop-vectorized", &["loop", "class", "planned", "peeled"]),
+    ("loop-rejected", &["loop", "class", "reason"]),
+    ("loop-rolled-back", &["loop", "class", "reason"]),
+    ("loop-finished", &["loop", "iters"]),
+    ("engine-poisoned", &["during", "expected"]),
+    ("fault-injected", &["site"]),
+    ("partial-chunk", &["loop", "chunk_iters", "dsa_cycles"]),
+    ("speculation-resolved", &["loop", "kind", "injected", "used", "discarded"]),
+];
+
+/// Validates one line of a v1 JSONL stream. `is_first` selects the
+/// header rules; later lines must be known event records.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_line(line: &str, is_first: bool) -> Result<(), String> {
+    if line.contains('\n') {
+        return Err("line contains an embedded newline".to_string());
+    }
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    let record = v
+        .get("record")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string field \"record\"".to_string())?;
+    if is_first {
+        if record != "header" {
+            return Err(format!("first record must be \"header\", got \"{record}\""));
+        }
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "header missing string field \"schema\"".to_string())?;
+        if schema != SCHEMA {
+            return Err(format!("unknown schema \"{schema}\" (expected \"{SCHEMA}\")"));
+        }
+        return Ok(());
+    }
+    if record != "event" {
+        return Err(format!("expected an \"event\" record, got \"{record}\""));
+    }
+    let ty = v
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "event missing string field \"type\"".to_string())?;
+    v.get("cycle")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("event \"{ty}\" missing unsigned field \"cycle\""))?;
+    let Some((_, required)) = V1_EVENTS.iter().find(|(name, _)| *name == ty) else {
+        return Err(format!("unknown event type \"{ty}\""));
+    };
+    for field in *required {
+        if v.get(field).is_none() {
+            return Err(format!("event \"{ty}\" missing field \"{field}\""));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a whole JSONL document; returns the number of event
+/// records on success.
+///
+/// # Errors
+///
+/// Returns `(line_number, description)` of the first violation (line
+/// numbers are 1-based).
+pub fn validate_document(text: &str) -> Result<u64, (usize, String)> {
+    let mut events = 0u64;
+    let mut saw_any = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            return Err((i + 1, "blank line".to_string()));
+        }
+        validate_line(line, i == 0).map_err(|e| (i + 1, e))?;
+        if i > 0 {
+            events += 1;
+        }
+        saw_any = true;
+    }
+    if !saw_any {
+        return Err((1, "empty document (header required)".to_string()));
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CacheKind, CacheOutcome, SpecKind, Stage};
+
+    /// One of every event variant, for exhaustive schema checks.
+    pub(crate) fn one_of_each() -> Vec<Event> {
+        vec![
+            Event::RunStarted { pc: 0, cycle: 0 },
+            Event::LoopDetected { loop_id: 8, end_pc: 20, cycle: 40 },
+            Event::StageActivated { stage: Stage::DataCollection, loop_id: 8, dsa_cycles: 0, cycle: 41 },
+            Event::CacheAccess {
+                cache: CacheKind::Dsa,
+                outcome: CacheOutcome::Miss,
+                loop_id: 8,
+                count: 1,
+                dsa_cycles: 1,
+                cycle: 41,
+            },
+            Event::DependencyVerdict { loop_id: 8, pairs: 2, distance: Some(4), dsa_cycles: 4, cycle: 60 },
+            Event::LoopClassified { loop_id: 8, class: "count", cycle: 60 },
+            Event::LoopVectorized { loop_id: 8, class: "count", planned: 28, peeled: 0, cycle: 61 },
+            Event::PartialChunk { loop_id: 8, chunk_iters: 4, dsa_cycles: 3, cycle: 70 },
+            Event::SpeculationResolved {
+                loop_id: 8,
+                kind: SpecKind::Sentinel,
+                injected: 16,
+                used: 12,
+                discarded: 4,
+                cycle: 90,
+            },
+            Event::LoopFinished { loop_id: 8, iters: 28, cycle: 95 },
+            Event::LoopRejected { loop_id: 9, class: "unknown", reason: "irregular-stride", cycle: 99 },
+            Event::LoopRolledBack { loop_id: 8, class: "count", reason: "template-mismatch", cycle: 100 },
+            Event::FaultInjected { site: "corrupt-template", cycle: 100 },
+            Event::EnginePoisoned { during: "launch", expected: "analyzing", cycle: 101 },
+            Event::SimFault { kind: "step-budget-exceeded", pc: 44, cycle: 102 },
+            Event::RunFinished { cycle: 103, committed: 80, halted: false },
+        ]
+    }
+
+    #[test]
+    fn every_variant_validates() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for ev in one_of_each() {
+            sink.record(&ev);
+        }
+        sink.finish();
+        assert!(sink.take_error().is_none());
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        let n = validate_document(&text).expect("valid");
+        assert_eq!(n, one_of_each().len() as u64);
+    }
+
+    #[test]
+    fn header_is_lazy_and_first() {
+        let sink = JsonlSink::new(Vec::new());
+        assert!(sink.into_inner().is_empty(), "no events → no header");
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&Event::RunStarted { pc: 0, cycle: 0 });
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        assert!(text.starts_with("{\"record\":\"header\",\"schema\":\"dsa-trace/v1\""));
+    }
+
+    #[test]
+    fn validator_rejects_bad_documents() {
+        assert!(validate_document("").is_err());
+        assert!(validate_document("{\"record\":\"event\"}").is_err(), "header required first");
+        let bad_schema = "{\"record\":\"header\",\"schema\":\"dsa-trace/v999\"}";
+        assert!(validate_document(bad_schema).unwrap_err().1.contains("unknown schema"));
+        let unknown_event =
+            format!("{}\n{{\"record\":\"event\",\"type\":\"warp-drive\",\"cycle\":1}}", header_line());
+        assert!(validate_document(&unknown_event).unwrap_err().1.contains("unknown event type"));
+        let missing_field =
+            format!("{}\n{{\"record\":\"event\",\"type\":\"loop-detected\",\"cycle\":1}}", header_line());
+        assert!(validate_document(&missing_field).unwrap_err().1.contains("missing field"));
+    }
+
+    #[test]
+    fn io_errors_are_latched_not_propagated() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Failing);
+        sink.record(&Event::RunStarted { pc: 0, cycle: 0 });
+        sink.record(&Event::RunFinished { cycle: 1, committed: 1, halted: true });
+        let err = sink.take_error().expect("latched");
+        assert_eq!(err.to_string(), "disk full");
+        assert!(sink.take_error().is_none(), "taking clears");
+    }
+}

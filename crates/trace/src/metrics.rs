@@ -1,0 +1,465 @@
+//! The metrics-registry sink: monotonic counters plus fixed-bucket
+//! cycle histograms, cheap enough to leave attached for whole
+//! experiment grids and mergeable across the parallel warm-up threads.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{json_str, CacheOutcome, Event};
+use crate::TraceSink;
+
+/// Number of power-of-two buckets per histogram. Bucket `i` counts
+/// samples with `floor(log2(max(v,1))) == i`; the last bucket absorbs
+/// everything ≥ 2^(BUCKETS-1).
+pub const BUCKETS: usize = 16;
+
+/// A fixed-footprint power-of-two histogram (no allocation per sample).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        // floor(log2(v)) with 0 mapped to bucket 0, clamped at the top.
+        (63 - v.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one sample. The running sum saturates instead of
+    /// wrapping (cycle totals can't reach `u64::MAX` in practice, but
+    /// the sink must not panic on any input).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Histogram::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds `other` into `self` (exact: buckets add).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Compact sparkline-ish rendering: `lo..hi:count` for non-empty
+    /// buckets, e.g. `[1:4 2-3:10 8-15:2]`.
+    pub fn render(&self) -> String {
+        let mut out = String::from("[");
+        let mut first = true;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                out.push(' ');
+            }
+            first = false;
+            let lo = if i == 0 { 0u64 } else { 1u64 << i };
+            let hi = (1u64 << (i + 1)) - 1;
+            if i == 0 {
+                let _ = write!(out, "0-1:{n}");
+            } else if i == BUCKETS - 1 {
+                let _ = write!(out, "{lo}+:{n}");
+            } else {
+                let _ = write!(out, "{lo}-{hi}:{n}");
+            }
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// A [`TraceSink`] that folds the event stream into named counters and
+/// histograms. Key vocabulary (all keys are dot-separated ASCII):
+///
+/// - `event.<type>` — events seen per type
+/// - `stage.<stage>.activations` / `stage.<stage>.dsa_cycles` — FSM work
+/// - `cache.<cache>.<outcome>` — DSA-memory traffic
+/// - `loop.detected|classified|vectorized|finished` — lifecycle totals
+/// - `loop.rejected.<reason>` / `loop.rolled_back.<reason>` — failures
+/// - `class.<class>.vectorized` / `class.<class>.covered_iters` — per-class
+/// - `fault.<site>` / `engine.poisoned` — PR 2 fault-site composition
+/// - `speculation.<kind>.injected|used|discarded` — speculation outcomes
+///
+/// Histograms: `stage.<stage>.cycles` (per-activation DSA latency),
+/// `class.<class>.planned` (vector trip counts), `loop.covered_iters`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+    /// Transient loop→class attribution (from `LoopClassified`), so
+    /// later lifecycle events can be binned per class.
+    classes: BTreeMap<u32, &'static str>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to counter `key`.
+    pub fn add(&mut self, key: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(c) = self.counters.get_mut(key) {
+            *c += n;
+        } else {
+            self.counters.insert(key.to_string(), n);
+        }
+    }
+
+    fn bump(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Records `v` in histogram `key`.
+    pub fn observe(&mut self, key: &str, v: u64) {
+        self.hists.entry(key.to_string()).or_default().record(v);
+    }
+
+    /// A counter's current value (0 if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// A histogram, if any samples landed in it.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.hists.get(key)
+    }
+
+    /// All counters, key-sorted.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, key-sorted.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.hists.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add, histograms merge.
+    /// Class attributions union (same loop id on different warm-up
+    /// threads refers to different runs, but the binned counters were
+    /// already attributed locally, so the union is only a convenience).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            self.add(k, v);
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
+        }
+        for (&id, &class) in &other.classes {
+            self.classes.entry(id).or_insert(class);
+        }
+    }
+
+    fn class_of(&self, loop_id: u32) -> &'static str {
+        self.classes.get(&loop_id).copied().unwrap_or("unclassified")
+    }
+
+    /// Plain-text report: counters then histograms, aligned.
+    pub fn report_text(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+            return out;
+        }
+        let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "  {k:<width$}  {v}");
+        }
+        if !self.hists.is_empty() {
+            out.push_str("  --\n");
+            for (k, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {k}: n={} sum={} mean={:.1} max={} {}",
+                    h.count(),
+                    h.sum(),
+                    h.mean(),
+                    h.max(),
+                    h.render()
+                );
+            }
+        }
+        out
+    }
+
+    /// JSON report: `{"counters":{...},"histograms":{...}}`.
+    pub fn report_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_str(k));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                json_str(k),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max()
+            );
+            for (j, b) in h.buckets().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl TraceSink for MetricsRegistry {
+    fn record(&mut self, ev: &Event) {
+        self.bump(&format!("event.{}", ev.type_name()));
+        match *ev {
+            Event::RunStarted { .. } => {}
+            Event::RunFinished { committed, .. } => self.add("run.committed", committed),
+            Event::SimFault { kind, .. } => self.bump(&format!("sim.fault.{kind}")),
+            Event::LoopDetected { .. } => self.bump("loop.detected"),
+            Event::StageActivated { stage, dsa_cycles, .. } => {
+                let name = stage.name();
+                self.bump(&format!("stage.{name}.activations"));
+                self.add(&format!("stage.{name}.dsa_cycles"), dsa_cycles);
+                self.observe(&format!("stage.{name}.cycles"), dsa_cycles);
+            }
+            Event::CacheAccess { cache, outcome, count, dsa_cycles, .. } => {
+                self.add(&format!("cache.{}.{}", cache.name(), outcome.name()), count as u64);
+                self.add("cache.dsa_cycles", dsa_cycles);
+                if outcome == CacheOutcome::Evict {
+                    self.add("cache.evictions", count as u64);
+                }
+            }
+            Event::DependencyVerdict { pairs, dsa_cycles, .. } => {
+                // Folded under `cidp.*`, not `stage.dependency-analysis.*`:
+                // the engine emits a separate `StageActivated` for the
+                // stage transition, so reusing its keys here would count
+                // every verdict twice.
+                self.bump("cidp.verdicts");
+                self.add("cidp.evaluations", pairs as u64);
+                self.add("cidp.dsa_cycles", dsa_cycles);
+                self.observe("cidp.cycles", dsa_cycles);
+            }
+            Event::LoopClassified { loop_id, class, .. } => {
+                self.bump("loop.classified");
+                self.bump(&format!("class.{class}.classified"));
+                self.classes.insert(loop_id, class);
+            }
+            Event::LoopVectorized { class, planned, peeled, .. } => {
+                self.bump("loop.vectorized");
+                self.bump(&format!("class.{class}.vectorized"));
+                self.observe(&format!("class.{class}.planned"), planned as u64);
+                self.add("loop.peeled_iters", peeled as u64);
+            }
+            Event::LoopRejected { class, reason, .. } => {
+                self.bump("loop.rejected");
+                self.bump(&format!("loop.rejected.{reason}"));
+                self.bump(&format!("class.{class}.rejected"));
+            }
+            Event::LoopRolledBack { reason, .. } => {
+                self.bump("loop.rolled_back");
+                self.bump(&format!("loop.rolled_back.{reason}"));
+            }
+            Event::LoopFinished { loop_id, iters, .. } => {
+                self.bump("loop.finished");
+                let class = self.class_of(loop_id);
+                self.add(&format!("class.{class}.covered_iters"), iters as u64);
+                self.observe("loop.covered_iters", iters as u64);
+            }
+            Event::EnginePoisoned { .. } => self.bump("engine.poisoned"),
+            Event::FaultInjected { site, .. } => self.bump(&format!("fault.{site}")),
+            Event::PartialChunk { chunk_iters, dsa_cycles, .. } => {
+                self.bump("loop.partial_chunks");
+                self.add("loop.partial_chunk_iters", chunk_iters as u64);
+                self.add("loop.partial_chunk_dsa_cycles", dsa_cycles);
+            }
+            Event::SpeculationResolved { kind, injected, used, discarded, .. } => {
+                let k = kind.name();
+                self.add(&format!("speculation.{k}.injected"), injected);
+                self.add(&format!("speculation.{k}.used"), used);
+                self.add(&format!("speculation.{k}.discarded"), discarded);
+            }
+        }
+    }
+}
+
+/// A clonable, thread-safe handle to one [`MetricsRegistry`]: clone a
+/// handle per instrumented component, snapshot at the end.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMetrics(Arc<Mutex<MetricsRegistry>>);
+
+impl SharedMetrics {
+    /// A handle to a fresh registry.
+    pub fn new() -> SharedMetrics {
+        SharedMetrics::default()
+    }
+
+    /// A copy of the registry's current contents.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.0.lock().expect("metrics poisoned").clone()
+    }
+
+    /// Runs `f` on the registry under the lock.
+    pub fn with<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+        f(&mut self.0.lock().expect("metrics poisoned"))
+    }
+}
+
+impl TraceSink for SharedMetrics {
+    fn record(&mut self, ev: &Event) {
+        self.0.lock().expect("metrics poisoned").record(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CacheKind, Stage};
+
+    #[test]
+    fn histogram_buckets_and_merge() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.buckets()[0], 2); // 0 and 1
+        assert_eq!(h.buckets()[1], 2); // 2 and 3
+        assert_eq!(h.buckets()[10], 1); // 1024
+        assert_eq!(h.buckets()[BUCKETS - 1], 1); // clamped
+        let mut other = Histogram::default();
+        other.record(5);
+        other.merge(&h);
+        assert_eq!(other.count(), 7);
+        assert!(other.render().contains("0-1:2"));
+    }
+
+    #[test]
+    fn registry_folds_events_and_merges() {
+        let mut m = MetricsRegistry::new();
+        m.record(&Event::LoopDetected { loop_id: 4, end_pc: 40, cycle: 10 });
+        m.record(&Event::StageActivated {
+            stage: Stage::LoopDetection,
+            loop_id: 4,
+            dsa_cycles: 1,
+            cycle: 10,
+        });
+        m.record(&Event::LoopClassified { loop_id: 4, class: "count", cycle: 12 });
+        m.record(&Event::LoopFinished { loop_id: 4, iters: 31, cycle: 90 });
+        assert_eq!(m.counter("loop.detected"), 1);
+        assert_eq!(m.counter("stage.loop-detection.dsa_cycles"), 1);
+        assert_eq!(m.counter("class.count.covered_iters"), 31);
+
+        let mut b = MetricsRegistry::new();
+        b.record(&Event::LoopDetected { loop_id: 9, end_pc: 90, cycle: 5 });
+        b.merge(&m);
+        assert_eq!(b.counter("loop.detected"), 2);
+        assert_eq!(b.histogram("loop.covered_iters").map(Histogram::count), Some(1));
+    }
+
+    #[test]
+    fn reports_render_and_json_parses() {
+        let mut m = MetricsRegistry::new();
+        m.record(&Event::CacheAccess {
+            cache: CacheKind::Dsa,
+            outcome: CacheOutcome::Hit,
+            loop_id: 1,
+            count: 1,
+            dsa_cycles: 1,
+            cycle: 3,
+        });
+        let text = m.report_text();
+        assert!(text.contains("cache.dsa-cache.hit"));
+        let v = crate::json::parse(&m.report_json()).expect("valid JSON");
+        assert_eq!(
+            v.get("counters").and_then(|c| c.get("cache.dsa-cache.hit")).and_then(|x| x.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn shared_handle_aggregates_across_clones() {
+        let shared = SharedMetrics::new();
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        a.record(&Event::LoopDetected { loop_id: 1, end_pc: 2, cycle: 0 });
+        b.record(&Event::LoopDetected { loop_id: 1, end_pc: 2, cycle: 1 });
+        assert_eq!(shared.snapshot().counter("loop.detected"), 2);
+    }
+}

@@ -16,7 +16,9 @@ use crate::{BuiltWorkload, Scale};
 pub(crate) fn build(variant: Variant, scale: Scale) -> BuiltWorkload {
     let n: u32 = match scale {
         Scale::Small => 256,
+        Scale::Medium => 1024,
         Scale::Paper => 4096,
+        Scale::Large => 8192,
     };
     // The runtime trip: most of the buffer, not known statically.
     let n_rt: u32 = n - n / 16;

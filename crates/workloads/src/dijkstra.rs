@@ -16,7 +16,9 @@ const INF: i32 = 0x000F_FFFF;
 pub(crate) fn build(variant: Variant, scale: Scale) -> BuiltWorkload {
     let n: u32 = match scale {
         Scale::Small => 12,
+        Scale::Medium => 24,
         Scale::Paper => 64,
+        Scale::Large => 96,
     };
 
     let mut kb = KernelBuilder::new(variant);

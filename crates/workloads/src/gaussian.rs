@@ -15,7 +15,9 @@ fn window(src: BufId) -> Expr {
 pub(crate) fn build(variant: Variant, scale: Scale) -> BuiltWorkload {
     let n: u32 = match scale {
         Scale::Small => 512,
+        Scale::Medium => 2048,
         Scale::Paper => 8192,
+        Scale::Large => 16384,
     };
 
     let mut kb = KernelBuilder::new(variant);

@@ -94,13 +94,41 @@ impl WorkloadId {
 }
 
 /// Problem size selector: `Paper` matches the evaluation, `Small` keeps
-/// debug-build tests fast.
+/// debug-build tests fast, and `Medium`/`Large` bracket the paper sizes
+/// for sensitivity runs (`inspect --scale`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Reduced sizes for unit/integration tests.
     Small,
+    /// Between `Small` and `Paper`: quick interactive runs.
+    Medium,
     /// The sizes used by the experiment harness.
     Paper,
+    /// Beyond the paper sizes: stresses cache capacity and long traces.
+    Large,
+}
+
+impl Scale {
+    /// Parses a CLI spelling (`small`, `medium`, `paper`, `large`).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Paper => "paper",
+            Scale::Large => "large",
+        }
+    }
 }
 
 type InitFn = Box<dyn Fn(&mut Machine) + Send + Sync>;
@@ -189,5 +217,26 @@ mod tests {
     fn names_and_order() {
         assert_eq!(WorkloadId::all().len(), 7);
         assert_eq!(WorkloadId::MatMul.name(), "MM 64x64");
+    }
+
+    #[test]
+    fn scale_parse_round_trips() {
+        for s in [Scale::Small, Scale::Medium, Scale::Paper, Scale::Large] {
+            assert_eq!(Scale::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn medium_scale_builds_and_checks() {
+        use dsa_compiler::Variant;
+        use dsa_cpu::{CpuConfig, Simulator};
+
+        let w = build(WorkloadId::BitCounts, Variant::Scalar, Scale::Medium);
+        let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+        (w.init)(sim.machine_mut());
+        let out = sim.run(50_000_000).expect("halts");
+        assert!(out.halted);
+        assert!(w.check(sim.machine()), "medium scale matches its reference");
     }
 }

@@ -14,8 +14,12 @@ use crate::{BuiltWorkload, Scale};
 pub(crate) fn build(variant: Variant, scale: Scale) -> BuiltWorkload {
     let n: u32 = match scale {
         Scale::Small => 8,
+        Scale::Medium => 16,
         Scale::Paper => 64,
+        // Power of two only: row indexing below shifts by log2(n).
+        Scale::Large => 128,
     };
+    debug_assert!(n.is_power_of_two());
     let log2n = n.trailing_zeros() as i16;
 
     let mut kb = KernelBuilder::new(variant);

@@ -75,7 +75,9 @@ impl Micro {
 pub fn build(micro: Micro, variant: Variant, scale: Scale) -> BuiltWorkload {
     let n: u32 = match scale {
         Scale::Small => 256,
+        Scale::Medium => 1024,
         Scale::Paper => 4096,
+        Scale::Large => 8192,
     };
     match micro {
         Micro::Count => count(variant, n),

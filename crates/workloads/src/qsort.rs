@@ -14,7 +14,9 @@ use crate::{BuiltWorkload, Scale};
 pub(crate) fn build(variant: Variant, scale: Scale) -> BuiltWorkload {
     let n: u32 = match scale {
         Scale::Small => 128,
+        Scale::Medium => 512,
         Scale::Paper => 2048,
+        Scale::Large => 4096,
     };
 
     let mut kb = KernelBuilder::new(variant);

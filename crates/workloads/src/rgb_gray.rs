@@ -11,7 +11,9 @@ use crate::{BuiltWorkload, Scale};
 pub(crate) fn build(variant: Variant, scale: Scale) -> BuiltWorkload {
     let n: u32 = match scale {
         Scale::Small => 512,
+        Scale::Medium => 2048,
         Scale::Paper => 16384,
+        Scale::Large => 32768,
     };
 
     let mut kb = KernelBuilder::new(variant);

@@ -13,7 +13,9 @@ const THRESHOLD: i32 = 100;
 pub(crate) fn build(variant: Variant, scale: Scale) -> BuiltWorkload {
     let n: u32 = match scale {
         Scale::Small => 512,
+        Scale::Medium => 2048,
         Scale::Paper => 8192,
+        Scale::Large => 16384,
     };
 
     let mut kb = KernelBuilder::new(variant);
