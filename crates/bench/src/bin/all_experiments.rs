@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use dsa_bench::cache;
 use dsa_bench::experiments as e;
-use dsa_bench::{RunError, System};
+use dsa_bench::{RunError, Supervisor, SupervisorPolicy, System};
 
 type Section = (&'static str, fn() -> Result<String, RunError>);
 
@@ -45,7 +45,11 @@ fn main() {
     let grid = cache::paper_grid();
     eprintln!("warming {} (workload x system) combos on {jobs} thread(s)...", grid.len());
     let warm = Instant::now();
-    cache::global().warm(&grid, dsa_workloads::Scale::Paper, jobs);
+    // The warm-up runs supervised: a panicking or overrunning combo is
+    // caught at the crash boundary, retried with backoff, and accounted
+    // in the supervision summary instead of aborting the whole grid.
+    let supervisor = Supervisor::new(cache::global(), SupervisorPolicy::default());
+    supervisor.warm(&grid, dsa_workloads::Scale::Paper, jobs);
     eprintln!("warm-up: {:.2}s", warm.elapsed().as_secs_f64());
 
     let mut failed = 0u32;
@@ -71,6 +75,7 @@ fn main() {
         stats.hits,
     );
     eprintln!("{}", cache::global().degradation_summary());
+    eprintln!("{}", supervisor.report());
     // One-page telemetry summary: per-run DSA counters always (cheap,
     // folded from DsaStats), plus the merged metrics registry when the
     // runs were traced (DSA_METRICS=1 — off by default so the grid

@@ -1,0 +1,250 @@
+//! R2 — the chaos soak: time-budgeted campaigns of seed-derived chaos
+//! plans (randomized fault windows + mid-run kill/restore through
+//! crash-consistent snapshots + snapshot corruption), each checked
+//! against the scalar oracle. On failure the plan is shrunk to a
+//! minimal reproducer and written as a replayable JSON artifact.
+//!
+//! ```text
+//! chaos_soak --budget 30s --seed 1 --seed 2 --out target/chaos
+//! chaos_soak --replay target/chaos/chaos-repro-seed1.json
+//! chaos_soak --kill-matrix            # kill/restore × all 8 workloads
+//! chaos_soak --budget 5s --fail-on-fault   # shrinker demo: any fired
+//!                                          # fault counts as a failure
+//! ```
+//!
+//! Campaign seeds derive from each `--seed` via splitmix64, so a soak
+//! is reproducible from its seed list; every failing campaign's
+//! artifact replays the exact plan.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use dsa_bench::chaos::{chaos_workloads, run_chaos, shrink, ChaosPlan};
+use dsa_bench::{RunError, Supervisor, SupervisorPolicy};
+use dsa_core::splitmix64;
+use dsa_workloads::Scale;
+
+/// The four fixed seeds CI soaks (see `.github/workflows/ci.yml`).
+const CI_SEEDS: [u64; 4] = [1, 2, 3, 5];
+
+struct Args {
+    budget: Duration,
+    seeds: Vec<u64>,
+    out_dir: Option<String>,
+    replay: Option<String>,
+    kill_matrix: bool,
+    fail_on_fault: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        budget: Duration::from_secs(10),
+        seeds: Vec::new(),
+        out_dir: None,
+        replay: None,
+        kill_matrix: false,
+        fail_on_fault: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| {
+            it.next().unwrap_or_else(|| usage(&format!("{a} needs a {what} argument")))
+        };
+        match a.as_str() {
+            "--budget" => {
+                let v = value("duration");
+                let secs: u64 = v
+                    .strip_suffix('s')
+                    .unwrap_or(&v)
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad budget `{v}` (want e.g. 30s)")));
+                args.budget = Duration::from_secs(secs);
+            }
+            "--seed" => {
+                let v = value("u64");
+                args.seeds.push(
+                    v.parse().unwrap_or_else(|_| usage(&format!("seed `{v}` is not a u64"))),
+                );
+            }
+            "--out" => args.out_dir = Some(value("directory")),
+            "--replay" => args.replay = Some(value("file")),
+            "--kill-matrix" => args.kill_matrix = true,
+            "--fail-on-fault" => args.fail_on_fault = true,
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if args.seeds.is_empty() {
+        args.seeds = CI_SEEDS.to_vec();
+    }
+    args
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\nusage: chaos_soak [--budget <N>s] [--seed <u64>]... [--out <dir>] \
+         [--replay <file>] [--kill-matrix] [--fail-on-fault]"
+    );
+    std::process::exit(2);
+}
+
+/// Whether a campaign outcome counts as failed under the current rules.
+fn failed(out: &dsa_bench::chaos::ChaosOutcome, fail_on_fault: bool) -> bool {
+    out.failure.is_some() || (fail_on_fault && out.faults_fired > 0)
+}
+
+fn failure_kind(out: &dsa_bench::chaos::ChaosOutcome, fail_on_fault: bool) -> &'static str {
+    match out.failure {
+        Some(f) => f.kind(),
+        None if fail_on_fault && out.faults_fired > 0 => "fault-fired",
+        None => "none",
+    }
+}
+
+/// Shrinks a failing plan, writes the reproducer artifact, and exits 1.
+fn report_failure(plan: &ChaosPlan, fail_on_fault: bool, out_dir: Option<&str>) -> ! {
+    let kind = failure_kind(&run_chaos(plan, Scale::Small), fail_on_fault);
+    println!("campaign seed {} FAILED ({kind}); shrinking...", plan.seed);
+    let (min, tried) = shrink(plan, |p| failed(&run_chaos(p, Scale::Small), fail_on_fault));
+    let min_kind = failure_kind(&run_chaos(&min, Scale::Small), fail_on_fault);
+    let artifact = min.to_json(Some(min_kind));
+    println!(
+        "shrunk to {} window(s), kill={:?}, corrupt={:?} after {tried} candidate plans",
+        min.schedule.windows.len(),
+        min.kill_at,
+        min.corrupt_bit
+    );
+    match out_dir {
+        Some(dir) => {
+            let path = format!("{dir}/chaos-repro-seed{}.json", plan.seed);
+            if let Err(e) =
+                std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &artifact))
+            {
+                dsa_bench::fail(&format!("writing reproducer {path}: {e}"));
+            }
+            println!("reproducer: {path}");
+        }
+        None => println!("reproducer: {artifact}"),
+    }
+    let _ = std::io::stdout().flush();
+    dsa_bench::fail(&format!("chaos campaign failed: {min_kind} (seed {})", plan.seed));
+}
+
+/// Replays one reproducer artifact.
+fn replay(path: &str, fail_on_fault: bool) -> ! {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| dsa_bench::fail(&format!("reading {path}: {e}")));
+    let plan = ChaosPlan::from_json(&text)
+        .unwrap_or_else(|e| dsa_bench::fail(&format!("parsing {path}: {e}")));
+    println!(
+        "replaying seed {} on {} ({} windows, kill={:?}, corrupt={:?})",
+        plan.seed,
+        plan.workload.describe(),
+        plan.schedule.windows.len(),
+        plan.kill_at,
+        plan.corrupt_bit
+    );
+    let out = run_chaos(&plan, Scale::Small);
+    let kind = failure_kind(&out, fail_on_fault);
+    println!(
+        "outcome: failure={kind} faults_fired={} killed={} restored_cold={}",
+        out.faults_fired, out.killed, out.restored_cold
+    );
+    let _ = std::io::stdout().flush();
+    if failed(&out, fail_on_fault) {
+        dsa_bench::fail(&format!("reproducer still fails: {kind}"));
+    }
+    std::process::exit(0);
+}
+
+/// The CI matrix entry: a deterministic kill/restore sweep over all
+/// eight workloads (no random faults, no corruption) — resumed runs
+/// must be bit-identical to uninterrupted ones everywhere.
+fn kill_matrix() -> ! {
+    let splits = [200u64, 1_500, 9_000];
+    let mut ran = 0u32;
+    for workload in chaos_workloads() {
+        for split in splits {
+            let plan = ChaosPlan {
+                seed: split,
+                workload,
+                schedule: dsa_core::FaultSchedule::default(),
+                kill_at: Some(split),
+                corrupt_bit: None,
+            };
+            let out = run_chaos(&plan, Scale::Small);
+            if let Some(f) = out.failure {
+                dsa_bench::fail(&format!(
+                    "kill/restore failed: {} at split {split}: {}",
+                    workload.describe(),
+                    f.kind()
+                ));
+            }
+            ran += 1;
+            println!(
+                "{:<12} split {:>6}: ok (killed={})",
+                workload.describe(),
+                split,
+                out.killed
+            );
+        }
+    }
+    println!("kill/restore matrix: {ran}/{ran} bit-identical");
+    let _ = std::io::stdout().flush();
+    std::process::exit(0);
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = &args.replay {
+        replay(path, args.fail_on_fault);
+    }
+    if args.kill_matrix {
+        kill_matrix();
+    }
+
+    // Soak: rotate over the base seeds, deriving a fresh campaign seed
+    // from each every round, until the budget expires. Campaigns run
+    // inside the supervisor's crash boundary so a panicking campaign
+    // is itself caught, retried and reported rather than aborting the
+    // soak.
+    let cache = dsa_bench::RunCache::new();
+    let sup = Supervisor::new(&cache, SupervisorPolicy::default());
+    let start = Instant::now();
+    let mut streams: Vec<u64> = args.seeds.clone();
+    let (mut campaigns, mut kills, mut colds, mut faults) = (0u64, 0u64, 0u64, 0u64);
+    'soak: while start.elapsed() < args.budget {
+        for s in &mut streams {
+            if start.elapsed() >= args.budget {
+                break 'soak;
+            }
+            let seed = splitmix64(s);
+            let plan = ChaosPlan::generate(seed);
+            let outcome = sup.call(plan.workload.describe(), || {
+                Ok::<_, RunError>(run_chaos(&plan, Scale::Small))
+            });
+            campaigns += 1;
+            match outcome {
+                Ok(out) => {
+                    kills += u64::from(out.killed);
+                    colds += u64::from(out.restored_cold);
+                    faults += out.faults_fired;
+                    if failed(&out, args.fail_on_fault) {
+                        report_failure(&plan, args.fail_on_fault, args.out_dir.as_deref());
+                    }
+                }
+                Err(e) => {
+                    dsa_bench::fail(&format!("campaign seed {seed} unrecoverable: {e}"));
+                }
+            }
+        }
+    }
+    println!(
+        "chaos soak: {campaigns} campaigns over {} base seed(s) in {:.1}s — \
+         {kills} kill/restores, {colds} corruptions detected (cold restarts), \
+         {faults} faults fired, 0 failures",
+        args.seeds.len(),
+        start.elapsed().as_secs_f64()
+    );
+    println!("{}", sup.report());
+    let _ = std::io::stdout().flush();
+}

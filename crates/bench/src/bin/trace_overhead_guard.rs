@@ -12,7 +12,10 @@
 //!
 //! Both runs must produce *identical cycle counts and checksums* (the
 //! tracer is observation only), and in `--check` mode the off-vs-null
-//! wall-clock gap must stay under the threshold (default 2%).
+//! wall-clock gap must stay under the threshold (default 2%). The same
+//! off-vs-null comparison is then repeated on a run **resumed from a
+//! mid-run snapshot** — the restore path must not tax the hot loop
+//! either, and restored runs must stay observation-only too.
 //!
 //! ```text
 //! cargo run --release -p dsa-bench --bin trace_overhead_guard -- --check
@@ -20,8 +23,8 @@
 
 use std::time::Instant;
 
-use dsa_core::Dsa;
-use dsa_cpu::{CpuConfig, RunOutcome, Simulator};
+use dsa_core::{Dsa, Snapshot};
+use dsa_cpu::{BoundedOutcome, CpuConfig, RunOutcome, Simulator};
 use dsa_trace::NullSink;
 use dsa_workloads::{build, BuiltWorkload, Scale, WorkloadId};
 
@@ -31,9 +34,16 @@ const USAGE: &str =
 /// Instruction budget — same as the harness.
 const FUEL: u64 = 2_000_000_000;
 
+/// Commits before the snapshot in the restored-path measurement.
+const SPLIT: u64 = 40_000;
+
 fn usage_error(msg: &str) -> ! {
     eprintln!("trace_overhead_guard: {msg}\n{USAGE}");
     std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    dsa_bench::fail(&format!("trace_overhead_guard: {msg}"));
 }
 
 fn run_once(w: &BuiltWorkload, with_sink: bool) -> (RunOutcome, u64, f64) {
@@ -48,14 +58,53 @@ fn run_once(w: &BuiltWorkload, with_sink: bool) -> (RunOutcome, u64, f64) {
         dsa.attach_sink(NullSink);
     }
     let t = Instant::now();
-    let outcome = sim.run_with_hook(FUEL, &mut dsa).unwrap_or_else(|e| {
-        eprintln!("trace_overhead_guard: simulation failed: {e}");
-        std::process::exit(1);
-    });
+    let outcome = sim
+        .run_with_hook(FUEL, &mut dsa)
+        .unwrap_or_else(|e| fail(&format!("simulation failed: {e}")));
     let secs = t.elapsed().as_secs_f64();
     if !w.check(sim.machine()) {
-        eprintln!("trace_overhead_guard: wrong result (sink={with_sink})");
-        std::process::exit(1);
+        fail(&format!("wrong result (sink={with_sink})"));
+    }
+    (outcome, w.actual(sim.machine()), secs)
+}
+
+/// A mid-run snapshot image of `w` at [`SPLIT`] commits.
+fn snapshot_image(w: &BuiltWorkload) -> Vec<u8> {
+    let cfg = dsa_core::DsaConfig::full();
+    let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+    (w.init)(sim.machine_mut());
+    for buf in w.kernel.layout.bufs() {
+        sim.warm_region(buf.base, buf.size_bytes());
+    }
+    let mut dsa = Dsa::new(cfg);
+    match sim.run_bounded(SPLIT, &mut dsa) {
+        Ok(BoundedOutcome::Paused) => {}
+        Ok(BoundedOutcome::Halted(_)) => fail("workload halted before the snapshot split"),
+        Err(e) => fail(&format!("snapshot-prep run failed: {e}")),
+    }
+    Snapshot::capture(&dsa, sim.machine()).to_bytes()
+}
+
+/// Times the remainder of a run restored from `image`.
+fn run_resumed(w: &BuiltWorkload, image: &[u8], with_sink: bool) -> (RunOutcome, u64, f64) {
+    let cfg = dsa_core::DsaConfig::full();
+    let cfg = if with_sink { cfg.with_trace() } else { cfg };
+    let (mut dsa, machine) = Dsa::restore(image, cfg)
+        .unwrap_or_else(|e| fail(&format!("snapshot restore failed: {e}")));
+    if with_sink {
+        dsa.attach_sink(NullSink);
+    }
+    let mut sim = Simulator::with_machine(w.kernel.program.clone(), CpuConfig::default(), machine);
+    for buf in w.kernel.layout.bufs() {
+        sim.warm_region(buf.base, buf.size_bytes());
+    }
+    let t = Instant::now();
+    let outcome = sim
+        .run_with_hook(FUEL, &mut dsa)
+        .unwrap_or_else(|e| fail(&format!("resumed simulation failed: {e}")));
+    let secs = t.elapsed().as_secs_f64();
+    if !w.check(sim.machine()) {
+        fail(&format!("wrong result after restore (sink={with_sink})"));
     }
     (outcome, w.actual(sim.machine()), secs)
 }
@@ -121,20 +170,58 @@ fn main() {
     println!("overhead:     {overhead:+.2}% (threshold {threshold:.1}%)");
 
     if cycles.0 != cycles.1 || sums.0 != sums.1 {
-        eprintln!(
-            "trace_overhead_guard: tracing changed the simulation! \
-             cycles {} vs {}, checksum {:#x} vs {:#x}",
+        fail(&format!(
+            "tracing changed the simulation! cycles {} vs {}, checksum {:#x} vs {:#x}",
             cycles.0, cycles.1, sums.0, sums.1
-        );
-        std::process::exit(1);
+        ));
     }
     if check && overhead > threshold {
-        eprintln!(
-            "trace_overhead_guard: null-sink overhead {overhead:+.2}% exceeds {threshold:.1}%"
-        );
-        std::process::exit(1);
+        fail(&format!("null-sink overhead {overhead:+.2}% exceeds {threshold:.1}%"));
+    }
+
+    // The restored-from-snapshot path: resume the same workload from a
+    // mid-run image with tracer off vs null sink.
+    let image = snapshot_image(&w);
+    let _ = run_resumed(&w, &image, false);
+    let _ = run_resumed(&w, &image, true);
+    let mut best_off_r = f64::INFINITY;
+    let mut best_null_r = f64::INFINITY;
+    let mut cycles_r = (0u64, 0u64);
+    let mut sums_r = (0u64, 0u64);
+    for _ in 0..reps {
+        let (out, sum, secs) = run_resumed(&w, &image, false);
+        best_off_r = best_off_r.min(secs);
+        cycles_r.0 = out.cycles;
+        sums_r.0 = sum;
+        let (out, sum, secs) = run_resumed(&w, &image, true);
+        best_null_r = best_null_r.min(secs);
+        cycles_r.1 = out.cycles;
+        sums_r.1 = sum;
+    }
+    let overhead_r = 100.0 * (best_null_r / best_off_r - 1.0);
+    println!("restored path (snapshot at {SPLIT} commits, {} byte image):", image.len());
+    println!("tracer off:   {:.3} ms ({} simulated cycles)", best_off_r * 1e3, cycles_r.0);
+    println!("null sink:    {:.3} ms ({} simulated cycles)", best_null_r * 1e3, cycles_r.1);
+    println!("overhead:     {overhead_r:+.2}% (threshold {threshold:.1}%)");
+
+    if cycles_r.0 != cycles_r.1 || sums_r.0 != sums_r.1 {
+        fail(&format!(
+            "tracing changed the restored simulation! cycles {} vs {}, checksum {:#x} vs {:#x}",
+            cycles_r.0, cycles_r.1, sums_r.0, sums_r.1
+        ));
+    }
+    if sums_r.0 != sums.0 {
+        fail(&format!(
+            "restored run diverged from the uninterrupted run: checksum {:#x} vs {:#x}",
+            sums_r.0, sums.0
+        ));
+    }
+    if check && overhead_r > threshold {
+        fail(&format!(
+            "restored-path null-sink overhead {overhead_r:+.2}% exceeds {threshold:.1}%"
+        ));
     }
     if check {
-        println!("OK: observation layer is within budget and observation-only");
+        println!("OK: observation layer is within budget and observation-only (incl. restore)");
     }
 }

@@ -20,8 +20,9 @@ use dsa_trace::{validate_document, SCHEMA};
 const USAGE: &str = "usage: trace_report [--validate] <trace.jsonl>";
 
 fn fail(msg: &str) -> ! {
-    eprintln!("trace_report: {msg}");
-    std::process::exit(1);
+    // Flushes the partial report and marks it incomplete on stdout
+    // before exiting.
+    dsa_bench::fail(&format!("trace_report: {msg}"));
 }
 
 #[derive(Default)]
@@ -144,4 +145,24 @@ fn main() {
     let rows: Vec<Vec<String>> =
         types.iter().map(|(k, v)| vec![k.clone(), v.to_string()]).collect();
     print!("{}", dsa_bench::render_table(&["type", "count"], &rows));
+
+    // Supervision and snapshot events live in the wall-clock domain
+    // (cycle 0); give them their own accounting so harness reliability
+    // is visible next to the engine's latency table.
+    let reliability = [
+        "supervisor-retry",
+        "worker-panicked",
+        "deadline-exceeded",
+        "breaker-open",
+        "snapshot-restored",
+        "snapshot-rejected",
+    ];
+    let rows: Vec<Vec<String>> = reliability
+        .iter()
+        .filter_map(|k| types.get(*k).map(|v| vec![k.to_string(), v.to_string()]))
+        .collect();
+    if !rows.is_empty() {
+        println!("\n== harness reliability ==");
+        print!("{}", dsa_bench::render_table(&["transition", "count"], &rows));
+    }
 }

@@ -1,0 +1,478 @@
+//! Chaos campaigns: randomized fault schedules, mid-run kill/restore
+//! through crash-consistent snapshots, snapshot corruption — and
+//! schedule shrinking to a minimal reproducer when a campaign fails.
+//!
+//! A [`ChaosPlan`] is derived entirely from a `u64` seed: which of the
+//! eight workloads runs (the seven paper applications plus the
+//! `sentinel` microkernel), a randomized [`FaultSchedule`] of
+//! (site × trigger × burst) windows, an optional mid-run **kill** step
+//! after which the run is snapshotted and restored, and an optional
+//! single-**bit corruption** of the snapshot image in between.
+//!
+//! [`run_chaos`] executes one plan and checks the paper's safety
+//! argument end to end:
+//!
+//! - the final architectural state must be bit-identical to a plain
+//!   scalar run of the same workload (the DSA only affects timing, so
+//!   injected faults and kill/restore may cost cycles but never
+//!   correctness);
+//! - the golden output checksum must hold;
+//! - a corrupted snapshot must be *detected* ([`Dsa::restore_or_cold`]
+//!   comes back [`Restored::Cold`]) — an undetected corruption is a
+//!   failed campaign;
+//! - an untouched snapshot must restore warm — a rejected clean image
+//!   is a failed campaign too.
+//!
+//! When a campaign fails, [`shrink`] greedily minimizes the plan
+//! (drop windows, collapse bursts to length 1, drop the corruption,
+//! drop the kill) while re-checking that the failure reproduces, and
+//! the result serializes to a replayable JSON artifact
+//! ([`ChaosPlan::to_json`], schema [`CHAOS_SCHEMA`]).
+
+use dsa_compiler::Variant;
+use dsa_core::{splitmix64, Dsa, DsaConfig, FaultSchedule, FaultSite, Restored, Snapshot};
+use dsa_cpu::{BoundedOutcome, CpuConfig, Simulator};
+use dsa_trace::json::{self, Value};
+use dsa_workloads::{build, micro, BuiltWorkload, Scale, WorkloadId};
+
+use crate::cache::Workload;
+use crate::FUEL;
+
+/// Schema tag of the reproducer artifact.
+pub const CHAOS_SCHEMA: &str = "dsa-chaos/v1";
+
+/// The chaos rotation: every paper application plus the sentinel
+/// microkernel — eight workloads, all of which must survive
+/// kill/restore bit-identically.
+pub fn chaos_workloads() -> [Workload; 8] {
+    let ids = WorkloadId::all();
+    [
+        Workload::App(ids[0]),
+        Workload::App(ids[1]),
+        Workload::App(ids[2]),
+        Workload::App(ids[3]),
+        Workload::App(ids[4]),
+        Workload::App(ids[5]),
+        Workload::App(ids[6]),
+        Workload::Micro(micro::Micro::Sentinel),
+    ]
+}
+
+/// One seed-derived chaos scenario; see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The seed everything below was derived from (provenance).
+    pub seed: u64,
+    /// Workload under test.
+    pub workload: Workload,
+    /// Randomized fault windows armed on every DSA segment of the run.
+    pub schedule: FaultSchedule,
+    /// Kill the run after this many committed instructions, snapshot,
+    /// and restore. `None` runs uninterrupted.
+    pub kill_at: Option<u64>,
+    /// Flip bit `corrupt_bit % image_bits` of the snapshot image
+    /// between capture and restore.
+    pub corrupt_bit: Option<u64>,
+}
+
+impl ChaosPlan {
+    /// Derives a full scenario from `seed`. Deterministic: the same
+    /// seed always yields the same plan.
+    pub fn generate(seed: u64) -> ChaosPlan {
+        let mut s = seed ^ 0x00c4_a05c_4a05_c4a0;
+        let r = splitmix64(&mut s);
+        let workload = chaos_workloads()[(r % 8) as usize];
+        let n_windows = 2 + ((r >> 16) % 5) as usize;
+        let schedule = FaultSchedule::generate(seed, n_windows, 40);
+        let r2 = splitmix64(&mut s);
+        // Kill inside the first few tens of thousands of commits —
+        // small-scale runs are longer than that, so most plans pause
+        // mid-run; plans that halt first exercise the no-kill path.
+        let kill_at = Some(500 + r2 % 40_000);
+        let corrupt_bit = if r2 >> 62 == 0 { Some(splitmix64(&mut s)) } else { None };
+        ChaosPlan { seed, workload, schedule, kill_at, corrupt_bit }
+    }
+
+    /// Renders the plan (plus the observed failure kind, if any) as a
+    /// replayable single-line JSON artifact.
+    pub fn to_json(&self, failure: Option<&str>) -> String {
+        let mut out = format!(
+            "{{\"schema\":\"{CHAOS_SCHEMA}\",\"seed\":{},\"workload\":\"{}\"",
+            self.seed,
+            self.workload.describe()
+        );
+        match self.kill_at {
+            Some(k) => out.push_str(&format!(",\"kill_at\":{k}")),
+            None => out.push_str(",\"kill_at\":null"),
+        }
+        match self.corrupt_bit {
+            Some(b) => out.push_str(&format!(",\"corrupt_bit\":{b}")),
+            None => out.push_str(",\"corrupt_bit\":null"),
+        }
+        out.push_str(",\"windows\":[");
+        for (i, w) in self.schedule.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"site\":\"{}\",\"start\":{},\"len\":{}}}",
+                w.site.name(),
+                w.start,
+                w.len
+            ));
+        }
+        out.push(']');
+        match failure {
+            Some(kind) => out.push_str(&format!(",\"failure\":\"{kind}\"")),
+            None => out.push_str(",\"failure\":null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a reproducer artifact back into a plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: bad JSON,
+    /// wrong schema, unknown workload or fault-site name, missing
+    /// fields.
+    pub fn from_json(text: &str) -> Result<ChaosPlan, String> {
+        let v = json::parse(text).map_err(|e| format!("bad JSON: {e:?}"))?;
+        let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != CHAOS_SCHEMA {
+            return Err(format!("schema `{schema}`, want `{CHAOS_SCHEMA}`"));
+        }
+        let seed = v.get("seed").and_then(Value::as_u64).ok_or("missing seed")?;
+        let wname = v.get("workload").and_then(Value::as_str).ok_or("missing workload")?;
+        let workload = workload_by_name(wname).ok_or(format!("unknown workload `{wname}`"))?;
+        let opt_u64 = |key: &str| v.get(key).and_then(Value::as_u64);
+        let mut windows = Vec::new();
+        if let Some(Value::Arr(arr)) = v.get("windows") {
+            for w in arr {
+                let sname = w.get("site").and_then(Value::as_str).ok_or("window missing site")?;
+                let site = FaultSite::ALL
+                    .into_iter()
+                    .find(|s| s.name() == sname)
+                    .ok_or(format!("unknown fault site `{sname}`"))?;
+                let start = w.get("start").and_then(Value::as_u64).ok_or("window missing start")?;
+                let len = w.get("len").and_then(Value::as_u64).ok_or("window missing len")?;
+                windows.push(dsa_core::BurstWindow {
+                    site,
+                    start: start as u32,
+                    len: (len as u32).max(1),
+                });
+            }
+        } else {
+            return Err("missing windows array".into());
+        }
+        Ok(ChaosPlan {
+            seed,
+            workload,
+            schedule: FaultSchedule { seed, windows },
+            kill_at: opt_u64("kill_at"),
+            corrupt_bit: opt_u64("corrupt_bit"),
+        })
+    }
+}
+
+fn workload_by_name(name: &str) -> Option<Workload> {
+    WorkloadId::all()
+        .into_iter()
+        .find(|id| id.name() == name)
+        .map(Workload::App)
+        .or_else(|| {
+            micro::Micro::all().into_iter().find(|m| m.name() == name).map(Workload::Micro)
+        })
+}
+
+fn built(workload: Workload, scale: Scale) -> BuiltWorkload {
+    match workload {
+        Workload::App(id) => build(id, Variant::Scalar, scale),
+        Workload::Micro(m) => micro::build(m, Variant::Scalar, scale),
+    }
+}
+
+/// How a chaos campaign failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFailure {
+    /// The chaos run hit a simulator error (watchdog, executor fault).
+    SimError,
+    /// The golden output checksum did not hold.
+    WrongResult,
+    /// Final architectural state differs from the scalar reference.
+    DigestMismatch,
+    /// A corrupted snapshot restored warm instead of being rejected.
+    CorruptionUndetected,
+    /// An untouched snapshot was rejected on restore.
+    CleanSnapshotRejected,
+}
+
+impl ChaosFailure {
+    /// Stable artifact name.
+    pub fn kind(self) -> &'static str {
+        match self {
+            ChaosFailure::SimError => "sim-error",
+            ChaosFailure::WrongResult => "wrong-result",
+            ChaosFailure::DigestMismatch => "digest-mismatch",
+            ChaosFailure::CorruptionUndetected => "corruption-undetected",
+            ChaosFailure::CleanSnapshotRejected => "clean-snapshot-rejected",
+        }
+    }
+}
+
+/// What one executed plan did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosOutcome {
+    /// `None` when every check held.
+    pub failure: Option<ChaosFailure>,
+    /// DSA faults that actually fired across all segments of the run.
+    pub faults_fired: u64,
+    /// The kill actually interrupted the run (it hadn't halted yet).
+    pub killed: bool,
+    /// The restore path degraded to cold start (always because a
+    /// corruption was detected — otherwise it's a failure).
+    pub restored_cold: bool,
+}
+
+/// Executes one chaos plan at `scale` and checks every invariant; see
+/// the module docs for the checks.
+pub fn run_chaos(plan: &ChaosPlan, scale: Scale) -> ChaosOutcome {
+    let mut out =
+        ChaosOutcome { failure: None, faults_fired: 0, killed: false, restored_cold: false };
+    let fail = |mut o: ChaosOutcome, f: ChaosFailure| {
+        o.failure = Some(f);
+        o
+    };
+
+    // Scalar reference: the oracle for final architectural state.
+    let w = built(plan.workload, scale);
+    let reference = {
+        let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+        (w.init)(sim.machine_mut());
+        if sim.run(FUEL).is_err() {
+            return fail(out, ChaosFailure::SimError);
+        }
+        sim.machine().arch_digest()
+    };
+
+    // Chaos run: DSA full config, randomized fault windows armed.
+    let config = DsaConfig::full();
+    let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+    (w.init)(sim.machine_mut());
+    let mut dsa = Dsa::new(config);
+    dsa.arm_schedule(plan.schedule.clone());
+
+    let mut halted = false;
+    if let Some(kill) = plan.kill_at {
+        match sim.run_bounded(kill, &mut dsa) {
+            Err(_) => return fail(out, ChaosFailure::SimError),
+            Ok(BoundedOutcome::Halted(_)) => {
+                out.faults_fired = dsa.stats().faults_injected;
+                halted = true;
+            }
+            Ok(BoundedOutcome::Paused) => {
+                out.killed = true;
+                let first_segment_faults = dsa.stats().faults_injected;
+                let mut bytes = Snapshot::capture(&dsa, sim.machine()).to_bytes();
+                if let Some(bit) = plan.corrupt_bit {
+                    let b = (bit % (bytes.len() as u64 * 8)) as usize;
+                    bytes[b / 8] ^= 1 << (b % 8);
+                }
+                match Dsa::restore_or_cold(&bytes, config) {
+                    Restored::Warm { dsa: mut dsa2, machine } => {
+                        if plan.corrupt_bit.is_some() {
+                            return fail(out, ChaosFailure::CorruptionUndetected);
+                        }
+                        // Resume: restored stats already carry the first
+                        // segment's fault counter.
+                        dsa2.arm_schedule(plan.schedule.clone());
+                        sim = Simulator::with_machine(
+                            w.kernel.program.clone(),
+                            CpuConfig::default(),
+                            machine,
+                        );
+                        dsa = dsa2;
+                    }
+                    Restored::Cold { dsa: mut dsa2, .. } => {
+                        if plan.corrupt_bit.is_none() {
+                            return fail(out, ChaosFailure::CleanSnapshotRejected);
+                        }
+                        // Detected corruption: restart from scratch.
+                        out.restored_cold = true;
+                        out.faults_fired += first_segment_faults;
+                        dsa2.arm_schedule(plan.schedule.clone());
+                        sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+                        (w.init)(sim.machine_mut());
+                        dsa = dsa2;
+                    }
+                }
+            }
+        }
+    }
+    if !halted {
+        if sim.run_with_hook(FUEL, &mut dsa).is_err() {
+            return fail(out, ChaosFailure::SimError);
+        }
+        out.faults_fired += dsa.stats().faults_injected;
+    }
+
+    if !w.check(sim.machine()) {
+        return fail(out, ChaosFailure::WrongResult);
+    }
+    if sim.machine().arch_digest() != reference {
+        return fail(out, ChaosFailure::DigestMismatch);
+    }
+    out
+}
+
+/// Greedy ddmin-style shrink: repeatedly tries simpler variants of
+/// `plan` — dropping one window, collapsing a burst to length 1,
+/// dropping the corruption, dropping the kill — keeping a variant
+/// whenever `still_fails` says the failure reproduces, until a fixed
+/// point. Returns the minimal plan and how many candidate plans were
+/// tried.
+pub fn shrink(plan: &ChaosPlan, still_fails: impl Fn(&ChaosPlan) -> bool) -> (ChaosPlan, u32) {
+    let mut best = plan.clone();
+    let mut tried = 0u32;
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < best.schedule.windows.len() {
+            let mut cand = best.clone();
+            cand.schedule.windows.remove(i);
+            tried += 1;
+            if still_fails(&cand) {
+                best = cand;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        for i in 0..best.schedule.windows.len() {
+            if best.schedule.windows[i].len > 1 {
+                let mut cand = best.clone();
+                cand.schedule.windows[i].len = 1;
+                tried += 1;
+                if still_fails(&cand) {
+                    best = cand;
+                    progressed = true;
+                }
+            }
+        }
+        if best.corrupt_bit.is_some() {
+            let mut cand = best.clone();
+            cand.corrupt_bit = None;
+            tried += 1;
+            if still_fails(&cand) {
+                best = cand;
+                progressed = true;
+            }
+        }
+        if best.kill_at.is_some() {
+            let mut cand = best.clone();
+            cand.kill_at = None;
+            tried += 1;
+            if still_fails(&cand) {
+                best = cand;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return (best, tried);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_core::BurstWindow;
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        assert_eq!(ChaosPlan::generate(7), ChaosPlan::generate(7));
+        assert_ne!(ChaosPlan::generate(7), ChaosPlan::generate(8));
+        // The rotation covers distinct workloads across seeds.
+        let distinct: std::collections::HashSet<&str> =
+            (0..32).map(|s| ChaosPlan::generate(s).workload.describe()).collect();
+        assert!(distinct.len() >= 4);
+    }
+
+    #[test]
+    fn artifact_roundtrips() {
+        let plan = ChaosPlan::generate(42);
+        let text = plan.to_json(Some("digest-mismatch"));
+        assert!(text.contains(CHAOS_SCHEMA));
+        let back = ChaosPlan::from_json(&text).expect("parses");
+        assert_eq!(back, plan);
+        // A no-failure artifact parses too.
+        assert_eq!(ChaosPlan::from_json(&plan.to_json(None)).expect("parses"), plan);
+    }
+
+    #[test]
+    fn artifact_rejects_garbage() {
+        assert!(ChaosPlan::from_json("not json").is_err());
+        assert!(ChaosPlan::from_json("{\"schema\":\"other/v9\"}").is_err());
+        let plan = ChaosPlan::generate(1);
+        let bad = plan.to_json(None).replace(plan.workload.describe(), "no-such-workload");
+        assert!(ChaosPlan::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn clean_kill_restore_is_bit_identical() {
+        // Sentinel micro at small scale: kill mid-run, snapshot,
+        // restore warm, finish — every invariant must hold.
+        let mut plan = ChaosPlan::generate(3);
+        plan.workload = Workload::Micro(micro::Micro::Sentinel);
+        plan.kill_at = Some(400);
+        plan.corrupt_bit = None;
+        let out = run_chaos(&plan, Scale::Small);
+        assert_eq!(out.failure, None, "clean kill/restore must pass");
+        assert!(out.killed, "run should have been interrupted");
+        assert!(!out.restored_cold, "clean image must restore warm");
+    }
+
+    #[test]
+    fn corruption_is_detected_and_recovers_cold() {
+        let mut plan = ChaosPlan::generate(5);
+        plan.workload = Workload::Micro(micro::Micro::Sentinel);
+        plan.kill_at = Some(400);
+        plan.corrupt_bit = Some(0x1234_5678_9abc);
+        let out = run_chaos(&plan, Scale::Small);
+        assert_eq!(out.failure, None, "detected corruption must recover cold, not fail");
+        assert!(out.killed);
+        assert!(out.restored_cold, "corrupted image must be rejected and degrade to cold start");
+    }
+
+    #[test]
+    fn shrink_reaches_a_minimal_plan() {
+        // Synthetic failure predicate: fails iff a corrupt-template
+        // window is present AND the kill is armed. The shrinker must
+        // strip everything else.
+        let mut plan = ChaosPlan::generate(11);
+        plan.schedule.windows = vec![
+            BurstWindow { site: FaultSite::DropVcacheEntry, start: 0, len: 4 },
+            BurstWindow { site: FaultSite::CorruptTemplate, start: 2, len: 3 },
+            BurstWindow { site: FaultSite::LieSentinelTrip, start: 9, len: 2 },
+        ];
+        plan.kill_at = Some(1000);
+        plan.corrupt_bit = Some(77);
+        let (min, tried) = shrink(&plan, |p| {
+            p.kill_at.is_some()
+                && p.schedule.windows.iter().any(|w| w.site == FaultSite::CorruptTemplate)
+        });
+        assert_eq!(min.schedule.windows.len(), 1);
+        assert_eq!(min.schedule.windows[0].site, FaultSite::CorruptTemplate);
+        assert_eq!(min.schedule.windows[0].len, 1, "burst must collapse to a single firing");
+        assert_eq!(min.corrupt_bit, None);
+        assert_eq!(min.kill_at, Some(1000));
+        assert!(tried > 0);
+        // Shrinking is idempotent at the fixed point.
+        let (again, _) = shrink(&min, |p| {
+            p.kill_at.is_some()
+                && p.schedule.windows.iter().any(|w| w.site == FaultSite::CorruptTemplate)
+        });
+        assert_eq!(again, min);
+    }
+}

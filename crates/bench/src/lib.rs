@@ -16,12 +16,17 @@
 //! speedup can never come from wrong results.
 
 pub mod cache;
+pub mod chaos;
 pub mod experiments;
+pub mod supervise;
 
 pub use cache::{run_cached, run_micro_cached, RunCache};
+pub use supervise::{Supervisor, SupervisorPolicy, SupervisorReport};
+
+use std::io::Write as _;
 
 use dsa_compiler::Variant;
-use dsa_core::{Dsa, DsaConfig, DsaStats, LoopCensus};
+use dsa_core::{Dsa, DsaConfig, DsaStats, LoopCensus, SnapshotError};
 use dsa_cpu::{CpuConfig, RunOutcome, SimError, Simulator};
 use dsa_energy::{EnergyBreakdown, EnergyModel, EnergyTable};
 use dsa_trace::{MetricsRegistry, SharedMetrics};
@@ -54,6 +59,29 @@ pub enum RunError {
         /// Name of the armed fault site (or "all").
         site: &'static str,
     },
+    /// A supervised worker panicked (caught at the crash-isolation
+    /// boundary) and exhausted its retries.
+    Panicked {
+        /// Display name of the workload whose worker crashed.
+        workload: &'static str,
+    },
+    /// A supervised run overran its per-run wall-clock deadline on
+    /// every attempt.
+    DeadlineExceeded {
+        /// Display name of the workload.
+        workload: &'static str,
+        /// The deadline that was exceeded, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The per-workload circuit breaker is open: earlier attempts
+    /// failed often enough that further runs are refused without
+    /// simulating.
+    BreakerOpen {
+        /// Display name of the workload.
+        workload: &'static str,
+    },
+    /// A snapshot image was rejected on restore.
+    Snapshot(SnapshotError),
 }
 
 impl std::fmt::Display for RunError {
@@ -69,6 +97,16 @@ impl std::fmt::Display for RunError {
                 f,
                 "differential oracle mismatch under fault site `{site}` (seed {seed})"
             ),
+            RunError::Panicked { workload } => {
+                write!(f, "worker panicked running `{workload}` (retries exhausted)")
+            }
+            RunError::DeadlineExceeded { workload, deadline_ms } => {
+                write!(f, "`{workload}` exceeded its {deadline_ms} ms deadline on every attempt")
+            }
+            RunError::BreakerOpen { workload } => {
+                write!(f, "circuit breaker open for `{workload}`: run refused")
+            }
+            RunError::Snapshot(e) => write!(f, "snapshot rejected: {e}"),
         }
     }
 }
@@ -81,17 +119,36 @@ impl From<SimError> for RunError {
     }
 }
 
-/// Prints an experiment's output, or reports its error cleanly: message
-/// to stderr, exit code 1, no backtrace. Shared by every `dsa-bench`
+impl From<SnapshotError> for RunError {
+    fn from(e: SnapshotError) -> RunError {
+        RunError::Snapshot(e)
+    }
+}
+
+/// Prints an experiment's output, or reports its error cleanly:
+/// everything already printed is flushed, a trailing diagnostic marks
+/// the output as partial on *stdout* (so a redirected table is visibly
+/// incomplete, not silently truncated), the message goes to stderr, and
+/// the process exits 1 with no backtrace. Shared by every `dsa-bench`
 /// binary so a failed run reads like a diagnostic, not a crash.
 pub fn emit(section: Result<String, RunError>) {
     match section {
         Ok(text) => println!("{text}"),
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => fail(&format!("error: {e}")),
     }
+}
+
+/// The shared failure exit path: prints `# INCOMPLETE: <message>` to
+/// stdout (flushed, so partial tables carry an in-band marker), the
+/// message itself to stderr (flushed), then exits 1.
+pub fn fail(message: &str) -> ! {
+    let mut out = std::io::stdout();
+    let _ = writeln!(out, "# INCOMPLETE: {message}");
+    let _ = out.flush();
+    let mut err = std::io::stderr();
+    let _ = writeln!(err, "{message}");
+    let _ = err.flush();
+    std::process::exit(1);
 }
 
 /// The systems compared in the paper's figures.
@@ -346,5 +403,13 @@ mod tests {
         assert!(w.to_string().contains("wrong result"));
         let o = RunError::OracleMismatch { seed: 3, site: "all" };
         assert!(o.to_string().contains("seed 3"));
+        let p = RunError::Panicked { workload: "qsort" };
+        assert!(p.to_string().contains("panicked"));
+        let d = RunError::DeadlineExceeded { workload: "fft", deadline_ms: 250 };
+        assert!(d.to_string().contains("250 ms"));
+        let b = RunError::BreakerOpen { workload: "susan" };
+        assert!(b.to_string().contains("breaker"));
+        let s = RunError::from(dsa_core::SnapshotError::ChecksumMismatch);
+        assert!(s.to_string().contains("snapshot rejected"));
     }
 }

@@ -1,0 +1,454 @@
+//! Crash-isolated supervision for the parallel experiment harness.
+//!
+//! `RunCache::warm` fans dozens of multi-second simulations across OS
+//! threads; one panicking worker used to take the whole process (and
+//! every already-computed result) with it. The [`Supervisor`] wraps
+//! each cached run in a crash boundary and a small reliability policy:
+//!
+//! - **isolation** — the run executes under
+//!   [`std::panic::catch_unwind`]; a panic is converted into
+//!   [`RunError::Panicked`] instead of unwinding through the pool.
+//!   `RunCache`'s memoization slot stays empty when its init closure
+//!   panics, so a retry genuinely re-simulates.
+//! - **deadlines** — wall-clock per-run deadlines, checked post-hoc
+//!   (threads can't be killed): a run that overruns is discarded and
+//!   reported as [`RunError::DeadlineExceeded`]. A successful re-run
+//!   of the same key is a cache hit and lands well inside the deadline.
+//! - **bounded retry** — only *transient* failures (panic, deadline)
+//!   are retried, with exponential backoff; deterministic errors
+//!   (wrong result, watchdog, oracle mismatch) are memoized by the
+//!   cache and fail fast.
+//! - **circuit breaker** — per-workload consecutive-failure counter;
+//!   once it crosses the threshold further runs of that workload are
+//!   refused ([`RunError::BreakerOpen`]) without simulating.
+//!
+//! Every transition is emitted as a typed [`dsa_trace::Event`]
+//! (`supervisor-retry`, `worker-panicked`, `deadline-exceeded`,
+//! `breaker-open`) through an attachable sink, so `trace_report` can
+//! account for supervision alongside engine telemetry. These events
+//! live in the wall-clock domain and carry `cycle: 0`.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dsa_trace::{Event, TraceSink};
+use dsa_workloads::Scale;
+
+use crate::cache::{RunCache, Workload};
+use crate::{RunError, System};
+
+/// Reliability policy for supervised runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Per-run wall-clock deadline in milliseconds; `0` disables the
+    /// deadline.
+    pub deadline_ms: u64,
+    /// Extra attempts after the first, for transient failures only.
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `backoff_base_ms << (n-1)`,
+    /// saturating at six doublings.
+    pub backoff_base_ms: u64,
+    /// Consecutive failures of one workload that open its breaker.
+    pub breaker_threshold: u32,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> SupervisorPolicy {
+        SupervisorPolicy {
+            deadline_ms: 120_000,
+            max_retries: 2,
+            backoff_base_ms: 10,
+            breaker_threshold: 3,
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// Backoff before retry attempt `attempt` (1-based), in ms.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        self.backoff_base_ms << attempt.saturating_sub(1).min(6)
+    }
+}
+
+/// Counters describing everything the supervisor saw — the stderr
+/// summary of `all_experiments` and the soak report both print this.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorReport {
+    /// Supervised run requests.
+    pub runs: u64,
+    /// Individual attempts (≥ runs when retries happened).
+    pub attempts: u64,
+    /// Runs that returned a result.
+    pub successes: u64,
+    /// Runs that ultimately failed.
+    pub failures: u64,
+    /// Retries performed.
+    pub retries: u64,
+    /// Panics caught at the crash boundary.
+    pub panics: u64,
+    /// Deadline overruns observed.
+    pub deadline_overruns: u64,
+    /// Breaker-open transitions.
+    pub breakers_opened: u64,
+    /// Runs refused because a breaker was already open.
+    pub breaker_refusals: u64,
+}
+
+impl std::fmt::Display for SupervisorReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "supervision: {}/{} runs ok ({} attempts, {} retries, {} panics caught, \
+             {} deadline overruns, {} breakers opened, {} refused)",
+            self.successes,
+            self.runs,
+            self.attempts,
+            self.retries,
+            self.panics,
+            self.deadline_overruns,
+            self.breakers_opened,
+            self.breaker_refusals,
+        )
+    }
+}
+
+/// Shared supervisor state: breaker counters, report, event sink.
+struct SupInner {
+    /// Consecutive-failure count per workload name.
+    breaker: HashMap<&'static str, u32>,
+    report: SupervisorReport,
+    sink: Option<Box<dyn TraceSink + Send>>,
+}
+
+/// Crash-isolating front-end to a [`RunCache`]; see the module docs.
+pub struct Supervisor<'c> {
+    cache: &'c RunCache,
+    policy: SupervisorPolicy,
+    inner: Mutex<SupInner>,
+}
+
+impl<'c> Supervisor<'c> {
+    /// A supervisor over `cache` with `policy`.
+    pub fn new(cache: &'c RunCache, policy: SupervisorPolicy) -> Supervisor<'c> {
+        Supervisor {
+            cache,
+            policy,
+            inner: Mutex::new(SupInner {
+                breaker: HashMap::new(),
+                report: SupervisorReport::default(),
+                sink: None,
+            }),
+        }
+    }
+
+    /// Routes supervision events into `sink` (e.g. a
+    /// [`dsa_trace::Shared`] handle also fed by the engine).
+    pub fn attach_sink(&self, sink: impl TraceSink + Send + 'static) {
+        self.lock().sink = Some(Box::new(sink));
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> SupervisorPolicy {
+        self.policy
+    }
+
+    /// Snapshot of the counters so far.
+    pub fn report(&self) -> SupervisorReport {
+        self.lock().report
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SupInner> {
+        // A panicking holder would poison the lock; every hold below is
+        // a few counter updates, so recover the data rather than
+        // cascade the panic through the pool.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn emit(&self, ev: Event) {
+        if let Some(sink) = self.lock().sink.as_mut() {
+            sink.record(&ev);
+        }
+    }
+
+    /// One supervised, memoized run (the supervised analogue of
+    /// [`RunCache::get`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`RunError`] after retries are exhausted,
+    /// [`RunError::Panicked`] / [`RunError::DeadlineExceeded`] for
+    /// crash-boundary failures, or [`RunError::BreakerOpen`] without
+    /// simulating when the workload's breaker is open.
+    pub fn run(
+        &self,
+        workload: Workload,
+        system: System,
+        scale: Scale,
+    ) -> Result<std::sync::Arc<crate::RunResult>, RunError> {
+        let name = workload.describe();
+        self.call(name, || self.cache.get(workload, system, scale))
+    }
+
+    /// The generic supervised call: crash boundary, deadline, retry,
+    /// breaker — around an arbitrary fallible computation. `chaos` and
+    /// the tests drive this directly.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Supervisor::run`].
+    pub fn call<T>(
+        &self,
+        name: &'static str,
+        f: impl Fn() -> Result<T, RunError>,
+    ) -> Result<T, RunError> {
+        {
+            let mut inner = self.lock();
+            inner.report.runs += 1;
+            if inner.breaker.get(name).copied().unwrap_or(0) >= self.policy.breaker_threshold {
+                inner.report.breaker_refusals += 1;
+                return Err(RunError::BreakerOpen { workload: name });
+            }
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            self.lock().report.attempts += 1;
+            let start = Instant::now();
+            let unwound = catch_unwind(AssertUnwindSafe(&f));
+            let elapsed_ms = start.elapsed().as_millis() as u64;
+            let result = match unwound {
+                Ok(r) => r,
+                Err(_) => {
+                    self.lock().report.panics += 1;
+                    self.emit(Event::WorkerPanicked { workload: name, cycle: 0 });
+                    Err(RunError::Panicked { workload: name })
+                }
+            };
+            let result = match result {
+                Ok(_) if self.policy.deadline_ms > 0 && elapsed_ms > self.policy.deadline_ms => {
+                    self.lock().report.deadline_overruns += 1;
+                    self.emit(Event::DeadlineExceeded {
+                        workload: name,
+                        deadline_ms: self.policy.deadline_ms,
+                        cycle: 0,
+                    });
+                    Err(RunError::DeadlineExceeded {
+                        workload: name,
+                        deadline_ms: self.policy.deadline_ms,
+                    })
+                }
+                other => other,
+            };
+            match result {
+                Ok(v) => {
+                    let mut inner = self.lock();
+                    inner.report.successes += 1;
+                    inner.breaker.insert(name, 0);
+                    return Ok(v);
+                }
+                Err(e) => {
+                    self.note_failure(name);
+                    let transient = matches!(
+                        e,
+                        RunError::Panicked { .. } | RunError::DeadlineExceeded { .. }
+                    );
+                    if !transient || attempt >= self.policy.max_retries {
+                        self.lock().report.failures += 1;
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    let backoff = self.policy.backoff_ms(attempt);
+                    self.lock().report.retries += 1;
+                    self.emit(Event::SupervisorRetry {
+                        workload: name,
+                        attempt,
+                        backoff_ms: backoff,
+                        cycle: 0,
+                    });
+                    std::thread::sleep(Duration::from_millis(backoff));
+                }
+            }
+        }
+    }
+
+    /// Records one failed attempt against `name`'s breaker, emitting
+    /// `breaker-open` exactly at the crossing.
+    fn note_failure(&self, name: &'static str) {
+        let opened = {
+            let mut inner = self.lock();
+            let count = inner.breaker.entry(name).or_insert(0);
+            *count += 1;
+            let crossed = *count == self.policy.breaker_threshold;
+            let count = *count;
+            if crossed {
+                inner.report.breakers_opened += 1;
+                Some(count)
+            } else {
+                None
+            }
+        };
+        if let Some(failures) = opened {
+            self.emit(Event::BreakerOpen { workload: name, failures, cycle: 0 });
+        }
+    }
+
+    /// Supervised grid warm-up: like [`RunCache::warm`], but each
+    /// simulation runs inside the crash boundary, so a panicking or
+    /// overrunning combo is retried/refused per policy instead of
+    /// aborting the pool. Failures stay memoized for the figure that
+    /// requests them to report.
+    pub fn warm(&self, combos: &[(Workload, System)], scale: Scale, jobs: usize) {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.clamp(1, combos.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(workload, system)) = combos.get(i) else { break };
+                    let _ = self.run(workload, system, scale);
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use dsa_trace::{Collector, Shared};
+    use dsa_workloads::WorkloadId;
+
+    fn quiet_policy() -> SupervisorPolicy {
+        SupervisorPolicy { deadline_ms: 0, max_retries: 2, backoff_base_ms: 0, breaker_threshold: 3 }
+    }
+
+    #[test]
+    fn successful_run_flows_through() {
+        let cache = RunCache::new();
+        let sup = Supervisor::new(&cache, quiet_policy());
+        let r = sup
+            .run(Workload::App(WorkloadId::RgbGray), System::Original, Scale::Small)
+            .expect("runs");
+        assert!(r.cycles() > 0);
+        let rep = sup.report();
+        assert_eq!((rep.runs, rep.successes, rep.failures), (1, 1, 0));
+    }
+
+    #[test]
+    fn panic_is_caught_retried_and_reported() {
+        let cache = RunCache::new();
+        let sup = Supervisor::new(&cache, quiet_policy());
+        let sink = Shared::new(Collector::new());
+        sup.attach_sink(sink.clone());
+        let calls = AtomicU32::new(0);
+        // Panics twice, then succeeds — inside the retry budget.
+        let out = sup.call("flaky", || {
+            if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("injected worker crash");
+            }
+            Ok(7u32)
+        });
+        assert_eq!(out, Ok(7));
+        let rep = sup.report();
+        assert_eq!((rep.panics, rep.retries, rep.successes), (2, 2, 1));
+        let names: Vec<&str> = sink.with(|c| c.events.iter().map(|e| e.type_name()).collect());
+        assert_eq!(
+            names,
+            ["worker-panicked", "supervisor-retry", "worker-panicked", "supervisor-retry"]
+        );
+    }
+
+    #[test]
+    fn deterministic_errors_fail_fast_without_retry() {
+        let cache = RunCache::new();
+        let sup = Supervisor::new(&cache, quiet_policy());
+        let calls = AtomicU32::new(0);
+        let out: Result<(), RunError> = sup.call("bad", || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(RunError::WrongResult { system: System::DsaFull, got: 1, want: 2 })
+        });
+        assert!(matches!(out, Err(RunError::WrongResult { .. })));
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "no retry for deterministic failure");
+        assert_eq!(sup.report().retries, 0);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_refuses() {
+        let cache = RunCache::new();
+        let sup = Supervisor::new(&cache, quiet_policy());
+        let sink = Shared::new(Collector::new());
+        sup.attach_sink(sink.clone());
+        for _ in 0..3 {
+            let _ = sup.call::<()>("sick", || {
+                Err(RunError::WrongResult { system: System::DsaFull, got: 0, want: 1 })
+            });
+        }
+        // Breaker is now open: the next call is refused without running.
+        let calls = AtomicU32::new(0);
+        let out = sup.call("sick", || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+        assert!(matches!(out, Err(RunError::BreakerOpen { workload: "sick" })));
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "refused runs must not execute");
+        let rep = sup.report();
+        assert_eq!((rep.breakers_opened, rep.breaker_refusals), (1, 1));
+        assert!(sink.with(|c| c.events.iter().any(|e| e.type_name() == "breaker-open")));
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_panic() {
+        let cache = RunCache::new();
+        let policy = SupervisorPolicy { max_retries: 1, ..quiet_policy() };
+        let sup = Supervisor::new(&cache, policy);
+        let out: Result<(), RunError> = sup.call("doomed", || panic!("always"));
+        assert!(matches!(out, Err(RunError::Panicked { workload: "doomed" })));
+        let rep = sup.report();
+        assert_eq!((rep.attempts, rep.panics, rep.failures), (2, 2, 1));
+    }
+
+    #[test]
+    fn deadline_overrun_is_a_transient_failure() {
+        let cache = RunCache::new();
+        // 1 ms deadline; first attempt sleeps past it, the retry is fast.
+        let policy = SupervisorPolicy { deadline_ms: 1, ..quiet_policy() };
+        let sup = Supervisor::new(&cache, policy);
+        let calls = AtomicU32::new(0);
+        let out = sup.call("slow-once", || {
+            if calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Ok(1u8)
+        });
+        assert_eq!(out, Ok(1));
+        let rep = sup.report();
+        assert_eq!((rep.deadline_overruns, rep.retries, rep.successes), (1, 1, 1));
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let p = SupervisorPolicy { backoff_base_ms: 10, ..SupervisorPolicy::default() };
+        assert_eq!(p.backoff_ms(1), 10);
+        assert_eq!(p.backoff_ms(2), 20);
+        assert_eq!(p.backoff_ms(3), 40);
+        assert_eq!(p.backoff_ms(99), 640);
+    }
+
+    #[test]
+    fn supervised_warm_fills_the_cache() {
+        let cache = RunCache::new();
+        let sup = Supervisor::new(&cache, quiet_policy());
+        let combos = [
+            (Workload::App(WorkloadId::RgbGray), System::Original),
+            (Workload::App(WorkloadId::RgbGray), System::DsaFull),
+        ];
+        sup.warm(&combos, Scale::Small, 2);
+        assert_eq!(cache.stats().simulations, 2);
+        assert_eq!(sup.report().successes, 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! The acceptance gate for crash-consistent snapshots: for **all eight
+//! chaos workloads** (the seven paper applications plus the sentinel
+//! microkernel), a run killed mid-flight, snapshotted, restored and
+//! resumed must be architecturally bit-identical to both the scalar
+//! reference and the uninterrupted DSA run — memory, registers, flags
+//! and output checksums (cycle counts are timing, not architecture,
+//! and are exempt by design).
+
+use dsa_bench::chaos::chaos_workloads;
+use dsa_compiler::Variant;
+use dsa_core::oracle::DifferentialOracle;
+use dsa_core::DsaConfig;
+use dsa_workloads::{build, micro, Scale};
+
+const FUEL: u64 = 200_000_000;
+
+#[test]
+fn resume_is_bit_identical_across_all_eight_workloads() {
+    let oracle = DifferentialOracle::new(FUEL);
+    let splits = [300u64, 4_000];
+    for workload in chaos_workloads() {
+        let w = match workload {
+            dsa_bench::cache::Workload::App(id) => build(id, Variant::Scalar, Scale::Small),
+            dsa_bench::cache::Workload::Micro(m) => micro::build(m, Variant::Scalar, Scale::Small),
+        };
+        for split in splits {
+            let report = oracle.check_resume(
+                &w.kernel.program,
+                DsaConfig::full(),
+                |m| (w.init)(m),
+                split,
+            );
+            assert!(
+                report.holds(),
+                "{} split {split}: {report}",
+                workload.describe()
+            );
+        }
+    }
+}

@@ -19,7 +19,7 @@ pub enum CachedKind {
 impl CachedKind {
     /// Approximate storage footprint of the entry, in bytes, modelling
     /// the 8 KB capacity of the hardware structure.
-    fn size_bytes(&self) -> u32 {
+    pub(crate) fn size_bytes(&self) -> u32 {
         match self {
             // ID + range + class + per-stream records + per-arm records.
             CachedKind::Vectorizable(t) => {
@@ -115,17 +115,19 @@ impl DsaCache {
         }
         let mut evicted = 0u32;
         let size = kind.size_bytes();
-        while self.used_bytes + size > self.capacity_bytes && !self.entries.is_empty() {
-            let victim = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_use)
-                .map(|(&k, _)| k)
-                .expect("non-empty");
-            let e = self.entries.remove(&victim).expect("victim present");
-            self.used_bytes -= e.kind.size_bytes();
-            self.evictions += 1;
-            evicted += 1;
+        while self.used_bytes + size > self.capacity_bytes {
+            // LRU victim selection; the loop guard plus this pattern
+            // keeps the path panic-free on an empty map.
+            let Some(victim) =
+                self.entries.iter().min_by_key(|(_, e)| e.last_use).map(|(&k, _)| k)
+            else {
+                break;
+            };
+            if let Some(e) = self.entries.remove(&victim) {
+                self.used_bytes -= e.kind.size_bytes();
+                self.evictions += 1;
+                evicted += 1;
+            }
         }
         if size <= self.capacity_bytes {
             self.used_bytes += size;
@@ -152,6 +154,52 @@ impl DsaCache {
     /// Bytes currently occupied.
     pub fn used_bytes(&self) -> u32 {
         self.used_bytes
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u32 {
+        self.capacity_bytes
+    }
+
+    /// Snapshot export: every entry as `(loop_id, kind, last_use)`,
+    /// sorted by loop ID so identical caches always export identically.
+    pub(crate) fn export_entries(&self) -> Vec<(u32, CachedKind, u64)> {
+        let mut out: Vec<(u32, CachedKind, u64)> = self
+            .entries
+            .iter()
+            .map(|(&id, e)| (id, e.kind.clone(), e.last_use))
+            .collect();
+        out.sort_unstable_by_key(|&(id, _, _)| id);
+        out
+    }
+
+    /// Snapshot export: the LRU tick and `(hits, misses, evictions)`
+    /// counters, so a restored cache keeps the same replacement order
+    /// and statistics.
+    pub(crate) fn export_clock(&self) -> (u64, u64, u64, u64) {
+        (self.tick, self.hits, self.misses, self.evictions)
+    }
+
+    /// Snapshot restore: rebuilds a cache from exported parts.
+    /// `used_bytes` is recomputed from the entries (it is derived state,
+    /// so a corrupted value cannot be smuggled in through a snapshot).
+    pub(crate) fn from_parts(
+        capacity_bytes: u32,
+        entries: Vec<(u32, CachedKind, u64)>,
+        tick: u64,
+        hits: u64,
+        misses: u64,
+        evictions: u64,
+    ) -> DsaCache {
+        let mut used_bytes = 0u32;
+        let entries: HashMap<u32, Entry> = entries
+            .into_iter()
+            .map(|(id, kind, last_use)| {
+                used_bytes += kind.size_bytes();
+                (id, Entry { kind, last_use })
+            })
+            .collect();
+        DsaCache { capacity_bytes, used_bytes, entries, tick, hits, misses, evictions }
     }
 }
 
@@ -183,6 +231,16 @@ impl VerificationCache {
     /// Total accesses recorded.
     pub fn accesses(&self) -> u64 {
         self.accesses
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u32 {
+        self.capacity_bytes
+    }
+
+    /// Snapshot restore: a cache with its access counter pre-loaded.
+    pub(crate) fn with_accesses(capacity_bytes: u32, accesses: u64) -> VerificationCache {
+        VerificationCache { capacity_bytes, accesses }
     }
 }
 

@@ -10,7 +10,8 @@ use dsa_trace::{CacheKind, CacheOutcome, Event, SpecKind, Stage, TraceSink, Trac
 use crate::caches::{CachedKind, DsaCache, VerificationCache};
 use crate::cidp::{self, CidpOutcome};
 use crate::config::DsaConfig;
-use crate::faults::{FaultSite, FaultState};
+use crate::faults::{FaultSchedule, FaultSite, FaultState};
+use crate::snapshot::{EngineState, Snapshot, SnapshotError};
 use crate::plan::{self, ArmTemplate, LoopTemplate, OpMix, StreamTemplate};
 use crate::profile::{CmpObs, IterationProfile, IterationRecorder};
 use crate::stats::{DsaStats, LoopCensus, LoopClass};
@@ -73,6 +74,30 @@ pub struct Dsa {
     /// boundaries and stage transitions — never the per-commit path —
     /// and the disabled path is a single discriminant test.
     tracer: Tracer,
+}
+
+/// Outcome of [`Dsa::restore_or_cold`]: either the warm state came back,
+/// or the image was rejected and a cold engine stands in.
+// Constructed once per restore attempt; not worth boxing the machine.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum Restored {
+    /// The image validated; engine and machine resume where the
+    /// snapshot was taken.
+    Warm {
+        /// The restored engine (warm caches, Probing mode).
+        dsa: Dsa,
+        /// The restored architectural state.
+        machine: Machine,
+    },
+    /// The image was rejected; a cold engine is supplied instead (the
+    /// caller must also rebuild machine state from scratch).
+    Cold {
+        /// A fresh engine under the requested configuration.
+        dsa: Dsa,
+        /// Why the image was rejected.
+        error: SnapshotError,
+    },
 }
 
 #[derive(Debug)]
@@ -190,6 +215,89 @@ impl Dsa {
             error: None,
             tracer: Tracer::Off,
         }
+    }
+
+    /// Exports the engine's persistent state (caches, statistics,
+    /// census) for snapshot serialization. Transient detection state
+    /// (the current [`Mode`]) is intentionally excluded: the engine
+    /// restarts in Probing after a restore, losing at most one
+    /// in-flight analysis and never architectural state.
+    pub(crate) fn engine_state(&self) -> EngineState {
+        let (tick, hits, misses, evictions) = self.cache.export_clock();
+        let mut census: Vec<(u32, LoopClass)> =
+            self.census.iter().map(|(&id, &class)| (id, class)).collect();
+        census.sort_unstable_by_key(|&(id, _)| id);
+        EngineState {
+            cache_capacity: self.cache.capacity_bytes(),
+            cache_entries: self.cache.export_entries(),
+            cache_tick: tick,
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_evictions: evictions,
+            vcache_capacity: self.vcache.capacity_bytes(),
+            vcache_accesses: self.vcache.accesses(),
+            stats: self.stats,
+            census,
+        }
+    }
+
+    /// Rebuilds an engine from exported persistent state. The engine
+    /// starts in Probing mode with fault injection re-derived from
+    /// `config` (fault-firing state is harness-side, not persistent).
+    pub(crate) fn from_state(config: DsaConfig, state: EngineState) -> Dsa {
+        Dsa {
+            config,
+            cache: DsaCache::from_parts(
+                state.cache_capacity,
+                state.cache_entries,
+                state.cache_tick,
+                state.cache_hits,
+                state.cache_misses,
+                state.cache_evictions,
+            ),
+            vcache: VerificationCache::with_accesses(
+                state.vcache_capacity,
+                state.vcache_accesses,
+            ),
+            stats: state.stats,
+            census: state.census.into_iter().collect(),
+            mode: Mode::Probing,
+            faults: config.faults.map(FaultState::new),
+            error: None,
+            tracer: Tracer::Off,
+        }
+    }
+
+    /// Restores an engine + machine pair from a snapshot image.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: a torn, corrupt, wrong-version or
+    /// wrong-config image is rejected — never panicked on.
+    pub fn restore(bytes: &[u8], config: DsaConfig) -> Result<(Dsa, Machine), SnapshotError> {
+        let snap = Snapshot::from_bytes(bytes)?;
+        let dsa = snap.restore_engine(config)?;
+        Ok((dsa, snap.restore_machine()))
+    }
+
+    /// Restores from a snapshot image, degrading to a cold start when
+    /// the image is rejected: the caller always gets a usable engine,
+    /// plus the typed rejection so it can be reported (the supervised
+    /// harness emits it as a `snapshot-rejected` trace event).
+    pub fn restore_or_cold(bytes: &[u8], config: DsaConfig) -> Restored {
+        match Dsa::restore(bytes, config) {
+            Ok((dsa, machine)) => Restored::Warm { dsa, machine },
+            Err(error) => Restored::Cold { dsa: Dsa::new(config), error },
+        }
+    }
+
+    /// Arms a generalized chaos [`FaultSchedule`], replacing whatever
+    /// fault plan `config.faults` installed. Schedules live outside
+    /// [`DsaConfig`] (which stays `Copy` for memoization keys), so the
+    /// chaos harness re-arms them explicitly — including on engines
+    /// restored from snapshots, whose images never carry fault state.
+    pub fn arm_schedule(&mut self, schedule: FaultSchedule) {
+        self.faults = Some(FaultState::from_schedule(schedule));
     }
 
     /// Attaches a telemetry sink; every engine observation from now on

@@ -103,13 +103,83 @@ impl FaultPlan {
     }
 }
 
-/// splitmix64 — the standard 64-bit mixer; deterministic, dependency-free.
-pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+/// splitmix64 — the standard 64-bit mixer; deterministic,
+/// dependency-free. Public so the chaos harness in `dsa-bench` derives
+/// its randomized schedules from the same generator the engine uses.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// One randomized firing window: site `site` fires on opportunity
+/// indices `start .. start + len` (a *burst*). Opportunity indices count
+/// per-site, exactly like [`FaultState::fire`]'s modular schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BurstWindow {
+    /// Site the burst applies to.
+    pub site: FaultSite,
+    /// First opportunity index (per-site) that fires.
+    pub start: u32,
+    /// Number of consecutive opportunities that fire (≥ 1).
+    pub len: u32,
+}
+
+impl BurstWindow {
+    /// Whether per-site opportunity `n` falls inside the burst.
+    pub fn contains(&self, n: u32) -> bool {
+        n >= self.start && n - self.start < self.len
+    }
+}
+
+/// A generalized, seed-driven fault schedule: instead of the five fixed
+/// modular patterns of [`FaultPlan`], an arbitrary set of
+/// (site × trigger-opportunity × burst-length) windows. Produced by the
+/// chaos harness ([`FaultSchedule::generate`]) and shrunk window-by-
+/// window when a campaign fails, so a minimal reproducer is just a
+/// shorter window list with the same seed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FaultSchedule {
+    /// Seed the schedule was generated from (kept for `pick` variants
+    /// and for provenance in reproducer artifacts).
+    pub seed: u64,
+    /// Firing windows; order is irrelevant to semantics but preserved
+    /// for reproducer stability.
+    pub windows: Vec<BurstWindow>,
+}
+
+impl FaultSchedule {
+    /// Generates a randomized schedule of `n_windows` bursts from
+    /// `seed`: uniformly chosen sites, trigger opportunities in
+    /// `0..max_start`, burst lengths in `1..=4`. Deterministic — the
+    /// same `(seed, n_windows, max_start)` always yields the same
+    /// schedule.
+    pub fn generate(seed: u64, n_windows: usize, max_start: u32) -> FaultSchedule {
+        let mut s = seed ^ 0xc4a5_a511_7e3d_0b7d;
+        let windows = (0..n_windows)
+            .map(|_| {
+                let r = splitmix64(&mut s);
+                let site = FaultSite::ALL[(r % FaultSite::ALL.len() as u64) as usize];
+                let start = ((r >> 8) % max_start.max(1) as u64) as u32;
+                let len = 1 + ((r >> 40) % 4) as u32;
+                BurstWindow { site, start, len }
+            })
+            .collect();
+        FaultSchedule { seed, windows }
+    }
+
+    /// Bitmask of sites that appear in at least one window (the
+    /// schedule-mode equivalent of [`FaultPlan::armed_mask`]).
+    pub fn armed_mask(&self) -> u8 {
+        self.windows.iter().fold(0, |m, w| m | 1 << w.site.index())
+    }
+
+    /// Whether per-site opportunity `n` at `site` falls in any window.
+    pub fn fires(&self, site: FaultSite, n: u32) -> bool {
+        self.windows.iter().any(|w| w.site == site && w.contains(n))
+    }
 }
 
 /// Runtime firing state derived from a [`FaultPlan`]. Each armed site
@@ -125,6 +195,9 @@ pub struct FaultState {
     phase: [u32; 5],
     seen: [u32; 5],
     fired: [u32; 5],
+    /// When present, firing decisions come from the window list instead
+    /// of the modular `period`/`phase` schedule.
+    schedule: Option<FaultSchedule>,
 }
 
 impl FaultState {
@@ -138,12 +211,33 @@ impl FaultState {
             period[i] = 1 + (r % 3) as u32;
             phase[i] = ((r >> 16) % period[i] as u64) as u32;
         }
-        FaultState { plan, period, phase, seen: [0; 5], fired: [0; 5] }
+        FaultState { plan, period, phase, seen: [0; 5], fired: [0; 5], schedule: None }
     }
 
-    /// The plan this state was derived from.
+    /// Derives runtime state from a generalized window schedule. Sites
+    /// with at least one window are armed; firing decisions come from
+    /// window containment instead of the modular pattern.
+    pub fn from_schedule(schedule: FaultSchedule) -> FaultState {
+        let plan = FaultPlan { seed: schedule.seed, armed_mask: schedule.armed_mask() };
+        FaultState {
+            plan,
+            period: [1; 5],
+            phase: [0; 5],
+            seen: [0; 5],
+            fired: [0; 5],
+            schedule: Some(schedule),
+        }
+    }
+
+    /// The plan this state was derived from (for schedule mode, a plan
+    /// with the union of scheduled sites armed).
     pub fn plan(&self) -> FaultPlan {
         self.plan
+    }
+
+    /// The window schedule, when running in schedule mode.
+    pub fn schedule(&self) -> Option<&FaultSchedule> {
+        self.schedule.as_ref()
     }
 
     /// Registers one opportunity at `site` and reports whether the fault
@@ -155,7 +249,10 @@ impl FaultState {
         let i = site.index();
         let n = self.seen[i];
         self.seen[i] += 1;
-        let fires = n % self.period[i] == self.phase[i];
+        let fires = match &self.schedule {
+            Some(sched) => sched.fires(site, n),
+            None => n % self.period[i] == self.phase[i],
+        };
         if fires {
             self.fired[i] += 1;
         }
@@ -221,6 +318,47 @@ mod tests {
             assert!(!st.fire(FaultSite::CorruptTemplate));
         }
         assert_eq!(st.fired_at(FaultSite::CorruptTemplate), 0);
+    }
+
+    #[test]
+    fn generated_schedules_are_deterministic() {
+        let a = FaultSchedule::generate(99, 8, 50);
+        let b = FaultSchedule::generate(99, 8, 50);
+        assert_eq!(a, b);
+        assert_eq!(a.windows.len(), 8);
+        assert!(a.windows.iter().all(|w| w.start < 50 && (1..=4).contains(&w.len)));
+        assert_ne!(a, FaultSchedule::generate(100, 8, 50));
+    }
+
+    #[test]
+    fn schedule_windows_gate_firing() {
+        let sched = FaultSchedule {
+            seed: 1,
+            windows: vec![BurstWindow { site: FaultSite::CorruptTemplate, start: 2, len: 3 }],
+        };
+        let mut st = FaultState::from_schedule(sched);
+        // Opportunities 0,1 miss; 2,3,4 fire; 5+ miss.
+        let fired: Vec<bool> = (0..7).map(|_| st.fire(FaultSite::CorruptTemplate)).collect();
+        assert_eq!(fired, [false, false, true, true, true, false, false]);
+        assert_eq!(st.fired_at(FaultSite::CorruptTemplate), 3);
+        // Unscheduled sites are unarmed.
+        assert!(!st.fire(FaultSite::LieSentinelTrip));
+        assert_eq!(st.fired_at(FaultSite::LieSentinelTrip), 0);
+    }
+
+    #[test]
+    fn schedule_armed_mask_is_union_of_window_sites() {
+        let sched = FaultSchedule {
+            seed: 0,
+            windows: vec![
+                BurstWindow { site: FaultSite::DropVcacheEntry, start: 0, len: 1 },
+                BurstWindow { site: FaultSite::SkipRollbackFlush, start: 5, len: 2 },
+            ],
+        };
+        let st = FaultState::from_schedule(sched);
+        assert!(st.plan().armed(FaultSite::DropVcacheEntry));
+        assert!(st.plan().armed(FaultSite::SkipRollbackFlush));
+        assert!(!st.plan().armed(FaultSite::CorruptTemplate));
     }
 
     #[test]

@@ -70,13 +70,15 @@ pub mod faults;
 pub mod oracle;
 mod plan;
 mod profile;
+pub mod snapshot;
 mod stats;
 
 pub use caches::{CachedKind, DsaCache, VerificationCache};
 pub use cidp::{predict, CidpOutcome, Stream};
 pub use config::{DsaConfig, FeatureSet, LeftoverPolicy};
-pub use engine::{Dsa, EngineError};
-pub use faults::{FaultPlan, FaultSite, FaultState};
+pub use engine::{Dsa, EngineError, Restored};
+pub use faults::{splitmix64, BurstWindow, FaultPlan, FaultSchedule, FaultSite, FaultState};
+pub use snapshot::{Snapshot, SnapshotError};
 pub use oracle::{DifferentialOracle, OracleReport, OracleVerdict};
 pub use plan::{build_plan, ArmTemplate, LoopTemplate, OpMix, StreamTemplate, TemplateDefect, VectorPlan};
 pub use profile::{BodyClass, BodyProfile, IterationProfile, StreamInfo};

@@ -10,11 +10,12 @@
 //! architectural state — scalar and vector register files, flags, and
 //! every allocated byte of memory — bit for bit.
 
-use dsa_cpu::{CpuConfig, Machine, NullHook, SimError, Simulator};
+use dsa_cpu::{BoundedOutcome, CpuConfig, Machine, NullHook, SimError, Simulator};
 use dsa_isa::Program;
 
 use crate::config::DsaConfig;
 use crate::engine::{Dsa, EngineError};
+use crate::snapshot::Snapshot;
 use crate::stats::DsaStats;
 
 /// Outcome of one differential comparison.
@@ -150,6 +151,129 @@ impl DifferentialOracle {
         }
     }
 
+    /// Crash-consistency check: a DSA-attached run interrupted after
+    /// `split` committed instructions, snapshotted (through actual
+    /// serialized bytes, exercising the full wire format), restored and
+    /// completed, must reach the same final architectural state as both
+    /// an uninterrupted DSA run and the scalar reference — bit for bit.
+    /// `Mismatch` components are reported against the scalar reference;
+    /// a resumed-vs-uninterrupted divergence that somehow still matched
+    /// the scalar state would be caught too, since both are compared.
+    ///
+    /// The resumed engine restarts in Probing mode with a warm cache;
+    /// this changes *timing* only, never state — exactly the paper's
+    /// safety argument, extended across a process boundary.
+    pub fn check_resume<F>(
+        &self,
+        program: &Program,
+        config: DsaConfig,
+        init: F,
+        split: u64,
+    ) -> OracleReport
+    where
+        F: Fn(&mut Machine),
+    {
+        // Scalar reference.
+        let mut scalar = Simulator::new(program.clone(), self.cpu);
+        init(scalar.machine_mut());
+        let scalar_run = scalar.run_with_hook(self.fuel, &mut NullHook);
+
+        // Uninterrupted DSA run.
+        let mut full = Simulator::new(program.clone(), self.cpu);
+        init(full.machine_mut());
+        let mut full_dsa = Dsa::new(config);
+        let full_run = full.run_with_hook(self.fuel, &mut full_dsa);
+
+        // Interrupted run: pause after `split` commits, serialize a
+        // snapshot, drop everything, restore from the bytes, complete.
+        let mut first = Simulator::new(program.clone(), self.cpu);
+        init(first.machine_mut());
+        let mut first_dsa = Dsa::new(config);
+        let pause = first.run_bounded(split, &mut first_dsa);
+        let resumed_run: Result<dsa_cpu::RunOutcome, SimError> = match pause {
+            Err(e) => Err(e),
+            Ok(BoundedOutcome::Halted(out)) => {
+                // Program finished before the split point; the "resumed"
+                // run is just the finished run.
+                let digest_holder = first;
+                return self.resume_report(
+                    scalar, scalar_run, full, full_run, digest_holder, Ok(out), first_dsa,
+                );
+            }
+            Ok(BoundedOutcome::Paused) => {
+                let bytes = Snapshot::capture(&first_dsa, first.machine()).to_bytes();
+                drop(first_dsa);
+                drop(first);
+                match Dsa::restore(&bytes, config) {
+                    Err(_) => {
+                        // A snapshot of our own making must restore; feed
+                        // the failure through as a DSA-side failure.
+                        Err(SimError::StepBudgetExceeded { pc: 0, steps: 0 })
+                    }
+                    Ok((mut dsa2, machine2)) => {
+                        let mut second =
+                            Simulator::with_machine(program.clone(), self.cpu, machine2);
+                        let run = second.run_with_hook(self.fuel, &mut dsa2);
+                        return self.resume_report(
+                            scalar, scalar_run, full, full_run, second, run, dsa2,
+                        );
+                    }
+                }
+            }
+        };
+        // Pause-phase failure (executor error or unrestorable snapshot).
+        let scalar_digest = scalar.machine().arch_digest();
+        OracleReport {
+            verdict: match (&scalar_run, &resumed_run) {
+                (Err(e), _) => OracleVerdict::ScalarFailed(*e),
+                (_, Err(e)) => OracleVerdict::DsaFailed(*e),
+                _ => OracleVerdict::Mismatch { component: "regs" },
+            },
+            scalar_digest,
+            dsa_digest: 0,
+            scalar_cycles: scalar_run.map(|o| o.cycles).unwrap_or(0),
+            dsa_cycles: 0,
+            stats: DsaStats::default(),
+            poisoned: None,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn resume_report(
+        &self,
+        scalar: Simulator,
+        scalar_run: Result<dsa_cpu::RunOutcome, SimError>,
+        full: Simulator,
+        full_run: Result<dsa_cpu::RunOutcome, SimError>,
+        resumed: Simulator,
+        resumed_run: Result<dsa_cpu::RunOutcome, SimError>,
+        resumed_dsa: Dsa,
+    ) -> OracleReport {
+        let scalar_digest = scalar.machine().arch_digest();
+        let dsa_digest = resumed.machine().arch_digest();
+        let verdict = match (&scalar_run, (&full_run, &resumed_run)) {
+            (Err(e), _) => OracleVerdict::ScalarFailed(*e),
+            (Ok(_), (Err(e), _)) | (Ok(_), (_, Err(e))) => OracleVerdict::DsaFailed(*e),
+            (Ok(_), (Ok(_), Ok(_))) => {
+                // Resumed vs scalar, then uninterrupted vs scalar: all
+                // three final states must agree bit for bit.
+                match Self::compare(scalar.machine(), resumed.machine()) {
+                    OracleVerdict::Match => Self::compare(scalar.machine(), full.machine()),
+                    diverged => diverged,
+                }
+            }
+        };
+        OracleReport {
+            verdict,
+            scalar_digest,
+            dsa_digest,
+            scalar_cycles: scalar_run.map(|o| o.cycles).unwrap_or(0),
+            dsa_cycles: resumed_run.map(|o| o.cycles).unwrap_or(0),
+            stats: resumed_dsa.stats(),
+            poisoned: resumed_dsa.poisoned(),
+        }
+    }
+
     fn compare(scalar: &Machine, dsa: &Machine) -> OracleVerdict {
         if scalar.regs() != dsa.regs() {
             return OracleVerdict::Mismatch { component: "regs" };
@@ -195,6 +319,29 @@ mod tests {
         assert!(report.holds(), "{report}");
         assert!(report.stats.loops_vectorized > 0, "DSA actually engaged");
         assert!(report.poisoned.is_none());
+    }
+
+    #[test]
+    fn resume_from_mid_run_snapshot_is_bit_identical() {
+        let kernel = vec_add_kernel();
+        let oracle = DifferentialOracle::new(10_000_000);
+        // Split points from "before the loop starts" to "deep inside
+        // vectorized execution".
+        for split in [1, 50, 500, 5_000] {
+            let report =
+                oracle.check_resume(&kernel.program, DsaConfig::full(), |_| {}, split);
+            assert!(report.holds(), "split {split}: {report}");
+        }
+    }
+
+    #[test]
+    fn resume_after_natural_halt_still_matches() {
+        let kernel = vec_add_kernel();
+        let oracle = DifferentialOracle::new(10_000_000);
+        // Split beyond program length: the bounded run halts naturally.
+        let report =
+            oracle.check_resume(&kernel.program, DsaConfig::full(), |_| {}, 10_000_000);
+        assert!(report.holds(), "{report}");
     }
 
     #[test]

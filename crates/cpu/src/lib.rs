@@ -48,9 +48,9 @@ mod trace;
 pub mod vec128;
 
 pub use config::{CpuConfig, NeonConfig};
-pub use machine::{ExecError, Flags, Machine, SimError, DEFAULT_SP};
+pub use machine::{ExecError, Flags, Machine, MachineState, SimError, DEFAULT_SP};
 pub use vec128::LaneError;
 pub use predictor::BranchPredictor;
-pub use simulator::{CommitHook, NullHook, RunOutcome, SimControl, Simulator};
+pub use simulator::{BoundedOutcome, CommitHook, NullHook, RunOutcome, SimControl, Simulator};
 pub use timing::{ClassCounts, InjectedOp, TimingModel, TimingStats};
 pub use trace::{BranchOutcome, MemAccess, TraceEvent};

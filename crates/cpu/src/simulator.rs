@@ -93,6 +93,20 @@ impl RunOutcome {
     }
 }
 
+/// Result of [`Simulator::run_bounded`]: either the step bound expired
+/// with the program still running (a valid snapshot point), or the
+/// program halted within the bound.
+// Returned once per run; the size gap to `Paused` is not worth a Box.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Copy)]
+pub enum BoundedOutcome {
+    /// The step bound expired before `halt`; the simulator holds a valid
+    /// mid-run architectural state and can be captured or resumed.
+    Paused,
+    /// The program halted within the bound.
+    Halted(RunOutcome),
+}
+
 /// Couples a [`Machine`], a [`TimingModel`] and a [`Program`].
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -206,6 +220,48 @@ impl Simulator {
             });
         }
         Ok(self.outcome())
+    }
+
+    /// Runs with a commit hook for at most `max_steps` committed
+    /// instructions and reports whether the program halted within the
+    /// bound. Unlike [`Simulator::run_with_hook`], hitting the bound is
+    /// *not* an error — it returns [`BoundedOutcome::Paused`], the
+    /// snapshot point for crash-consistent capture-and-resume: the
+    /// machine's architectural state is a valid mid-run state and the
+    /// hook's `on_finish` is deliberately **not** called (the run is not
+    /// finished). On halt, `on_finish` fires as usual and
+    /// [`BoundedOutcome::Halted`] carries the final outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Exec`] if the functional executor rejects an
+    /// instruction.
+    pub fn run_bounded<H: CommitHook + ?Sized>(
+        &mut self,
+        max_steps: u64,
+        hook: &mut H,
+    ) -> Result<BoundedOutcome, SimError> {
+        let instrs = self.program.as_slice();
+        let mut remaining = max_steps;
+        while !self.machine.is_halted() && remaining > 0 {
+            remaining -= 1;
+            let ev = self.machine.step_slice(instrs)?;
+            self.committed += 1;
+            if self.suppress {
+                self.timing.note_covered(&ev);
+            } else {
+                self.timing.charge_event(&ev);
+            }
+            let mut ctl =
+                SimControl { timing: &mut self.timing, suppress: &mut self.suppress };
+            hook.on_commit(&ev, &self.machine, &mut ctl);
+        }
+        if self.machine.is_halted() {
+            hook.on_finish(&self.machine);
+            Ok(BoundedOutcome::Halted(self.outcome()))
+        } else {
+            Ok(BoundedOutcome::Paused)
+        }
     }
 
     /// Runs with a commit hook, bracketing the run with telemetry: a
@@ -365,6 +421,38 @@ mod tests {
             Event::SimFault { kind: "step-budget-exceeded", .. }
         ));
         assert_eq!(err.kind_name(), "step-budget-exceeded");
+    }
+
+    #[test]
+    fn bounded_pause_then_resume_matches_uninterrupted() {
+        // Run 10k iterations straight through.
+        let mut full = Simulator::new(count_loop(10_000), CpuConfig::default());
+        full.run(1_000_000).expect("ok");
+
+        // Same program paused mid-run, captured, restored, completed.
+        let mut first = Simulator::new(count_loop(10_000), CpuConfig::default());
+        let paused = first.run_bounded(5_000, &mut NullHook).expect("ok");
+        assert!(matches!(paused, BoundedOutcome::Paused));
+        let state = first.machine().capture();
+        drop(first);
+        let mut second = Simulator::with_machine(
+            count_loop(10_000),
+            CpuConfig::default(),
+            crate::Machine::restore(&state),
+        );
+        let done = second.run_bounded(1_000_000, &mut NullHook).expect("ok");
+        assert!(matches!(done, BoundedOutcome::Halted(_)));
+        assert_eq!(second.machine().arch_digest(), full.machine().arch_digest());
+        assert_eq!(second.machine().reg(Reg::R0), 10_000);
+    }
+
+    #[test]
+    fn bounded_halt_within_bound_reports_outcome() {
+        let mut sim = Simulator::new(count_loop(10), CpuConfig::default());
+        match sim.run_bounded(10_000, &mut NullHook).expect("ok") {
+            BoundedOutcome::Halted(out) => assert!(out.halted),
+            BoundedOutcome::Paused => panic!("should halt within bound"),
+        }
     }
 
     #[test]

@@ -387,7 +387,7 @@ impl TimingModel {
             }
         }
         if self.neon_inflight.len() >= neon.queue_depth as usize {
-            let front = self.neon_inflight.pop_front().expect("non-empty queue");
+            let front = self.neon_inflight.pop_front().expect("non-empty queue"); // infallible: len >= depth >= 1 was just checked
             if front > start {
                 self.stats.neon_queue_stalls += 1;
                 start = front;
@@ -401,11 +401,11 @@ impl TimingModel {
         }
         let latency = match instr.class() {
             InstrClass::VecLoad => {
-                let a = addr.expect("vector load needs an address");
+                let a = addr.expect("vector load needs an address"); // infallible: decode always attaches addr to VecLoad
                 self.memsys.access_data(a, false) + neon.load_extra
             }
             InstrClass::VecStore => {
-                let a = addr.expect("vector store needs an address");
+                let a = addr.expect("vector store needs an address"); // infallible: decode always attaches addr to VecStore
                 self.memsys.access_data(a, true);
                 neon.store_latency
             }
@@ -437,7 +437,7 @@ impl TimingModel {
                 let addr = ev
                     .and_then(|e| e.read)
                     .map(|a| a.addr)
-                    .expect("load event carries address");
+                    .expect("load event carries address"); // infallible: commit events for Load always carry a read
                 start + self.memsys.access_data(addr, false) as u64
             }
             InstrClass::Store => {

@@ -39,8 +39,8 @@ fn map_lanes<const W: usize>(
     let mut out = [0u8; 16];
     for lane in 0..(16 / W) {
         let lo = lane * W;
-        let x: [u8; W] = a[lo..lo + W].try_into().expect("lane width");
-        let y: [u8; W] = b[lo..lo + W].try_into().expect("lane width");
+        let x: [u8; W] = a[lo..lo + W].try_into().expect("lane width"); // infallible: slice is exactly W bytes
+        let y: [u8; W] = b[lo..lo + W].try_into().expect("lane width"); // infallible: slice is exactly W bytes
         out[lo..lo + W].copy_from_slice(&f(x, y));
     }
     out
@@ -157,7 +157,7 @@ pub fn shr(et: ElemType, v: [u8; 16], shift: u8) -> Result<[u8; 16], LaneError> 
                 out[lo..lo + 2].copy_from_slice(&x.to_le_bytes());
             }
             ElemType::I32 => {
-                let x = u32::from_le_bytes(v[lo..lo + 4].try_into().expect("lane")) >> shift;
+                let x = u32::from_le_bytes(v[lo..lo + 4].try_into().expect("lane")) >> shift; // infallible: slice is exactly 4 bytes
                 out[lo..lo + 4].copy_from_slice(&x.to_le_bytes());
             }
             // Floats were rejected above; integer types are exhaustive.

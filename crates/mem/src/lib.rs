@@ -28,5 +28,5 @@ mod memory;
 mod system;
 
 pub use cache::{Cache, CacheConfig, CacheStats, Lookup};
-pub use memory::MainMemory;
+pub use memory::{MainMemory, PAGE_BYTES};
 pub use system::{MemoryConfig, MemorySystem, MemoryStats};

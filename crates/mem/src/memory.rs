@@ -5,6 +5,10 @@ use std::collections::HashMap;
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 
+/// Bytes per allocation page — the granularity of [`MainMemory::pages`]
+/// and [`MainMemory::load_page`] (snapshot capture/restore).
+pub const PAGE_BYTES: usize = PAGE_SIZE;
+
 /// Byte-addressable main memory with a 32-bit address space, allocated
 /// lazily in 4 KB pages. All multi-byte accesses are little-endian and may
 /// straddle page boundaries.
@@ -107,6 +111,23 @@ impl MainMemory {
         self.pages.len()
     }
 
+    /// Every allocated page as `(page number, contents)`, sorted by page
+    /// number — the canonical order used by snapshot serialization, so
+    /// two memories with identical contents always serialize to
+    /// identical bytes regardless of allocation order.
+    pub fn pages(&self) -> Vec<(u32, &[u8; PAGE_BYTES])> {
+        let mut pages: Vec<(u32, &[u8; PAGE_BYTES])> =
+            self.pages.iter().map(|(&k, p)| (k, &**p)).collect();
+        pages.sort_unstable_by_key(|&(k, _)| k);
+        pages
+    }
+
+    /// Installs one full page (snapshot restore). Replaces any existing
+    /// contents of that page.
+    pub fn load_page(&mut self, page: u32, bytes: &[u8; PAGE_BYTES]) {
+        self.pages.insert(page, Box::new(*bytes));
+    }
+
     /// A stable 64-bit digest of all allocated contents, used by tests to
     /// compare final memory states between scalar and vectorised runs.
     pub fn digest(&self) -> u64 {
@@ -180,6 +201,22 @@ mod tests {
         let mut m = MainMemory::new();
         m.write_bytes(10, &[1, 2, 3, 4]);
         assert_eq!(m.read_bytes(10, 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pages_roundtrip_sorted() {
+        let mut m = MainMemory::new();
+        m.write_u32(5 << 12, 0xAA); // page 5 first
+        m.write_u32(1 << 12, 0xBB);
+        let pages = m.pages();
+        assert_eq!(pages.len(), 2);
+        assert!(pages[0].0 < pages[1].0, "pages are sorted");
+        let mut copy = MainMemory::new();
+        for (k, p) in pages {
+            copy.load_page(k, p);
+        }
+        assert_eq!(copy.digest(), m.digest());
+        assert_eq!(copy.read_u32(5 << 12), 0xAA);
     }
 
     #[test]

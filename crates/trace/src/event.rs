@@ -294,6 +294,61 @@ pub enum Event {
         /// Core cycle.
         cycle: u64,
     },
+    /// Supervised harness: a run attempt failed and will be retried.
+    /// Harness-side events carry `cycle: 0` — they live in the
+    /// wall-clock domain, not the simulated-cycle domain.
+    SupervisorRetry {
+        /// Workload name (stable vocabulary from the bench crate).
+        workload: &'static str,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+        /// Backoff applied before the next attempt, in milliseconds.
+        backoff_ms: u64,
+        /// Core cycle (always 0; wall-clock domain).
+        cycle: u64,
+    },
+    /// Supervised harness: a worker panicked and was isolated.
+    WorkerPanicked {
+        /// Workload name.
+        workload: &'static str,
+        /// Core cycle (always 0; wall-clock domain).
+        cycle: u64,
+    },
+    /// Supervised harness: a run exceeded its wall-clock deadline.
+    DeadlineExceeded {
+        /// Workload name.
+        workload: &'static str,
+        /// The deadline, in milliseconds.
+        deadline_ms: u64,
+        /// Core cycle (always 0; wall-clock domain).
+        cycle: u64,
+    },
+    /// Supervised harness: a workload's circuit breaker opened after
+    /// repeated failures/degradations; further runs short-circuit.
+    BreakerOpen {
+        /// Workload name.
+        workload: &'static str,
+        /// Failures counted when the breaker opened.
+        failures: u32,
+        /// Core cycle (always 0; wall-clock domain).
+        cycle: u64,
+    },
+    /// A snapshot image validated and warm state was restored.
+    SnapshotRestored {
+        /// Serialized image size in bytes.
+        bytes: u64,
+        /// DSA-cache entries that came back warm.
+        cache_entries: u64,
+        /// Core cycle (always 0; restore happens between runs).
+        cycle: u64,
+    },
+    /// A snapshot image was rejected; the engine cold-started instead.
+    SnapshotRejected {
+        /// Stable rejection-kind name (`SnapshotError::kind_name`).
+        kind: &'static str,
+        /// Core cycle (always 0; restore happens between runs).
+        cycle: u64,
+    },
 }
 
 impl Event {
@@ -316,6 +371,12 @@ impl Event {
             Event::FaultInjected { .. } => "fault-injected",
             Event::PartialChunk { .. } => "partial-chunk",
             Event::SpeculationResolved { .. } => "speculation-resolved",
+            Event::SupervisorRetry { .. } => "supervisor-retry",
+            Event::WorkerPanicked { .. } => "worker-panicked",
+            Event::DeadlineExceeded { .. } => "deadline-exceeded",
+            Event::BreakerOpen { .. } => "breaker-open",
+            Event::SnapshotRestored { .. } => "snapshot-restored",
+            Event::SnapshotRejected { .. } => "snapshot-rejected",
         }
     }
 
@@ -337,7 +398,13 @@ impl Event {
             | Event::EnginePoisoned { cycle, .. }
             | Event::FaultInjected { cycle, .. }
             | Event::PartialChunk { cycle, .. }
-            | Event::SpeculationResolved { cycle, .. } => cycle,
+            | Event::SpeculationResolved { cycle, .. }
+            | Event::SupervisorRetry { cycle, .. }
+            | Event::WorkerPanicked { cycle, .. }
+            | Event::DeadlineExceeded { cycle, .. }
+            | Event::BreakerOpen { cycle, .. }
+            | Event::SnapshotRestored { cycle, .. }
+            | Event::SnapshotRejected { cycle, .. } => cycle,
         }
     }
 
@@ -469,6 +536,36 @@ impl Event {
                     ",\"loop\":{loop_id},\"kind\":{},\"injected\":{injected},\"used\":{used},\"discarded\":{discarded}",
                     json_str(kind.name())
                 );
+            }
+            Event::SupervisorRetry { workload, attempt, backoff_ms, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"workload\":{},\"attempt\":{attempt},\"backoff_ms\":{backoff_ms}",
+                    json_str(workload)
+                );
+            }
+            Event::WorkerPanicked { workload, .. } => {
+                let _ = write!(s, ",\"workload\":{}", json_str(workload));
+            }
+            Event::DeadlineExceeded { workload, deadline_ms, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"workload\":{},\"deadline_ms\":{deadline_ms}",
+                    json_str(workload)
+                );
+            }
+            Event::BreakerOpen { workload, failures, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"workload\":{},\"failures\":{failures}",
+                    json_str(workload)
+                );
+            }
+            Event::SnapshotRestored { bytes, cache_entries, .. } => {
+                let _ = write!(s, ",\"bytes\":{bytes},\"cache_entries\":{cache_entries}");
+            }
+            Event::SnapshotRejected { kind, .. } => {
+                let _ = write!(s, ",\"kind\":{}", json_str(kind));
             }
         }
         s.push('}');

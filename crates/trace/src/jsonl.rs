@@ -119,6 +119,14 @@ const V1_EVENTS: &[(&str, &[&str])] = &[
     ("fault-injected", &["site"]),
     ("partial-chunk", &["loop", "chunk_iters", "dsa_cycles"]),
     ("speculation-resolved", &["loop", "kind", "injected", "used", "discarded"]),
+    // Supervision + snapshot events (additive, still v1): harness-side
+    // recovery transitions, emitted in the wall-clock domain (cycle 0).
+    ("supervisor-retry", &["workload", "attempt", "backoff_ms"]),
+    ("worker-panicked", &["workload"]),
+    ("deadline-exceeded", &["workload", "deadline_ms"]),
+    ("breaker-open", &["workload", "failures"]),
+    ("snapshot-restored", &["bytes", "cache_entries"]),
+    ("snapshot-rejected", &["kind"]),
 ];
 
 /// Validates one line of a v1 JSONL stream. `is_first` selects the
@@ -234,6 +242,12 @@ mod tests {
             Event::EnginePoisoned { during: "launch", expected: "analyzing", cycle: 101 },
             Event::SimFault { kind: "step-budget-exceeded", pc: 44, cycle: 102 },
             Event::RunFinished { cycle: 103, committed: 80, halted: false },
+            Event::SupervisorRetry { workload: "matmul", attempt: 1, backoff_ms: 50, cycle: 0 },
+            Event::WorkerPanicked { workload: "matmul", cycle: 0 },
+            Event::DeadlineExceeded { workload: "qsort", deadline_ms: 30_000, cycle: 0 },
+            Event::BreakerOpen { workload: "qsort", failures: 3, cycle: 0 },
+            Event::SnapshotRestored { bytes: 4096, cache_entries: 7, cycle: 0 },
+            Event::SnapshotRejected { kind: "checksum-mismatch", cycle: 0 },
         ]
     }
 

@@ -353,6 +353,31 @@ impl TraceSink for MetricsRegistry {
                 self.add(&format!("speculation.{k}.used"), used);
                 self.add(&format!("speculation.{k}.discarded"), discarded);
             }
+            Event::SupervisorRetry { workload, .. } => {
+                self.bump("supervisor.retries");
+                self.bump(&format!("supervisor.retry.{workload}"));
+            }
+            Event::WorkerPanicked { workload, .. } => {
+                self.bump("supervisor.panics");
+                self.bump(&format!("supervisor.panic.{workload}"));
+            }
+            Event::DeadlineExceeded { workload, .. } => {
+                self.bump("supervisor.deadlines");
+                self.bump(&format!("supervisor.deadline.{workload}"));
+            }
+            Event::BreakerOpen { workload, .. } => {
+                self.bump("supervisor.breakers_open");
+                self.bump(&format!("supervisor.breaker.{workload}"));
+            }
+            Event::SnapshotRestored { bytes, cache_entries, .. } => {
+                self.bump("snapshot.restored");
+                self.add("snapshot.restored_bytes", bytes);
+                self.add("snapshot.restored_cache_entries", cache_entries);
+            }
+            Event::SnapshotRejected { kind, .. } => {
+                self.bump("snapshot.rejected");
+                self.bump(&format!("snapshot.rejected.{kind}"));
+            }
         }
     }
 }

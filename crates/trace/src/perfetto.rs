@@ -269,6 +269,48 @@ impl<W: Write> TraceSink for PerfettoSink<W> {
                     &[("used", used.to_string()), ("discarded", discarded.to_string())],
                 );
             }
+            Event::SupervisorRetry { workload, attempt, backoff_ms, .. } => {
+                self.instant(
+                    0,
+                    &format!("retry {workload}"),
+                    "supervisor",
+                    cycle,
+                    &[("attempt", attempt.to_string()), ("backoff_ms", backoff_ms.to_string())],
+                );
+            }
+            Event::WorkerPanicked { workload, .. } => {
+                self.instant(0, &format!("panic {workload}"), "supervisor", cycle, &[]);
+            }
+            Event::DeadlineExceeded { workload, deadline_ms, .. } => {
+                self.instant(
+                    0,
+                    &format!("deadline {workload}"),
+                    "supervisor",
+                    cycle,
+                    &[("deadline_ms", deadline_ms.to_string())],
+                );
+            }
+            Event::BreakerOpen { workload, failures, .. } => {
+                self.instant(
+                    0,
+                    &format!("breaker-open {workload}"),
+                    "supervisor",
+                    cycle,
+                    &[("failures", failures.to_string())],
+                );
+            }
+            Event::SnapshotRestored { bytes, cache_entries, .. } => {
+                self.instant(
+                    0,
+                    "snapshot-restored",
+                    "snapshot",
+                    cycle,
+                    &[("bytes", bytes.to_string()), ("cache_entries", cache_entries.to_string())],
+                );
+            }
+            Event::SnapshotRejected { kind, .. } => {
+                self.instant(0, &format!("snapshot-rejected: {kind}"), "snapshot", cycle, &[]);
+            }
         }
     }
 
