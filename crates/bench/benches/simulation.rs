@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use dsa_core::{Dsa, DsaConfig};
-use dsa_cpu::{CommitHook, CpuConfig, Simulator};
+use dsa_cpu::{CpuConfig, DynCommitHook, NullHook, Simulator, StepNull};
 use dsa_workloads::{build, BuiltWorkload, Scale, WorkloadId};
 
 fn simulate(w: &BuiltWorkload, dsa: bool) -> u64 {
@@ -71,7 +71,7 @@ fn bench_hook_dispatch(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = prepared(&w);
             let mut hook = Dsa::new(DsaConfig::full());
-            let dyn_hook: &mut dyn CommitHook = &mut hook;
+            let dyn_hook: &mut dyn DynCommitHook = &mut hook;
             let out = sim.run_with_dyn_hook(100_000_000, dyn_hook).expect("runs");
             assert!(out.halted);
             black_box(out.committed)
@@ -84,6 +84,34 @@ fn bench_hook_dispatch(c: &mut Criterion) {
             let out = sim.run_with_hook(100_000_000, &mut hook).expect("runs");
             assert!(out.halted);
             black_box(out.committed)
+        })
+    });
+    group.finish();
+}
+
+/// Step-mode vs block-mode interpretation on identical scalar runs:
+/// [`StepNull`] pins the classic per-commit loop, [`NullHook`] engages
+/// the predecoded superblock fast path. Outcomes are asserted identical
+/// every iteration — this group measures the pure interpreter-shape
+/// difference that `perf_baseline` reports as wall-clock MIPS.
+fn bench_step_vs_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step-vs-block");
+    group.sample_size(20);
+    let w = build(WorkloadId::RgbGray, dsa_compiler::Variant::Scalar, Scale::Small);
+    group.bench_function("step", |b| {
+        b.iter(|| {
+            let mut sim = prepared(&w);
+            let out = sim.run_with_hook(100_000_000, &mut StepNull).expect("runs");
+            assert!(out.halted);
+            black_box(out.cycles)
+        })
+    });
+    group.bench_function("block", |b| {
+        b.iter(|| {
+            let mut sim = prepared(&w);
+            let out = sim.run_with_hook(100_000_000, &mut NullHook).expect("runs");
+            assert!(out.halted);
+            black_box(out.cycles)
         })
     });
     group.finish();
@@ -131,5 +159,11 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_workloads, bench_hook_dispatch, bench_trace_overhead);
+criterion_group!(
+    benches,
+    bench_workloads,
+    bench_hook_dispatch,
+    bench_step_vs_block,
+    bench_trace_overhead
+);
 criterion_main!(benches);

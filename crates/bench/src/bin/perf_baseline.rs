@@ -1,0 +1,276 @@
+//! Wall-clock throughput baseline for the superblock interpreter
+//! (`BENCH_5.json`): every chaos workload — the seven paper
+//! applications plus the sentinel microkernel — is simulated twice on
+//! the scalar system, once pinned to the classic per-commit step loop
+//! ([`StepNull`]) and once on the predecoded block fast path
+//! ([`NullHook`]), and the minimum-of-N wall clock of each is reported
+//! as MIPS (committed instructions / second / 1e6).
+//!
+//! The two runs of each workload must be **bit-identical** in cycles,
+//! committed count and output checksum — the fast path is a pure
+//! interpreter-shape change — so every rep doubles as an equivalence
+//! check before it is a timing sample.
+//!
+//! ```text
+//! cargo run --release -p dsa-bench --bin perf_baseline              # full grid → BENCH_5.json
+//! cargo run --release -p dsa-bench --bin perf_baseline -- \
+//!     --micro-only --reps 3 --floor 5                               # CI throughput smoke
+//! ```
+//!
+//! `--floor MIPS` asserts the block-mode sentinel throughput stays
+//! above a (deliberately generous) floor, catching order-of-magnitude
+//! regressions in CI without flaking on machine noise.
+
+use std::time::Instant;
+
+use dsa_bench::chaos::chaos_workloads;
+use dsa_bench::{cache::Workload, FUEL};
+use dsa_compiler::Variant;
+use dsa_cpu::{CommitHook, CpuConfig, NullHook, Simulator, StepNull};
+use dsa_workloads::{build, micro, BuiltWorkload, Scale};
+
+const USAGE: &str =
+    "usage: perf_baseline [--reps N] [--out PATH] [--scale S] [--floor MIPS] [--micro-only]";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("perf_baseline: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    dsa_bench::fail(&format!("perf_baseline: {msg}"));
+}
+
+fn built(workload: Workload, scale: Scale) -> BuiltWorkload {
+    match workload {
+        Workload::App(id) => build(id, Variant::Scalar, scale),
+        Workload::Micro(m) => micro::build(m, Variant::Scalar, scale),
+    }
+}
+
+/// One timed scalar run under `hook`; returns (cycles, committed,
+/// checksum, seconds).
+fn run_once<H: CommitHook>(w: &BuiltWorkload, hook: &mut H) -> (u64, u64, u64, f64) {
+    let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+    (w.init)(sim.machine_mut());
+    for buf in w.kernel.layout.bufs() {
+        sim.warm_region(buf.base, buf.size_bytes());
+    }
+    let t = Instant::now();
+    let out = sim
+        .run_with_hook(FUEL, hook)
+        .unwrap_or_else(|e| fail(&format!("simulation failed: {e}")));
+    let secs = t.elapsed().as_secs_f64();
+    if !out.halted || !w.check(sim.machine()) {
+        fail("workload produced a wrong result");
+    }
+    (out.cycles, out.committed, w.actual(sim.machine()), secs)
+}
+
+/// Interleaved min-of-N wall clock for one workload on both interpreter
+/// shapes. Alternating step/block samples inside one loop (instead of
+/// two back-to-back batches) keeps slow machine-load drift from landing
+/// wholesale on one mode — the same discipline `trace_overhead_guard`
+/// uses. Every rep pair is also an equivalence check: cycles, committed
+/// count and output checksum must be bit-identical across modes.
+struct Measured {
+    cycles: u64,
+    committed: u64,
+    step_secs: f64,
+    block_secs: f64,
+}
+
+fn measure(w: &BuiltWorkload, reps: u32) -> Result<Measured, String> {
+    // Warm-up: page-in, branch-predict the host loops, fill the shared
+    // predecode cache.
+    let _ = run_once(w, &mut StepNull);
+    let _ = run_once(w, &mut NullHook);
+    let (mut step_best, mut block_best) = (f64::INFINITY, f64::INFINITY);
+    let mut facts = None;
+    for _ in 0..reps {
+        let (s_cycles, s_committed, s_sum, s_secs) = run_once(w, &mut StepNull);
+        let (b_cycles, b_committed, b_sum, b_secs) = run_once(w, &mut NullHook);
+        if (s_cycles, s_committed, s_sum) != (b_cycles, b_committed, b_sum) {
+            return Err(format!(
+                "block mode diverged from step mode (cycles {s_cycles} vs {b_cycles}, \
+                 committed {s_committed} vs {b_committed}, checksum {s_sum:#x} vs {b_sum:#x})"
+            ));
+        }
+        if let Some(prev) = facts {
+            if prev != (s_cycles, s_committed, s_sum) {
+                return Err("run is not deterministic across reps".into());
+            }
+        }
+        facts = Some((s_cycles, s_committed, s_sum));
+        step_best = step_best.min(s_secs);
+        block_best = block_best.min(b_secs);
+    }
+    let (cycles, committed, _) = facts.expect("reps >= 1 checked at parse time");
+    Ok(Measured { cycles, committed, step_secs: step_best, block_secs: block_best })
+}
+
+struct Row {
+    name: &'static str,
+    committed: u64,
+    cycles: u64,
+    step_secs: f64,
+    block_secs: f64,
+}
+
+impl Row {
+    fn step_mips(&self) -> f64 {
+        self.committed as f64 / self.step_secs / 1e6
+    }
+    fn block_mips(&self) -> f64 {
+        self.committed as f64 / self.block_secs / 1e6
+    }
+    fn speedup(&self) -> f64 {
+        self.step_secs / self.block_secs
+    }
+}
+
+fn main() {
+    let mut reps: u32 = 5;
+    let mut out_path = String::from("BENCH_5.json");
+    let mut scale = Scale::Paper;
+    let mut floor: Option<f64> = None;
+    let mut micro_only = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let take = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+            it.next().unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--reps" => {
+                reps = take(&mut it, "--reps")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--reps needs an integer"));
+            }
+            "--out" => out_path = take(&mut it, "--out"),
+            "--scale" => {
+                let s = take(&mut it, "--scale");
+                scale = Scale::parse(&s)
+                    .unwrap_or_else(|| usage_error("--scale needs small|medium|paper|large"));
+            }
+            "--floor" => {
+                floor = Some(
+                    take(&mut it, "--floor")
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--floor needs a number")),
+                );
+            }
+            "--micro-only" => micro_only = true,
+            "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if reps == 0 {
+        usage_error("--reps must be at least 1");
+    }
+
+    let grid: Vec<Workload> = chaos_workloads()
+        .into_iter()
+        .filter(|w| !micro_only || matches!(w, Workload::Micro(_)))
+        .collect();
+
+    let grid_start = Instant::now();
+    let mut rows = Vec::new();
+    for workload in &grid {
+        let w = built(*workload, scale);
+        let m = measure(&w, reps)
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", workload.describe())));
+        rows.push(Row {
+            name: workload.describe(),
+            committed: m.committed,
+            cycles: m.cycles,
+            step_secs: m.step_secs,
+            block_secs: m.block_secs,
+        });
+    }
+    let grid_secs = grid_start.elapsed().as_secs_f64();
+
+    println!(
+        "perf_baseline: scalar system, {} scale, {reps} reps, min-of-N wall clock",
+        scale.name()
+    );
+    println!(
+        "{:<12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "workload", "committed", "step ms", "block ms", "step MIPS", "block MIPS", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>12} {:>10.3} {:>10.3} {:>10.1} {:>10.1} {:>7.2}x",
+            r.name,
+            r.committed,
+            r.step_secs * 1e3,
+            r.block_secs * 1e3,
+            r.step_mips(),
+            r.block_mips(),
+            r.speedup()
+        );
+    }
+    let step_total: f64 = rows.iter().map(|r| r.step_secs).sum();
+    let block_total: f64 = rows.iter().map(|r| r.block_secs).sum();
+    println!(
+        "{:<12} {:>12} {:>10.3} {:>10.3} {:>10} {:>10} {:>7.2}x",
+        "total",
+        "",
+        step_total * 1e3,
+        block_total * 1e3,
+        "",
+        "",
+        step_total / block_total
+    );
+    println!("end-to-end grid time: {grid_secs:.2} s (incl. build + warm-up + both modes)");
+
+    // Hand-written JSON — the repo-root artifact the acceptance gate
+    // and EXPERIMENTS.md point at.
+    let mut json = format!(
+        "{{\"schema\":\"dsa-perf-baseline/v1\",\"scale\":\"{}\",\"reps\":{reps},\
+         \"grid_seconds\":{grid_secs:.3},\"workloads\":[",
+        scale.name()
+    );
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"name\":\"{}\",\"committed\":{},\"cycles\":{},\
+             \"step_seconds\":{:.6},\"block_seconds\":{:.6},\
+             \"step_mips\":{:.2},\"block_mips\":{:.2},\"speedup\":{:.3}}}",
+            r.name,
+            r.committed,
+            r.cycles,
+            r.step_secs,
+            r.block_secs,
+            r.step_mips(),
+            r.block_mips(),
+            r.speedup()
+        ));
+    }
+    json.push_str(&format!(
+        "],\"totals\":{{\"step_seconds\":{step_total:.6},\
+         \"block_seconds\":{block_total:.6},\"speedup\":{:.3}}}}}\n",
+        step_total / block_total
+    ));
+    std::fs::write(&out_path, json)
+        .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
+    println!("wrote {out_path}");
+
+    if let Some(floor) = floor {
+        let sentinel = rows
+            .iter()
+            .find(|r| r.name == micro::Micro::Sentinel.name())
+            .unwrap_or_else(|| fail("--floor needs the sentinel microkernel in the grid"));
+        let mips = sentinel.block_mips();
+        if mips < floor {
+            fail(&format!(
+                "block-mode sentinel throughput {mips:.1} MIPS is under the {floor:.1} MIPS floor"
+            ));
+        }
+        println!("floor check: {mips:.1} MIPS >= {floor:.1} MIPS");
+    }
+}

@@ -15,7 +15,10 @@
 //! wall-clock gap must stay under the threshold (default 2%). The same
 //! off-vs-null comparison is then repeated on a run **resumed from a
 //! mid-run snapshot** — the restore path must not tax the hot loop
-//! either, and restored runs must stay observation-only too.
+//! either, and restored runs must stay observation-only too — and on
+//! the **superblock fast path** (a scalar `NullHook` run, traced at the
+//! run brackets via `run_traced`): engaging tracing must neither
+//! disengage the fast path nor perturb cycles or checksums.
 //!
 //! ```text
 //! cargo run --release -p dsa-bench --bin trace_overhead_guard -- --check
@@ -64,6 +67,30 @@ fn run_once(w: &BuiltWorkload, with_sink: bool) -> (RunOutcome, u64, f64) {
     let secs = t.elapsed().as_secs_f64();
     if !w.check(sim.machine()) {
         fail(&format!("wrong result (sink={with_sink})"));
+    }
+    (outcome, w.actual(sim.machine()), secs)
+}
+
+/// One scalar-baseline run on the superblock fast path (`NullHook`,
+/// `PER_COMMIT = false`), with tracing either off entirely or attached
+/// as run-bracket telemetry through `run_traced` + [`NullSink`].
+fn run_scalar_block(w: &BuiltWorkload, with_sink: bool) -> (RunOutcome, u64, f64) {
+    let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+    (w.init)(sim.machine_mut());
+    for buf in w.kernel.layout.bufs() {
+        sim.warm_region(buf.base, buf.size_bytes());
+    }
+    let t = Instant::now();
+    let outcome = if with_sink {
+        let mut sink = NullSink;
+        sim.run_traced(FUEL, &mut dsa_cpu::NullHook, &mut sink)
+    } else {
+        sim.run_with_hook(FUEL, &mut dsa_cpu::NullHook)
+    }
+    .unwrap_or_else(|e| fail(&format!("scalar block simulation failed: {e}")));
+    let secs = t.elapsed().as_secs_f64();
+    if !w.check(sim.machine()) {
+        fail(&format!("wrong scalar result (sink={with_sink})"));
     }
     (outcome, w.actual(sim.machine()), secs)
 }
@@ -221,7 +248,52 @@ fn main() {
             "restored-path null-sink overhead {overhead_r:+.2}% exceeds {threshold:.1}%"
         ));
     }
+    // The superblock fast path: a scalar `NullHook` run takes the
+    // block-stepping loop; attaching run-bracket tracing via
+    // `run_traced` must leave it engaged and untouched.
+    let _ = run_scalar_block(&w, false);
+    let _ = run_scalar_block(&w, true);
+    let mut best_off_b = f64::INFINITY;
+    let mut best_null_b = f64::INFINITY;
+    let mut cycles_b = (0u64, 0u64);
+    let mut sums_b = (0u64, 0u64);
+    for _ in 0..reps {
+        let (out, sum, secs) = run_scalar_block(&w, false);
+        best_off_b = best_off_b.min(secs);
+        cycles_b.0 = out.cycles;
+        sums_b.0 = sum;
+        let (out, sum, secs) = run_scalar_block(&w, true);
+        best_null_b = best_null_b.min(secs);
+        cycles_b.1 = out.cycles;
+        sums_b.1 = sum;
+    }
+    let overhead_b = 100.0 * (best_null_b / best_off_b - 1.0);
+    println!("block fast path (scalar NullHook run):");
+    println!("tracer off:   {:.3} ms ({} simulated cycles)", best_off_b * 1e3, cycles_b.0);
+    println!("null sink:    {:.3} ms ({} simulated cycles)", best_null_b * 1e3, cycles_b.1);
+    println!("overhead:     {overhead_b:+.2}% (threshold {threshold:.1}%)");
+
+    if cycles_b.0 != cycles_b.1 || sums_b.0 != sums_b.1 {
+        fail(&format!(
+            "tracing changed the block fast path! cycles {} vs {}, checksum {:#x} vs {:#x}",
+            cycles_b.0, cycles_b.1, sums_b.0, sums_b.1
+        ));
+    }
+    if sums_b.0 != sums.0 {
+        fail(&format!(
+            "block fast path diverged from the per-commit run: checksum {:#x} vs {:#x}",
+            sums_b.0, sums.0
+        ));
+    }
+    if check && overhead_b > threshold {
+        fail(&format!(
+            "block-path null-sink overhead {overhead_b:+.2}% exceeds {threshold:.1}%"
+        ));
+    }
     if check {
-        println!("OK: observation layer is within budget and observation-only (incl. restore)");
+        println!(
+            "OK: observation layer is within budget and observation-only \
+             (incl. restore and block fast path)"
+        );
     }
 }

@@ -40,6 +40,7 @@
 //! ```
 
 mod config;
+mod decoded;
 mod machine;
 mod predictor;
 mod simulator;
@@ -48,9 +49,13 @@ mod trace;
 pub mod vec128;
 
 pub use config::{CpuConfig, NeonConfig};
+pub use decoded::{decode_cached, DecodedInstr, DecodedProgram};
 pub use machine::{ExecError, Flags, Machine, MachineState, SimError, DEFAULT_SP};
 pub use vec128::LaneError;
 pub use predictor::BranchPredictor;
-pub use simulator::{BoundedOutcome, CommitHook, NullHook, RunOutcome, SimControl, Simulator};
+pub use simulator::{
+    BoundedOutcome, CommitHook, DynCommitHook, NullHook, RunOutcome, SimControl, Simulator,
+    StepNull,
+};
 pub use timing::{ClassCounts, InjectedOp, TimingModel, TimingStats};
 pub use trace::{BranchOutcome, MemAccess, TraceEvent};

@@ -243,7 +243,10 @@ impl Machine {
         }
     }
 
-    fn set_cmp_flags(&mut self, a: u32, b: u32) {
+    /// Computes and sets the NZCV flags for `cmp a, b`. `pub(crate)` so
+    /// the predecoded fast path ([`crate::decoded`]) shares the exact
+    /// flag semantics of [`Machine::step_slice`].
+    pub(crate) fn set_cmp_flags(&mut self, a: u32, b: u32) {
         let (res, borrow) = a.overflowing_sub(b);
         let sa = a as i32;
         let sb = b as i32;
@@ -255,7 +258,8 @@ impl Machine {
         };
     }
 
-    fn alu_result(&self, op: AluOp, a: u32, b: u32) -> u32 {
+    /// ALU semantics shared verbatim with the predecoded fast path.
+    pub(crate) fn alu_result(&self, op: AluOp, a: u32, b: u32) -> u32 {
         match op {
             AluOp::Add => a.wrapping_add(b),
             AluOp::Sub => a.wrapping_sub(b),
@@ -275,7 +279,9 @@ impl Machine {
 
     /// Resolves an addressing mode against the current base value,
     /// returning `(effective address, new base if writeback)`.
-    fn resolve(&self, rn: Reg, mode: AddrMode) -> (u32, Option<u32>) {
+    /// `pub(crate)` so the predecoded fast path shares the exact
+    /// addressing semantics of [`Machine::step_slice`].
+    pub(crate) fn resolve(&self, rn: Reg, mode: AddrMode) -> (u32, Option<u32>) {
         let base = self.reg(rn);
         match mode {
             AddrMode::Offset(i) => (base.wrapping_add(i as i32 as u32), None),
@@ -287,7 +293,7 @@ impl Machine {
         }
     }
 
-    fn load_sized(&self, addr: u32, size: MemSize) -> u32 {
+    pub(crate) fn load_sized(&self, addr: u32, size: MemSize) -> u32 {
         match size {
             MemSize::B => self.mem.read_u8(addr) as u32,
             MemSize::H => self.mem.read_u16(addr) as u32,
@@ -295,7 +301,7 @@ impl Machine {
         }
     }
 
-    fn store_sized(&mut self, addr: u32, size: MemSize, value: u32) {
+    pub(crate) fn store_sized(&mut self, addr: u32, size: MemSize, value: u32) {
         match size {
             MemSize::B => self.mem.write_u8(addr, value as u8),
             MemSize::H => self.mem.write_u16(addr, value as u16),

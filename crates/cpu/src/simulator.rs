@@ -1,9 +1,12 @@
 //! The simulation driver: functional execution + timing + commit hooks.
 
+use std::sync::Arc;
+
 use dsa_isa::Program;
 use dsa_mem::MemoryStats;
 
 use crate::config::CpuConfig;
+use crate::decoded::{decode_cached, DecodedProgram};
 use crate::machine::{Machine, SimError};
 use crate::timing::{InjectedOp, TimingModel, TimingStats};
 use crate::trace::TraceEvent;
@@ -55,6 +58,21 @@ impl SimControl<'_> {
 
 /// Observer invoked after every committed instruction.
 pub trait CommitHook {
+    /// Whether this hook requires its [`CommitHook::on_commit`] callback
+    /// on every committed instruction.
+    ///
+    /// `true` (the default) keeps the exact per-commit semantics: one
+    /// [`Machine`] step, one [`TimingModel`] charge, one callback per
+    /// instruction. A hook that overrides this to `false` declares it
+    /// observes nothing per commit — `on_commit` is then **never
+    /// called** — and the simulator monomorphizes its driver into the
+    /// superblock fast path, executing straight-line runs (memory ops
+    /// included, terminated by at most one control-flow instruction)
+    /// through the shared [`DecodedProgram`] with batched timing. Final
+    /// architectural state, cycles, and all statistics are bit-identical
+    /// between the two shapes; `on_finish` still fires as usual.
+    const PER_COMMIT: bool = true;
+
     /// Called with the committed event, the post-commit machine state and
     /// the timing control surface.
     fn on_commit(&mut self, ev: &TraceEvent, machine: &Machine, ctl: &mut SimControl<'_>);
@@ -63,16 +81,66 @@ pub trait CommitHook {
     fn on_finish(&mut self, _machine: &Machine) {}
 }
 
-/// A hook that does nothing (plain scalar simulation).
+/// A hook that does nothing (plain scalar simulation). Opts out of
+/// per-commit callbacks, so runs with it take the superblock fast path.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullHook;
 
 impl CommitHook for NullHook {
+    const PER_COMMIT: bool = false;
+
     fn on_commit(&mut self, _ev: &TraceEvent, _machine: &Machine, _ctl: &mut SimControl<'_>) {}
 }
 
+/// A do-nothing hook that, unlike [`NullHook`], keeps `PER_COMMIT =
+/// true` and therefore forces the classic one-instruction-at-a-time
+/// interpreter. Exists so equivalence tests and benchmarks can pin the
+/// stepped path and compare it against the fast path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepNull;
+
+impl CommitHook for StepNull {
+    fn on_commit(&mut self, _ev: &TraceEvent, _machine: &Machine, _ctl: &mut SimControl<'_>) {}
+}
+
+/// Dyn-compatible mirror of [`CommitHook`]. The `PER_COMMIT` associated
+/// const makes `CommitHook` itself unusable as a trait object, so
+/// runtime-dispatch callers go through this mirror (blanket-implemented
+/// for every hook) and [`Simulator::run_with_dyn_hook`], which drives it
+/// on the conservative per-commit path.
+pub trait DynCommitHook {
+    /// Per-commit callback; see [`CommitHook::on_commit`].
+    fn on_commit_dyn(&mut self, ev: &TraceEvent, machine: &Machine, ctl: &mut SimControl<'_>);
+
+    /// End-of-run callback; see [`CommitHook::on_finish`].
+    fn on_finish_dyn(&mut self, machine: &Machine);
+}
+
+impl<H: CommitHook> DynCommitHook for H {
+    fn on_commit_dyn(&mut self, ev: &TraceEvent, machine: &Machine, ctl: &mut SimControl<'_>) {
+        self.on_commit(ev, machine, ctl);
+    }
+
+    fn on_finish_dyn(&mut self, machine: &Machine) {
+        self.on_finish(machine);
+    }
+}
+
+/// Per-commit adapter wrapping a `&mut dyn DynCommitHook`.
+struct DynAdapter<'a>(&'a mut dyn DynCommitHook);
+
+impl CommitHook for DynAdapter<'_> {
+    fn on_commit(&mut self, ev: &TraceEvent, machine: &Machine, ctl: &mut SimControl<'_>) {
+        self.0.on_commit_dyn(ev, machine, ctl);
+    }
+
+    fn on_finish(&mut self, machine: &Machine) {
+        self.0.on_finish_dyn(machine);
+    }
+}
+
 /// Result of a finished simulation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOutcome {
     /// Total cycles.
     pub cycles: u64,
@@ -113,6 +181,9 @@ pub struct Simulator {
     machine: Machine,
     timing: TimingModel,
     program: Program,
+    /// Shared predecoded form, populated lazily on the first fast-path
+    /// run (via the process-wide [`decode_cached`] store).
+    decoded: Option<Arc<DecodedProgram>>,
     suppress: bool,
     committed: u64,
 }
@@ -130,8 +201,23 @@ impl Simulator {
             machine,
             timing: TimingModel::new(config),
             program,
+            decoded: None,
             suppress: false,
             committed: 0,
+        }
+    }
+
+    /// The shared predecoded form of the program, decoding (or fetching
+    /// from the process-wide cache) on first call. Runs with a
+    /// `PER_COMMIT = false` hook do this implicitly.
+    pub fn predecode(&mut self) -> Arc<DecodedProgram> {
+        match &self.decoded {
+            Some(d) => Arc::clone(d),
+            None => {
+                let d = decode_cached(&self.program);
+                self.decoded = Some(Arc::clone(&d));
+                d
+            }
         }
     }
 
@@ -174,10 +260,12 @@ impl Simulator {
 
     /// Runs with a commit hook for at most `fuel` committed instructions.
     ///
-    /// Generic over the hook type so the per-commit callback and the
-    /// suppress branch monomorphize into the step loop (a `NullHook`
-    /// compiles to a plain interpreter loop with no call overhead).
-    /// `?Sized` keeps `&mut dyn CommitHook` callers working unchanged.
+    /// Generic over the hook type so the hook's [`CommitHook::PER_COMMIT`]
+    /// choice selects the loop shape at compile time: a per-commit hook
+    /// monomorphizes into the classic step loop with an inlined callback,
+    /// while an observation-free hook (e.g. [`NullHook`]) compiles into
+    /// the superblock fast path. See [`Simulator::drive`] internals for
+    /// the exact contract.
     ///
     /// The fuel acts as a step-budget watchdog: a program still running
     /// when it expires (e.g. a loop whose exit condition never fires)
@@ -194,24 +282,7 @@ impl Simulator {
         fuel: u64,
         hook: &mut H,
     ) -> Result<RunOutcome, SimError> {
-        // Borrow the instruction slice once; `machine`/`timing` are
-        // disjoint fields, so the hot loop fetches with a single bounds
-        // check and no per-step `Program` indirection.
-        let instrs = self.program.as_slice();
-        let mut remaining = fuel;
-        while !self.machine.is_halted() && remaining > 0 {
-            remaining -= 1;
-            let ev = self.machine.step_slice(instrs)?;
-            self.committed += 1;
-            if self.suppress {
-                self.timing.note_covered(&ev);
-            } else {
-                self.timing.charge_event(&ev);
-            }
-            let mut ctl =
-                SimControl { timing: &mut self.timing, suppress: &mut self.suppress };
-            hook.on_commit(&ev, &self.machine, &mut ctl);
-        }
+        self.drive(fuel, hook)?;
         hook.on_finish(&self.machine);
         if !self.machine.is_halted() {
             return Err(SimError::StepBudgetExceeded {
@@ -220,6 +291,81 @@ impl Simulator {
             });
         }
         Ok(self.outcome())
+    }
+
+    /// The one interpreter loop behind [`Simulator::run_with_hook`] and
+    /// [`Simulator::run_bounded`] (which differ only in their
+    /// bound-is-error policy, applied by the wrappers after this
+    /// returns). Commits at most `budget` instructions, stopping early on
+    /// halt; executor errors propagate before any finish handling.
+    ///
+    /// `H::PER_COMMIT` selects the loop shape at monomorphization time:
+    ///
+    /// * **per-commit** (`true`): the classic loop — one
+    ///   [`Machine::step_slice`], one timing charge, one
+    ///   [`CommitHook::on_commit`] per instruction.
+    /// * **superblock** (`false`): straight-line runs from the shared
+    ///   [`DecodedProgram`] — memory ops included, plus at most one
+    ///   terminal control-flow instruction — execute whole
+    ///   ([`DecodedProgram::exec_run`]) and are charged in one
+    ///   [`TimingModel::charge_block`] fed the recorded address stream
+    ///   and branch outcome; everything else (`halt`, fallible vector
+    ///   shapes) single-steps. A run is
+    ///   taken only when it fits the remaining budget — never splitting a
+    ///   block across the boundary — so exhaustion still lands on the
+    ///   exact commit count and the machine state at exit is the same
+    ///   architecturally-exact snapshot point the stepped loop produces.
+    ///   Covered (suppressed) commits also single-step, since coverage
+    ///   accounting is per-event.
+    #[inline(always)]
+    fn drive<H: CommitHook + ?Sized>(
+        &mut self,
+        budget: u64,
+        hook: &mut H,
+    ) -> Result<(), SimError> {
+        // Borrow the instruction slice once; `machine`/`timing` are
+        // disjoint fields, so the hot loop fetches with a single bounds
+        // check and no per-step `Program` indirection.
+        let decoded = if H::PER_COMMIT { None } else { Some(self.predecode()) };
+        let instrs = self.program.as_slice();
+        let mut remaining = budget;
+        // Scratch address stream, reused across blocks to avoid
+        // per-block allocation.
+        let mut mem_addrs: Vec<u32> = Vec::new();
+        while !self.machine.is_halted() && remaining > 0 {
+            if let Some(decoded) = &decoded {
+                let pc = self.machine.pc();
+                let n = decoded.run_len(pc);
+                if n > 0 && (n as u64) <= remaining && !self.suppress {
+                    mem_addrs.clear();
+                    let taken = decoded.exec_run(&mut self.machine, pc, n, &mut mem_addrs);
+                    self.timing.charge_block(
+                        decoded.run_entries(pc, n),
+                        pc,
+                        decoded.block_counts(pc),
+                        &mem_addrs,
+                        taken,
+                    );
+                    self.committed += n as u64;
+                    remaining -= n as u64;
+                    continue;
+                }
+            }
+            remaining -= 1;
+            let ev = self.machine.step_slice(instrs)?;
+            self.committed += 1;
+            if self.suppress {
+                self.timing.note_covered(&ev);
+            } else {
+                self.timing.charge_event(&ev);
+            }
+            if H::PER_COMMIT {
+                let mut ctl =
+                    SimControl { timing: &mut self.timing, suppress: &mut self.suppress };
+                hook.on_commit(&ev, &self.machine, &mut ctl);
+            }
+        }
+        Ok(())
     }
 
     /// Runs with a commit hook for at most `max_steps` committed
@@ -241,21 +387,7 @@ impl Simulator {
         max_steps: u64,
         hook: &mut H,
     ) -> Result<BoundedOutcome, SimError> {
-        let instrs = self.program.as_slice();
-        let mut remaining = max_steps;
-        while !self.machine.is_halted() && remaining > 0 {
-            remaining -= 1;
-            let ev = self.machine.step_slice(instrs)?;
-            self.committed += 1;
-            if self.suppress {
-                self.timing.note_covered(&ev);
-            } else {
-                self.timing.charge_event(&ev);
-            }
-            let mut ctl =
-                SimControl { timing: &mut self.timing, suppress: &mut self.suppress };
-            hook.on_commit(&ev, &self.machine, &mut ctl);
-        }
+        self.drive(max_steps, hook)?;
         if self.machine.is_halted() {
             hook.on_finish(&self.machine);
             Ok(BoundedOutcome::Halted(self.outcome()))
@@ -299,8 +431,9 @@ impl Simulator {
     }
 
     /// Dynamic-dispatch entry point for callers that only have a
-    /// `&mut dyn CommitHook` (thin wrapper over the generic fast path;
-    /// used by the dispatch benchmarks as the "before" shape).
+    /// `&mut dyn DynCommitHook` (used by the dispatch benchmarks as the
+    /// "before" shape). Always drives the conservative per-commit loop —
+    /// a trait object cannot advertise `PER_COMMIT = false`.
     ///
     /// # Errors
     ///
@@ -308,9 +441,9 @@ impl Simulator {
     pub fn run_with_dyn_hook(
         &mut self,
         fuel: u64,
-        hook: &mut dyn CommitHook,
+        hook: &mut dyn DynCommitHook,
     ) -> Result<RunOutcome, SimError> {
-        self.run_with_hook(fuel, hook)
+        self.run_with_hook(fuel, &mut DynAdapter(hook))
     }
 
     /// Snapshot of the current outcome.

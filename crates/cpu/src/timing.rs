@@ -76,10 +76,31 @@ impl ClassCounts {
     pub fn vector_total(&self) -> u64 {
         self.0[11..16].iter().sum()
     }
+
+    /// Adds `other`'s counters into `self` (batched form of N
+    /// [`ClassCounts::bump`] calls).
+    pub fn merge(&mut self, other: &ClassCounts) {
+        for (a, b) in self.0.iter_mut().zip(other.0) {
+            *a += b;
+        }
+    }
+
+    /// `self - earlier`, element-wise. Used on prefix sums, where
+    /// `earlier` is always a prefix of `self` so no counter underflows.
+    pub fn diff(&self, earlier: &ClassCounts) -> ClassCounts {
+        let mut out = [0u64; 16];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(earlier.0)) {
+            *o = a - b;
+        }
+        ClassCounts(out)
+    }
 }
 
 /// Statistics accumulated by the timing model.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// `PartialEq` so the block-mode/step-mode equivalence tests can assert
+/// the two interpreter paths produce identical statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TimingStats {
     /// Instructions charged on the scalar pipeline.
     pub committed: u64,
@@ -101,7 +122,7 @@ pub struct TimingStats {
 }
 
 #[derive(Debug, Clone, Copy, Default)]
-struct Deps {
+pub(crate) struct Deps {
     srcs: [Option<Reg>; 3],
     qsrcs: [Option<QReg>; 2],
     dst: Option<Reg>,
@@ -112,7 +133,7 @@ struct Deps {
     writes_flags: bool,
 }
 
-fn deps(instr: &Instr) -> Deps {
+pub(crate) fn deps(instr: &Instr) -> Deps {
     let mut d = Deps::default();
     match *instr {
         Instr::Nop | Instr::Halt => {}
@@ -428,43 +449,58 @@ impl TimingModel {
         self.complete(done);
     }
 
+    /// Event-path scalar charge: unpacks the trace event's memory and
+    /// branch facts and defers to [`TimingModel::charge_scalar_core`].
     fn charge_scalar(&mut self, instr: &Instr, ev: Option<&TraceEvent>, d: &Deps, slot: u64) {
-        let cfg = self.config;
-        let class = instr.class();
+        let read = ev.and_then(|e| e.read).map(|a| a.addr);
+        let write = ev.and_then(|e| e.write).map(|a| a.addr);
+        let branch = ev.and_then(|e| e.branch.map(|b| (e.pc, b.taken)));
+        self.charge_scalar_core(instr, instr.class(), d, slot, read, write, branch);
+    }
+
+    /// The scalar charge itself, fed by either a [`TraceEvent`] (stepped
+    /// path) or predecoded facts (block path) — one body, so the two
+    /// interpreter shapes cannot drift apart. `class` is passed in
+    /// because both callers already have it (the block path precomputed,
+    /// the event path freshly derived).
+    #[allow(clippy::too_many_arguments)]
+    fn charge_scalar_core(
+        &mut self,
+        instr: &Instr,
+        class: InstrClass,
+        d: &Deps,
+        slot: u64,
+        read: Option<u32>,
+        write: Option<u32>,
+        branch: Option<(u32, bool)>,
+    ) {
         let start = slot.max(self.src_ready(d)).max(self.rob_floor());
         let done = match class {
             InstrClass::Load => {
-                let addr = ev
-                    .and_then(|e| e.read)
-                    .map(|a| a.addr)
-                    .expect("load event carries address"); // infallible: commit events for Load always carry a read
+                let addr = read.expect("load carries an address"); // infallible: both paths attach the read address to Load
                 start + self.memsys.access_data(addr, false) as u64
             }
             InstrClass::Store => {
-                if let Some(a) = ev.and_then(|e| e.write) {
-                    self.memsys.access_data(a.addr, true);
+                if let Some(a) = write {
+                    self.memsys.access_data(a, true);
                 }
                 start + 1
             }
-            InstrClass::IntMul => start + cfg.int_mul_latency as u64,
-            InstrClass::FpAlu => start + cfg.fp_alu_latency as u64,
-            InstrClass::FpMul => start + cfg.fp_mul_latency as u64,
+            InstrClass::IntMul => start + self.config.int_mul_latency as u64,
+            InstrClass::FpAlu => start + self.config.fp_alu_latency as u64,
+            InstrClass::FpMul => start + self.config.fp_mul_latency as u64,
             InstrClass::Branch | InstrClass::Call | InstrClass::Return => {
                 // Conditional branches consult the predictor.
-                if let (Instr::B { cond, .. }, Some(e)) = (instr, ev) {
-                    if *cond != dsa_isa::Cond::Al {
-                        if let Some(b) = e.branch {
-                            if self.predictor.update(e.pc, b.taken) {
-                                self.stats.mispredicts += 1;
-                                self.frontend_ready =
-                                    start + 1 + cfg.branch_mispredict_penalty as u64;
-                            }
-                        }
+                if let (Instr::B { cond, .. }, Some((pc, taken))) = (instr, branch) {
+                    if *cond != dsa_isa::Cond::Al && self.predictor.update(pc, taken) {
+                        self.stats.mispredicts += 1;
+                        self.frontend_ready =
+                            start + 1 + self.config.branch_mispredict_penalty as u64;
                     }
                 }
                 start + 1
             }
-            _ => start + cfg.int_alu_latency as u64,
+            _ => start + self.config.int_alu_latency as u64,
         };
         if let Some(r) = d.dst {
             self.reg_ready[r.index() as usize] = done;
@@ -503,6 +539,103 @@ impl TimingModel {
         } else {
             self.charge_scalar(&ev.instr, Some(ev), &d, slot);
         }
+    }
+
+    /// Charges one predecoded superblock starting at `base_pc` — the
+    /// batched counterpart of calling [`TimingModel::charge_event`] once
+    /// per entry, producing bit-identical cycles and statistics.
+    /// `mem_addrs` holds the effective address of every memory access in
+    /// program order and `taken` the terminal conditional branch's
+    /// outcome, both recorded by `DecodedProgram::exec_run`.
+    ///
+    /// Two things are batched; everything else (slot allocation, operand
+    /// scoreboard, ROB floor, branch predictor, NEON queue, data-cache
+    /// charges) replays the per-event math exactly, because it is
+    /// genuinely stateful across instructions:
+    ///
+    /// * per-class commit counters come in as one precomputed
+    ///   `counts` delta ([`crate::DecodedProgram`]'s prefix sums);
+    /// * instruction fetches are grouped by I-cache line — one real
+    ///   [`MemorySystem::access_instr`] per line, with the rest of the
+    ///   group recorded via [`MemorySystem::count_instr_repeats`]. The
+    ///   followers are guaranteed L1I hits: the group-leading fetch
+    ///   brings the line in, and interleaved data traffic cannot evict
+    ///   it (data accesses never touch the L1I, and the followers, being
+    ///   hits, never reach the shared L2 — so the L2 access order is
+    ///   also exactly the stepped one). Only the group-leading fetch can
+    ///   carry a miss penalty, exactly as in the stepped path where
+    ///   followers hit at `l1_latency` and
+    ///   `latency.saturating_sub(l1_latency)` is zero.
+    ///
+    /// Eligibility (no `halt`, no fallible vector shapes, control flow
+    /// only as the final entry) is the caller's contract, established at
+    /// predecode time.
+    pub(crate) fn charge_block(
+        &mut self,
+        entries: &[crate::decoded::DecodedInstr],
+        base_pc: u32,
+        counts: &ClassCounts,
+        mem_addrs: &[u32],
+        taken: Option<bool>,
+    ) {
+        self.stats.committed += entries.len() as u64;
+        self.stats.counts.merge(counts);
+        // Line size is a power of two (checked by `CacheConfig::new`) and
+        // instructions are 4 bytes, so each group's extent is arithmetic:
+        // the run from `addr` to its line boundary, divisions avoided.
+        let line_bytes = self.config.mem.l1i.line_bytes;
+        let mut next_addr = 0usize;
+        let mut i = 0usize;
+        while i < entries.len() {
+            let addr = base_pc.wrapping_add(i as u32).wrapping_mul(4);
+            let to_line_end = ((line_bytes - (addr & (line_bytes - 1))) / 4) as usize;
+            let j = (i + to_line_end.max(1)).min(entries.len());
+            let fetch_latency = self.memsys.access_instr(addr);
+            let mut fetch_penalty =
+                fetch_latency.saturating_sub(self.config.mem.l1_latency) as u64;
+            if j - i > 1 {
+                self.memsys.count_instr_repeats(addr, (j - i - 1) as u64);
+            }
+            for (k, e) in entries[i..j].iter().enumerate() {
+                let slot = self.allocate_slot(self.frontend_ready + fetch_penalty);
+                self.frontend_ready = self.frontend_ready.max(slot);
+                fetch_penalty = 0; // followers on the line hit at l1_latency
+                let class = e.class();
+                let mem = matches!(
+                    class,
+                    InstrClass::Load
+                        | InstrClass::Store
+                        | InstrClass::VecLoad
+                        | InstrClass::VecStore
+                );
+                let addr = if mem {
+                    let a = mem_addrs.get(next_addr).copied();
+                    next_addr += 1;
+                    a
+                } else {
+                    None
+                };
+                if class.is_vector() {
+                    // Fetched (compiler-emitted) vector memory ops use
+                    // the unaligned-safe encoding, as in charge_event.
+                    self.charge_vector(e.instr(), e.deps(), slot, addr, false);
+                } else {
+                    let (read, write) = match class {
+                        InstrClass::Load => (addr, None),
+                        InstrClass::Store => (None, addr),
+                        _ => (None, None),
+                    };
+                    // Only the terminal entry can be a branch; its PC is
+                    // its block offset.
+                    let branch = taken
+                        .filter(|_| i + k + 1 == entries.len())
+                        .map(|t| (base_pc.wrapping_add((i + k) as u32), t));
+                    self.charge_scalar_core(e.instr(), class, e.deps(), slot, read, write, branch);
+                }
+            }
+            i = j;
+        }
+        debug_assert_eq!(next_addr, mem_addrs.len(), "address stream fully consumed");
     }
 
     /// Records that a committed instruction was covered by DSA vector

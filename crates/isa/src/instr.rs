@@ -463,6 +463,23 @@ impl Instr {
         matches!(self, Instr::B { .. } | Instr::Bl { .. } | Instr::BxLr)
     }
 
+    /// Whether this instruction reads or writes data memory (and so must
+    /// consult the cache model when its timing is charged). Instruction
+    /// fetch is not counted — every instruction fetches.
+    pub fn touches_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Ldr { .. }
+                | Instr::Str { .. }
+                | Instr::LdrReg { .. }
+                | Instr::StrReg { .. }
+                | Instr::Vld1 { .. }
+                | Instr::Vst1 { .. }
+                | Instr::Vld1Lane { .. }
+                | Instr::Vst1Lane { .. }
+        )
+    }
+
     /// For PC-relative branches, the target given the instruction's own PC.
     pub fn branch_target(&self, pc: u32) -> Option<u32> {
         match self {

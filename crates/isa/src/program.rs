@@ -68,6 +68,28 @@ impl Program {
     pub fn vector_instr_count(&self) -> usize {
         self.instrs.iter().filter(|i| i.is_vector()).count()
     }
+
+    /// Stable FNV-1a digest over the instruction stream — the key under
+    /// which predecoded forms of the program (e.g. `dsa-cpu`'s
+    /// `DecodedProgram`) are cached and shared between runs. Hashes the
+    /// `Debug` rendering of each instruction rather than [`encode`]:
+    /// every representable `Instr` must hash, including malformed
+    /// shapes (an over-wide vector shift, say) that `encode` rejects but
+    /// the simulator handles as a runtime error.
+    pub fn content_hash(&self) -> u64 {
+        use fmt::Write as _;
+        let mut text = String::new();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for instr in &self.instrs {
+            text.clear();
+            let _ = write!(text, "{instr:?};");
+            for b in text.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
 }
 
 impl FromIterator<Instr> for Program {
@@ -119,6 +141,33 @@ mod tests {
         let text = p.to_string();
         assert!(text.contains("0:  nop"));
         assert!(text.contains("1:  halt"));
+    }
+
+    #[test]
+    fn content_hash_tracks_encoding() {
+        let p = Program::new(vec![Instr::MovImm { rd: Reg::R1, imm: 42 }, Instr::Halt]);
+        let same = Program::from_words(&p.to_words()).unwrap();
+        assert_eq!(p.content_hash(), same.content_hash());
+        let different = Program::new(vec![Instr::MovImm { rd: Reg::R2, imm: 42 }, Instr::Halt]);
+        assert_ne!(p.content_hash(), different.content_hash());
+        assert_ne!(p.content_hash(), Program::default().content_hash());
+    }
+
+    #[test]
+    fn content_hash_accepts_unencodable_instrs() {
+        // An over-wide shift is representable (and fails at run time in
+        // the simulator) but rejected by `encode` — hashing must not
+        // panic on it.
+        let bad = Program::new(vec![
+            Instr::VshrImm {
+                qd: crate::QReg::Q0,
+                qn: crate::QReg::Q1,
+                shift: 16,
+                et: crate::ElemType::I16,
+            },
+            Instr::Halt,
+        ]);
+        assert_ne!(bad.content_hash(), Program::default().content_hash());
     }
 
     #[test]

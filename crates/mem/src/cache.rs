@@ -157,6 +157,26 @@ impl Cache {
         Lookup { hit: false, writeback: evicted_dirty }
     }
 
+    /// Records `n` additional hits to the already-resident line containing
+    /// `addr` without re-walking the tag store.
+    ///
+    /// This is the batched form of calling [`Cache::access`] `n` times on
+    /// the same line with nothing in between: after the first access the
+    /// line is MRU, so repeats hit, and collapsing them preserves the
+    /// relative `last_use` ordering among distinct lines (the only thing
+    /// LRU victim selection consults — tick *values* diverge, but
+    /// `min_by_key` only compares). Statistics come out identical.
+    ///
+    /// Caller must guarantee residency (the simulator's superblock fast
+    /// path does: within a block, same-line follower fetches come
+    /// straight after the leader in the L1I, and interleaved *data*
+    /// accesses go to the separate L1D, so nothing can evict the line
+    /// between the fetches).
+    pub fn count_hits(&mut self, addr: u32, n: u64) {
+        debug_assert!(self.probe(addr), "count_hits on a non-resident line");
+        self.stats.hits += n;
+    }
+
     /// Whether the line containing `addr` is currently resident (no state
     /// change, no statistics update).
     pub fn probe(&self, addr: u32) -> bool {
@@ -254,6 +274,28 @@ mod tests {
         c.flush();
         assert!(!c.probe(0));
         assert!(!c.access(0, false).hit);
+    }
+
+    #[test]
+    fn count_hits_matches_repeated_access() {
+        // Batched accounting must equal n real same-line accesses: same
+        // stats, and the same victim decisions afterwards.
+        let mut step = small();
+        let mut batched = small();
+        step.access(0x40, false);
+        batched.access(0x40, false);
+        for _ in 0..7 {
+            step.access(0x44, false);
+        }
+        batched.count_hits(0x44, 7);
+        assert_eq!(step.stats(), batched.stats());
+        // Fill the set so LRU decisions matter (set stride = 64).
+        for &a in &[0x40 + 64, 0x40 + 128, 0x40 + 192] {
+            step.access(a, false);
+            batched.access(a, false);
+        }
+        assert_eq!(step.probe(0x40), batched.probe(0x40));
+        assert_eq!(step.stats(), batched.stats());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Flat, sparsely allocated main memory.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
@@ -9,12 +10,45 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// and [`MainMemory::load_page`] (snapshot capture/restore).
 pub const PAGE_BYTES: usize = PAGE_SIZE;
 
+/// Multiplicative (Fibonacci) hasher for page numbers. Page keys are
+/// small, attacker-free integers, and every simulated memory access pays
+/// one lookup — SipHash would dominate the cost of the functional
+/// executor's loads and stores.
+#[derive(Debug, Clone, Copy, Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        let h = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // Fold the high (well-mixed) bits into the low bits the table
+        // indexes with.
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type PageMap = HashMap<u32, Box<[u8; PAGE_SIZE]>, BuildHasherDefault<PageHasher>>;
+
 /// Byte-addressable main memory with a 32-bit address space, allocated
 /// lazily in 4 KB pages. All multi-byte accesses are little-endian and may
 /// straddle page boundaries.
 #[derive(Debug, Clone, Default)]
 pub struct MainMemory {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    pages: PageMap,
+}
+
+#[inline]
+fn split(addr: u32) -> (u32, usize) {
+    (addr >> PAGE_SHIFT, (addr as usize) & (PAGE_SIZE - 1))
 }
 
 impl MainMemory {
@@ -25,47 +59,76 @@ impl MainMemory {
 
     /// Reads one byte.
     pub fn read_u8(&self, addr: u32) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
-            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+        let (page, off) = split(addr);
+        match self.pages.get(&page) {
+            Some(p) => p[off],
             None => 0,
         }
     }
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u32, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+        let (page, off) = split(addr);
+        self.page_mut(page)[off] = value;
+    }
+
+    #[inline]
+    fn page_mut(&mut self, page: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(page).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads `N` little-endian bytes in one page lookup when the access
+    /// stays inside a page (the overwhelmingly common case — aligned
+    /// accesses never straddle), byte-by-byte otherwise.
+    #[inline]
+    fn read_n<const N: usize>(&self, addr: u32) -> [u8; N] {
+        let (page, off) = split(addr);
+        if off + N <= PAGE_SIZE {
+            match self.pages.get(&page) {
+                Some(p) => {
+                    let mut out = [0u8; N];
+                    out.copy_from_slice(&p[off..off + N]);
+                    out
+                }
+                None => [0u8; N],
+            }
+        } else {
+            core::array::from_fn(|i| self.read_u8(addr.wrapping_add(i as u32)))
+        }
+    }
+
+    /// Writes `N` little-endian bytes in one page lookup when the access
+    /// stays inside a page, byte-by-byte otherwise.
+    #[inline]
+    fn write_n<const N: usize>(&mut self, addr: u32, bytes: [u8; N]) {
+        let (page, off) = split(addr);
+        if off + N <= PAGE_SIZE {
+            self.page_mut(page)[off..off + N].copy_from_slice(&bytes);
+        } else {
+            for (i, b) in bytes.into_iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), b);
+            }
+        }
     }
 
     /// Reads a little-endian 16-bit value.
     pub fn read_u16(&self, addr: u32) -> u16 {
-        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+        u16::from_le_bytes(self.read_n(addr))
     }
 
     /// Writes a little-endian 16-bit value.
     pub fn write_u16(&mut self, addr: u32, value: u16) {
-        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), b);
-        }
+        self.write_n(addr, value.to_le_bytes());
     }
 
     /// Reads a little-endian 32-bit value.
     pub fn read_u32(&self, addr: u32) -> u32 {
-        let mut bytes = [0u8; 4];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = self.read_u8(addr.wrapping_add(i as u32));
-        }
-        u32::from_le_bytes(bytes)
+        u32::from_le_bytes(self.read_n(addr))
     }
 
     /// Writes a little-endian 32-bit value.
     pub fn write_u32(&mut self, addr: u32, value: u32) {
-        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), b);
-        }
+        self.write_n(addr, value.to_le_bytes());
     }
 
     /// Reads a 32-bit value as a float (bit reinterpretation).
@@ -80,18 +143,12 @@ impl MainMemory {
 
     /// Reads 16 contiguous bytes (one vector register).
     pub fn read_vec128(&self, addr: u32) -> [u8; 16] {
-        let mut bytes = [0u8; 16];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = self.read_u8(addr.wrapping_add(i as u32));
-        }
-        bytes
+        self.read_n(addr)
     }
 
     /// Writes 16 contiguous bytes (one vector register).
     pub fn write_vec128(&mut self, addr: u32, bytes: [u8; 16]) {
-        for (i, b) in bytes.into_iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), b);
-        }
+        self.write_n(addr, bytes);
     }
 
     /// Copies a byte slice into memory starting at `addr`.

@@ -121,6 +121,22 @@ impl MemorySystem {
         }
     }
 
+    /// Records `extra` repeat fetches of the instruction line containing
+    /// `addr`, each a guaranteed L1I hit at `l1_latency`.
+    ///
+    /// Companion to [`MemorySystem::access_instr`] for the superblock fast
+    /// path: after fetching the first instruction of a straight-line group
+    /// the line is resident, and interleaved block traffic cannot evict it
+    /// — data accesses touch the L1D, never the L1I, and the follower
+    /// fetches, being hits, never reach the shared L2 — so the remaining
+    /// same-line fetches are hits by construction (and the L2 access
+    /// order is exactly the stepped one). See [`Cache::count_hits`] for
+    /// why the collapsed accounting is bit-identical to `extra` real
+    /// accesses.
+    pub fn count_instr_repeats(&mut self, addr: u32, extra: u64) {
+        self.l1i.count_hits(addr, extra);
+    }
+
     /// Accumulated statistics across all levels.
     pub fn stats(&self) -> MemoryStats {
         MemoryStats {
@@ -206,6 +222,20 @@ mod tests {
         let s = sys.stats();
         assert_eq!(s.l1d.writebacks, 1);
         assert!(s.l2.accesses() >= 3, "two refills plus one writeback");
+    }
+
+    #[test]
+    fn instr_repeats_match_stepped_fetches() {
+        let mut step = MemorySystem::new(MemoryConfig::default());
+        let mut batched = MemorySystem::new(MemoryConfig::default());
+        // Fetch a 4-instruction group on one 64B line the way the two
+        // interpreter modes do: four accesses vs one access + 3 repeats.
+        for pc in 0u32..4 {
+            step.access_instr(pc * 4);
+        }
+        batched.access_instr(0);
+        batched.count_instr_repeats(0, 3);
+        assert_eq!(step.stats(), batched.stats());
     }
 
     #[test]
