@@ -1,0 +1,146 @@
+//! Criterion microbenches for the host-SIMD `vec128` backends: every
+//! `VecOp` × `ElemType` on every compiled-in backend, plus the fused
+//! pair form, runtime shifts and horizontal reductions. Names follow
+//! `vec128_backends/<backend>/<op>.<et>` so backend columns line up
+//! when diffing runs (the same grid feeds `perf_baseline`'s
+//! micro-latency table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dsa_cpu::Simd;
+use dsa_isa::{ElemType, VecOp};
+
+const ALL_OPS: [VecOp; 8] = [
+    VecOp::Add,
+    VecOp::Sub,
+    VecOp::Mul,
+    VecOp::Min,
+    VecOp::Max,
+    VecOp::And,
+    VecOp::Orr,
+    VecOp::Eor,
+];
+
+const ALL_ETS: [ElemType; 4] = [ElemType::I8, ElemType::I16, ElemType::I32, ElemType::F32];
+
+/// Chained applications per timed sample: one `apply` is a handful of
+/// nanoseconds, far below timer resolution, so each sample feeds the
+/// result back through the backend this many times.
+const CHAIN: usize = 1024;
+
+fn op_name(op: VecOp) -> &'static str {
+    match op {
+        VecOp::Add => "add",
+        VecOp::Sub => "sub",
+        VecOp::Mul => "mul",
+        VecOp::Min => "min",
+        VecOp::Max => "max",
+        VecOp::And => "and",
+        VecOp::Orr => "orr",
+        VecOp::Eor => "eor",
+    }
+}
+
+fn et_name(et: ElemType) -> &'static str {
+    match et {
+        ElemType::I8 => "i8",
+        ElemType::I16 => "i16",
+        ElemType::I32 => "i32",
+        ElemType::F32 => "f32",
+    }
+}
+
+/// Input whose lanes stay finite under repeated float ops (all-ones
+/// bit patterns would turn every float lane into NaN immediately and
+/// make Min/Max trivially branch-predictable).
+fn seed_vec(salt: u8) -> [u8; 16] {
+    std::array::from_fn(|i| (i as u8).wrapping_mul(37).wrapping_add(salt) | 1)
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vec128_backends");
+    for &be in Simd::available() {
+        for op in ALL_OPS {
+            for et in ALL_ETS {
+                g.bench_function(format!("{}/{}.{}", be.name(), op_name(op), et_name(et)), |b| {
+                    let seed = seed_vec(0x5a);
+                    let other = seed_vec(0xc3);
+                    b.iter(|| {
+                        let mut acc = seed;
+                        for _ in 0..CHAIN {
+                            acc = be.apply(op, et, black_box(acc), black_box(other));
+                        }
+                        acc
+                    })
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+fn bench_apply2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vec128_backends_fused");
+    for &be in Simd::available() {
+        for et in ALL_ETS {
+            g.bench_function(format!("{}/add2.{}", be.name(), et_name(et)), |b| {
+                let seed0 = seed_vec(0x11);
+                let seed1 = seed_vec(0x22);
+                let other = seed_vec(0x33);
+                b.iter(|| {
+                    let (mut a0, mut a1) = (seed0, seed1);
+                    for _ in 0..CHAIN {
+                        (a0, a1) = be.apply2(
+                            VecOp::Add,
+                            et,
+                            black_box(a0),
+                            black_box(other),
+                            black_box(a1),
+                            black_box(other),
+                        );
+                    }
+                    (a0, a1)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_shr_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vec128_backends_misc");
+    for &be in Simd::available() {
+        for et in [ElemType::I8, ElemType::I16, ElemType::I32] {
+            g.bench_function(format!("{}/shr.{}", be.name(), et_name(et)), |b| {
+                let seed = seed_vec(0x77);
+                b.iter(|| {
+                    let mut acc = seed;
+                    for _ in 0..CHAIN {
+                        acc = be
+                            .shr(et, black_box(acc), 1)
+                            .unwrap_or_default();
+                        acc[0] = acc[0].wrapping_add(0xff);
+                    }
+                    acc
+                })
+            });
+        }
+        for et in ALL_ETS {
+            g.bench_function(format!("{}/reduce_add.{}", be.name(), et_name(et)), |b| {
+                let seed = seed_vec(0x99);
+                b.iter(|| {
+                    let mut sum = 0u32;
+                    for _ in 0..CHAIN {
+                        sum = sum.wrapping_add(be.reduce_add(et, black_box(seed)));
+                    }
+                    sum
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(vec128_backends, bench_apply, bench_apply2, bench_shr_reduce);
+criterion_main!(vec128_backends);

@@ -1,36 +1,53 @@
 //! Wall-clock throughput baseline for the superblock interpreter
-//! (`BENCH_5.json`): every chaos workload — the seven paper
-//! applications plus the sentinel microkernel — is simulated twice on
-//! the scalar system, once pinned to the classic per-commit step loop
-//! ([`StepNull`]) and once on the predecoded block fast path
-//! ([`NullHook`]), and the minimum-of-N wall clock of each is reported
-//! as MIPS (committed instructions / second / 1e6).
+//! (`BENCH_6.json`), in two sections:
 //!
-//! The two runs of each workload must be **bit-identical** in cycles,
-//! committed count and output checksum — the fast path is a pure
-//! interpreter-shape change — so every rep doubles as an equivalence
-//! check before it is a timing sample.
+//! 1. **Scalar grid** (BENCH_5 continuity): every chaos workload — the
+//!    seven paper applications plus the sentinel microkernel — is
+//!    simulated twice on the scalar system, once pinned to the classic
+//!    per-commit step loop ([`StepNull`]) and once on the predecoded
+//!    block fast path ([`NullHook`]), and the minimum-of-N wall clock
+//!    of each is reported as MIPS (committed instructions / second /
+//!    1e6).
+//! 2. **Vector section**: the four vector-heavy applications (MM,
+//!    RGB-Gray, Gaussian, Susan E) built with the hand-vectorized
+//!    variant, run in block mode once per compiled-in host-SIMD
+//!    backend (`portable`, then `sse2`/`avx2` or `neon` as detected).
+//!    Every rep is an equivalence gate before it is a timing sample:
+//!    cycles, committed count, architectural digest and output checksum
+//!    must be bit-identical across backends and reps — the backend is a
+//!    pure host-execution change.
 //!
 //! ```text
-//! cargo run --release -p dsa-bench --bin perf_baseline              # full grid → BENCH_5.json
+//! cargo run --release -p dsa-bench --bin perf_baseline              # full grid → BENCH_6.json
 //! cargo run --release -p dsa-bench --bin perf_baseline -- \
 //!     --micro-only --reps 3 --floor 5                               # CI throughput smoke
+//! cargo run --release -p dsa-bench --bin perf_baseline -- \
+//!     --compare BENCH_5.json --tolerance 10                         # regression gate
 //! ```
 //!
 //! `--floor MIPS` asserts the block-mode sentinel throughput stays
 //! above a (deliberately generous) floor, catching order-of-magnitude
-//! regressions in CI without flaking on machine noise.
+//! regressions in CI without flaking on machine noise. `--compare PATH`
+//! diffs the scalar grid against a previous baseline JSON and exits
+//! non-zero if total block throughput regressed by more than
+//! `--tolerance` percent (default 10).
 
 use std::time::Instant;
 
 use dsa_bench::chaos::chaos_workloads;
 use dsa_bench::{cache::Workload, FUEL};
 use dsa_compiler::Variant;
-use dsa_cpu::{CommitHook, CpuConfig, NullHook, Simulator, StepNull};
-use dsa_workloads::{build, micro, BuiltWorkload, Scale};
+use dsa_cpu::{CommitHook, CpuConfig, NullHook, Simd, Simulator, StepNull};
+use dsa_trace::json::{self, Value};
+use dsa_workloads::{build, micro, BuiltWorkload, Scale, WorkloadId};
 
-const USAGE: &str =
-    "usage: perf_baseline [--reps N] [--out PATH] [--scale S] [--floor MIPS] [--micro-only]";
+const USAGE: &str = "usage: perf_baseline [--reps N] [--out PATH] [--scale S] [--floor MIPS] \
+     [--micro-only] [--compare PATH] [--tolerance PCT]";
+
+/// The vector-heavy applications measured per backend (the paper's
+/// DLP-rich kernels; the other three are control-flow bound).
+const VECTOR_APPS: [WorkloadId; 4] =
+    [WorkloadId::MatMul, WorkloadId::RgbGray, WorkloadId::Gaussian, WorkloadId::SusanEdges];
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("perf_baseline: {msg}\n{USAGE}");
@@ -48,10 +65,21 @@ fn built(workload: Workload, scale: Scale) -> BuiltWorkload {
     }
 }
 
-/// One timed scalar run under `hook`; returns (cycles, committed,
-/// checksum, seconds).
-fn run_once<H: CommitHook>(w: &BuiltWorkload, hook: &mut H) -> (u64, u64, u64, f64) {
+/// Everything one run must reproduce exactly for the grid to accept it
+/// as a timing sample.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Facts {
+    cycles: u64,
+    committed: u64,
+    checksum: u64,
+    digest: u64,
+}
+
+/// One timed run under `hook` with the machine pinned to `simd`;
+/// returns the run facts and wall-clock seconds.
+fn run_once<H: CommitHook>(w: &BuiltWorkload, simd: Simd, hook: &mut H) -> (Facts, f64) {
     let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+    sim.machine_mut().set_simd(simd);
     (w.init)(sim.machine_mut());
     for buf in w.kernel.layout.bufs() {
         sim.warm_region(buf.base, buf.size_bytes());
@@ -64,15 +92,28 @@ fn run_once<H: CommitHook>(w: &BuiltWorkload, hook: &mut H) -> (u64, u64, u64, f
     if !out.halted || !w.check(sim.machine()) {
         fail("workload produced a wrong result");
     }
-    (out.cycles, out.committed, w.actual(sim.machine()), secs)
+    if out.simd_backend != simd.name() {
+        fail(&format!(
+            "backend pin did not hold: asked for {}, ran {}",
+            simd.name(),
+            out.simd_backend
+        ));
+    }
+    let facts = Facts {
+        cycles: out.cycles,
+        committed: out.committed,
+        checksum: w.actual(sim.machine()),
+        digest: sim.machine().arch_digest(),
+    };
+    (facts, secs)
 }
 
 /// Interleaved min-of-N wall clock for one workload on both interpreter
 /// shapes. Alternating step/block samples inside one loop (instead of
 /// two back-to-back batches) keeps slow machine-load drift from landing
 /// wholesale on one mode — the same discipline `trace_overhead_guard`
-/// uses. Every rep pair is also an equivalence check: cycles, committed
-/// count and output checksum must be bit-identical across modes.
+/// uses. Every rep pair is also an equivalence check: the run facts
+/// must be bit-identical across modes and reps.
 struct Measured {
     cycles: u64,
     committed: u64,
@@ -81,32 +122,93 @@ struct Measured {
 }
 
 fn measure(w: &BuiltWorkload, reps: u32) -> Result<Measured, String> {
+    let simd = Simd::active();
     // Warm-up: page-in, branch-predict the host loops, fill the shared
     // predecode cache.
-    let _ = run_once(w, &mut StepNull);
-    let _ = run_once(w, &mut NullHook);
+    let _ = run_once(w, simd, &mut StepNull);
+    let _ = run_once(w, simd, &mut NullHook);
     let (mut step_best, mut block_best) = (f64::INFINITY, f64::INFINITY);
-    let mut facts = None;
+    let mut facts: Option<Facts> = None;
     for _ in 0..reps {
-        let (s_cycles, s_committed, s_sum, s_secs) = run_once(w, &mut StepNull);
-        let (b_cycles, b_committed, b_sum, b_secs) = run_once(w, &mut NullHook);
-        if (s_cycles, s_committed, s_sum) != (b_cycles, b_committed, b_sum) {
+        let (s, s_secs) = run_once(w, simd, &mut StepNull);
+        let (b, b_secs) = run_once(w, simd, &mut NullHook);
+        if s != b {
             return Err(format!(
-                "block mode diverged from step mode (cycles {s_cycles} vs {b_cycles}, \
-                 committed {s_committed} vs {b_committed}, checksum {s_sum:#x} vs {b_sum:#x})"
+                "block mode diverged from step mode (cycles {} vs {}, committed {} vs {}, \
+                 checksum {:#x} vs {:#x})",
+                s.cycles, b.cycles, s.committed, b.committed, s.checksum, b.checksum
             ));
         }
         if let Some(prev) = facts {
-            if prev != (s_cycles, s_committed, s_sum) {
+            if prev != s {
                 return Err("run is not deterministic across reps".into());
             }
         }
-        facts = Some((s_cycles, s_committed, s_sum));
+        facts = Some(s);
         step_best = step_best.min(s_secs);
         block_best = block_best.min(b_secs);
     }
-    let (cycles, committed, _) = facts.expect("reps >= 1 checked at parse time");
-    Ok(Measured { cycles, committed, step_secs: step_best, block_secs: block_best })
+    let f = facts.expect("reps >= 1 checked at parse time");
+    Ok(Measured {
+        cycles: f.cycles,
+        committed: f.committed,
+        step_secs: step_best,
+        block_secs: block_best,
+    })
+}
+
+/// Per-backend min-of-N block-mode wall clock for one hand-vectorized
+/// workload. Backends are interleaved inside each rep (portable, sse2,
+/// avx2, portable, ...) for the same drift resistance as the scalar
+/// grid, and every sample is an identity gate: cycles, committed count,
+/// checksum and architectural digest must match the portable reference
+/// bit for bit.
+struct VectorMeasured {
+    cycles: u64,
+    committed: u64,
+    /// `(backend, min-of-N seconds)` in `Simd::available()` order —
+    /// portable first, best host backend last.
+    secs: Vec<(Simd, f64)>,
+}
+
+fn measure_vector(w: &BuiltWorkload, reps: u32) -> Result<VectorMeasured, String> {
+    let backends = Simd::available();
+    for &be in backends {
+        let _ = run_once(w, be, &mut NullHook);
+    }
+    let mut best = vec![f64::INFINITY; backends.len()];
+    let mut facts: Option<Facts> = None;
+    for _ in 0..reps {
+        for (i, &be) in backends.iter().enumerate() {
+            let (f, secs) = run_once(w, be, &mut NullHook);
+            if let Some(prev) = facts {
+                if prev != f {
+                    return Err(format!(
+                        "backend {} diverged from {} (cycles {} vs {}, committed {} vs {}, \
+                         checksum {:#x} vs {:#x}, digest {:#x} vs {:#x})",
+                        be.name(),
+                        backends[0].name(),
+                        f.cycles,
+                        prev.cycles,
+                        f.committed,
+                        prev.committed,
+                        f.checksum,
+                        prev.checksum,
+                        f.digest,
+                        prev.digest
+                    ));
+                }
+            }
+            facts = Some(f);
+            best[i] = best[i].min(secs);
+        }
+    }
+    let f = facts.expect("at least the portable backend is always available");
+    Ok(VectorMeasured {
+        cycles: f.cycles,
+        committed: f.committed,
+        secs: backends.iter().copied().zip(best).collect(),
+    })
 }
 
 struct Row {
@@ -129,12 +231,95 @@ impl Row {
     }
 }
 
+struct VectorRow {
+    name: &'static str,
+    committed: u64,
+    cycles: u64,
+    secs: Vec<(Simd, f64)>,
+}
+
+impl VectorRow {
+    fn mips(&self, i: usize) -> f64 {
+        self.committed as f64 / self.secs[i].1 / 1e6
+    }
+    /// Host (best backend) over portable wall-clock speedup.
+    fn host_speedup(&self) -> f64 {
+        self.secs[0].1 / self.secs[self.secs.len() - 1].1
+    }
+    fn host_mips(&self) -> f64 {
+        self.mips(self.secs.len() - 1)
+    }
+}
+
+/// The numeric payload of a JSON value (`Num` carries f64 directly).
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Num(f, _) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Diffs the freshly measured scalar grid against a previous baseline
+/// JSON (`--compare`). Prints a per-workload regression/improvement
+/// table and returns the old and new **total** block MIPS (total
+/// committed / total block seconds), the gate `main` enforces.
+fn compare_against(path: &str, rows: &[Row]) -> (f64, f64) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let old = json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    let old_rows = old
+        .get("workloads")
+        .and_then(|w| match w {
+            Value::Arr(rows) => Some(rows.as_slice()),
+            _ => None,
+        })
+        .unwrap_or_else(|| fail(&format!("{path}: no `workloads` array")));
+
+    println!("\ncomparison against {path}:");
+    println!(
+        "{:<16} {:>10} {:>10} {:>8}",
+        "workload", "old MIPS", "new MIPS", "delta"
+    );
+    let (mut old_committed, mut old_secs) = (0.0, 0.0);
+    for r in rows {
+        let old_row = old_rows.iter().find(|o| o.get("name").and_then(Value::as_str) == Some(r.name));
+        let Some(old_row) = old_row else {
+            println!("{:<16} {:>10} {:>10.1} {:>8}", r.name, "-", r.block_mips(), "new");
+            continue;
+        };
+        let committed = old_row.get("committed").and_then(as_f64).unwrap_or(0.0);
+        let secs = old_row.get("block_seconds").and_then(as_f64).unwrap_or(0.0);
+        if secs <= 0.0 {
+            fail(&format!("{path}: workload {} has no usable block_seconds", r.name));
+        }
+        old_committed += committed;
+        old_secs += secs;
+        let old_mips = committed / secs / 1e6;
+        let delta = (r.block_mips() / old_mips - 1.0) * 100.0;
+        println!(
+            "{:<16} {:>10.1} {:>10.1} {:>+7.1}%",
+            r.name,
+            old_mips,
+            r.block_mips(),
+            delta
+        );
+    }
+    if old_secs <= 0.0 {
+        fail(&format!("{path}: no workloads in common with this grid"));
+    }
+    let new_committed: f64 = rows.iter().map(|r| r.committed as f64).sum();
+    let new_secs: f64 = rows.iter().map(|r| r.block_secs).sum();
+    (old_committed / old_secs / 1e6, new_committed / new_secs / 1e6)
+}
+
 fn main() {
     let mut reps: u32 = 5;
-    let mut out_path = String::from("BENCH_5.json");
+    let mut out_path = String::from("BENCH_6.json");
     let mut scale = Scale::Paper;
     let mut floor: Option<f64> = None;
     let mut micro_only = false;
+    let mut compare: Option<String> = None;
+    let mut tolerance: f64 = 10.0;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let take = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -160,6 +345,12 @@ fn main() {
                 );
             }
             "--micro-only" => micro_only = true,
+            "--compare" => compare = Some(take(&mut it, "--compare")),
+            "--tolerance" => {
+                tolerance = take(&mut it, "--tolerance")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--tolerance needs a number (percent)"));
+            }
             "--help" => {
                 println!("{USAGE}");
                 return;
@@ -190,11 +381,30 @@ fn main() {
             block_secs: m.block_secs,
         });
     }
+
+    // Vector section: hand-vectorized kernels, block mode, one column
+    // per compiled-in backend (skipped for the CI micro smoke).
+    let mut vrows = Vec::new();
+    if !micro_only {
+        for id in VECTOR_APPS {
+            let w = build(id, Variant::HandVec, scale);
+            let m = measure_vector(&w, reps)
+                .unwrap_or_else(|e| fail(&format!("{} (handvec): {e}", id.name())));
+            vrows.push(VectorRow {
+                name: id.name(),
+                committed: m.committed,
+                cycles: m.cycles,
+                secs: m.secs,
+            });
+        }
+    }
     let grid_secs = grid_start.elapsed().as_secs_f64();
 
     println!(
-        "perf_baseline: scalar system, {} scale, {reps} reps, min-of-N wall clock",
-        scale.name()
+        "perf_baseline: scalar system, {} scale, {reps} reps, min-of-N wall clock \
+         (simd backend: {})",
+        scale.name(),
+        Simd::active().name()
     );
     println!(
         "{:<12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
@@ -226,12 +436,33 @@ fn main() {
     );
     println!("end-to-end grid time: {grid_secs:.2} s (incl. build + warm-up + both modes)");
 
+    if !vrows.is_empty() {
+        println!("\nvector-heavy applications (hand-vectorized, block mode, per-backend):");
+        println!("{:<16} {:>12} {:>9} {:>10} {:>10} {:>13}", "workload", "committed", "backend", "block ms", "MIPS", "vs portable");
+        for r in &vrows {
+            for (i, (be, secs)) in r.secs.iter().enumerate() {
+                let vs = r.secs[0].1 / secs;
+                println!(
+                    "{:<16} {:>12} {:>9} {:>10.3} {:>10.1} {:>12.2}x",
+                    if i == 0 { r.name } else { "" },
+                    if i == 0 { r.committed.to_string() } else { String::new() },
+                    be.name(),
+                    secs * 1e3,
+                    r.mips(i),
+                    vs
+                );
+            }
+        }
+    }
+
     // Hand-written JSON — the repo-root artifact the acceptance gate
-    // and EXPERIMENTS.md point at.
+    // and EXPERIMENTS.md point at. The scalar section keeps the v1
+    // field names so `--compare` works across schema versions.
     let mut json = format!(
-        "{{\"schema\":\"dsa-perf-baseline/v1\",\"scale\":\"{}\",\"reps\":{reps},\
-         \"grid_seconds\":{grid_secs:.3},\"workloads\":[",
-        scale.name()
+        "{{\"schema\":\"dsa-perf-baseline/v2\",\"scale\":\"{}\",\"reps\":{reps},\
+         \"grid_seconds\":{grid_secs:.3},\"simd_backend\":\"{}\",\"workloads\":[",
+        scale.name(),
+        Simd::active().name()
     );
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -253,9 +484,42 @@ fn main() {
     }
     json.push_str(&format!(
         "],\"totals\":{{\"step_seconds\":{step_total:.6},\
-         \"block_seconds\":{block_total:.6},\"speedup\":{:.3}}}}}\n",
+         \"block_seconds\":{block_total:.6},\"speedup\":{:.3}}}",
         step_total / block_total
     ));
+    if !vrows.is_empty() {
+        json.push_str(",\"vector\":{\"variant\":\"handvec\",\"workloads\":[");
+        for (i, r) in vrows.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"name\":\"{}\",\"committed\":{},\"cycles\":{},\"backends\":[",
+                r.name, r.committed, r.cycles
+            ));
+            for (j, (be, secs)) in r.secs.iter().enumerate() {
+                if j > 0 {
+                    json.push(',');
+                }
+                json.push_str(&format!(
+                    "{{\"backend\":\"{}\",\"seconds\":{:.6},\"mips\":{:.2}}}",
+                    be.name(),
+                    secs,
+                    r.mips(j)
+                ));
+            }
+            json.push_str(&format!(
+                "],\"host_mips\":{:.2},\"host_speedup_vs_portable\":{:.3}}}",
+                r.host_mips(),
+                r.host_speedup()
+            ));
+        }
+        json.push_str(&format!(
+            "],\"host_backend\":\"{}\"}}",
+            Simd::best().name()
+        ));
+    }
+    json.push_str("}\n");
     std::fs::write(&out_path, json)
         .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
     println!("wrote {out_path}");
@@ -272,5 +536,20 @@ fn main() {
             ));
         }
         println!("floor check: {mips:.1} MIPS >= {floor:.1} MIPS");
+    }
+
+    if let Some(path) = compare {
+        let (old_total, new_total) = compare_against(&path, &rows);
+        let delta = (new_total / old_total - 1.0) * 100.0;
+        println!(
+            "total block MIPS: {old_total:.1} -> {new_total:.1} ({delta:+.1}%), \
+             tolerance -{tolerance:.1}%"
+        );
+        if new_total < old_total * (1.0 - tolerance / 100.0) {
+            fail(&format!(
+                "total block MIPS regressed {:.1}% (past the {tolerance:.1}% tolerance)",
+                -delta
+            ));
+        }
     }
 }

@@ -43,6 +43,7 @@ mod config;
 mod decoded;
 mod machine;
 mod predictor;
+pub mod simd;
 mod simulator;
 mod timing;
 mod trace;
@@ -51,6 +52,7 @@ pub mod vec128;
 pub use config::{CpuConfig, NeonConfig};
 pub use decoded::{decode_cached, DecodedInstr, DecodedProgram};
 pub use machine::{ExecError, Flags, Machine, MachineState, SimError, DEFAULT_SP};
+pub use simd::{BackendKind, Simd, SimdBackend};
 pub use vec128::LaneError;
 pub use predictor::BranchPredictor;
 pub use simulator::{

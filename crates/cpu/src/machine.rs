@@ -3,8 +3,9 @@
 use dsa_isa::{AddrMode, AluOp, Cond, Instr, MemSize, Operand, Program, QReg, Reg};
 use dsa_mem::MainMemory;
 
+use crate::simd::Simd;
 use crate::trace::{BranchOutcome, MemAccess, TraceEvent};
-use crate::vec128::{self, LaneError};
+use crate::vec128::LaneError;
 
 /// NZCV condition flags.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -169,6 +170,10 @@ pub struct Machine {
     /// from this address space).
     pub mem: MainMemory,
     halted: bool,
+    /// Host-SIMD backend computing the vector-lane semantics. Purely a
+    /// performance choice — every backend is bit-identical — so it is
+    /// not part of [`MachineState`].
+    simd: Simd,
 }
 
 impl Default for Machine {
@@ -183,7 +188,8 @@ pub const DEFAULT_SP: u32 = 0x0F00_0000;
 
 impl Machine {
     /// Creates a machine with zeroed registers, `sp` at [`DEFAULT_SP`]
-    /// and empty memory.
+    /// and empty memory, using the process-wide [`Simd::active`]
+    /// backend.
     pub fn new() -> Machine {
         let mut m = Machine {
             regs: [0; 16],
@@ -191,9 +197,22 @@ impl Machine {
             flags: Flags::default(),
             mem: MainMemory::new(),
             halted: false,
+            simd: Simd::active(),
         };
         m.regs[Reg::SP.index() as usize] = DEFAULT_SP;
         m
+    }
+
+    /// The host-SIMD backend this machine's vector instructions run on.
+    pub fn simd(&self) -> Simd {
+        self.simd
+    }
+
+    /// Pins a specific host-SIMD backend (tests and per-backend
+    /// benchmarks; normal runs keep [`Simd::active`]). Architecturally
+    /// a no-op: every backend is bit-identical.
+    pub fn set_simd(&mut self, simd: Simd) {
+        self.simd = simd;
     }
 
     /// Reads a scalar register.
@@ -426,7 +445,9 @@ impl Machine {
                 let addr = self.reg(rn);
                 let v = self.load_sized(addr, et.mem_size());
                 let mut q = self.qreg(qd);
-                vec128::scalar_to_lane(et, &mut q, lane, v);
+                self.simd
+                    .scalar_to_lane(et, &mut q, lane, v)
+                    .map_err(|err| ExecError::Vector { pc, err })?;
                 self.set_qreg(qd, q);
                 if writeback {
                     self.set_reg(rn, addr.wrapping_add(et.lane_bytes()));
@@ -435,7 +456,10 @@ impl Machine {
             }
             Instr::Vst1Lane { qs, lane, rn, writeback, et } => {
                 let addr = self.reg(rn);
-                let v = vec128::lane_to_scalar(et, self.qreg(qs), lane);
+                let v = self
+                    .simd
+                    .lane_to_scalar(et, self.qreg(qs), lane)
+                    .map_err(|err| ExecError::Vector { pc, err })?;
                 self.store_sized(addr, et.mem_size(), v);
                 if writeback {
                     self.set_reg(rn, addr.wrapping_add(et.lane_bytes()));
@@ -443,35 +467,42 @@ impl Machine {
                 ev.write = Some(MemAccess { addr, bytes: et.lane_bytes() as u8 });
             }
             Instr::Vop { op, et, qd, qn, qm } => {
-                let v = vec128::apply(op, et, self.qreg(qn), self.qreg(qm));
+                let v = self.simd.apply(op, et, self.qreg(qn), self.qreg(qm));
                 self.set_qreg(qd, v);
             }
             Instr::VshrImm { qd, qn, shift, et } => {
-                let v = vec128::shr(et, self.qreg(qn), shift)
+                let v = self
+                    .simd
+                    .shr(et, self.qreg(qn), shift)
                     .map_err(|err| ExecError::Vector { pc, err })?;
                 self.set_qreg(qd, v);
             }
             Instr::Vdup { qd, rm, et } => {
-                self.set_qreg(qd, vec128::splat_scalar(et, self.reg(rm)));
+                self.set_qreg(qd, self.simd.splat_scalar(et, self.reg(rm)));
             }
             Instr::VdupImm { qd, imm, et } => {
-                self.set_qreg(qd, vec128::splat(et, imm));
+                self.set_qreg(qd, self.simd.splat(et, imm));
             }
             Instr::Vmov { qd, qm } => {
                 let v = self.qreg(qm);
                 self.set_qreg(qd, v);
             }
             Instr::Vaddv { rd, qn, et } => {
-                let v = vec128::reduce_add(et, self.qreg(qn));
+                let v = self.simd.reduce_add(et, self.qreg(qn));
                 self.set_reg(rd, v);
             }
             Instr::VmovToScalar { rd, qn, lane, et } => {
-                let v = vec128::lane_to_scalar(et, self.qreg(qn), lane);
+                let v = self
+                    .simd
+                    .lane_to_scalar(et, self.qreg(qn), lane)
+                    .map_err(|err| ExecError::Vector { pc, err })?;
                 self.set_reg(rd, v);
             }
             Instr::VmovFromScalar { qd, lane, rm, et } => {
                 let mut q = self.qreg(qd);
-                vec128::scalar_to_lane(et, &mut q, lane, self.reg(rm));
+                self.simd
+                    .scalar_to_lane(et, &mut q, lane, self.reg(rm))
+                    .map_err(|err| ExecError::Vector { pc, err })?;
                 self.set_qreg(qd, q);
             }
         }
@@ -578,6 +609,7 @@ impl Machine {
             flags: state.flags,
             mem,
             halted: state.halted,
+            simd: Simd::active(),
         }
     }
 }

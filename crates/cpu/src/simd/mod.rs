@@ -1,0 +1,404 @@
+//! Host-SIMD execution backends for the emulated 128-bit lane ops.
+//!
+//! The portable interpreter in [`crate::vec128`] computes every `VecOp`
+//! lane by lane — sixteen closure calls for one emulated `vadd.i8`. This
+//! module maps each emulated 128-bit operation onto **one host vector
+//! instruction** behind a runtime-dispatched fallback chain:
+//!
+//! ```text
+//! x86_64:   AVX2 → SSE2 → portable
+//! aarch64:  NEON → portable
+//! other:    portable
+//! ```
+//!
+//! # Contract
+//!
+//! Every backend is **bit-for-bit identical** to the portable reference
+//! for every `VecOp` × `ElemType` on every input, including float NaN
+//! payloads — the architectural state of a run must not depend on the
+//! host CPU. Two semantic traps are handled centrally so backends cannot
+//! diverge:
+//!
+//! * float `Min`/`Max`: host min/max instructions (`minps`, `fmin`)
+//!   disagree with Rust's `f32::min` on NaN and signed-zero inputs, so
+//!   [`SimdBackend::apply`] implementations route those two shapes
+//!   through [`vec128::float_minmax`];
+//! * float `reduce_add`: horizontal-add instructions re-associate the
+//!   sum; the reference sums in lane order, so backends do too.
+//!
+//! Fallibility (shift shapes, lane indices) is validated by the [`Simd`]
+//! wrapper **before** dispatch, so every backend has the identical error
+//! surface and backend code only ever sees valid shapes.
+//!
+//! # Selection
+//!
+//! [`Simd::active`] picks the best compiled-in backend the host supports,
+//! once per process (cached in a `OnceLock`). `DSA_SIMD_BACKEND=portable
+//! |sse2|avx2|neon` overrides the choice for testing; an override naming
+//! a backend this host cannot run falls back to portable (with a stderr
+//! note) rather than failing the run. Each [`crate::Machine`] carries its
+//! `Simd` handle, so tests and benchmarks can also pin backends
+//! per-machine and compare them within one process.
+
+use std::sync::OnceLock;
+
+use dsa_isa::{ElemType, VecOp};
+
+use crate::vec128::{self, LaneError};
+
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+/// Identifies a backend implementation; used for selection and
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Scalar reference loops ([`crate::vec128`]).
+    Portable,
+    /// x86-64 SSE2 (baseline on every x86-64 CPU).
+    Sse2,
+    /// x86-64 AVX2 (implies the SSE4.1-class 128-bit ops; pairs of
+    /// fused lane ops use 256-bit instructions).
+    Avx2,
+    /// AArch64 NEON (baseline on every AArch64 CPU).
+    Neon,
+}
+
+impl BackendKind {
+    /// Stable lower-case name, used by `DSA_SIMD_BACKEND` and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Portable => "portable",
+            BackendKind::Sse2 => "sse2",
+            BackendKind::Avx2 => "avx2",
+            BackendKind::Neon => "neon",
+        }
+    }
+
+    /// Parses a `DSA_SIMD_BACKEND` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "portable" | "scalar" => Some(BackendKind::Portable),
+            "sse2" => Some(BackendKind::Sse2),
+            "avx2" => Some(BackendKind::Avx2),
+            "neon" => Some(BackendKind::Neon),
+            _ => None,
+        }
+    }
+}
+
+/// One host-SIMD implementation of the emulated 128-bit lane surface.
+///
+/// Implementations receive only **pre-validated** shapes: `shr` is never
+/// called with a float element type or an over-wide shift (the [`Simd`]
+/// wrapper rejects those first, identically for every backend). All
+/// methods must match [`crate::vec128`] bit for bit.
+pub trait SimdBackend: Sync {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Lane-wise `op` over two 128-bit values; must match
+    /// [`vec128::apply`].
+    fn apply(&self, op: VecOp, et: ElemType, a: [u8; 16], b: [u8; 16]) -> [u8; 16];
+
+    /// Two independent applications of the same `(op, et)` — the fused
+    /// form the superblock executor uses for adjacent identical vector
+    /// ops. Backends with wider registers (AVX2) override this to do
+    /// both in one 256-bit instruction; the default is two [`Self::apply`]
+    /// calls.
+    fn apply2(
+        &self,
+        op: VecOp,
+        et: ElemType,
+        a0: [u8; 16],
+        b0: [u8; 16],
+        a1: [u8; 16],
+        b1: [u8; 16],
+    ) -> ([u8; 16], [u8; 16]) {
+        (self.apply(op, et, a0, b0), self.apply(op, et, a1, b1))
+    }
+
+    /// Lane-wise logical shift right. The shape is pre-validated:
+    /// integer `et`, `shift < lane bits`. Must match
+    /// [`vec128::shr_unchecked`].
+    fn shr(&self, et: ElemType, v: [u8; 16], shift: u8) -> [u8; 16];
+
+    /// Splats a 32-bit scalar into every lane (truncating for narrow
+    /// lanes). Must match [`vec128::splat_scalar`].
+    fn splat_scalar(&self, et: ElemType, value: u32) -> [u8; 16] {
+        vec128::splat_scalar(et, value)
+    }
+
+    /// Splats a sign-extended immediate. Decode-time only (the
+    /// superblock decoder precomputes the pattern), so the portable
+    /// code is the shared default. Must match [`vec128::splat`].
+    fn splat(&self, et: ElemType, imm: i16) -> [u8; 16] {
+        vec128::splat(et, imm)
+    }
+
+    /// Horizontal reduce-add into a 32-bit scalar. Must match
+    /// [`vec128::reduce_add`] — including the lane-order float sum.
+    fn reduce_add(&self, et: ElemType, v: [u8; 16]) -> u32;
+}
+
+/// The portable reference backend: delegates straight to
+/// [`crate::vec128`]. Always available; the fallback end of every chain
+/// and the fixed point of the differential tests.
+struct Portable;
+
+impl SimdBackend for Portable {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Portable
+    }
+
+    #[inline]
+    fn apply(&self, op: VecOp, et: ElemType, a: [u8; 16], b: [u8; 16]) -> [u8; 16] {
+        vec128::apply(op, et, a, b)
+    }
+
+    #[inline]
+    fn shr(&self, et: ElemType, v: [u8; 16], shift: u8) -> [u8; 16] {
+        vec128::shr_unchecked(et, v, shift)
+    }
+
+    #[inline]
+    fn reduce_add(&self, et: ElemType, v: [u8; 16]) -> u32 {
+        vec128::reduce_add(et, v)
+    }
+}
+
+static PORTABLE: Portable = Portable;
+
+/// A copyable handle to one backend — the value threaded through
+/// [`crate::Machine`] and the superblock executor. All lane-op entry
+/// points validate their operands here, identically for every backend,
+/// then dispatch.
+#[derive(Clone, Copy)]
+pub struct Simd(&'static dyn SimdBackend);
+
+impl std::fmt::Debug for Simd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Simd").field(&self.name()).finish()
+    }
+}
+
+impl PartialEq for Simd {
+    fn eq(&self, other: &Simd) -> bool {
+        self.kind() == other.kind()
+    }
+}
+
+impl Eq for Simd {}
+
+impl Default for Simd {
+    fn default() -> Simd {
+        Simd::active()
+    }
+}
+
+impl Simd {
+    /// The portable reference backend (always available).
+    pub fn portable() -> Simd {
+        Simd(&PORTABLE)
+    }
+
+    /// The process-wide active backend: the best compiled-in backend
+    /// this host supports, or the `DSA_SIMD_BACKEND` override. Detected
+    /// once and cached; every [`crate::Machine::new`] starts with this.
+    pub fn active() -> Simd {
+        static ACTIVE: OnceLock<Simd> = OnceLock::new();
+        *ACTIVE.get_or_init(|| match std::env::var("DSA_SIMD_BACKEND") {
+            Ok(name) => match BackendKind::parse(&name).and_then(Simd::by_kind) {
+                Some(be) => be,
+                None => {
+                    eprintln!(
+                        "dsa-cpu: DSA_SIMD_BACKEND={name} is unknown or unavailable on this \
+                         host; falling back to the portable backend"
+                    );
+                    Simd::portable()
+                }
+            },
+            Err(_) => Simd::best(),
+        })
+    }
+
+    /// The best backend the host supports, ignoring any override:
+    /// the head of the fallback chain.
+    pub fn best() -> Simd {
+        *Simd::available().last().unwrap_or(&Simd::portable())
+    }
+
+    /// Every backend this process can run, in ascending preference
+    /// order: portable first, then the host chain (SSE2 then AVX2 on
+    /// x86-64; NEON on AArch64). Used by the differential tests and the
+    /// per-backend benchmarks.
+    pub fn available() -> &'static [Simd] {
+        static AVAILABLE: OnceLock<Vec<Simd>> = OnceLock::new();
+        AVAILABLE.get_or_init(|| {
+            let mut list = vec![Simd::portable()];
+            #[cfg(target_arch = "x86_64")]
+            {
+                list.push(Simd(&x86::SSE2));
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    list.push(Simd(&x86::AVX2));
+                }
+            }
+            #[cfg(target_arch = "aarch64")]
+            {
+                list.push(Simd(&neon::NEON));
+            }
+            list
+        })
+    }
+
+    /// Looks up an available backend by kind (`None` when this host
+    /// cannot run it or it is not compiled in).
+    pub fn by_kind(kind: BackendKind) -> Option<Simd> {
+        Simd::available().iter().copied().find(|s| s.kind() == kind)
+    }
+
+    /// Which backend this handle dispatches to.
+    pub fn kind(self) -> BackendKind {
+        self.0.kind()
+    }
+
+    /// Stable lower-case backend name (`portable`, `sse2`, `avx2`,
+    /// `neon`).
+    pub fn name(self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Lane-wise `op` over two 128-bit values.
+    #[inline]
+    pub fn apply(self, op: VecOp, et: ElemType, a: [u8; 16], b: [u8; 16]) -> [u8; 16] {
+        self.0.apply(op, et, a, b)
+    }
+
+    /// Two independent applications of one `(op, et)` in a single
+    /// backend call (the superblock executor's fused form).
+    #[inline]
+    pub fn apply2(
+        self,
+        op: VecOp,
+        et: ElemType,
+        a0: [u8; 16],
+        b0: [u8; 16],
+        a1: [u8; 16],
+        b1: [u8; 16],
+    ) -> ([u8; 16], [u8; 16]) {
+        self.0.apply2(op, et, a0, b0, a1, b1)
+    }
+
+    /// Lane-wise logical shift right.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`vec128::shr`]'s contract — float lanes and over-wide
+    /// shifts are rejected *before* backend dispatch, so the error
+    /// surface cannot vary by host.
+    #[inline]
+    pub fn shr(self, et: ElemType, v: [u8; 16], shift: u8) -> Result<[u8; 16], LaneError> {
+        vec128::validate_shift(et, shift)?;
+        Ok(self.0.shr(et, v, shift))
+    }
+
+    /// [`Self::shr`] for shapes already validated at predecode time.
+    #[inline]
+    pub(crate) fn shr_unchecked(self, et: ElemType, v: [u8; 16], shift: u8) -> [u8; 16] {
+        debug_assert!(vec128::validate_shift(et, shift).is_ok());
+        self.0.shr(et, v, shift)
+    }
+
+    /// Splats a 32-bit scalar register value into every lane.
+    #[inline]
+    pub fn splat_scalar(self, et: ElemType, value: u32) -> [u8; 16] {
+        self.0.splat_scalar(et, value)
+    }
+
+    /// Splats a sign-extended immediate into every lane.
+    #[inline]
+    pub fn splat(self, et: ElemType, imm: i16) -> [u8; 16] {
+        self.0.splat(et, imm)
+    }
+
+    /// Horizontal reduce-add of all lanes into a 32-bit scalar.
+    #[inline]
+    pub fn reduce_add(self, et: ElemType, v: [u8; 16]) -> u32 {
+        self.0.reduce_add(et, v)
+    }
+
+    /// Reads lane `lane` as a 32-bit scalar. Lane extraction is scalar
+    /// work on every host, so all backends share the portable
+    /// implementation; the method lives on the handle so call sites use
+    /// one surface for the whole `vec128` contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaneError::LaneOutOfRange`] if `lane >= et.lanes()`.
+    #[inline]
+    pub fn lane_to_scalar(self, et: ElemType, v: [u8; 16], lane: u8) -> Result<u32, LaneError> {
+        vec128::lane_to_scalar(et, v, lane)
+    }
+
+    /// Writes a 32-bit scalar into lane `lane` (shared portable
+    /// implementation, like [`Self::lane_to_scalar`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaneError::LaneOutOfRange`] if `lane >= et.lanes()`.
+    #[inline]
+    pub fn scalar_to_lane(
+        self,
+        et: ElemType,
+        v: &mut [u8; 16],
+        lane: u8,
+        value: u32,
+    ) -> Result<(), LaneError> {
+        vec128::scalar_to_lane(et, v, lane, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_is_always_available() {
+        let all = Simd::available();
+        assert_eq!(all[0].kind(), BackendKind::Portable);
+        assert!(Simd::by_kind(BackendKind::Portable).is_some());
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse2_is_baseline_on_x86_64() {
+        assert!(Simd::by_kind(BackendKind::Sse2).is_some());
+        assert_ne!(Simd::best().kind(), BackendKind::Portable);
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in
+            [BackendKind::Portable, BackendKind::Sse2, BackendKind::Avx2, BackendKind::Neon]
+        {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("PORTABLE"), Some(BackendKind::Portable));
+        assert_eq!(BackendKind::parse("mmx"), None);
+    }
+
+    #[test]
+    fn wrapper_validates_before_dispatch() {
+        use dsa_isa::ElemType;
+        for be in Simd::available() {
+            assert!(be.shr(ElemType::F32, [0; 16], 1).is_err(), "{}", be.name());
+            assert!(be.shr(ElemType::I16, [0; 16], 16).is_err(), "{}", be.name());
+            assert!(be.lane_to_scalar(ElemType::I32, [0; 16], 4).is_err(), "{}", be.name());
+            let mut v = [0u8; 16];
+            assert!(be.scalar_to_lane(ElemType::I8, &mut v, 16, 1).is_err(), "{}", be.name());
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! AArch64 NEON backend. NEON (`neon`/`asimd`) is baseline on every
+//! AArch64 target Rust supports, so — like SSE2 on x86-64 — calling the
+//! `#[target_feature(enable = "neon")]` workers below is always sound;
+//! the `unsafe` blocks in the trait impl discharge exactly that
+//! obligation. The other `unsafe` is the size-preserving `transmute`
+//! between `[u8; 16]` and the NEON vector types.
+//!
+//! Bit-identity notes mirror the x86 backend:
+//!
+//! * float `Min`/`Max` use [`vec128::float_minmax`] — NEON `fmin`/`fmax`
+//!   return NaN when either operand is NaN, which differs from the
+//!   reference (`f32::min`) when exactly one operand is NaN;
+//! * float reduce-add stays scalar, in lane order (`faddp` trees
+//!   re-associate);
+//! * runtime logical right shifts use `ushl` with a negated count
+//!   (NEON's shift-by-register shifts left for positive counts, right
+//!   for negative);
+//! * integer reduce-adds use the widening `saddlv` forms, whose exact
+//!   sums then truncate to the reference's wrapping 32-bit result
+//!   (`i8`: |sum| ≤ 2048 fits the widened type; `i16`: `saddlv` yields
+//!   `i32` directly; `i32`: `addv` wraps modulo 2³², and modular
+//!   addition is associative).
+
+use core::arch::aarch64::*;
+
+use dsa_isa::{ElemType, VecOp};
+
+use super::{BackendKind, SimdBackend};
+use crate::vec128;
+
+#[inline]
+fn u8x16(v: [u8; 16]) -> uint8x16_t {
+    // SAFETY: same size, no invalid bit patterns on either side.
+    unsafe { core::mem::transmute(v) }
+}
+
+#[inline]
+fn arr(v: uint8x16_t) -> [u8; 16] {
+    // SAFETY: same size, no invalid bit patterns on either side.
+    unsafe { core::mem::transmute(v) }
+}
+
+#[target_feature(enable = "neon")]
+#[inline]
+fn apply_neon(op: VecOp, et: ElemType, a: [u8; 16], b: [u8; 16]) -> [u8; 16] {
+    let (va, vb) = (u8x16(a), u8x16(b));
+    // Bitwise ops ignore the lane split (portable F32 variants also
+    // operate on raw bits).
+    match op {
+        VecOp::And => return arr(vandq_u8(va, vb)),
+        VecOp::Orr => return arr(vorrq_u8(va, vb)),
+        VecOp::Eor => return arr(veorq_u8(va, vb)),
+        _ => {}
+    }
+    if et == ElemType::F32 {
+        // Reference NaN semantics: NaN lanes collapse to the canonical
+        // quiet NaN (see `vec128::CANON_QNAN`); FADD would prioritise
+        // input signalling-NaN payloads instead.
+        #[target_feature(enable = "neon")]
+        #[inline]
+        fn canon_f32(r: float32x4_t) -> float32x4_t {
+            let ord = vceqq_f32(r, r); // all-ones where the lane is not NaN
+            let q = vreinterpretq_f32_u32(vdupq_n_u32(vec128::CANON_QNAN));
+            vbslq_f32(ord, r, q)
+        }
+        let (fa, fb) = (vreinterpretq_f32_u8(va), vreinterpretq_f32_u8(vb));
+        return match op {
+            VecOp::Add => arr(vreinterpretq_u8_f32(canon_f32(vaddq_f32(fa, fb)))),
+            VecOp::Sub => arr(vreinterpretq_u8_f32(canon_f32(vsubq_f32(fa, fb)))),
+            VecOp::Mul => arr(vreinterpretq_u8_f32(canon_f32(vmulq_f32(fa, fb)))),
+            // fmin/fmax NaN semantics differ from the reference.
+            _ => vec128::float_minmax(op, a, b),
+        };
+    }
+    match et {
+        ElemType::I8 => {
+            let (sa, sb) = (vreinterpretq_s8_u8(va), vreinterpretq_s8_u8(vb));
+            let r = match op {
+                VecOp::Add => vaddq_s8(sa, sb),
+                VecOp::Sub => vsubq_s8(sa, sb),
+                VecOp::Mul => vmulq_s8(sa, sb),
+                VecOp::Min => vminq_s8(sa, sb),
+                // Max; And/Orr/Eor returned above.
+                _ => vmaxq_s8(sa, sb),
+            };
+            arr(vreinterpretq_u8_s8(r))
+        }
+        ElemType::I16 => {
+            let (sa, sb) = (vreinterpretq_s16_u8(va), vreinterpretq_s16_u8(vb));
+            let r = match op {
+                VecOp::Add => vaddq_s16(sa, sb),
+                VecOp::Sub => vsubq_s16(sa, sb),
+                VecOp::Mul => vmulq_s16(sa, sb),
+                VecOp::Min => vminq_s16(sa, sb),
+                _ => vmaxq_s16(sa, sb),
+            };
+            arr(vreinterpretq_u8_s16(r))
+        }
+        // I32 (F32 handled above).
+        _ => {
+            let (sa, sb) = (vreinterpretq_s32_u8(va), vreinterpretq_s32_u8(vb));
+            let r = match op {
+                VecOp::Add => vaddq_s32(sa, sb),
+                VecOp::Sub => vsubq_s32(sa, sb),
+                VecOp::Mul => vmulq_s32(sa, sb),
+                VecOp::Min => vminq_s32(sa, sb),
+                _ => vmaxq_s32(sa, sb),
+            };
+            arr(vreinterpretq_u8_s32(r))
+        }
+    }
+}
+
+#[target_feature(enable = "neon")]
+#[inline]
+fn shr_neon(et: ElemType, v: [u8; 16], shift: u8) -> [u8; 16] {
+    // `ushl` with a negative per-lane count shifts right; the count
+    // is pre-validated to be < lane bits.
+    let n = -(shift as i32);
+    match et {
+        ElemType::I8 => {
+            let r = vshlq_u8(u8x16(v), vdupq_n_s8(n as i8));
+            arr(r)
+        }
+        ElemType::I16 => {
+            let r = vshlq_u16(vreinterpretq_u16_u8(u8x16(v)), vdupq_n_s16(n as i16));
+            arr(vreinterpretq_u8_u16(r))
+        }
+        ElemType::I32 => {
+            let r = vshlq_u32(vreinterpretq_u32_u8(u8x16(v)), vdupq_n_s32(n));
+            arr(vreinterpretq_u8_u32(r))
+        }
+        // Rejected by validation before dispatch.
+        ElemType::F32 => {
+            debug_assert!(false, "float shift after validation");
+            v
+        }
+    }
+}
+
+#[target_feature(enable = "neon")]
+#[inline]
+fn reduce_add_neon(et: ElemType, v: [u8; 16]) -> u32 {
+    match et {
+        // saddlv widens before summing: the i8 sum (|·| ≤ 2048) is
+        // exact in i16, then sign-extends to the reference's i32.
+        ElemType::I8 => vaddlvq_s8(vreinterpretq_s8_u8(u8x16(v))) as i32 as u32,
+        ElemType::I16 => vaddlvq_s16(vreinterpretq_s16_u8(u8x16(v))) as u32,
+        // addv wraps modulo 2^32, matching the wrapping reference
+        // sum (modular addition is associative).
+        ElemType::I32 => vaddvq_s32(vreinterpretq_s32_u8(u8x16(v))) as u32,
+        // Lane-order float association, like the reference.
+        ElemType::F32 => vec128::reduce_add(et, v),
+    }
+}
+
+/// The NEON backend — every AArch64 CPU runs this.
+pub(super) struct Neon;
+
+/// The shared NEON instance handed out by [`crate::simd::Simd`].
+pub(super) static NEON: Neon = Neon;
+
+impl SimdBackend for Neon {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Neon
+    }
+
+    #[inline]
+    fn apply(&self, op: VecOp, et: ElemType, a: [u8; 16], b: [u8; 16]) -> [u8; 16] {
+        // SAFETY: neon is part of the aarch64 baseline.
+        unsafe { apply_neon(op, et, a, b) }
+    }
+
+    #[inline]
+    fn shr(&self, et: ElemType, v: [u8; 16], shift: u8) -> [u8; 16] {
+        // SAFETY: neon is part of the aarch64 baseline.
+        unsafe { shr_neon(et, v, shift) }
+    }
+
+    #[inline]
+    fn reduce_add(&self, et: ElemType, v: [u8; 16]) -> u32 {
+        // SAFETY: neon is part of the aarch64 baseline.
+        unsafe { reduce_add_neon(et, v) }
+    }
+}

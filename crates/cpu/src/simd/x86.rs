@@ -1,0 +1,437 @@
+//! x86-64 backends: SSE2 (baseline, always present on x86-64) and AVX2
+//! (runtime-detected).
+//!
+//! # Safety argument
+//!
+//! Three distinct `unsafe` obligations appear here, each discharged the
+//! same way everywhere:
+//!
+//! * `transmute` between `[u8; 16]` and `__m128i`/`__m128` (and the
+//!   32-byte pairs) — identical sizes, and every bit pattern is valid
+//!   for both types;
+//! * calls to the `#[target_feature(enable = "sse2")]` workers from the
+//!   plain trait methods — `sse2` is part of the x86-64 baseline, so
+//!   every CPU that can reach this `cfg(target_arch = "x86_64")` module
+//!   at all supports it;
+//! * calls to the `#[target_feature(enable = "avx2")]` /
+//!   `"sse4.1"` workers — the obligation is "the CPU supports AVX2",
+//!   which holds because [`crate::simd::Simd::available`] only
+//!   constructs a handle to [`AVX2`] after
+//!   `is_x86_feature_detected!("avx2")` returns true, and that is the
+//!   sole way the backend (and with it `use_sse41 = true`) is
+//!   reachable.
+//!
+//! # Bit-identity notes
+//!
+//! SSE2 lacks several of the lane shapes the emulated ISA has, so they
+//! are emulated exactly:
+//!
+//! * `Mul.i8` — unpack to 16-bit, `pmullw`, repack the low bytes;
+//! * `Mul.i32` — even/odd `pmuludq` (the low 32 bits of a product are
+//!   sign-agnostic), recombined with shuffles;
+//! * `Min/Max.i8` — bias by `0x80` and use the unsigned byte min/max;
+//! * `Min/Max.i32` — `pcmpgtd` mask + and/andnot blend;
+//! * runtime shifts use the `psrlw/psrld` register-count forms, and the
+//!   8-bit shift runs at 16 bits wide with a `0xFF >> n` repair mask.
+//!
+//! Float `Min`/`Max` go through [`vec128::float_minmax`] (host min/max
+//! instructions diverge from the reference on NaN / signed zero), and
+//! the float reduce-add keeps the reference's lane-order association
+//! rather than using a horizontal add.
+
+#![allow(clippy::missing_safety_doc)]
+
+use core::arch::x86_64::*;
+
+use dsa_isa::{ElemType, VecOp};
+
+use super::{BackendKind, SimdBackend};
+use crate::vec128;
+
+/// `[u8; 16]` → `__m128i`.
+#[inline]
+fn m(v: [u8; 16]) -> __m128i {
+    // SAFETY: same size, no invalid bit patterns on either side.
+    unsafe { core::mem::transmute(v) }
+}
+
+/// `__m128i` → `[u8; 16]`.
+#[inline]
+fn arr(v: __m128i) -> [u8; 16] {
+    // SAFETY: same size, no invalid bit patterns on either side.
+    unsafe { core::mem::transmute(v) }
+}
+
+/// `[u8; 16]` ↔ `__m128` for the float ops.
+#[inline]
+fn mf(v: [u8; 16]) -> __m128 {
+    // SAFETY: same size, no invalid bit patterns on either side.
+    unsafe { core::mem::transmute(v) }
+}
+
+#[inline]
+fn arrf(v: __m128) -> [u8; 16] {
+    // SAFETY: same size, no invalid bit patterns on either side.
+    unsafe { core::mem::transmute(v) }
+}
+
+/// `Mul.i8`: widen each half to 16-bit lanes, `pmullw`, keep the low
+/// byte of every product. The low 8 bits of a product do not depend on
+/// the operands' signs, so zero-extension is fine.
+#[target_feature(enable = "sse2")]
+#[inline]
+fn mul_i8(a: __m128i, b: __m128i) -> __m128i {
+    let zero = _mm_setzero_si128();
+    let lo = _mm_mullo_epi16(_mm_unpacklo_epi8(a, zero), _mm_unpacklo_epi8(b, zero));
+    let hi = _mm_mullo_epi16(_mm_unpackhi_epi8(a, zero), _mm_unpackhi_epi8(b, zero));
+    let mask = _mm_set1_epi16(0x00FF);
+    // Products masked to <= 0xFF, so the saturating pack is exact.
+    _mm_packus_epi16(_mm_and_si128(lo, mask), _mm_and_si128(hi, mask))
+}
+
+/// `Mul.i32` on plain SSE2: `pmuludq` multiplies the even 32-bit lanes
+/// into 64-bit results; run it on the even and the odd lanes, then
+/// recombine the low halves. Low 32 bits of a 32×32 product are the
+/// same for signed and unsigned inputs.
+#[target_feature(enable = "sse2")]
+#[inline]
+fn mul_i32_sse2(a: __m128i, b: __m128i) -> __m128i {
+    let even = _mm_mul_epu32(a, b);
+    let odd = _mm_mul_epu32(_mm_srli_si128(a, 4), _mm_srli_si128(b, 4));
+    // 0x08 = lanes [0, 2, 0, 0]: gather the two low halves downward.
+    let even_lo = _mm_shuffle_epi32(even, 0x08);
+    let odd_lo = _mm_shuffle_epi32(odd, 0x08);
+    _mm_unpacklo_epi32(even_lo, odd_lo)
+}
+
+/// Signed byte min/max via the unsigned SSE2 instructions: biasing both
+/// operands by `0x80` turns signed order into unsigned order.
+#[target_feature(enable = "sse2")]
+#[inline]
+fn minmax_i8(op: VecOp, a: __m128i, b: __m128i) -> __m128i {
+    let bias = _mm_set1_epi8(-0x80);
+    let (au, bu) = (_mm_xor_si128(a, bias), _mm_xor_si128(b, bias));
+    let r = match op {
+        VecOp::Min => _mm_min_epu8(au, bu),
+        _ => _mm_max_epu8(au, bu),
+    };
+    _mm_xor_si128(r, bias)
+}
+
+/// Signed 32-bit min/max on plain SSE2: compare, then blend with the
+/// mask (`pcmpgtd` + and/andnot).
+#[target_feature(enable = "sse2")]
+#[inline]
+fn minmax_i32_sse2(op: VecOp, a: __m128i, b: __m128i) -> __m128i {
+    let a_gt_b = _mm_cmpgt_epi32(a, b);
+    match op {
+        // a > b → min is b.
+        VecOp::Min => _mm_or_si128(_mm_and_si128(a_gt_b, b), _mm_andnot_si128(a_gt_b, a)),
+        // a > b → max is a.
+        _ => _mm_or_si128(_mm_and_si128(a_gt_b, a), _mm_andnot_si128(a_gt_b, b)),
+    }
+}
+
+/// Collapses NaN lanes of `r` to [`vec128::CANON_QNAN`], the reference
+/// NaN semantics (`addps` would propagate an input payload instead).
+#[target_feature(enable = "sse2")]
+#[inline]
+fn canon_ps(r: __m128) -> __m128 {
+    let nan = _mm_cmpunord_ps(r, r);
+    let q = _mm_castsi128_ps(_mm_set1_epi32(vec128::CANON_QNAN as i32));
+    _mm_or_ps(_mm_and_ps(nan, q), _mm_andnot_ps(nan, r))
+}
+
+/// Shared 128-bit `apply` used by both x86 backends (AVX2 gains nothing
+/// at this width for these shapes except `Mul.i32`/`Min/Max.i8/i32`,
+/// handled by `use_sse41`).
+#[target_feature(enable = "sse2")]
+#[inline]
+fn apply128(use_sse41: bool, op: VecOp, et: ElemType, a: [u8; 16], b: [u8; 16]) -> [u8; 16] {
+    // Bitwise ops ignore the lane split entirely (the portable F32
+    // variants also operate on raw bits).
+    match op {
+        VecOp::And => return arr(_mm_and_si128(m(a), m(b))),
+        VecOp::Orr => return arr(_mm_or_si128(m(a), m(b))),
+        VecOp::Eor => return arr(_mm_xor_si128(m(a), m(b))),
+        _ => {}
+    }
+    if et == ElemType::F32 {
+        return match op {
+            VecOp::Add => arrf(canon_ps(_mm_add_ps(mf(a), mf(b)))),
+            VecOp::Sub => arrf(canon_ps(_mm_sub_ps(mf(a), mf(b)))),
+            VecOp::Mul => arrf(canon_ps(_mm_mul_ps(mf(a), mf(b)))),
+            // minps/maxps pick the second operand for NaN and are
+            // sign-of-zero sensitive — not the reference semantics.
+            _ => vec128::float_minmax(op, a, b),
+        };
+    }
+    let (va, vb) = (m(a), m(b));
+    let r = match (op, et) {
+        (VecOp::Add, ElemType::I8) => _mm_add_epi8(va, vb),
+        (VecOp::Add, ElemType::I16) => _mm_add_epi16(va, vb),
+        (VecOp::Add, _) => _mm_add_epi32(va, vb),
+        (VecOp::Sub, ElemType::I8) => _mm_sub_epi8(va, vb),
+        (VecOp::Sub, ElemType::I16) => _mm_sub_epi16(va, vb),
+        (VecOp::Sub, _) => _mm_sub_epi32(va, vb),
+        (VecOp::Mul, ElemType::I8) => mul_i8(va, vb),
+        (VecOp::Mul, ElemType::I16) => _mm_mullo_epi16(va, vb),
+        (VecOp::Mul, _) => {
+            if use_sse41 {
+                // SAFETY: `use_sse41` is only passed as true by the
+                // AVX2 backend, which is reachable solely after
+                // `is_x86_feature_detected!("avx2")` (AVX2 ⊃ SSE4.1).
+                unsafe { mul_i32_sse41(va, vb) }
+            } else {
+                mul_i32_sse2(va, vb)
+            }
+        }
+        (VecOp::Min | VecOp::Max, ElemType::I8) => {
+            if use_sse41 {
+                // SAFETY: as above — AVX2-detected hosts only.
+                unsafe { minmax_i8_sse41(op, va, vb) }
+            } else {
+                minmax_i8(op, va, vb)
+            }
+        }
+        (VecOp::Min, ElemType::I16) => _mm_min_epi16(va, vb),
+        (VecOp::Max, ElemType::I16) => _mm_max_epi16(va, vb),
+        (VecOp::Min | VecOp::Max, _) => {
+            if use_sse41 {
+                // SAFETY: as above — AVX2-detected hosts only.
+                unsafe { minmax_i32_sse41(op, va, vb) }
+            } else {
+                minmax_i32_sse2(op, va, vb)
+            }
+        }
+        // And/Orr/Eor returned above.
+        (VecOp::And | VecOp::Orr | VecOp::Eor, _) => va,
+    };
+    arr(r)
+}
+
+#[target_feature(enable = "sse4.1")]
+#[inline]
+fn mul_i32_sse41(a: __m128i, b: __m128i) -> __m128i {
+    _mm_mullo_epi32(a, b)
+}
+
+#[target_feature(enable = "sse4.1")]
+#[inline]
+fn minmax_i8_sse41(op: VecOp, a: __m128i, b: __m128i) -> __m128i {
+    match op {
+        VecOp::Min => _mm_min_epi8(a, b),
+        _ => _mm_max_epi8(a, b),
+    }
+}
+
+#[target_feature(enable = "sse4.1")]
+#[inline]
+fn minmax_i32_sse41(op: VecOp, a: __m128i, b: __m128i) -> __m128i {
+    match op {
+        VecOp::Min => _mm_min_epi32(a, b),
+        _ => _mm_max_epi32(a, b),
+    }
+}
+
+/// Lane-wise logical shift right with a runtime count. The count is
+/// pre-validated (`shift < lane bits`), and the `psrlw/psrld` register
+/// forms take the count from the low 64 bits of an XMM register.
+#[target_feature(enable = "sse2")]
+#[inline]
+fn shr128(et: ElemType, v: [u8; 16], shift: u8) -> [u8; 16] {
+    let count = _mm_cvtsi32_si128(shift as i32);
+    match et {
+        ElemType::I8 => {
+            // No byte shift exists: shift 16-bit lanes, then clear the
+            // bits that crossed into each high byte from its neighbour.
+            let wide = _mm_srl_epi16(m(v), count);
+            let keep = _mm_set1_epi8((0xFFu8 >> shift) as i8);
+            arr(_mm_and_si128(wide, keep))
+        }
+        ElemType::I16 => arr(_mm_srl_epi16(m(v), count)),
+        ElemType::I32 => arr(_mm_srl_epi32(m(v), count)),
+        // Rejected by validation before dispatch.
+        ElemType::F32 => {
+            debug_assert!(false, "float shift after validation");
+            v
+        }
+    }
+}
+
+/// Horizontal reduce-add matching the portable reference: integers sum
+/// with wrapping 32-bit arithmetic (associative, so tree reduction is
+/// exact); floats keep the reference's lane-order association, which a
+/// horizontal add would change, so they stay scalar.
+#[target_feature(enable = "sse2")]
+#[inline]
+fn reduce_add128(et: ElemType, v: [u8; 16]) -> u32 {
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    fn reduce_i32(v: __m128i) -> u32 {
+        // [a b c d] + [c d a b] → [a+c b+d ..]; + its swap → total.
+        let x = _mm_add_epi32(v, _mm_shuffle_epi32(v, 0x4E));
+        let x = _mm_add_epi32(x, _mm_shuffle_epi32(x, 0xB1));
+        _mm_cvtsi128_si32(x) as u32
+    }
+    match et {
+        ElemType::I8 => {
+            // Sign-extend bytes to 16-bit lanes (unpack with the sign
+            // mask), fold the halves, then pairwise-widen via pmaddwd.
+            let v = m(v);
+            let sign = _mm_cmpgt_epi8(_mm_setzero_si128(), v);
+            let lo = _mm_unpacklo_epi8(v, sign);
+            let hi = _mm_unpackhi_epi8(v, sign);
+            // Lane sums stay within i16 (16 × ±128), so no wrap here.
+            let sum16 = _mm_add_epi16(lo, hi);
+            reduce_i32(_mm_madd_epi16(sum16, _mm_set1_epi16(1)))
+        }
+        ElemType::I16 => reduce_i32(_mm_madd_epi16(m(v), _mm_set1_epi16(1))),
+        ElemType::I32 => reduce_i32(m(v)),
+        ElemType::F32 => vec128::reduce_add(et, v),
+    }
+}
+
+/// The SSE2 backend — every x86-64 CPU runs this.
+pub(super) struct Sse2;
+
+/// The shared SSE2 instance handed out by [`crate::simd::Simd`].
+pub(super) static SSE2: Sse2 = Sse2;
+
+impl SimdBackend for Sse2 {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sse2
+    }
+
+    #[inline]
+    fn apply(&self, op: VecOp, et: ElemType, a: [u8; 16], b: [u8; 16]) -> [u8; 16] {
+        // SAFETY: sse2 is part of the x86-64 baseline.
+        unsafe { apply128(false, op, et, a, b) }
+    }
+
+    #[inline]
+    fn shr(&self, et: ElemType, v: [u8; 16], shift: u8) -> [u8; 16] {
+        // SAFETY: sse2 is part of the x86-64 baseline.
+        unsafe { shr128(et, v, shift) }
+    }
+
+    #[inline]
+    fn reduce_add(&self, et: ElemType, v: [u8; 16]) -> u32 {
+        // SAFETY: sse2 is part of the x86-64 baseline.
+        unsafe { reduce_add128(et, v) }
+    }
+}
+
+/// The AVX2 backend: SSE4.1-class single ops plus 256-bit execution of
+/// fused op pairs ([`SimdBackend::apply2`]).
+pub(super) struct Avx2;
+
+/// The shared AVX2 instance; only handed out after
+/// `is_x86_feature_detected!("avx2")`.
+pub(super) static AVX2: Avx2 = Avx2;
+
+impl SimdBackend for Avx2 {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Avx2
+    }
+
+    #[inline]
+    fn apply(&self, op: VecOp, et: ElemType, a: [u8; 16], b: [u8; 16]) -> [u8; 16] {
+        // SAFETY: sse2 is part of the x86-64 baseline.
+        unsafe { apply128(true, op, et, a, b) }
+    }
+
+    #[inline]
+    fn apply2(
+        &self,
+        op: VecOp,
+        et: ElemType,
+        a0: [u8; 16],
+        b0: [u8; 16],
+        a1: [u8; 16],
+        b1: [u8; 16],
+    ) -> ([u8; 16], [u8; 16]) {
+        // Two shapes have no 256-bit single-instruction form with the
+        // reference semantics; run them as two 128-bit applications.
+        if (op, et) == (VecOp::Mul, ElemType::I8)
+            || (et == ElemType::F32 && matches!(op, VecOp::Min | VecOp::Max))
+        {
+            return (self.apply(op, et, a0, b0), self.apply(op, et, a1, b1));
+        }
+        // SAFETY: this backend is reachable only after
+        // `is_x86_feature_detected!("avx2")` returned true.
+        unsafe { apply2_avx2(op, et, a0, b0, a1, b1) }
+    }
+
+    #[inline]
+    fn shr(&self, et: ElemType, v: [u8; 16], shift: u8) -> [u8; 16] {
+        // SAFETY: sse2 is part of the x86-64 baseline.
+        unsafe { shr128(et, v, shift) }
+    }
+
+    #[inline]
+    fn reduce_add(&self, et: ElemType, v: [u8; 16]) -> u32 {
+        // SAFETY: sse2 is part of the x86-64 baseline.
+        unsafe { reduce_add128(et, v) }
+    }
+}
+
+/// Both halves of a fused pair in one 256-bit instruction. The caller
+/// has already excluded `Mul.i8` and float `Min`/`Max`.
+#[target_feature(enable = "avx2")]
+fn apply2_avx2(
+    op: VecOp,
+    et: ElemType,
+    a0: [u8; 16],
+    b0: [u8; 16],
+    a1: [u8; 16],
+    b1: [u8; 16],
+) -> ([u8; 16], [u8; 16]) {
+    #[inline]
+    fn wide(lo: [u8; 16], hi: [u8; 16]) -> __m256i {
+        // SAFETY: [[u8; 16]; 2] and __m256i have identical size and no
+        // invalid bit patterns.
+        unsafe { core::mem::transmute([lo, hi]) }
+    }
+    #[inline]
+    fn halves(v: __m256i) -> ([u8; 16], [u8; 16]) {
+        // SAFETY: as above, in reverse.
+        let [lo, hi]: [[u8; 16]; 2] = unsafe { core::mem::transmute(v) };
+        (lo, hi)
+    }
+    let (va, vb) = (wide(a0, a1), wide(b0, b1));
+    if et == ElemType::F32 && matches!(op, VecOp::Add | VecOp::Sub | VecOp::Mul) {
+        let (fa, fb) = (_mm256_castsi256_ps(va), _mm256_castsi256_ps(vb));
+        let r = match op {
+            VecOp::Add => _mm256_add_ps(fa, fb),
+            VecOp::Sub => _mm256_sub_ps(fa, fb),
+            _ => _mm256_mul_ps(fa, fb),
+        };
+        // Reference NaN semantics: NaN lanes collapse to the canonical
+        // quiet NaN (see `vec128::CANON_QNAN`).
+        let nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(r, r);
+        let q = _mm256_castsi256_ps(_mm256_set1_epi32(vec128::CANON_QNAN as i32));
+        let r = _mm256_blendv_ps(r, q, nan);
+        return halves(_mm256_castps_si256(r));
+    }
+    let r = match (op, et) {
+        (VecOp::Add, ElemType::I8) => _mm256_add_epi8(va, vb),
+        (VecOp::Add, ElemType::I16) => _mm256_add_epi16(va, vb),
+        (VecOp::Add, _) => _mm256_add_epi32(va, vb),
+        (VecOp::Sub, ElemType::I8) => _mm256_sub_epi8(va, vb),
+        (VecOp::Sub, ElemType::I16) => _mm256_sub_epi16(va, vb),
+        (VecOp::Sub, _) => _mm256_sub_epi32(va, vb),
+        (VecOp::Mul, ElemType::I16) => _mm256_mullo_epi16(va, vb),
+        (VecOp::Mul, _) => _mm256_mullo_epi32(va, vb),
+        (VecOp::Min, ElemType::I8) => _mm256_min_epi8(va, vb),
+        (VecOp::Max, ElemType::I8) => _mm256_max_epi8(va, vb),
+        (VecOp::Min, ElemType::I16) => _mm256_min_epi16(va, vb),
+        (VecOp::Max, ElemType::I16) => _mm256_max_epi16(va, vb),
+        (VecOp::Min, _) => _mm256_min_epi32(va, vb),
+        (VecOp::Max, _) => _mm256_max_epi32(va, vb),
+        (VecOp::And, _) => _mm256_and_si256(va, vb),
+        (VecOp::Orr, _) => _mm256_or_si256(va, vb),
+        (VecOp::Eor, _) => _mm256_xor_si256(va, vb),
+    };
+    halves(r)
+}

@@ -1,6 +1,5 @@
 //! The in-order-issue superscalar timing model with NEON coprocessor.
 
-use std::collections::VecDeque;
 
 use dsa_isa::{Instr, InstrClass, Operand, QReg, Reg};
 use dsa_mem::{MemoryStats, MemorySystem};
@@ -121,130 +120,194 @@ pub struct TimingStats {
     pub injected_counts: ClassCounts,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+/// Scoreboard slot layout: the 16 architectural registers, then three
+/// synthetic slots that make dependency bookkeeping branchless. Absent
+/// sources read slot [`ZERO_SLOT`] (pinned at cycle 0), absent
+/// destinations write slot [`SCRATCH_SLOT`] (never read), and the
+/// condition flags live in slot [`FLAGS_SLOT`] of the scalar board. The
+/// mix of present/absent operands varies per instruction, so `Option`
+/// tests here were the timing replay's dominant branch-misprediction
+/// source; indexed sentinel slots replace every such branch with a plain
+/// array access.
+const ZERO_SLOT: u8 = 16;
+const SCRATCH_SLOT: u8 = 17;
+const FLAGS_SLOT: u8 = 18;
+const REG_SLOTS: usize = 19;
+/// Q-register board: 16 registers + zero + scratch (no flags).
+const QREG_SLOTS: usize = 18;
+
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Deps {
-    srcs: [Option<Reg>; 3],
-    qsrcs: [Option<QReg>; 2],
-    dst: Option<Reg>,
-    /// Base register written back by the addressing mode (ready fast).
-    wb_dst: Option<Reg>,
-    qdst: Option<QReg>,
-    reads_flags: bool,
-    writes_flags: bool,
+    /// Scalar source slots (`ZERO_SLOT` when absent).
+    srcs: [u8; 3],
+    /// Vector source slots (`ZERO_SLOT` when absent).
+    qsrcs: [u8; 2],
+    /// Scalar destination slot (`SCRATCH_SLOT` when absent).
+    dst: u8,
+    /// Base register written back by the addressing mode (ready fast);
+    /// `SCRATCH_SLOT` when absent.
+    wb_dst: u8,
+    /// Vector destination slot (`SCRATCH_SLOT` when absent).
+    qdst: u8,
+    /// `FLAGS_SLOT` when the instruction reads the flags, else `ZERO_SLOT`.
+    flags_src: u8,
+    /// `FLAGS_SLOT` when the instruction writes the flags, else `SCRATCH_SLOT`.
+    flags_dst: u8,
+}
+
+impl Default for Deps {
+    fn default() -> Deps {
+        Deps {
+            srcs: [ZERO_SLOT; 3],
+            qsrcs: [ZERO_SLOT; 2],
+            dst: SCRATCH_SLOT,
+            wb_dst: SCRATCH_SLOT,
+            qdst: SCRATCH_SLOT,
+            flags_src: ZERO_SLOT,
+            flags_dst: SCRATCH_SLOT,
+        }
+    }
+}
+
+impl Deps {
+    fn set_src(&mut self, i: usize, r: Reg) {
+        self.srcs[i] = r.index();
+    }
+
+    fn set_qsrc(&mut self, i: usize, q: QReg) {
+        self.qsrcs[i] = q.index();
+    }
+
+    fn set_dst(&mut self, r: Reg) {
+        self.dst = r.index();
+    }
+
+    fn set_wb_dst(&mut self, r: Reg) {
+        self.wb_dst = r.index();
+    }
+
+    fn set_qdst(&mut self, q: QReg) {
+        self.qdst = q.index();
+    }
 }
 
 pub(crate) fn deps(instr: &Instr) -> Deps {
     let mut d = Deps::default();
     match *instr {
         Instr::Nop | Instr::Halt => {}
-        Instr::MovImm { rd, .. } => d.dst = Some(rd),
+        Instr::MovImm { rd, .. } => d.set_dst(rd),
         Instr::MovTop { rd, .. } => {
-            d.srcs[0] = Some(rd);
-            d.dst = Some(rd);
+            d.set_src(0, rd);
+            d.set_dst(rd);
         }
         Instr::Mov { rd, rm } => {
-            d.srcs[0] = Some(rm);
-            d.dst = Some(rd);
+            d.set_src(0, rm);
+            d.set_dst(rd);
         }
         Instr::Alu { rd, rn, src2, .. } => {
-            d.srcs[0] = Some(rn);
+            d.set_src(0, rn);
             if let Operand::Reg(rm) = src2 {
-                d.srcs[1] = Some(rm);
+                d.set_src(1, rm);
             }
-            d.dst = Some(rd);
+            d.set_dst(rd);
         }
         Instr::Cmp { rn, src2 } => {
-            d.srcs[0] = Some(rn);
+            d.set_src(0, rn);
             if let Operand::Reg(rm) = src2 {
-                d.srcs[1] = Some(rm);
+                d.set_src(1, rm);
             }
-            d.writes_flags = true;
+            d.flags_dst = FLAGS_SLOT;
         }
         Instr::B { cond, .. } => {
-            d.reads_flags = cond != dsa_isa::Cond::Al;
+            if cond != dsa_isa::Cond::Al {
+                d.flags_src = FLAGS_SLOT;
+            }
         }
-        Instr::Bl { .. } => d.dst = Some(Reg::LR),
-        Instr::BxLr => d.srcs[0] = Some(Reg::LR),
+        Instr::Bl { .. } => d.set_dst(Reg::LR),
+        Instr::BxLr => d.set_src(0, Reg::LR),
         Instr::Ldr { rd, rn, mode, .. } => {
-            d.srcs[0] = Some(rn);
-            d.dst = Some(rd);
+            d.set_src(0, rn);
+            d.set_dst(rd);
             if mode.writeback() {
-                d.wb_dst = Some(rn);
+                d.set_wb_dst(rn);
             }
         }
         Instr::Str { rs, rn, mode, .. } => {
-            d.srcs[0] = Some(rs);
-            d.srcs[1] = Some(rn);
+            d.set_src(0, rs);
+            d.set_src(1, rn);
             if mode.writeback() {
-                d.wb_dst = Some(rn);
+                d.set_wb_dst(rn);
             }
         }
         Instr::LdrReg { rd, rn, rm, .. } => {
-            d.srcs[0] = Some(rn);
-            d.srcs[1] = Some(rm);
-            d.dst = Some(rd);
+            d.set_src(0, rn);
+            d.set_src(1, rm);
+            d.set_dst(rd);
         }
         Instr::StrReg { rs, rn, rm, .. } => {
-            d.srcs = [Some(rs), Some(rn), Some(rm)];
+            d.set_src(0, rs);
+            d.set_src(1, rn);
+            d.set_src(2, rm);
         }
         Instr::Vld1 { qd, rn, writeback, .. } => {
-            d.srcs[0] = Some(rn);
-            d.qdst = Some(qd);
+            d.set_src(0, rn);
+            d.set_qdst(qd);
             if writeback {
-                d.wb_dst = Some(rn);
+                d.set_wb_dst(rn);
             }
         }
         Instr::Vst1 { qs, rn, writeback, .. } => {
-            d.srcs[0] = Some(rn);
-            d.qsrcs[0] = Some(qs);
+            d.set_src(0, rn);
+            d.set_qsrc(0, qs);
             if writeback {
-                d.wb_dst = Some(rn);
+                d.set_wb_dst(rn);
             }
         }
         Instr::Vld1Lane { qd, rn, writeback, .. } => {
-            d.srcs[0] = Some(rn);
-            d.qsrcs[0] = Some(qd); // merge
-            d.qdst = Some(qd);
+            d.set_src(0, rn);
+            d.set_qsrc(0, qd); // merge
+            d.set_qdst(qd);
             if writeback {
-                d.wb_dst = Some(rn);
+                d.set_wb_dst(rn);
             }
         }
         Instr::Vst1Lane { qs, rn, writeback, .. } => {
-            d.srcs[0] = Some(rn);
-            d.qsrcs[0] = Some(qs);
+            d.set_src(0, rn);
+            d.set_qsrc(0, qs);
             if writeback {
-                d.wb_dst = Some(rn);
+                d.set_wb_dst(rn);
             }
         }
         Instr::Vop { qd, qn, qm, .. } => {
-            d.qsrcs = [Some(qn), Some(qm)];
-            d.qdst = Some(qd);
+            d.set_qsrc(0, qn);
+            d.set_qsrc(1, qm);
+            d.set_qdst(qd);
         }
         Instr::VshrImm { qd, qn, .. } => {
-            d.qsrcs[0] = Some(qn);
-            d.qdst = Some(qd);
+            d.set_qsrc(0, qn);
+            d.set_qdst(qd);
         }
         Instr::Vdup { qd, rm, .. } => {
-            d.srcs[0] = Some(rm);
-            d.qdst = Some(qd);
+            d.set_src(0, rm);
+            d.set_qdst(qd);
         }
-        Instr::VdupImm { qd, .. } => d.qdst = Some(qd),
+        Instr::VdupImm { qd, .. } => d.set_qdst(qd),
         Instr::Vmov { qd, qm } => {
-            d.qsrcs[0] = Some(qm);
-            d.qdst = Some(qd);
+            d.set_qsrc(0, qm);
+            d.set_qdst(qd);
         }
         Instr::Vaddv { rd, qn, .. } => {
-            d.qsrcs[0] = Some(qn);
-            d.dst = Some(rd);
+            d.set_qsrc(0, qn);
+            d.set_dst(rd);
         }
         Instr::VmovToScalar { rd, qn, .. } => {
-            d.qsrcs[0] = Some(qn);
-            d.dst = Some(rd);
+            d.set_qsrc(0, qn);
+            d.set_dst(rd);
         }
         Instr::VmovFromScalar { qd, rm, .. } => {
-            d.srcs[0] = Some(rm);
-            d.qsrcs[0] = Some(qd); // merge
-            d.qdst = Some(qd);
+            d.set_src(0, rm);
+            d.set_qsrc(0, qd); // merge
+            d.set_qdst(qd);
         }
     }
     d
@@ -259,9 +322,10 @@ pub struct TimingModel {
     config: CpuConfig,
     memsys: MemorySystem,
     predictor: BranchPredictor,
-    reg_ready: [u64; 16],
-    qreg_ready: [u64; 16],
-    flags_ready: u64,
+    /// Ready cycle per scoreboard slot (registers + sentinels + flags;
+    /// see [`ZERO_SLOT`]). Slot `ZERO_SLOT` must stay 0 forever.
+    reg_ready: [u64; REG_SLOTS],
+    qreg_ready: [u64; QREG_SLOTS],
     frontend_ready: u64,
     slot_cycle: u64,
     slot_used: u32,
@@ -269,11 +333,31 @@ pub struct TimingModel {
     neon_ls_ready: u64,
     /// Next free cycle of the NEON arithmetic pipeline.
     neon_alu_ready: u64,
-    neon_inflight: VecDeque<u64>,
+    /// NEON completion-time queue as a fixed ring of `queue_depth`
+    /// slots; `neon_head` is the oldest entry, `neon_len` the live count.
+    neon_inflight: Vec<u64>,
+    neon_head: usize,
+    neon_len: usize,
     /// Completion times of in-flight instructions (reorder-buffer model):
     /// a new instruction cannot begin execution before the instruction
-    /// `rob_size` ahead of it has completed.
-    rob: VecDeque<u64>,
+    /// `rob_size` ahead of it has completed. Stored as a fixed ring of
+    /// exactly `rob_size` entries with `rob_head` pointing at the oldest;
+    /// the zero initialization stands in for "window not yet full"
+    /// (completions are always ≥ 1, so 0 is never a real entry).
+    rob: Vec<u64>,
+    rob_head: usize,
+    /// Fixed execution latency per instruction class, indexed by
+    /// [`class_index`] — the configured scalar/NEON latencies flattened
+    /// into one table so the charge path never re-matches on the
+    /// instruction. Branch classes hold 1 (a mispredict is a frontend
+    /// redirect, not execution latency). Memory classes resolve their
+    /// latency dynamically via [`TimingModel::mem_charge`]; their
+    /// entries hold placeholders and are unused.
+    lat_by_class: [u64; 16],
+    /// Reusable per-fetch-group buffer of prefetched memory-op latencies
+    /// (see [`TimingModel::charge_block`]'s two-pass group loop); held on
+    /// the model to avoid a heap allocation per group.
+    mem_lat_scratch: Vec<u64>,
     last_completion: u64,
     stats: TimingStats,
 }
@@ -281,20 +365,36 @@ pub struct TimingModel {
 impl TimingModel {
     /// Creates a cold timing model.
     pub fn new(config: CpuConfig) -> TimingModel {
+        let mut lat_by_class = [config.int_alu_latency as u64; 16];
+        // Control flow completes in one cycle (mispredict cost is a
+        // frontend redirect, not an execution latency).
+        lat_by_class[class_index(InstrClass::Branch)] = 1;
+        lat_by_class[class_index(InstrClass::Call)] = 1;
+        lat_by_class[class_index(InstrClass::Return)] = 1;
+        lat_by_class[class_index(InstrClass::IntMul)] = config.int_mul_latency as u64;
+        lat_by_class[class_index(InstrClass::FpAlu)] = config.fp_alu_latency as u64;
+        lat_by_class[class_index(InstrClass::FpMul)] = config.fp_mul_latency as u64;
+        lat_by_class[class_index(InstrClass::VecAlu)] = config.neon.alu_latency as u64;
+        lat_by_class[class_index(InstrClass::VecMul)] = config.neon.mul_latency as u64;
+        lat_by_class[class_index(InstrClass::VecMove)] = config.neon.move_latency as u64;
         TimingModel {
             config,
             memsys: MemorySystem::new(config.mem),
             predictor: BranchPredictor::new(),
-            reg_ready: [0; 16],
-            qreg_ready: [0; 16],
-            flags_ready: 0,
+            reg_ready: [0; REG_SLOTS],
+            qreg_ready: [0; QREG_SLOTS],
             frontend_ready: 0,
             slot_cycle: 0,
             slot_used: 0,
             neon_ls_ready: 0,
             neon_alu_ready: 0,
-            neon_inflight: VecDeque::new(),
-            rob: VecDeque::new(),
+            neon_inflight: vec![0; (config.neon.queue_depth as usize).max(1)],
+            neon_head: 0,
+            neon_len: 0,
+            rob: vec![0; (config.rob_size as usize).max(1)],
+            rob_head: 0,
+            lat_by_class,
+            mem_lat_scratch: Vec::with_capacity(16),
             last_completion: 0,
             stats: TimingStats::default(),
         }
@@ -325,90 +425,145 @@ impl TimingModel {
         (self.predictor.predictions(), self.predictor.mispredictions())
     }
 
+    /// Earliest cycle the scalar sources (and flags, if read) are ready.
+    /// Absent operands hit the pinned-zero sentinel slot, so this is four
+    /// unconditional loads and three `max`es — no data-dependent branches
+    /// (the operand mix varies per instruction and mispredicts dearly).
+    #[inline(always)]
     fn src_ready(&self, d: &Deps) -> u64 {
-        let mut t = 0;
-        for r in d.srcs.iter().flatten() {
-            t = t.max(self.reg_ready[r.index() as usize]);
-        }
-        if d.reads_flags {
-            t = t.max(self.flags_ready);
-        }
-        t
+        let r = &self.reg_ready;
+        r[d.srcs[0] as usize]
+            .max(r[d.srcs[1] as usize])
+            .max(r[d.srcs[2] as usize])
+            .max(r[d.flags_src as usize])
     }
 
+    /// Earliest cycle the vector sources are ready (branchless, as
+    /// [`TimingModel::src_ready`]).
+    #[inline(always)]
     fn qsrc_ready(&self, d: &Deps) -> u64 {
-        let mut t = 0;
-        for q in d.qsrcs.iter().flatten() {
-            t = t.max(self.qreg_ready[q.index() as usize]);
-        }
-        t
+        let q = &self.qreg_ready;
+        q[d.qsrcs[0] as usize].max(q[d.qsrcs[1] as usize])
     }
 
     /// Allocates an issue slot no earlier than `earliest`, respecting the
     /// issue width, and returns the issue cycle.
+    #[inline(always)]
     fn allocate_slot(&mut self, earliest: u64) -> u64 {
         let mut t = earliest.max(self.slot_cycle);
-        if t == self.slot_cycle && self.slot_used >= self.config.issue_width {
-            t += 1;
-        }
-        if t > self.slot_cycle {
-            self.slot_cycle = t;
-            self.slot_used = 0;
-        }
-        self.slot_used += 1;
+        // Width exhausted at the current cycle pushes to the next one.
+        t += u64::from(t == self.slot_cycle && self.slot_used >= self.config.issue_width);
+        // `t >= slot_cycle` always holds here, so the original
+        // "if t > slot_cycle { reset }" collapses to a conditional move
+        // on the width counter and an unconditional cycle store.
+        self.slot_used = if t > self.slot_cycle { 1 } else { self.slot_used + 1 };
+        self.slot_cycle = t;
         t
     }
 
+    /// Folds one completion time into [`TimingModel::cycles`]'s running
+    /// max. The per-event paths call this per charge; `charge_block`
+    /// instead folds a whole block's completions in a register and
+    /// stores once, keeping the field's load/store off the replay's
+    /// per-instruction work.
+    #[inline(always)]
     fn complete(&mut self, t: u64) {
         self.last_completion = self.last_completion.max(t);
     }
 
     /// Reorder-buffer floor: the earliest cycle a new instruction may
     /// begin execution (the entry `rob_size` older must have completed).
+    /// While the window is filling the oldest slot still holds its
+    /// initial 0 — the same "no constraint" a partially-filled deque gave.
+    #[inline(always)]
     fn rob_floor(&self) -> u64 {
-        if self.rob.len() >= self.config.rob_size as usize {
-            self.rob.front().copied().unwrap_or(0)
-        } else {
-            0
-        }
+        self.rob[self.rob_head]
     }
 
+    #[inline(always)]
     fn rob_push(&mut self, completion: u64) {
-        if self.rob.len() >= self.config.rob_size as usize {
-            self.rob.pop_front();
+        self.rob[self.rob_head] = completion;
+        self.rob_head += 1;
+        if self.rob_head == self.rob.len() {
+            self.rob_head = 0;
         }
-        self.rob.push_back(completion);
     }
 
+    /// Resolves the execution latency of an instruction of `class`,
+    /// performing its data-side cache access at `addr` if it has one
+    /// (loads observe the cache; stores and every non-memory class
+    /// complete in fixed time from [`TimingModel::lat_by_class`]).
+    /// Factored out of the charge bodies so the block path can run a
+    /// whole fetch group's accesses ahead of the scoreboard math: cache
+    /// state depends only on the access sequence, never on cycle
+    /// arithmetic, so hoisting keeps results bit-identical while taking
+    /// the cache walk off the scoreboard's serial dependency chain.
+    #[inline(always)]
+    fn mem_charge(&mut self, class: InstrClass, addr: Option<u32>) -> u64 {
+        match class {
+            InstrClass::Load => {
+                let a = addr.expect("load carries an address"); // infallible: both paths attach the read address to Load
+                self.memsys.access_data(a, false) as u64
+            }
+            InstrClass::Store => {
+                if let Some(a) = addr {
+                    self.memsys.access_data(a, true);
+                }
+                1
+            }
+            InstrClass::VecLoad => {
+                let a = addr.expect("vector load needs an address"); // infallible: decode always attaches addr to VecLoad
+                (self.memsys.access_data(a, false) + self.config.neon.load_extra) as u64
+            }
+            InstrClass::VecStore => {
+                let a = addr.expect("vector store needs an address"); // infallible: decode always attaches addr to VecStore
+                self.memsys.access_data(a, true);
+                self.config.neon.store_latency as u64
+            }
+            _ => self.lat_by_class[class_index(class)],
+        }
+    }
+
+    #[inline(always)]
     fn charge_vector(
         &mut self,
-        instr: &Instr,
+        class: InstrClass,
         d: &Deps,
         slot: u64,
-        addr: Option<u32>,
+        lat: u64,
         aligned: bool,
-    ) {
+    ) -> u64 {
         let neon = self.config.neon;
         // The NEON engine has separate load/store and arithmetic
         // pipelines (as on the A8): an arithmetic op stalled on a missing
         // load does not block younger vector loads.
-        let is_ls = matches!(instr.class(), InstrClass::VecLoad | InstrClass::VecStore);
+        let is_ls = matches!(class, InstrClass::VecLoad | InstrClass::VecStore);
         let pipe_ready = if is_ls { self.neon_ls_ready } else { self.neon_alu_ready };
         let mut start = slot
             .max(self.src_ready(d))
             .max(self.qsrc_ready(d))
             .max(pipe_ready)
             .max(self.rob_floor());
-        // Drain finished ops; stall on a full queue.
-        while let Some(&front) = self.neon_inflight.front() {
-            if front <= start {
-                self.neon_inflight.pop_front();
-            } else {
-                break;
+        // Drain finished ops; stall on a full queue. The queue is a fixed
+        // ring of `queue_depth` slots (`neon_head`/`neon_len`): FIFO order
+        // and stall decisions are exactly the deque's, without its
+        // capacity bookkeeping on the replay's hottest vector path.
+        let cap = self.neon_inflight.len();
+        while self.neon_len > 0 && self.neon_inflight[self.neon_head] <= start {
+            self.neon_head += 1;
+            if self.neon_head == cap {
+                self.neon_head = 0;
             }
+            self.neon_len -= 1;
         }
-        if self.neon_inflight.len() >= neon.queue_depth as usize {
-            let front = self.neon_inflight.pop_front().expect("non-empty queue"); // infallible: len >= depth >= 1 was just checked
+        if self.neon_len >= neon.queue_depth as usize {
+            // Infallible: len >= depth >= 1 was just checked.
+            let front = self.neon_inflight[self.neon_head];
+            self.neon_head += 1;
+            if self.neon_head == cap {
+                self.neon_head = 0;
+            }
+            self.neon_len -= 1;
             if front > start {
                 self.stats.neon_queue_stalls += 1;
                 start = front;
@@ -420,99 +575,78 @@ impl TimingModel {
         } else {
             self.neon_alu_ready = start + 1;
         }
-        let latency = match instr.class() {
-            InstrClass::VecLoad => {
-                let a = addr.expect("vector load needs an address"); // infallible: decode always attaches addr to VecLoad
-                self.memsys.access_data(a, false) + neon.load_extra
-            }
-            InstrClass::VecStore => {
-                let a = addr.expect("vector store needs an address"); // infallible: decode always attaches addr to VecStore
-                self.memsys.access_data(a, true);
-                neon.store_latency
-            }
-            InstrClass::VecMul => neon.mul_latency,
-            InstrClass::VecAlu => neon.alu_latency,
-            _ => neon.move_latency,
-        };
-        let done = start + latency as u64;
-        if let Some(q) = d.qdst {
-            self.qreg_ready[q.index() as usize] = done;
+        // `lat` was fully resolved up front by `mem_charge` (cache
+        // latency for memory ops, per-class table otherwise).
+        let done = start + lat;
+        // Absent destinations land in the write-scratch slot (branchless).
+        self.qreg_ready[d.qdst as usize] = done;
+        self.reg_ready[d.dst as usize] = done;
+        self.reg_ready[d.wb_dst as usize] = start + 1;
+        let mut idx = self.neon_head + self.neon_len;
+        if idx >= cap {
+            idx -= cap;
         }
-        if let Some(r) = d.dst {
-            self.reg_ready[r.index() as usize] = done;
-        }
-        if let Some(r) = d.wb_dst {
-            self.reg_ready[r.index() as usize] = start + 1;
-        }
-        self.neon_inflight.push_back(done);
+        self.neon_inflight[idx] = done;
+        self.neon_len += 1;
         self.rob_push(done);
-        self.complete(done);
+        done
     }
 
     /// Event-path scalar charge: unpacks the trace event's memory and
     /// branch facts and defers to [`TimingModel::charge_scalar_core`].
-    fn charge_scalar(&mut self, instr: &Instr, ev: Option<&TraceEvent>, d: &Deps, slot: u64) {
-        let read = ev.and_then(|e| e.read).map(|a| a.addr);
-        let write = ev.and_then(|e| e.write).map(|a| a.addr);
+    fn charge_scalar(&mut self, instr: &Instr, ev: Option<&TraceEvent>, d: &Deps, slot: u64) -> u64 {
+        let class = instr.class();
+        let addr = match class {
+            InstrClass::Load => ev.and_then(|e| e.read).map(|a| a.addr),
+            InstrClass::Store => ev.and_then(|e| e.write).map(|a| a.addr),
+            _ => None,
+        };
+        let lat = self.mem_charge(class, addr);
         let branch = ev.and_then(|e| e.branch.map(|b| (e.pc, b.taken)));
-        self.charge_scalar_core(instr, instr.class(), d, slot, read, write, branch);
+        self.charge_scalar_core(class, d, slot, lat, branch)
     }
 
     /// The scalar charge itself, fed by either a [`TraceEvent`] (stepped
     /// path) or predecoded facts (block path) — one body, so the two
     /// interpreter shapes cannot drift apart. `class` is passed in
     /// because both callers already have it (the block path precomputed,
-    /// the event path freshly derived).
-    #[allow(clippy::too_many_arguments)]
+    /// the event path freshly derived). The instruction itself is not
+    /// needed: fixed latencies come from the per-class table, and "is a
+    /// conditional branch" is exactly `class == Branch` (only `B` maps
+    /// there) with the flags-read slot set in `d`.
+    #[inline(always)]
     fn charge_scalar_core(
         &mut self,
-        instr: &Instr,
         class: InstrClass,
         d: &Deps,
         slot: u64,
-        read: Option<u32>,
-        write: Option<u32>,
+        lat: u64,
         branch: Option<(u32, bool)>,
-    ) {
+    ) -> u64 {
         let start = slot.max(self.src_ready(d)).max(self.rob_floor());
-        let done = match class {
-            InstrClass::Load => {
-                let addr = read.expect("load carries an address"); // infallible: both paths attach the read address to Load
-                start + self.memsys.access_data(addr, false) as u64
+        // `lat` was fully resolved up front by `mem_charge`: cache
+        // latency for loads, 1 for stores and control flow, per-class
+        // table for the rest — no class dispatch on this hot path.
+        let done = start + lat;
+        // Conditional branches consult the predictor. `branch` is `Some`
+        // only for a terminal/committed branch outcome, so this test is
+        // nearly always false and well predicted.
+        if let Some((pc, taken)) = branch {
+            if class == InstrClass::Branch
+                && d.flags_src == FLAGS_SLOT
+                && self.predictor.update(pc, taken)
+            {
+                self.stats.mispredicts += 1;
+                self.frontend_ready = start + 1 + self.config.branch_mispredict_penalty as u64;
             }
-            InstrClass::Store => {
-                if let Some(a) = write {
-                    self.memsys.access_data(a, true);
-                }
-                start + 1
-            }
-            InstrClass::IntMul => start + self.config.int_mul_latency as u64,
-            InstrClass::FpAlu => start + self.config.fp_alu_latency as u64,
-            InstrClass::FpMul => start + self.config.fp_mul_latency as u64,
-            InstrClass::Branch | InstrClass::Call | InstrClass::Return => {
-                // Conditional branches consult the predictor.
-                if let (Instr::B { cond, .. }, Some((pc, taken))) = (instr, branch) {
-                    if *cond != dsa_isa::Cond::Al && self.predictor.update(pc, taken) {
-                        self.stats.mispredicts += 1;
-                        self.frontend_ready =
-                            start + 1 + self.config.branch_mispredict_penalty as u64;
-                    }
-                }
-                start + 1
-            }
-            _ => start + self.config.int_alu_latency as u64,
-        };
-        if let Some(r) = d.dst {
-            self.reg_ready[r.index() as usize] = done;
         }
-        if let Some(r) = d.wb_dst {
-            self.reg_ready[r.index() as usize] = start + 1;
-        }
-        if d.writes_flags {
-            self.flags_ready = start + 1;
-        }
+        // Absent destinations land in the write-scratch slot; the flags
+        // write targets the flags slot or scratch the same way (branchless).
+        self.reg_ready[d.dst as usize] = done;
+        self.reg_ready[d.wb_dst as usize] = start + 1;
+        self.reg_ready[d.flags_dst as usize] = start + 1;
         self.rob_push(done);
-        self.complete(done);
+        done
     }
 
     /// Charges one committed instruction from the fetch/decode path.
@@ -529,15 +663,18 @@ impl TimingModel {
         // only; operand stalls delay execution, not younger dispatch
         // (out-of-order issue within the reorder-buffer window).
         let slot = self.allocate_slot(self.frontend_ready + fetch_penalty);
-        self.frontend_ready = self.frontend_ready.max(slot);
+        self.frontend_ready = slot; // slot >= earliest >= frontend_ready by construction
 
         if class.is_vector() {
             let addr = ev.read.or(ev.write).map(|a| a.addr);
+            let mem_lat = self.mem_charge(class, addr);
             // Fetched (compiler-emitted) vector memory ops use the
             // unaligned-safe encoding.
-            self.charge_vector(&ev.instr, &d, slot, addr, false);
+            let done = self.charge_vector(class, &d, slot, mem_lat, false);
+            self.complete(done);
         } else {
-            self.charge_scalar(&ev.instr, Some(ev), &d, slot);
+            let done = self.charge_scalar(&ev.instr, Some(ev), &d, slot);
+            self.complete(done);
         }
     }
 
@@ -586,6 +723,10 @@ impl TimingModel {
         let line_bytes = self.config.mem.l1i.line_bytes;
         let mut next_addr = 0usize;
         let mut i = 0usize;
+        // Completion times fold into a register here and reach
+        // `last_completion` in one store after the loop (the per-event
+        // paths call `complete` per charge instead).
+        let mut blk_max = 0u64;
         while i < entries.len() {
             let addr = base_pc.wrapping_add(i as u32).wrapping_mul(4);
             let to_line_end = ((line_bytes - (addr & (line_bytes - 1))) / 4) as usize;
@@ -596,45 +737,75 @@ impl TimingModel {
             if j - i > 1 {
                 self.memsys.count_instr_repeats(addr, (j - i - 1) as u64);
             }
-            for (k, e) in entries[i..j].iter().enumerate() {
+            // Pass 1 — resolve every entry's execution latency up front,
+            // replaying the group's data-side cache traffic in program
+            // order ahead of any scoreboard math. The memory system sees
+            // exactly the stepped sequence (group-leading fetch above,
+            // then each data access in order; follower fetches are
+            // stats-only), and scoreboard state never feeds back into
+            // the cache, so recording the latencies is bit-identical —
+            // while taking both the cache walk and the per-class latency
+            // dispatch off the scoreboard's serial dependency chain.
+            self.mem_lat_scratch.clear();
+            for e in entries[i..j].iter() {
+                let class = e.class();
+                let lat = match class {
+                    InstrClass::Load
+                    | InstrClass::Store
+                    | InstrClass::VecLoad
+                    | InstrClass::VecStore => {
+                        let a = mem_addrs.get(next_addr).copied();
+                        next_addr += 1;
+                        self.mem_charge(class, a)
+                    }
+                    _ => self.lat_by_class[class_index(class)],
+                };
+                self.mem_lat_scratch.push(lat);
+            }
+            // Pass 2 — scoreboard math, consuming the recorded latencies.
+            // A conditional terminal (`taken` set; always the block's
+            // last entry, hence the last entry of the last group) is
+            // charged after the loop, so the straight-line body passes a
+            // constant `branch = None` and the inlined core drops the
+            // predictor path entirely.
+            let term = if j == entries.len() { taken } else { None };
+            let body_end = if term.is_some() { j - 1 } else { j };
+            let mut k = 0;
+            for e in entries[i..body_end].iter() {
                 let slot = self.allocate_slot(self.frontend_ready + fetch_penalty);
-                self.frontend_ready = self.frontend_ready.max(slot);
+                self.frontend_ready = slot; // slot >= earliest >= frontend_ready by construction
                 fetch_penalty = 0; // followers on the line hit at l1_latency
                 let class = e.class();
-                let mem = matches!(
-                    class,
-                    InstrClass::Load
-                        | InstrClass::Store
-                        | InstrClass::VecLoad
-                        | InstrClass::VecStore
-                );
-                let addr = if mem {
-                    let a = mem_addrs.get(next_addr).copied();
-                    next_addr += 1;
-                    a
-                } else {
-                    None
-                };
-                if class.is_vector() {
+                let lat = self.mem_lat_scratch[k];
+                k += 1;
+                let done = if class.is_vector() {
                     // Fetched (compiler-emitted) vector memory ops use
                     // the unaligned-safe encoding, as in charge_event.
-                    self.charge_vector(e.instr(), e.deps(), slot, addr, false);
+                    self.charge_vector(class, e.deps(), slot, lat, false)
                 } else {
-                    let (read, write) = match class {
-                        InstrClass::Load => (addr, None),
-                        InstrClass::Store => (None, addr),
-                        _ => (None, None),
-                    };
-                    // Only the terminal entry can be a branch; its PC is
-                    // its block offset.
-                    let branch = taken
-                        .filter(|_| i + k + 1 == entries.len())
-                        .map(|t| (base_pc.wrapping_add((i + k) as u32), t));
-                    self.charge_scalar_core(e.instr(), class, e.deps(), slot, read, write, branch);
-                }
+                    self.charge_scalar_core(class, e.deps(), slot, lat, None)
+                };
+                blk_max = blk_max.max(done);
+            }
+            if let Some(t) = term {
+                let e = &entries[j - 1];
+                // The leader's fetch penalty survives only when the
+                // terminal is also the group leader (empty body loop).
+                let slot = self.allocate_slot(self.frontend_ready + fetch_penalty);
+                self.frontend_ready = slot;
+                let pc = base_pc.wrapping_add((j - 1) as u32);
+                let done = self.charge_scalar_core(
+                    e.class(),
+                    e.deps(),
+                    slot,
+                    self.mem_lat_scratch[k],
+                    Some((pc, t)),
+                );
+                blk_max = blk_max.max(done);
             }
             i = j;
         }
+        self.complete(blk_max);
         debug_assert_eq!(next_addr, mem_addrs.len(), "address stream fully consumed");
     }
 
@@ -656,7 +827,9 @@ impl TimingModel {
                 // The DSA observes real addresses: it uses the aligned
                 // form exactly when the access is 16-byte aligned.
                 let aligned = op.addr.is_none_or(|a| a.is_multiple_of(16));
-                self.charge_vector(&op.instr, &d, slot, op.addr, aligned);
+                let mem_lat = self.mem_charge(op.instr.class(), op.addr);
+                let done = self.charge_vector(op.instr.class(), &d, slot, mem_lat, aligned);
+                self.complete(done);
             } else {
                 // Scalar leftover work injected by the DSA: synthesise the
                 // memory access from the provided address.
@@ -669,7 +842,8 @@ impl TimingModel {
                     }
                     e
                 });
-                self.charge_scalar(&op.instr, ev.as_ref(), &d, slot);
+                let done = self.charge_scalar(&op.instr, ev.as_ref(), &d, slot);
+                self.complete(done);
             }
         }
     }

@@ -1,8 +1,13 @@
-//! Lane-wise arithmetic on 128-bit vectors.
+//! Lane-wise arithmetic on 128-bit vectors — the **portable reference**
+//! implementation.
 //!
 //! These helpers implement the functional semantics of the NEON-style
-//! vector instructions and are shared with the DSA core (which reuses
-//! them for its Array-Map speculative-select logic).
+//! vector instructions with plain scalar loops. They are the semantic
+//! ground truth: every host-SIMD backend in [`crate::simd`] must be
+//! bit-for-bit identical to these functions (enforced by the
+//! differential proptests in `tests/simd_backends.rs`), and the decode
+//! validator ([`crate::decoded`]) probes them to decide which shapes are
+//! infallible.
 
 use dsa_isa::{ElemType, VecOp};
 
@@ -29,6 +34,15 @@ pub fn apply(op: VecOp, et: ElemType, a: [u8; 16], b: [u8; 16]) -> [u8; 16] {
             float_op(op, x, y).to_le_bytes()
         }),
     }
+}
+
+/// Reference semantics for float `Min`/`Max` lanes, shared with the SIMD
+/// backends: hardware min/max instructions (SSE `minps`, NEON `fmin`)
+/// disagree with Rust's `f32::min` on NaN and signed-zero operands, so
+/// every backend routes float Min/Max through this exact scalar code.
+pub(crate) fn float_minmax(op: VecOp, a: [u8; 16], b: [u8; 16]) -> [u8; 16] {
+    debug_assert!(matches!(op, VecOp::Min | VecOp::Max));
+    apply(op, ElemType::F32, a, b)
 }
 
 fn map_lanes<const W: usize>(
@@ -59,13 +73,34 @@ fn int_op(op: VecOp, x: i64, y: i64) -> i64 {
     }
 }
 
+/// The quiet NaN every float lane op returns when its result is NaN.
+///
+/// Neither Rust (LLVM may commute `fadd`, changing which operand's
+/// payload propagates between debug and release builds) nor the host
+/// ISAs (x86 propagates the first NaN operand, ARM prioritises
+/// signalling NaNs) define one NaN payload rule, so the reference
+/// semantics canonicalise instead: any NaN-producing float lane yields
+/// exactly these bits, on every backend, at every optimisation level.
+pub(crate) const CANON_QNAN: u32 = 0x7FC0_0000;
+
+/// Collapses NaN results to [`CANON_QNAN`]. Whether a result is NaN is
+/// fully determined by the inputs (unlike its payload), so this makes
+/// the lane op deterministic.
+fn canon(r: f32) -> f32 {
+    if r.is_nan() {
+        f32::from_bits(CANON_QNAN)
+    } else {
+        r
+    }
+}
+
 fn float_op(op: VecOp, x: f32, y: f32) -> f32 {
     match op {
-        VecOp::Add => x + y,
-        VecOp::Sub => x - y,
-        VecOp::Mul => x * y,
-        VecOp::Min => x.min(y),
-        VecOp::Max => x.max(y),
+        VecOp::Add => canon(x + y),
+        VecOp::Sub => canon(x - y),
+        VecOp::Mul => canon(x * y),
+        VecOp::Min => canon(x.min(y)),
+        VecOp::Max => canon(x.max(y)),
         VecOp::And => f32::from_bits(x.to_bits() & y.to_bits()),
         VecOp::Orr => f32::from_bits(x.to_bits() | y.to_bits()),
         VecOp::Eor => f32::from_bits(x.to_bits() ^ y.to_bits()),
@@ -115,6 +150,13 @@ pub enum LaneError {
         /// The rejected shift amount.
         shift: u8,
     },
+    /// The lane index is at least the lane count for this element type.
+    LaneOutOfRange {
+        /// Element type whose lane count was exceeded.
+        et: ElemType,
+        /// The rejected lane index.
+        lane: u8,
+    },
 }
 
 impl std::fmt::Display for LaneError {
@@ -126,11 +168,36 @@ impl std::fmt::Display for LaneError {
             LaneError::ShiftOutOfRange { et, shift } => {
                 write!(f, "shift by {shift} exceeds the {et:?} lane width")
             }
+            LaneError::LaneOutOfRange { et, lane } => {
+                write!(f, "lane {lane} is out of range for {et:?} (lanes 0..{})", et.lanes())
+            }
         }
     }
 }
 
 impl std::error::Error for LaneError {}
+
+/// Checks a `(et, shift)` shape: shifts are integer-only and must be
+/// narrower than the lane. Shared by the portable [`shr`] and every SIMD
+/// backend so the fallibility contract is identical across backends.
+pub(crate) fn validate_shift(et: ElemType, shift: u8) -> Result<(), LaneError> {
+    if et.is_float() {
+        return Err(LaneError::UnsupportedElement { et, op: "vector shift" });
+    }
+    if (shift as u32) >= et.lane_bytes() * 8 {
+        return Err(LaneError::ShiftOutOfRange { et, shift });
+    }
+    Ok(())
+}
+
+/// Checks a `(et, lane)` pair against the element type's lane count.
+pub(crate) fn validate_lane(et: ElemType, lane: u8) -> Result<(), LaneError> {
+    if (lane as u32) < et.lanes() {
+        Ok(())
+    } else {
+        Err(LaneError::LaneOutOfRange { et, lane })
+    }
+}
 
 /// Lane-wise logical shift right (integer lanes only).
 ///
@@ -140,12 +207,13 @@ impl std::error::Error for LaneError {}
 /// [`LaneError::ShiftOutOfRange`] if `shift` is at least the lane width,
 /// instead of trusting the (distant) encoder to have rejected both.
 pub fn shr(et: ElemType, v: [u8; 16], shift: u8) -> Result<[u8; 16], LaneError> {
-    if et.is_float() {
-        return Err(LaneError::UnsupportedElement { et, op: "vector shift" });
-    }
-    if (shift as u32) >= et.lane_bytes() * 8 {
-        return Err(LaneError::ShiftOutOfRange { et, shift });
-    }
+    validate_shift(et, shift)?;
+    Ok(shr_unchecked(et, v, shift))
+}
+
+/// [`shr`] after validation; the caller guarantees the shape is one
+/// [`validate_shift`] accepts.
+pub(crate) fn shr_unchecked(et: ElemType, v: [u8; 16], shift: u8) -> [u8; 16] {
     let mut out = [0u8; 16];
     let w = et.lane_bytes() as usize;
     for lane in 0..(16 / w) {
@@ -160,11 +228,12 @@ pub fn shr(et: ElemType, v: [u8; 16], shift: u8) -> Result<[u8; 16], LaneError> 
                 let x = u32::from_le_bytes(v[lo..lo + 4].try_into().expect("lane")) >> shift; // infallible: slice is exactly 4 bytes
                 out[lo..lo + 4].copy_from_slice(&x.to_le_bytes());
             }
-            // Floats were rejected above; integer types are exhaustive.
-            ElemType::F32 => return Err(LaneError::UnsupportedElement { et, op: "vector shift" }),
+            // Floats were rejected by validate_shift; integer types are
+            // exhaustive, so this lane width is never reached.
+            ElemType::F32 => debug_assert!(false, "float shift after validation"),
         }
     }
-    Ok(out)
+    out
 }
 
 /// Splats a 32-bit scalar register value into every lane (truncating to
@@ -172,7 +241,7 @@ pub fn shr(et: ElemType, v: [u8; 16], shift: u8) -> Result<[u8; 16], LaneError> 
 pub fn splat_scalar(et: ElemType, value: u32) -> [u8; 16] {
     let mut out = [0u8; 16];
     for lane in 0..et.lanes() as u8 {
-        scalar_to_lane(et, &mut out, lane, value);
+        scalar_to_lane_unchecked(et, &mut out, lane, value);
     }
     out
 }
@@ -180,11 +249,18 @@ pub fn splat_scalar(et: ElemType, value: u32) -> [u8; 16] {
 /// Reads lane `lane` as a 32-bit scalar (sign-extended for I8/I16, raw
 /// bits for I32/F32).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `lane >= et.lanes()`.
-pub fn lane_to_scalar(et: ElemType, v: [u8; 16], lane: u8) -> u32 {
-    assert!((lane as u32) < et.lanes(), "lane out of range");
+/// Returns [`LaneError::LaneOutOfRange`] if `lane >= et.lanes()`.
+pub fn lane_to_scalar(et: ElemType, v: [u8; 16], lane: u8) -> Result<u32, LaneError> {
+    validate_lane(et, lane)?;
+    Ok(lane_to_scalar_unchecked(et, v, lane))
+}
+
+/// [`lane_to_scalar`] after validation; the caller guarantees
+/// `lane < et.lanes()` (e.g. checked at predecode time).
+pub(crate) fn lane_to_scalar_unchecked(et: ElemType, v: [u8; 16], lane: u8) -> u32 {
+    debug_assert!((lane as u32) < et.lanes(), "lane out of range");
     let lo = lane as usize * et.lane_bytes() as usize;
     match et {
         ElemType::I8 => v[lo] as i8 as i32 as u32,
@@ -197,11 +273,24 @@ pub fn lane_to_scalar(et: ElemType, v: [u8; 16], lane: u8) -> u32 {
 
 /// Writes a 32-bit scalar into lane `lane` (truncating for I8/I16).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `lane >= et.lanes()`.
-pub fn scalar_to_lane(et: ElemType, v: &mut [u8; 16], lane: u8, value: u32) {
-    assert!((lane as u32) < et.lanes(), "lane out of range");
+/// Returns [`LaneError::LaneOutOfRange`] if `lane >= et.lanes()`.
+pub fn scalar_to_lane(
+    et: ElemType,
+    v: &mut [u8; 16],
+    lane: u8,
+    value: u32,
+) -> Result<(), LaneError> {
+    validate_lane(et, lane)?;
+    scalar_to_lane_unchecked(et, v, lane, value);
+    Ok(())
+}
+
+/// [`scalar_to_lane`] after validation; the caller guarantees
+/// `lane < et.lanes()` (e.g. checked at predecode time).
+pub(crate) fn scalar_to_lane_unchecked(et: ElemType, v: &mut [u8; 16], lane: u8, value: u32) {
+    debug_assert!((lane as u32) < et.lanes(), "lane out of range");
     let lo = lane as usize * et.lane_bytes() as usize;
     match et {
         ElemType::I8 => v[lo] = value as u8,
@@ -212,18 +301,19 @@ pub fn scalar_to_lane(et: ElemType, v: &mut [u8; 16], lane: u8, value: u32) {
 
 /// Horizontal reduce-add of all lanes into a 32-bit scalar. Integer lanes
 /// are sign-extended and summed with wrapping arithmetic; float lanes are
-/// summed in lane order.
+/// summed in lane order (the association every backend must reproduce —
+/// float addition is not associative).
 pub fn reduce_add(et: ElemType, v: [u8; 16]) -> u32 {
     if et.is_float() {
         let mut acc = 0f32;
         for lane in 0..4 {
-            acc += f32::from_bits(lane_to_scalar(et, v, lane));
+            acc += f32::from_bits(lane_to_scalar_unchecked(et, v, lane));
         }
         acc.to_bits()
     } else {
         let mut acc = 0i32;
         for lane in 0..et.lanes() as u8 {
-            acc = acc.wrapping_add(lane_to_scalar(et, v, lane) as i32);
+            acc = acc.wrapping_add(lane_to_scalar_unchecked(et, v, lane) as i32);
         }
         acc as u32
     }
@@ -289,12 +379,12 @@ mod tests {
     fn splat_and_lane_access() {
         let v = splat(ElemType::I16, -2);
         for lane in 0..8 {
-            assert_eq!(lane_to_scalar(ElemType::I16, v, lane) as i32, -2);
+            assert_eq!(lane_to_scalar(ElemType::I16, v, lane).expect("in range") as i32, -2);
         }
         let mut v = [0u8; 16];
-        scalar_to_lane(ElemType::I32, &mut v, 2, 0xDEAD);
-        assert_eq!(lane_to_scalar(ElemType::I32, v, 2), 0xDEAD);
-        assert_eq!(lane_to_scalar(ElemType::I32, v, 0), 0);
+        scalar_to_lane(ElemType::I32, &mut v, 2, 0xDEAD).expect("in range");
+        assert_eq!(lane_to_scalar(ElemType::I32, v, 2), Ok(0xDEAD));
+        assert_eq!(lane_to_scalar(ElemType::I32, v, 0), Ok(0));
     }
 
     #[test]
@@ -307,9 +397,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn lane_out_of_range_panics() {
-        let _ = lane_to_scalar(ElemType::I32, [0; 16], 4);
+    fn lane_out_of_range_is_an_error() {
+        assert_eq!(
+            lane_to_scalar(ElemType::I32, [0; 16], 4),
+            Err(LaneError::LaneOutOfRange { et: ElemType::I32, lane: 4 })
+        );
+        assert_eq!(
+            lane_to_scalar(ElemType::I8, [0; 16], 16),
+            Err(LaneError::LaneOutOfRange { et: ElemType::I8, lane: 16 })
+        );
+        let mut v = [7u8; 16];
+        assert_eq!(
+            scalar_to_lane(ElemType::I16, &mut v, 8, 1),
+            Err(LaneError::LaneOutOfRange { et: ElemType::I16, lane: 8 })
+        );
+        assert_eq!(v, [7u8; 16], "failed write must not touch the vector");
+        // The boundary lane on each side.
+        assert!(lane_to_scalar(ElemType::F32, [0; 16], 3).is_ok());
+        assert_eq!(
+            lane_to_scalar(ElemType::F32, [0; 16], 255),
+            Err(LaneError::LaneOutOfRange { et: ElemType::F32, lane: 255 })
+        );
+        assert!(scalar_to_lane(ElemType::I8, &mut v, 15, 0xAB).is_ok());
+        assert_eq!(v[15], 0xAB);
     }
 
     #[test]

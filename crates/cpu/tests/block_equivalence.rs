@@ -7,7 +7,8 @@
 //! pause points that land in the middle of straight-line blocks.
 
 use dsa_cpu::{
-    BoundedOutcome, CpuConfig, DecodedProgram, Machine, NullHook, SimError, Simulator, StepNull,
+    BoundedOutcome, CpuConfig, DecodedProgram, Machine, NullHook, SimError, Simd, Simulator,
+    StepNull,
 };
 use dsa_isa::{Asm, Cond, ElemType, Program, Reg, VecOp};
 use dsa_mem::MemoryConfig;
@@ -49,6 +50,13 @@ fn program_from(seed: &[u8], trip: u16) -> Program {
 
 fn sim_for(program: &Program) -> Simulator {
     Simulator::new(program.clone(), CpuConfig::default())
+}
+
+/// A simulator whose machine is pinned to a specific host-SIMD backend.
+fn sim_for_backend(program: &Program, simd: Simd) -> Simulator {
+    let mut machine = Machine::new();
+    machine.set_simd(simd);
+    Simulator::with_machine(program.clone(), CpuConfig::default(), machine)
 }
 
 /// Asserts every observable of two finished (or equally-failed) runs is
@@ -173,6 +181,47 @@ proptest! {
         d.exec_run(&mut fast, 0, n, &mut Vec::new());
         prop_assert_eq!(fast.arch_digest(), stepped.arch_digest());
         prop_assert_eq!(fast.pc(), stepped.pc());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whole-run cross-backend equivalence: for every compiled-in
+    /// host-SIMD backend, a block-mode run must match the **portable
+    /// step-mode** run in architectural digest, registers, cycles and
+    /// statistics — the acceptance gate that the backend changes only
+    /// how lane values are computed, never what they are or what they
+    /// cost.
+    #[test]
+    fn every_backend_is_bit_identical_to_portable_stepping(
+        seed in prop::collection::vec(any::<u8>(), 1..48),
+        trip in 1u16..50,
+    ) {
+        let p = program_from(&seed, trip);
+        let mut reference = sim_for_backend(&p, Simd::portable());
+        let ref_out = reference.run_with_hook(5_000_000, &mut StepNull);
+        prop_assert!(ref_out.is_ok());
+        let ref_out = ref_out.expect("checked");
+        for &be in Simd::available() {
+            let mut block = sim_for_backend(&p, be);
+            let out = block.run_with_hook(5_000_000, &mut NullHook);
+            prop_assert!(out.is_ok(), "{}: {:?}", be.name(), out);
+            let out = out.expect("checked");
+            prop_assert_eq!(
+                block.machine().arch_digest(),
+                reference.machine().arch_digest(),
+                "{}: arch digest", be.name()
+            );
+            prop_assert_eq!(block.machine().regs(), reference.machine().regs());
+            prop_assert_eq!(block.machine().qregs(), reference.machine().qregs());
+            prop_assert_eq!(block.machine().flags(), reference.machine().flags());
+            prop_assert_eq!(out.cycles, ref_out.cycles, "{}: cycles", be.name());
+            prop_assert_eq!(out.committed, ref_out.committed);
+            prop_assert_eq!(out.timing, ref_out.timing, "{}: timing stats", be.name());
+            prop_assert_eq!(out.mem, ref_out.mem, "{}: memory stats", be.name());
+            prop_assert_eq!(out.simd_backend, be.name(), "outcome records its backend");
+        }
     }
 }
 

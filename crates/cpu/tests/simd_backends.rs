@@ -1,0 +1,330 @@
+//! Differential gate for the host-SIMD backends: every compiled-in
+//! backend must be **bit-for-bit identical** to the portable reference
+//! (`vec128`, exposed as `Simd::portable()`) on the complete lane-op
+//! surface — every `VecOp` × `ElemType`, random lane bytes, adversarial
+//! float bit patterns (NaN payloads, signed zeros, infinities,
+//! denormals), every valid shift amount, the fused `apply2` form, and
+//! the splat / reduce / lane-move helpers. The error surface must be
+//! identical too: invalid shapes fail the same way on every backend.
+
+use dsa_cpu::{BackendKind, LaneError, Simd};
+use dsa_isa::{ElemType, VecOp};
+use proptest::prelude::*;
+
+const ALL_OPS: [VecOp; 8] = [
+    VecOp::Add,
+    VecOp::Sub,
+    VecOp::Mul,
+    VecOp::Min,
+    VecOp::Max,
+    VecOp::And,
+    VecOp::Orr,
+    VecOp::Eor,
+];
+
+const ALL_ETS: [ElemType; 4] = [ElemType::I8, ElemType::I16, ElemType::I32, ElemType::F32];
+
+/// The non-portable backends this host can run (empty only on targets
+/// with no SIMD module at all).
+fn host_backends() -> Vec<Simd> {
+    Simd::available()
+        .iter()
+        .copied()
+        .filter(|s| s.kind() != BackendKind::Portable)
+        .collect()
+}
+
+/// Asserts one backend matches portable on one (op, et, a, b) triple.
+fn assert_apply_matches(be: Simd, op: VecOp, et: ElemType, a: [u8; 16], b: [u8; 16]) {
+    let reference = Simd::portable().apply(op, et, a, b);
+    let got = be.apply(op, et, a, b);
+    assert_eq!(
+        got,
+        reference,
+        "{}: {op:?}.{et:?} diverged\n  a = {a:02x?}\n  b = {b:02x?}",
+        be.name()
+    );
+}
+
+/// Structured "interesting" 32-bit float patterns: quiet/signalling NaN
+/// payloads, both infinities and zeros, denormals, boundary exponents.
+const F32_PATTERNS: [u32; 16] = [
+    0x0000_0000, // +0.0
+    0x8000_0000, // -0.0
+    0x7F80_0000, // +inf
+    0xFF80_0000, // -inf
+    0x7FC0_0000, // canonical qNaN
+    0xFFC0_0001, // negative qNaN, nonzero payload
+    0x7F80_0001, // sNaN, minimal payload
+    0x7FBF_FFFF, // sNaN, maximal payload
+    0x7FFF_FFFF, // qNaN, maximal payload
+    0x0000_0001, // smallest denormal
+    0x807F_FFFF, // largest negative denormal
+    0x0080_0000, // smallest normal
+    0x7F7F_FFFF, // f32::MAX
+    0x3F80_0000, // 1.0
+    0xBF80_0000, // -1.0
+    0x4049_0FDB, // pi
+];
+
+fn f32_vec(bits: [u32; 4]) -> [u8; 16] {
+    let mut v = [0u8; 16];
+    for (i, b) in bits.into_iter().enumerate() {
+        v[i * 4..i * 4 + 4].copy_from_slice(&b.to_le_bytes());
+    }
+    v
+}
+
+/// Sixteen fully random lane bytes (the vendored proptest has no array
+/// `Arbitrary`, so build the array from a fixed-length vec).
+fn bytes16() -> impl Strategy<Value = [u8; 16]> {
+    prop::collection::vec(any::<u8>(), 16..17)
+        .prop_map(|v| <[u8; 16]>::try_from(v).expect("vec strategy produced 16 elements"))
+}
+
+/// Four float lanes drawn from the adversarial pattern table.
+fn f32_pattern_vec() -> impl Strategy<Value = [u8; 16]> {
+    prop::collection::vec(any::<usize>(), 4..5).prop_map(|idx| {
+        f32_vec(std::array::from_fn(|i| {
+            F32_PATTERNS[idx[i] % F32_PATTERNS.len()]
+        }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every op × element type × backend on fully random lane bytes.
+    #[test]
+    fn apply_matches_portable_on_random_bytes(
+        a in bytes16(),
+        b in bytes16(),
+    ) {
+        for be in host_backends() {
+            for op in ALL_OPS {
+                for et in ALL_ETS {
+                    assert_apply_matches(be, op, et, a, b);
+                }
+            }
+        }
+    }
+
+    /// Float lanes drawn from the adversarial pattern table (NaN
+    /// payloads, signed zeros, infinities, denormals) — the cases where
+    /// host float instructions are most likely to diverge from the
+    /// scalar reference.
+    #[test]
+    fn apply_matches_portable_on_adversarial_floats(
+        a in f32_pattern_vec(),
+        b in f32_pattern_vec(),
+    ) {
+        for be in host_backends() {
+            for op in ALL_OPS {
+                assert_apply_matches(be, op, ElemType::F32, a, b);
+            }
+        }
+    }
+
+    /// The fused pair form must equal two independent applications —
+    /// on AVX2 this exercises the genuinely different 256-bit path.
+    #[test]
+    fn apply2_matches_two_applies(
+        a0 in bytes16(),
+        b0 in bytes16(),
+        a1 in bytes16(),
+        b1 in bytes16(),
+    ) {
+        for be in Simd::available() {
+            for op in ALL_OPS {
+                for et in ALL_ETS {
+                    let fused = be.apply2(op, et, a0, b0, a1, b1);
+                    let reference = (
+                        Simd::portable().apply(op, et, a0, b0),
+                        Simd::portable().apply(op, et, a1, b1),
+                    );
+                    prop_assert_eq!(
+                        fused, reference,
+                        "{}: fused {:?}.{:?} diverged", be.name(), op, et
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every valid shift amount for every integer element type — both
+    /// boundaries (0 and lane_bits - 1) are always included by the
+    /// exhaustive inner loop.
+    #[test]
+    fn shr_matches_portable_for_every_valid_shift(v in bytes16()) {
+        for be in host_backends() {
+            for et in [ElemType::I8, ElemType::I16, ElemType::I32] {
+                for shift in 0..(et.lane_bytes() * 8) as u8 {
+                    let reference = Simd::portable().shr(et, v, shift);
+                    let got = be.shr(et, v, shift);
+                    prop_assert_eq!(
+                        got, reference,
+                        "{}: shr.{:?} by {} diverged", be.name(), et, shift
+                    );
+                }
+            }
+        }
+    }
+
+    /// Splats and horizontal reductions across all backends, including
+    /// the float lane-order association of `reduce_add`.
+    #[test]
+    fn splat_and_reduce_match_portable(
+        v in bytes16(),
+        scalar in any::<u32>(),
+        imm in any::<i16>(),
+    ) {
+        for be in host_backends() {
+            for et in ALL_ETS {
+                prop_assert_eq!(
+                    be.splat_scalar(et, scalar),
+                    Simd::portable().splat_scalar(et, scalar),
+                    "{}: splat_scalar.{:?}", be.name(), et
+                );
+                prop_assert_eq!(
+                    be.splat(et, imm),
+                    Simd::portable().splat(et, imm),
+                    "{}: splat.{:?}", be.name(), et
+                );
+                prop_assert_eq!(
+                    be.reduce_add(et, v),
+                    Simd::portable().reduce_add(et, v),
+                    "{}: reduce_add.{:?}", be.name(), et
+                );
+            }
+        }
+    }
+
+    /// Float reduce-add over adversarial patterns: a horizontal-add
+    /// backend would re-associate the sum and diverge here.
+    #[test]
+    fn float_reduce_add_keeps_lane_order(
+        v in f32_pattern_vec(),
+    ) {
+        for be in host_backends() {
+            prop_assert_eq!(
+                be.reduce_add(ElemType::F32, v),
+                Simd::portable().reduce_add(ElemType::F32, v),
+                "{}", be.name()
+            );
+        }
+    }
+
+    /// Lane moves share one implementation, but the dispatch surface
+    /// must still agree on values and on errors for every backend.
+    #[test]
+    fn lane_moves_match_portable(
+        v in bytes16(),
+        lane in any::<u8>(),
+        value in any::<u32>(),
+    ) {
+        for be in host_backends() {
+            for et in ALL_ETS {
+                prop_assert_eq!(
+                    be.lane_to_scalar(et, v, lane),
+                    Simd::portable().lane_to_scalar(et, v, lane)
+                );
+                let mut a = v;
+                let mut b = v;
+                let ra = be.scalar_to_lane(et, &mut a, lane, value);
+                let rb = Simd::portable().scalar_to_lane(et, &mut b, lane, value);
+                prop_assert_eq!(ra, rb);
+                prop_assert_eq!(a, b, "failed writes must leave the vector untouched");
+            }
+        }
+    }
+}
+
+/// Deterministic exhaustive sweep over a fixed vector corpus — runs even
+/// if proptest's RNG would happen to miss a pattern class.
+#[test]
+fn exhaustive_corpus_sweep() {
+    let mut corpus: Vec<[u8; 16]> = vec![
+        [0u8; 16],
+        [0xFF; 16],
+        [0x80; 16],
+        [0x7F; 16],
+        [0x01; 16],
+        std::array::from_fn(|i| i as u8),
+        std::array::from_fn(|i| (0xF0 - i) as u8),
+    ];
+    corpus.push(f32_vec([0x7FC0_0000, 0x8000_0000, 0x7F80_0000, 0x0000_0001]));
+    corpus.push(f32_vec([0xFF80_0000, 0x7F80_0001, 0x3F80_0000, 0xFFC0_0001]));
+    for be in host_backends() {
+        for &a in &corpus {
+            for &b in &corpus {
+                for op in ALL_OPS {
+                    for et in ALL_ETS {
+                        assert_apply_matches(be, op, et, a, b);
+                    }
+                }
+                for et in [ElemType::I8, ElemType::I16, ElemType::I32] {
+                    for shift in 0..(et.lane_bytes() * 8) as u8 {
+                        assert_eq!(
+                            be.shr(et, a, shift),
+                            Simd::portable().shr(et, a, shift),
+                            "{}: shr.{et:?} by {shift}",
+                            be.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The error surface is identical across backends: invalid shapes are
+/// rejected before dispatch with the same `LaneError` values.
+#[test]
+fn error_surface_is_backend_independent() {
+    for be in Simd::available() {
+        assert_eq!(
+            be.shr(ElemType::F32, [0; 16], 1),
+            Err(LaneError::UnsupportedElement { et: ElemType::F32, op: "vector shift" }),
+            "{}",
+            be.name()
+        );
+        for et in [ElemType::I8, ElemType::I16, ElemType::I32] {
+            let bits = (et.lane_bytes() * 8) as u8;
+            assert_eq!(
+                be.shr(et, [0; 16], bits),
+                Err(LaneError::ShiftOutOfRange { et, shift: bits }),
+                "{}",
+                be.name()
+            );
+            assert!(be.shr(et, [0; 16], bits - 1).is_ok(), "{}", be.name());
+        }
+        for et in ALL_ETS {
+            let lanes = et.lanes() as u8;
+            assert_eq!(
+                be.lane_to_scalar(et, [0; 16], lanes),
+                Err(LaneError::LaneOutOfRange { et, lane: lanes }),
+                "{}",
+                be.name()
+            );
+            let mut v = [0u8; 16];
+            assert_eq!(
+                be.scalar_to_lane(et, &mut v, lanes, 1),
+                Err(LaneError::LaneOutOfRange { et, lane: lanes }),
+                "{}",
+                be.name()
+            );
+        }
+    }
+}
+
+/// This host must expose at least one non-portable backend on the
+/// architectures the CI matrix covers, or the whole differential suite
+/// would silently test nothing.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+#[test]
+fn host_has_a_simd_backend() {
+    assert!(
+        !host_backends().is_empty(),
+        "x86-64/aarch64 hosts always have a baseline SIMD backend"
+    );
+}

@@ -79,7 +79,22 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
+    /// `log2(line_bytes)` — line size is validated to be a power of two.
+    line_shift: u32,
+    /// Set count, cached so the per-access index math never re-divides
+    /// the geometry.
+    sets: u32,
+    /// `Some((set_mask, set_shift))` when the set count is a power of
+    /// two (every realistic geometry): the per-access set/tag split is
+    /// then two shifts and a mask instead of two integer divisions.
+    set_pow2: Option<(u32, u32)>,
     lines: Vec<Line>,
+    /// `mru[set]`: absolute index into `lines` of the set's most
+    /// recently hit (or filled) way — a way-prediction fast path. Purely
+    /// a host-side accelerator: a stale entry at worst wastes one tag
+    /// compare before the full scan, never changes hit/miss outcomes,
+    /// LRU ordering, or statistics.
+    mru: Vec<u32>,
     tick: u64,
     stats: CacheStats,
 }
@@ -96,8 +111,21 @@ pub struct Lookup {
 impl Cache {
     /// Creates an empty cache.
     pub fn new(config: CacheConfig) -> Cache {
-        let total_lines = (config.sets() * config.ways) as usize;
-        Cache { config, lines: vec![Line::default(); total_lines], tick: 0, stats: CacheStats::default() }
+        let sets = config.sets();
+        let total_lines = (sets * config.ways) as usize;
+        let set_pow2 = sets
+            .is_power_of_two()
+            .then(|| (sets - 1, sets.trailing_zeros()));
+        Cache {
+            config,
+            line_shift: config.line_bytes.trailing_zeros(),
+            sets,
+            set_pow2,
+            lines: vec![Line::default(); total_lines],
+            mru: (0..sets).map(|s| s * config.ways).collect(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -115,24 +143,45 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    #[inline]
+    fn set_of(&self, addr: u32) -> usize {
+        let line = addr >> self.line_shift;
+        match self.set_pow2 {
+            Some((mask, _)) => (line & mask) as usize,
+            None => (line % self.sets) as usize,
+        }
+    }
+
+    #[inline]
     fn set_range(&self, addr: u32) -> (usize, usize) {
-        let line = addr / self.config.line_bytes;
-        let set = (line % self.config.sets()) as usize;
-        let start = set * self.config.ways as usize;
+        let start = self.set_of(addr) * self.config.ways as usize;
         (start, start + self.config.ways as usize)
     }
 
+    #[inline]
     fn tag_of(&self, addr: u32) -> u32 {
-        addr / self.config.line_bytes / self.config.sets()
+        let line = addr >> self.line_shift;
+        match self.set_pow2 {
+            Some((_, shift)) => line >> shift,
+            None => line / self.sets,
+        }
     }
 
     /// Performs an access, allocating on miss; returns hit/writeback info.
+    #[inline]
     pub fn access(&mut self, addr: u32, write: bool) -> Lookup {
         self.tick += 1;
         let tag = self.tag_of(addr);
-        let (start, end) = self.set_range(addr);
-        // Hit path.
-        for line in &mut self.lines[start..end] {
+        let set_idx = self.set_of(addr);
+        let start = set_idx * self.config.ways as usize;
+        let end = start + self.config.ways as usize;
+        // Way prediction: check the set's most recently hit way first.
+        // Hot loops overwhelmingly re-hit that way, and the single
+        // compare avoids the variable-trip-count scan below, whose exit
+        // branch mispredicts whenever successive accesses to a set land
+        // in different ways.
+        let m = self.mru[set_idx] as usize;
+        if let Some(line) = self.lines.get_mut(m) {
             if line.valid && line.tag == tag {
                 line.last_use = self.tick;
                 line.dirty |= write;
@@ -140,9 +189,19 @@ impl Cache {
                 return Lookup { hit: true, writeback: false };
             }
         }
+        // Predicted way missed: full scan of the set.
+        let set = &mut self.lines[start..end];
+        for (w, line) in set.iter_mut().enumerate() {
+            if line.valid && line.tag == tag {
+                line.last_use = self.tick;
+                line.dirty |= write;
+                self.stats.hits += 1;
+                self.mru[set_idx] = (start + w) as u32;
+                return Lookup { hit: true, writeback: false };
+            }
+        }
         // Miss: pick victim (invalid first, else true LRU).
         self.stats.misses += 1;
-        let set = &mut self.lines[start..end];
         let victim = set
             .iter()
             .enumerate()
@@ -151,6 +210,7 @@ impl Cache {
             .expect("non-empty set");
         let evicted_dirty = set[victim].valid && set[victim].dirty;
         set[victim] = Line { valid: true, dirty: write, tag, last_use: self.tick };
+        self.mru[set_idx] = (start + victim) as u32;
         if evicted_dirty {
             self.stats.writebacks += 1;
         }
@@ -296,6 +356,26 @@ mod tests {
         }
         assert_eq!(step.probe(0x40), batched.probe(0x40));
         assert_eq!(step.stats(), batched.stats());
+    }
+
+    #[test]
+    fn non_pow2_sets_use_division_fallback() {
+        // 3 sets x 2 ways x 16B lines = 96 B: exercises the non-pow2
+        // modulo path end to end (index, tag, LRU, probe).
+        let mut c = Cache::new(CacheConfig::new(96, 16, 2));
+        assert_eq!(c.config().sets(), 3);
+        // Set stride = 3 * 16 = 48; 0 and 48 share set 0, distinct tags.
+        assert!(!c.access(0, false).hit);
+        assert!(!c.access(48, false).hit);
+        assert!(c.access(0, false).hit);
+        assert!(c.access(48, false).hit);
+        c.access(96, false); // third line in set 0 evicts LRU (addr 0)
+        assert!(!c.probe(0));
+        assert!(c.probe(48));
+        assert!(c.probe(96));
+        // Different set: 16 maps to set 1, untouched by the above.
+        assert!(!c.access(16, false).hit);
+        assert!(c.access(16, false).hit);
     }
 
     #[test]

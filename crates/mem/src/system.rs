@@ -79,6 +79,7 @@ impl MemorySystem {
 
     /// Performs a data access (load or store) and returns its latency in
     /// cycles.
+    #[inline]
     pub fn access_data(&mut self, addr: u32, write: bool) -> u32 {
         let l1 = self.l1d.access(addr, write);
         if l1.writeback {
@@ -104,6 +105,7 @@ impl MemorySystem {
     }
 
     /// Performs an instruction fetch and returns its latency in cycles.
+    #[inline]
     pub fn access_instr(&mut self, addr: u32) -> u32 {
         let l1 = self.l1i.access(addr, false);
         if l1.hit {
