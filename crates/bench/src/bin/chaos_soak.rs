@@ -143,6 +143,8 @@ fn replay(path: &str, fail_on_fault: bool) -> ! {
         plan.kill_at,
         plan.corrupt_bit
     );
+    let recorded = ChaosPlan::recorded_failure(&text)
+        .unwrap_or_else(|e| dsa_bench::fail(&format!("parsing {path}: {e}")));
     let out = run_chaos(&plan, Scale::Small);
     let kind = failure_kind(&out, fail_on_fault);
     println!(
@@ -152,6 +154,21 @@ fn replay(path: &str, fail_on_fault: bool) -> ! {
     let _ = std::io::stdout().flush();
     if failed(&out, fail_on_fault) {
         dsa_bench::fail(&format!("reproducer still fails: {kind}"));
+    }
+    // The rerun came back clean. If the artifact recorded a failure at
+    // capture time, this reproducer is *stale* — the bug it pinned no
+    // longer fires (fixed, or masked by unrelated drift) — and keeping
+    // it around gives false confidence. Exit 3 distinguishes staleness
+    // from a live failure (exit 1) so CI can prune rather than page.
+    if let Some(was) = recorded {
+        eprintln!(
+            "chaos_soak: STALE reproducer: {path} recorded failure `{was}` at capture \
+             time, but the replay now passes.\n  The failure no longer reproduces — \
+             delete the artifact, or re-record it with a current build if the bug \
+             is still open."
+        );
+        let _ = std::io::stderr().flush();
+        std::process::exit(3);
     }
     std::process::exit(0);
 }

@@ -154,8 +154,17 @@ fn main() {
         "worker-panicked",
         "deadline-exceeded",
         "breaker-open",
+        "breaker-half-open",
+        "breaker-closed",
         "snapshot-restored",
         "snapshot-rejected",
+        "job-admitted",
+        "job-shed",
+        "job-completed",
+        "session-checkpointed",
+        "session-migrated",
+        "shard-killed",
+        "shard-recovered",
     ];
     let rows: Vec<Vec<String>> = reliability
         .iter()

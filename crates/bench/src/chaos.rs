@@ -174,16 +174,35 @@ impl ChaosPlan {
             corrupt_bit: opt_u64("corrupt_bit"),
         })
     }
+
+    /// The failure kind a reproducer artifact recorded at capture time
+    /// (`None` for an artifact saved from a clean run). Replay compares
+    /// this against the rerun's outcome to flag *stale* reproducers —
+    /// artifacts whose recorded failure no longer fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description for bad JSON, a wrong schema, or an
+    /// artifact predating the `failure` field.
+    pub fn recorded_failure(text: &str) -> Result<Option<String>, String> {
+        let v = json::parse(text).map_err(|e| format!("bad JSON: {e:?}"))?;
+        let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != CHAOS_SCHEMA {
+            return Err(format!("schema `{schema}`, want `{CHAOS_SCHEMA}`"));
+        }
+        match v.get("failure") {
+            Some(Value::Null) => Ok(None),
+            Some(f) => match f.as_str() {
+                Some(kind) => Ok(Some(kind.to_string())),
+                None => Err("`failure` is neither null nor a string".into()),
+            },
+            None => Err("artifact has no `failure` field (pre-staleness format?)".into()),
+        }
+    }
 }
 
 fn workload_by_name(name: &str) -> Option<Workload> {
-    WorkloadId::all()
-        .into_iter()
-        .find(|id| id.name() == name)
-        .map(Workload::App)
-        .or_else(|| {
-            micro::Micro::all().into_iter().find(|m| m.name() == name).map(Workload::Micro)
-        })
+    Workload::by_name(name)
 }
 
 fn built(workload: Workload, scale: Scale) -> BuiltWorkload {
@@ -417,6 +436,24 @@ mod tests {
         let plan = ChaosPlan::generate(1);
         let bad = plan.to_json(None).replace(plan.workload.describe(), "no-such-workload");
         assert!(ChaosPlan::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn recorded_failure_distinguishes_clean_and_failing_artifacts() {
+        let plan = ChaosPlan::generate(42);
+        assert_eq!(
+            ChaosPlan::recorded_failure(&plan.to_json(Some("wrong-result"))),
+            Ok(Some("wrong-result".to_string()))
+        );
+        assert_eq!(ChaosPlan::recorded_failure(&plan.to_json(None)), Ok(None));
+        // Structural problems are errors, not silently-clean reads: a
+        // replay must not treat an unreadable artifact as fresh.
+        assert!(ChaosPlan::recorded_failure("not json").is_err());
+        assert!(ChaosPlan::recorded_failure("{\"schema\":\"other/v9\"}").is_err());
+        let missing = plan.to_json(None).replace(",\"failure\":null", "");
+        assert!(ChaosPlan::recorded_failure(&missing).is_err());
+        let nonstring = plan.to_json(None).replace("\"failure\":null", "\"failure\":7");
+        assert!(ChaosPlan::recorded_failure(&nonstring).is_err());
     }
 
     #[test]

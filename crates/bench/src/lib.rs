@@ -20,8 +20,10 @@ pub mod chaos;
 pub mod experiments;
 pub mod supervise;
 
-pub use cache::{run_cached, run_micro_cached, RunCache};
-pub use supervise::{Supervisor, SupervisorPolicy, SupervisorReport};
+pub use cache::{
+    run_cached, run_micro_cached, ContentKey, ResultStore, RunCache, StoreStats, StoredResult,
+};
+pub use supervise::{BreakerState, BreakerView, Supervisor, SupervisorPolicy, SupervisorReport};
 
 use std::io::Write as _;
 

@@ -15,18 +15,24 @@
 //!   reported as [`RunError::DeadlineExceeded`]. A successful re-run
 //!   of the same key is a cache hit and lands well inside the deadline.
 //! - **bounded retry** — only *transient* failures (panic, deadline)
-//!   are retried, with exponential backoff; deterministic errors
-//!   (wrong result, watchdog, oracle mismatch) are memoized by the
-//!   cache and fail fast.
-//! - **circuit breaker** — per-workload consecutive-failure counter;
-//!   once it crosses the threshold further runs of that workload are
-//!   refused ([`RunError::BreakerOpen`]) without simulating.
+//!   are retried, with exponential backoff plus decorrelated jitter
+//!   (seeded per supervisor, so shards retrying a shared failure don't
+//!   retry in lockstep); deterministic errors (wrong result, watchdog,
+//!   oracle mismatch) are memoized by the cache and fail fast.
+//! - **circuit breaker** — per-workload state machine
+//!   closed → open → half-open: consecutive failures past the threshold
+//!   open the breaker; after a cooldown exactly one probe call is
+//!   admitted (half-open); a successful probe closes the breaker, a
+//!   failed probe re-opens it with a doubled (capped) cooldown. While
+//!   open, calls are refused ([`RunError::BreakerOpen`]) without
+//!   simulating.
 //!
 //! Every transition is emitted as a typed [`dsa_trace::Event`]
 //! (`supervisor-retry`, `worker-panicked`, `deadline-exceeded`,
-//! `breaker-open`) through an attachable sink, so `trace_report` can
-//! account for supervision alongside engine telemetry. These events
-//! live in the wall-clock domain and carry `cycle: 0`.
+//! `breaker-open`, `breaker-half-open`, `breaker-closed`) through an
+//! attachable sink, so `trace_report` can account for supervision
+//! alongside engine telemetry. These events live in the wall-clock
+//! domain and carry `cycle: 0`.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -34,6 +40,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use dsa_core::splitmix64;
 use dsa_trace::{Event, TraceSink};
 use dsa_workloads::Scale;
 
@@ -48,11 +55,16 @@ pub struct SupervisorPolicy {
     pub deadline_ms: u64,
     /// Extra attempts after the first, for transient failures only.
     pub max_retries: u32,
-    /// Backoff before retry `n` is `backoff_base_ms << (n-1)`,
-    /// saturating at six doublings.
+    /// Backoff before retry `n` is drawn from the exponential window
+    /// `backoff_base_ms << (n-1)` (saturating at six doublings) with
+    /// decorrelated jitter; see [`SupervisorPolicy::backoff_ms`].
     pub backoff_base_ms: u64,
     /// Consecutive failures of one workload that open its breaker.
     pub breaker_threshold: u32,
+    /// Cooldown after the breaker opens before one half-open probe is
+    /// admitted, in ms. A failed probe doubles the cooldown (capped at
+    /// 64× this base).
+    pub breaker_cooldown_ms: u64,
 }
 
 impl Default for SupervisorPolicy {
@@ -62,15 +74,53 @@ impl Default for SupervisorPolicy {
             max_retries: 2,
             backoff_base_ms: 10,
             breaker_threshold: 3,
+            breaker_cooldown_ms: 1_000,
         }
     }
 }
 
 impl SupervisorPolicy {
-    /// Backoff before retry attempt `attempt` (1-based), in ms.
-    pub fn backoff_ms(&self, attempt: u32) -> u64 {
-        self.backoff_base_ms << attempt.saturating_sub(1).min(6)
+    /// Backoff before retry attempt `attempt` (1-based), in ms:
+    /// uniformly drawn from the upper half of the exponential window
+    /// `[window/2, window]` where `window = backoff_base_ms << (n-1)`
+    /// saturates at six doublings. The draw is a pure function of
+    /// `(salt, attempt)` — deterministic under test, but different
+    /// salts (shard ids) decorrelate, so shards retrying one shared
+    /// failure spread out instead of hammering it in lockstep.
+    pub fn backoff_ms(&self, attempt: u32, salt: u64) -> u64 {
+        let window = self.backoff_base_ms << attempt.saturating_sub(1).min(6);
+        if window <= 1 {
+            return window;
+        }
+        let mut s = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (u64::from(attempt) << 32);
+        let r = splitmix64(&mut s);
+        let half = window / 2;
+        half + r % (window - half + 1)
     }
+}
+
+/// Externally visible circuit-breaker state for one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; consecutive failures are counted.
+    Closed,
+    /// Calls are refused until the cooldown elapses.
+    Open,
+    /// One probe call is in flight; everything else is refused.
+    HalfOpen,
+}
+
+/// A snapshot of one workload's breaker, for health reporting and
+/// tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerView {
+    /// Current state (a cooled-down `Open` still reads `Open` until the
+    /// next call converts it into a probe).
+    pub state: BreakerState,
+    /// Cooldown in force (0 while closed).
+    pub cooldown_ms: u64,
+    /// Consecutive failures counted so far (0 unless closed).
+    pub consecutive_failures: u32,
 }
 
 /// Counters describing everything the supervisor saw — the stderr
@@ -91,10 +141,14 @@ pub struct SupervisorReport {
     pub panics: u64,
     /// Deadline overruns observed.
     pub deadline_overruns: u64,
-    /// Breaker-open transitions.
+    /// Breaker-open transitions (including re-opens from failed probes).
     pub breakers_opened: u64,
     /// Runs refused because a breaker was already open.
     pub breaker_refusals: u64,
+    /// Half-open probes admitted after a cooldown.
+    pub breaker_probes: u64,
+    /// Breakers closed again by a successful probe.
+    pub breakers_closed: u64,
 }
 
 impl std::fmt::Display for SupervisorReport {
@@ -102,7 +156,7 @@ impl std::fmt::Display for SupervisorReport {
         write!(
             f,
             "supervision: {}/{} runs ok ({} attempts, {} retries, {} panics caught, \
-             {} deadline overruns, {} breakers opened, {} refused)",
+             {} deadline overruns, {} breakers opened, {} refused, {} probes, {} re-closed)",
             self.successes,
             self.runs,
             self.attempts,
@@ -111,14 +165,34 @@ impl std::fmt::Display for SupervisorReport {
             self.deadline_overruns,
             self.breakers_opened,
             self.breaker_refusals,
+            self.breaker_probes,
+            self.breakers_closed,
         )
     }
 }
 
-/// Shared supervisor state: breaker counters, report, event sink.
+/// FNV-1a of a workload name, mixed into the backoff salt so distinct
+/// workloads on one supervisor decorrelate too.
+fn fnv(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-workload breaker state machine; see the module docs.
+#[derive(Debug, Clone, Copy)]
+enum Breaker {
+    Closed { fails: u32 },
+    Open { since: Instant, cooldown_ms: u64 },
+    HalfOpen { cooldown_ms: u64 },
+}
+
+/// Shared supervisor state: breaker machines, report, event sink.
 struct SupInner {
-    /// Consecutive-failure count per workload name.
-    breaker: HashMap<&'static str, u32>,
+    breaker: HashMap<&'static str, Breaker>,
     report: SupervisorReport,
     sink: Option<Box<dyn TraceSink + Send>>,
 }
@@ -127,6 +201,9 @@ struct SupInner {
 pub struct Supervisor<'c> {
     cache: &'c RunCache,
     policy: SupervisorPolicy,
+    /// Jitter seed mixed into every backoff draw; see
+    /// [`Supervisor::with_salt`].
+    salt: u64,
     inner: Mutex<SupInner>,
 }
 
@@ -136,12 +213,21 @@ impl<'c> Supervisor<'c> {
         Supervisor {
             cache,
             policy,
+            salt: 0,
             inner: Mutex::new(SupInner {
                 breaker: HashMap::new(),
                 report: SupervisorReport::default(),
                 sink: None,
             }),
         }
+    }
+
+    /// Sets the jitter salt (e.g. a shard id) so co-located supervisors
+    /// retrying the same failure draw decorrelated backoff sequences.
+    #[must_use]
+    pub fn with_salt(mut self, salt: u64) -> Supervisor<'c> {
+        self.salt = salt;
+        self
     }
 
     /// Routes supervision events into `sink` (e.g. a
@@ -158,6 +244,33 @@ impl<'c> Supervisor<'c> {
     /// Snapshot of the counters so far.
     pub fn report(&self) -> SupervisorReport {
         self.lock().report
+    }
+
+    /// Snapshot of `name`'s breaker (a never-failed workload reads as
+    /// closed with zero failures).
+    pub fn breaker(&self, name: &str) -> BreakerView {
+        match self.lock().breaker.get(name) {
+            None | Some(Breaker::Closed { fails: 0 }) => BreakerView {
+                state: BreakerState::Closed,
+                cooldown_ms: 0,
+                consecutive_failures: 0,
+            },
+            Some(&Breaker::Closed { fails }) => BreakerView {
+                state: BreakerState::Closed,
+                cooldown_ms: 0,
+                consecutive_failures: fails,
+            },
+            Some(&Breaker::Open { cooldown_ms, .. }) => BreakerView {
+                state: BreakerState::Open,
+                cooldown_ms,
+                consecutive_failures: 0,
+            },
+            Some(&Breaker::HalfOpen { cooldown_ms }) => BreakerView {
+                state: BreakerState::HalfOpen,
+                cooldown_ms,
+                consecutive_failures: 0,
+            },
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, SupInner> {
@@ -207,13 +320,34 @@ impl<'c> Supervisor<'c> {
         name: &'static str,
         f: impl Fn() -> Result<T, RunError>,
     ) -> Result<T, RunError> {
-        {
+        let probe_cooldown = {
             let mut inner = self.lock();
             inner.report.runs += 1;
-            if inner.breaker.get(name).copied().unwrap_or(0) >= self.policy.breaker_threshold {
-                inner.report.breaker_refusals += 1;
-                return Err(RunError::BreakerOpen { workload: name });
+            let entry = inner.breaker.entry(name).or_insert(Breaker::Closed { fails: 0 });
+            match *entry {
+                Breaker::Closed { .. } => None,
+                Breaker::Open { since, cooldown_ms } => {
+                    if since.elapsed().as_millis() as u64 >= cooldown_ms {
+                        // Cooldown elapsed: this call becomes the one
+                        // half-open probe.
+                        *entry = Breaker::HalfOpen { cooldown_ms };
+                        inner.report.breaker_probes += 1;
+                        Some(cooldown_ms)
+                    } else {
+                        inner.report.breaker_refusals += 1;
+                        return Err(RunError::BreakerOpen { workload: name });
+                    }
+                }
+                Breaker::HalfOpen { .. } => {
+                    // A probe is already in flight; refuse until it
+                    // resolves.
+                    inner.report.breaker_refusals += 1;
+                    return Err(RunError::BreakerOpen { workload: name });
+                }
             }
+        };
+        if let Some(cooldown_ms) = probe_cooldown {
+            self.emit(Event::BreakerHalfOpen { workload: name, cooldown_ms, cycle: 0 });
         }
         let mut attempt: u32 = 0;
         loop {
@@ -246,9 +380,21 @@ impl<'c> Supervisor<'c> {
             };
             match result {
                 Ok(v) => {
-                    let mut inner = self.lock();
-                    inner.report.successes += 1;
-                    inner.breaker.insert(name, 0);
+                    let reclosed = {
+                        let mut inner = self.lock();
+                        inner.report.successes += 1;
+                        let entry =
+                            inner.breaker.entry(name).or_insert(Breaker::Closed { fails: 0 });
+                        let was_half_open = matches!(*entry, Breaker::HalfOpen { .. });
+                        *entry = Breaker::Closed { fails: 0 };
+                        if was_half_open {
+                            inner.report.breakers_closed += 1;
+                        }
+                        was_half_open
+                    };
+                    if reclosed {
+                        self.emit(Event::BreakerClosed { workload: name, cycle: 0 });
+                    }
                     return Ok(v);
                 }
                 Err(e) => {
@@ -262,7 +408,7 @@ impl<'c> Supervisor<'c> {
                         return Err(e);
                     }
                     attempt += 1;
-                    let backoff = self.policy.backoff_ms(attempt);
+                    let backoff = self.policy.backoff_ms(attempt, self.salt ^ fnv(name));
                     self.lock().report.retries += 1;
                     self.emit(Event::SupervisorRetry {
                         workload: name,
@@ -276,20 +422,41 @@ impl<'c> Supervisor<'c> {
         }
     }
 
-    /// Records one failed attempt against `name`'s breaker, emitting
-    /// `breaker-open` exactly at the crossing.
+    /// Records one failed attempt against `name`'s breaker: counts
+    /// toward the threshold while closed (emitting `breaker-open`
+    /// exactly at the crossing), re-opens with a doubled cooldown when
+    /// the failure was a half-open probe.
     fn note_failure(&self, name: &'static str) {
         let opened = {
             let mut inner = self.lock();
-            let count = inner.breaker.entry(name).or_insert(0);
-            *count += 1;
-            let crossed = *count == self.policy.breaker_threshold;
-            let count = *count;
-            if crossed {
-                inner.report.breakers_opened += 1;
-                Some(count)
-            } else {
-                None
+            let threshold = self.policy.breaker_threshold;
+            let base_cooldown = self.policy.breaker_cooldown_ms;
+            let entry = inner.breaker.entry(name).or_insert(Breaker::Closed { fails: 0 });
+            match *entry {
+                Breaker::Closed { fails } => {
+                    let fails = fails + 1;
+                    if fails >= threshold {
+                        *entry =
+                            Breaker::Open { since: Instant::now(), cooldown_ms: base_cooldown };
+                        inner.report.breakers_opened += 1;
+                        Some(fails)
+                    } else {
+                        *entry = Breaker::Closed { fails };
+                        None
+                    }
+                }
+                Breaker::HalfOpen { cooldown_ms } => {
+                    // Failed probe: re-open, doubling the cooldown up to
+                    // 64× the policy base.
+                    let doubled =
+                        cooldown_ms.saturating_mul(2).min(base_cooldown.saturating_mul(64));
+                    *entry = Breaker::Open { since: Instant::now(), cooldown_ms: doubled };
+                    inner.report.breakers_opened += 1;
+                    Some(1)
+                }
+                // Already open (a concurrent admit raced the crossing):
+                // leave the open state and its clock untouched.
+                Breaker::Open { .. } => None,
             }
         };
         if let Some(failures) = opened {
@@ -324,7 +491,15 @@ mod tests {
     use dsa_workloads::WorkloadId;
 
     fn quiet_policy() -> SupervisorPolicy {
-        SupervisorPolicy { deadline_ms: 0, max_retries: 2, backoff_base_ms: 0, breaker_threshold: 3 }
+        SupervisorPolicy {
+            deadline_ms: 0,
+            max_retries: 2,
+            backoff_base_ms: 0,
+            breaker_threshold: 3,
+            // Long cooldown: open breakers stay refusing for the whole
+            // test unless a test opts into the half-open path.
+            breaker_cooldown_ms: 60_000,
+        }
     }
 
     #[test]
@@ -431,12 +606,185 @@ mod tests {
     }
 
     #[test]
-    fn backoff_doubles_and_saturates() {
+    fn backoff_jitters_within_the_doubling_window() {
         let p = SupervisorPolicy { backoff_base_ms: 10, ..SupervisorPolicy::default() };
-        assert_eq!(p.backoff_ms(1), 10);
-        assert_eq!(p.backoff_ms(2), 20);
-        assert_eq!(p.backoff_ms(3), 40);
-        assert_eq!(p.backoff_ms(99), 640);
+        for salt in [0u64, 1, 2, 0xdead_beef] {
+            for attempt in 1..=12u32 {
+                let window = 10u64 << (attempt - 1).min(6);
+                let b = p.backoff_ms(attempt, salt);
+                assert!(
+                    b >= window / 2 && b <= window,
+                    "attempt {attempt} salt {salt}: {b} outside [{}, {window}]",
+                    window / 2
+                );
+            }
+        }
+        // Deterministic: same (salt, attempt) → same draw.
+        assert_eq!(p.backoff_ms(3, 7), p.backoff_ms(3, 7));
+        // The saturation cap still binds: attempt 99 stays in the
+        // six-doublings window.
+        assert!(p.backoff_ms(99, 5) <= 640);
+        // Zero-base policies (quiet tests) stay exactly zero.
+        let quiet = SupervisorPolicy { backoff_base_ms: 0, ..SupervisorPolicy::default() };
+        assert_eq!(quiet.backoff_ms(5, 9), 0);
+    }
+
+    #[test]
+    fn different_shard_salts_decorrelate_backoff_sequences() {
+        let p = SupervisorPolicy { backoff_base_ms: 100, ..SupervisorPolicy::default() };
+        let seq = |salt: u64| (1..=8u32).map(|a| p.backoff_ms(a, salt)).collect::<Vec<_>>();
+        assert_ne!(seq(1), seq(2), "shards with different ids must not retry in lockstep");
+        assert_eq!(seq(1), seq(1), "each shard's sequence is deterministic");
+        let cap = 100u64 << 6;
+        assert!(seq(1).iter().chain(seq(2).iter()).all(|&b| b <= cap));
+    }
+
+    #[test]
+    fn breaker_full_cycle_closed_open_half_open_closed() {
+        let cache = RunCache::new();
+        // Cooldown 0: the very next call after opening is the probe.
+        let policy =
+            SupervisorPolicy { breaker_threshold: 2, breaker_cooldown_ms: 0, ..quiet_policy() };
+        let sup = Supervisor::new(&cache, policy);
+        let sink = Shared::new(Collector::new());
+        sup.attach_sink(sink.clone());
+        assert_eq!(sup.breaker("cyc").state, BreakerState::Closed);
+        for _ in 0..2 {
+            let _ = sup.call::<()>("cyc", || {
+                Err(RunError::WrongResult { system: System::DsaFull, got: 0, want: 1 })
+            });
+        }
+        assert_eq!(sup.breaker("cyc").state, BreakerState::Open);
+        // Probe admitted, succeeds → breaker closes again.
+        let out = sup.call("cyc", || Ok(1u8));
+        assert_eq!(out, Ok(1));
+        assert_eq!(sup.breaker("cyc").state, BreakerState::Closed);
+        let rep = sup.report();
+        assert_eq!((rep.breakers_opened, rep.breaker_probes, rep.breakers_closed), (1, 1, 1));
+        let names: Vec<&str> = sink.with(|c| c.events.iter().map(|e| e.type_name()).collect());
+        assert_eq!(names, ["breaker-open", "breaker-half-open", "breaker-closed"]);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_doubled_cooldown() {
+        let cache = RunCache::new();
+        let policy =
+            SupervisorPolicy { breaker_threshold: 1, breaker_cooldown_ms: 20, ..quiet_policy() };
+        let sup = Supervisor::new(&cache, policy);
+        let bad = || -> Result<(), RunError> {
+            Err(RunError::WrongResult { system: System::DsaFull, got: 0, want: 1 })
+        };
+        let _ = sup.call("flap", bad);
+        let view = sup.breaker("flap");
+        assert_eq!((view.state, view.cooldown_ms), (BreakerState::Open, 20));
+        // Inside the cooldown: refused without executing.
+        let calls = AtomicU32::new(0);
+        let out = sup.call("flap", || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+        assert!(matches!(out, Err(RunError::BreakerOpen { .. })));
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        // Past the cooldown: the probe runs — and fails, doubling it.
+        std::thread::sleep(Duration::from_millis(30));
+        let _ = sup.call("flap", bad);
+        let view = sup.breaker("flap");
+        assert_eq!((view.state, view.cooldown_ms), (BreakerState::Open, 40));
+        let rep = sup.report();
+        assert_eq!((rep.breakers_opened, rep.breaker_probes, rep.breakers_closed), (2, 1, 0));
+        assert_eq!(rep.breaker_refusals, 1);
+    }
+
+    #[test]
+    fn concurrent_calls_do_not_lose_or_double_count() {
+        // Satellite: SupervisorReport counters under concurrency. Each
+        // call panics on its first attempt and succeeds on the retry;
+        // totals must balance exactly — no lost or double-counted
+        // retries/panics/attempts.
+        let cache = RunCache::new();
+        let policy =
+            SupervisorPolicy { max_retries: 1, breaker_threshold: 1_000, ..quiet_policy() };
+        let sup = Supervisor::new(&cache, policy);
+        const THREADS: usize = 8;
+        const PER: u32 = 25;
+        static NAMES: [&str; 8] = ["w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"];
+        std::thread::scope(|s| {
+            for name in NAMES.iter().take(THREADS) {
+                let sup = &sup;
+                s.spawn(move || {
+                    for _ in 0..PER {
+                        let tries = AtomicU32::new(0);
+                        let out = sup.call(name, || {
+                            if tries.fetch_add(1, Ordering::Relaxed) == 0 {
+                                panic!("first attempt dies");
+                            }
+                            Ok(1u8)
+                        });
+                        assert_eq!(out, Ok(1));
+                    }
+                });
+            }
+        });
+        let rep = sup.report();
+        let total = THREADS as u64 * PER as u64;
+        assert_eq!(rep.runs, total);
+        assert_eq!(rep.successes, total);
+        assert_eq!(rep.panics, total);
+        assert_eq!(rep.retries, total);
+        assert_eq!(rep.attempts, 2 * total);
+        assert_eq!((rep.failures, rep.breakers_opened, rep.breaker_refusals), (0, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_failures_trip_the_breaker_exactly_once() {
+        let cache = RunCache::new();
+        let policy = SupervisorPolicy { max_retries: 0, breaker_threshold: 4, ..quiet_policy() };
+        let sup = Supervisor::new(&cache, policy);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let sup = &sup;
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        let _ = sup.call::<()>("sick", || {
+                            Err(RunError::WrongResult { system: System::DsaFull, got: 0, want: 1 })
+                        });
+                    }
+                });
+            }
+        });
+        let rep = sup.report();
+        assert_eq!(rep.runs, 80);
+        assert_eq!(rep.breakers_opened, 1, "the crossing must be counted exactly once");
+        assert_eq!(rep.attempts, rep.failures, "deterministic failures never retry");
+        assert_eq!(rep.attempts + rep.breaker_refusals, 80, "every run executed or was refused");
+        assert_eq!(sup.breaker("sick").state, BreakerState::Open);
+    }
+
+    #[test]
+    fn concurrent_warm_counts_every_combo_exactly_once() {
+        // Satellite: multi-threaded warm() over a real grid — runs,
+        // attempts, successes and the cache's simulation count must all
+        // land exactly, with no lost or duplicated work.
+        let cache = RunCache::new();
+        let sup = Supervisor::new(&cache, quiet_policy());
+        let combos: Vec<(Workload, System)> = [
+            System::Original,
+            System::AutoVec,
+            System::HandVec,
+            System::DsaOriginal,
+            System::DsaExtended,
+            System::DsaFull,
+        ]
+        .into_iter()
+        .map(|s| (Workload::App(WorkloadId::RgbGray), s))
+        .collect();
+        sup.warm(&combos, Scale::Small, combos.len());
+        let rep = sup.report();
+        assert_eq!(
+            (rep.runs, rep.attempts, rep.successes, rep.failures, rep.retries),
+            (6, 6, 6, 0, 0)
+        );
+        assert_eq!(cache.stats().simulations, 6, "each combo simulated exactly once");
     }
 
     #[test]

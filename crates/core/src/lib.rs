@@ -78,7 +78,7 @@ pub use cidp::{predict, CidpOutcome, Stream};
 pub use config::{DsaConfig, FeatureSet, LeftoverPolicy};
 pub use engine::{Dsa, EngineError, Restored};
 pub use faults::{splitmix64, BurstWindow, FaultPlan, FaultSchedule, FaultSite, FaultState};
-pub use snapshot::{Snapshot, SnapshotError};
+pub use snapshot::{SessionMeta, Snapshot, SnapshotError};
 pub use oracle::{DifferentialOracle, OracleReport, OracleVerdict};
 pub use plan::{build_plan, ArmTemplate, LoopTemplate, OpMix, StreamTemplate, TemplateDefect, VectorPlan};
 pub use profile::{BodyClass, BodyProfile, IterationProfile, StreamInfo};

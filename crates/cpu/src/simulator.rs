@@ -231,6 +231,13 @@ impl Simulator {
         &self.machine
     }
 
+    /// Instructions committed so far (monotone across
+    /// [`Simulator::run_bounded`] pauses — the service stamps this into
+    /// checkpoint metadata).
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
     /// Mutable machine state (for data initialisation).
     pub fn machine_mut(&mut self) -> &mut Machine {
         &mut self.machine

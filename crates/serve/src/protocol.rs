@@ -1,0 +1,354 @@
+//! Wire protocol of the simulation service: length-prefixed JSON
+//! frames over a local byte stream.
+//!
+//! A frame is a little-endian `u32` byte count followed by that many
+//! bytes of UTF-8 JSON, capped at [`MAX_FRAME`] so a corrupt length
+//! prefix cannot make the reader allocate unboundedly. Requests and
+//! responses both carry `"schema": "dsa-serve/v1"`; like the trace
+//! schema, the vocabulary is additive — adding optional fields keeps
+//! the version.
+//!
+//! The JSON codec is the same hand-rolled reader the trace tooling
+//! uses ([`dsa_trace::json`]) — the workspace builds fully offline and
+//! vendors no serde.
+
+use std::io::{Read, Write};
+
+use dsa_trace::json::{parse, Value};
+use dsa_workloads::Scale;
+
+use dsa_bench::System;
+
+/// Versioned schema tag carried by every request and response.
+pub const SCHEMA: &str = "dsa-serve/v1";
+/// Upper bound on a frame's payload, in bytes.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Why a frame or request could not be read.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying stream failed (or closed mid-frame).
+    Io(std::io::Error),
+    /// The peer announced a frame larger than [`MAX_FRAME`].
+    Oversized(u32),
+    /// The payload was not the JSON shape the schema requires; the
+    /// string names the offending field.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "stream error: {e}"),
+            ProtoError::Oversized(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            ProtoError::Malformed(what) => write!(f, "malformed request: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> ProtoError {
+        ProtoError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates stream errors; refuses payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), ProtoError> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME as usize {
+        return Err(ProtoError::Oversized(bytes.len() as u32));
+    }
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` means the peer closed
+/// the stream cleanly at a frame boundary.
+///
+/// # Errors
+///
+/// Propagates stream errors; refuses announced lengths over
+/// [`MAX_FRAME`]; rejects non-UTF-8 payloads.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, ProtoError> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(ProtoError::Io(e)),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(ProtoError::Oversized(len));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map(Some).map_err(|_| ProtoError::Malformed("not UTF-8".into()))
+}
+
+/// One client request: run `workload` on `system` at `scale`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRequest {
+    /// Workload display name (figure vocabulary, e.g. `"BitCounts"`).
+    pub workload: String,
+    /// System display name (e.g. `"DSA (full)"`).
+    pub system: String,
+    /// Scale name (`"small"`, `"medium"`, `"paper"`, `"large"`).
+    pub scale: String,
+    /// Admission-to-start deadline in ms; 0 disables the deadline.
+    pub deadline_ms: u64,
+    /// Whether the shared result store may serve or keep this result.
+    pub cacheable: bool,
+    /// Deterministic injected worker crashes (test/chaos use): the
+    /// session's worker aborts this many slices before making progress.
+    pub panic_slices: u32,
+}
+
+impl JobRequest {
+    /// Renders the request as a single-line JSON frame payload.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\":\"{SCHEMA}\",\"op\":\"run\",\"workload\":\"{}\",\"system\":\"{}\",\
+             \"scale\":\"{}\",\"deadline_ms\":{},\"cacheable\":{},\"panic_slices\":{}}}",
+            self.workload, self.system, self.scale, self.deadline_ms, self.cacheable,
+            self.panic_slices
+        )
+    }
+
+    /// Parses a request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json(text: &str) -> Result<JobRequest, ProtoError> {
+        let v = parse(text).map_err(|e| ProtoError::Malformed(format!("bad JSON: {e:?}")))?;
+        let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != SCHEMA {
+            return Err(ProtoError::Malformed(format!("schema `{schema}`, want `{SCHEMA}`")));
+        }
+        let op = v.get("op").and_then(Value::as_str).unwrap_or("");
+        if op != "run" {
+            return Err(ProtoError::Malformed(format!("unknown op `{op}`")));
+        }
+        let s = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ProtoError::Malformed(format!("missing `{key}`")))
+        };
+        Ok(JobRequest {
+            workload: s("workload")?,
+            system: s("system")?,
+            scale: s("scale")?,
+            deadline_ms: v.get("deadline_ms").and_then(Value::as_u64).unwrap_or(0),
+            cacheable: matches!(v.get("cacheable"), Some(Value::Bool(true)) | None),
+            panic_slices: v.get("panic_slices").and_then(Value::as_u64).unwrap_or(0) as u32,
+        })
+    }
+}
+
+/// Resolves a system display name (the [`System::name`] vocabulary).
+pub fn system_by_name(name: &str) -> Option<System> {
+    [
+        System::Original,
+        System::AutoVec,
+        System::HandVec,
+        System::DsaOriginal,
+        System::DsaExtended,
+        System::DsaFull,
+    ]
+    .into_iter()
+    .find(|s| s.name() == name)
+}
+
+/// Resolves a scale name (the [`Scale::name`] vocabulary).
+pub fn scale_by_name(name: &str) -> Option<Scale> {
+    [Scale::Small, Scale::Medium, Scale::Paper, Scale::Large]
+        .into_iter()
+        .find(|s| s.name() == name)
+}
+
+/// What the service tells a client about a completed job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// Service-assigned job id.
+    pub id: u64,
+    /// Checksum of the output region.
+    pub checksum: u64,
+    /// The workload's golden checksum (equal to `checksum` on success —
+    /// echoed so clients can verify without rebuilding the workload).
+    pub expected: u64,
+    /// Core cycles reported by the completing slice (canonical for
+    /// uninterrupted runs; partial after a crash-resume, which resets
+    /// the timing model — the architectural result is exact either way).
+    pub cycles: u64,
+    /// Committed instructions, cumulative across resumes.
+    pub committed: u64,
+    /// Shard that completed the job.
+    pub shard: u32,
+    /// Served from the content-addressed result store.
+    pub cache_hit: bool,
+    /// How many times the session migrated between shards.
+    pub migrations: u32,
+    /// The session was restored from a checkpoint at least once.
+    pub resumed: bool,
+    /// Admission-to-completion latency in ms.
+    pub latency_ms: u64,
+}
+
+impl JobOutcome {
+    /// Renders a success response frame.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\":\"{SCHEMA}\",\"ok\":{{\"id\":{},\"checksum\":{},\"expected\":{},\
+             \"cycles\":{},\"committed\":{},\"shard\":{},\"cache_hit\":{},\"migrations\":{},\
+             \"resumed\":{},\"latency_ms\":{}}}}}",
+            self.id,
+            self.checksum,
+            self.expected,
+            self.cycles,
+            self.committed,
+            self.shard,
+            self.cache_hit,
+            self.migrations,
+            self.resumed,
+            self.latency_ms
+        )
+    }
+
+    /// Parses a success response frame; `Ok(Err(kind, detail))` is a
+    /// well-formed error response (e.g. a typed `overloaded` shed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    #[allow(clippy::type_complexity)]
+    pub fn from_json(text: &str) -> Result<Result<JobOutcome, (String, String)>, ProtoError> {
+        let v = parse(text).map_err(|e| ProtoError::Malformed(format!("bad JSON: {e:?}")))?;
+        let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != SCHEMA {
+            return Err(ProtoError::Malformed(format!("schema `{schema}`, want `{SCHEMA}`")));
+        }
+        if let Some(kind) = v.get("err").and_then(Value::as_str) {
+            let detail = v.get("detail").and_then(Value::as_str).unwrap_or("");
+            return Ok(Err((kind.to_string(), detail.to_string())));
+        }
+        let Some(ok) = v.get("ok") else {
+            return Err(ProtoError::Malformed("neither `ok` nor `err`".into()));
+        };
+        let u = |key: &str| {
+            ok.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ProtoError::Malformed(format!("missing `ok.{key}`")))
+        };
+        let b = |key: &str| matches!(ok.get(key), Some(Value::Bool(true)));
+        Ok(Ok(JobOutcome {
+            id: u("id")?,
+            checksum: u("checksum")?,
+            expected: u("expected")?,
+            cycles: u("cycles")?,
+            committed: u("committed")?,
+            shard: u("shard")? as u32,
+            cache_hit: b("cache_hit"),
+            migrations: u("migrations")? as u32,
+            resumed: b("resumed"),
+            latency_ms: u("latency_ms")?,
+        }))
+    }
+}
+
+/// Renders a typed error response frame.
+pub fn error_json(kind: &str, detail: &str) -> String {
+    // `detail` is service-generated prose; escape the two characters
+    // that could break the frame.
+    let detail = detail.replace('\\', "\\\\").replace('"', "\\\"");
+    format!("{{\"schema\":\"{SCHEMA}\",\"err\":\"{kind}\",\"detail\":\"{detail}\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> JobRequest {
+        JobRequest {
+            workload: "BitCounts".into(),
+            system: "DSA (full)".into(),
+            scale: "small".into(),
+            deadline_ms: 250,
+            cacheable: false,
+            panic_slices: 1,
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").expect("writes");
+        write_frame(&mut buf, "").expect("writes empty");
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).expect("reads"), Some("hello".into()));
+        assert_eq!(read_frame(&mut r).expect("reads"), Some("".into()));
+        assert_eq!(read_frame(&mut r).expect("clean eof"), None);
+    }
+
+    #[test]
+    fn oversized_and_torn_frames_are_typed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(matches!(read_frame(&mut &buf[..]), Err(ProtoError::Oversized(_))));
+        let mut torn = Vec::new();
+        torn.extend_from_slice(&10u32.to_le_bytes());
+        torn.extend_from_slice(b"only4");
+        assert!(matches!(read_frame(&mut &torn[..]), Err(ProtoError::Io(_))));
+    }
+
+    #[test]
+    fn request_roundtrips_and_rejects_garbage() {
+        let req = request();
+        assert_eq!(JobRequest::from_json(&req.to_json()).expect("parses"), req);
+        assert!(JobRequest::from_json("not json").is_err());
+        assert!(JobRequest::from_json("{\"schema\":\"other/v9\"}").is_err());
+        let bad_op = req.to_json().replace("\"op\":\"run\"", "\"op\":\"stop\"");
+        assert!(JobRequest::from_json(&bad_op).is_err());
+    }
+
+    #[test]
+    fn outcome_and_error_responses_roundtrip() {
+        let out = JobOutcome {
+            id: 3,
+            checksum: 0xAB,
+            expected: 0xAB,
+            cycles: 1000,
+            committed: 500,
+            shard: 2,
+            cache_hit: true,
+            migrations: 1,
+            resumed: true,
+            latency_ms: 12,
+        };
+        assert_eq!(JobOutcome::from_json(&out.to_json()).expect("parses"), Ok(out));
+        let err = error_json("overloaded", "queue depth 32 at cap");
+        assert_eq!(
+            JobOutcome::from_json(&err).expect("parses"),
+            Err(("overloaded".into(), "queue depth 32 at cap".into()))
+        );
+    }
+
+    #[test]
+    fn name_resolvers_cover_the_vocabulary() {
+        assert_eq!(system_by_name("DSA (full)"), Some(System::DsaFull));
+        assert_eq!(system_by_name("ARM Original"), Some(System::Original));
+        assert_eq!(system_by_name("nope"), None);
+        assert_eq!(scale_by_name("small"), Some(Scale::Small));
+        assert_eq!(scale_by_name("nope"), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Socket front-end: accepts length-prefixed JSON frames on a loopback
+//! TCP listener (a local socket — the service is a single-host tool,
+//! not a network daemon) and drives the in-process [`Service`].
+//!
+//! One thread per connection; each connection is a sequential stream
+//! of request frames, each answered with exactly one response frame.
+//! Admission errors (`overloaded`, `bad-request`) come back typed on
+//! the wire so clients can retry or shed themselves.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::protocol::{
+    error_json, read_frame, scale_by_name, system_by_name, write_frame, JobRequest, ProtoError,
+};
+use crate::service::{ServeError, Service};
+use crate::session::JobSpec;
+
+use dsa_bench::cache::Workload;
+
+/// Resolves a wire request against the workload/system/scale
+/// vocabularies.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] naming the unknown field.
+pub fn resolve(req: &JobRequest) -> Result<JobSpec, ServeError> {
+    let workload = Workload::by_name(&req.workload)
+        .ok_or_else(|| ServeError::BadRequest(format!("unknown workload `{}`", req.workload)))?;
+    let system = system_by_name(&req.system)
+        .ok_or_else(|| ServeError::BadRequest(format!("unknown system `{}`", req.system)))?;
+    let scale = scale_by_name(&req.scale)
+        .ok_or_else(|| ServeError::BadRequest(format!("unknown scale `{}`", req.scale)))?;
+    Ok(JobSpec {
+        workload,
+        system,
+        scale,
+        deadline_ms: req.deadline_ms,
+        cacheable: req.cacheable,
+        panic_slices: req.panic_slices,
+    })
+}
+
+/// Handles one connection until the peer closes or a protocol error.
+fn handle(service: &Service, mut stream: TcpStream) {
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(e) => {
+                let _ = write_frame(&mut stream, &error_json("protocol", &e.to_string()));
+                return;
+            }
+        };
+        let reply = match JobRequest::from_json(&frame) {
+            Err(ProtoError::Malformed(what)) => error_json("bad-request", &what),
+            Err(e) => error_json("protocol", &e.to_string()),
+            Ok(req) => match resolve(&req).and_then(|spec| service.submit(spec)) {
+                Err(e) => error_json(e.kind(), &e.to_string()),
+                Ok((_, rx)) => match rx.recv() {
+                    Ok(Ok(outcome)) => outcome.to_json(),
+                    Ok(Err(e)) => error_json(e.kind(), &e.to_string()),
+                    Err(_) => error_json("shutdown", "service dropped the session"),
+                },
+            },
+        };
+        if write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+    }
+}
+
+/// Serves `listener` until `connections` have been handled (0 = until
+/// the listener errors). Spawns one thread per connection; returns the
+/// join handles' count when the accept loop ends.
+pub fn serve(service: Arc<Service>, listener: TcpListener, connections: u32) -> u32 {
+    let handled = AtomicU32::new(0);
+    let mut joins = Vec::new();
+    loop {
+        if connections > 0 && handled.load(Ordering::Relaxed) >= connections {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => break,
+        };
+        handled.fetch_add(1, Ordering::Relaxed);
+        let svc = Arc::clone(&service);
+        joins.push(std::thread::spawn(move || handle(&svc, stream)));
+    }
+    let n = joins.len() as u32;
+    for j in joins {
+        let _ = j.join();
+    }
+    n
+}

@@ -333,6 +333,97 @@ pub enum Event {
         /// Core cycle (always 0; wall-clock domain).
         cycle: u64,
     },
+    /// Supervised harness: an open breaker's cooldown elapsed and one
+    /// probe call was admitted (half-open state).
+    BreakerHalfOpen {
+        /// Workload name.
+        workload: &'static str,
+        /// Cooldown that elapsed before the probe, in milliseconds.
+        cooldown_ms: u64,
+        /// Core cycle (always 0; wall-clock domain).
+        cycle: u64,
+    },
+    /// Supervised harness: a half-open probe succeeded and the breaker
+    /// closed again.
+    BreakerClosed {
+        /// Workload name.
+        workload: &'static str,
+        /// Core cycle (always 0; wall-clock domain).
+        cycle: u64,
+    },
+    /// Service: a job passed admission control onto a shard queue.
+    JobAdmitted {
+        /// Service-assigned job id.
+        job: u64,
+        /// Shard the job was routed to.
+        shard: u32,
+        /// Queue depth after enqueueing.
+        queue_depth: u32,
+        /// Core cycle (always 0; wall-clock domain).
+        cycle: u64,
+    },
+    /// Service: admission control shed a job (typed rejection, never a
+    /// panic or a hang).
+    JobShed {
+        /// Stable shed reason (`overloaded`, `deadline`).
+        reason: &'static str,
+        /// Core cycle (always 0; wall-clock domain).
+        cycle: u64,
+    },
+    /// Service: an admitted job completed with a verified checksum.
+    JobCompleted {
+        /// Service-assigned job id.
+        job: u64,
+        /// Shard that produced the final result.
+        shard: u32,
+        /// Served from the content-addressed result store.
+        cache_hit: bool,
+        /// Times the session resumed on a different shard.
+        migrations: u32,
+        /// Wall-clock latency from admission, in milliseconds.
+        latency_ms: u64,
+        /// Core cycle (always 0; wall-clock domain).
+        cycle: u64,
+    },
+    /// Service: a session checkpointed its snapshot at a slice boundary.
+    SessionCheckpointed {
+        /// Service-assigned job id.
+        job: u64,
+        /// Shard that captured the checkpoint.
+        shard: u32,
+        /// Serialized session image size in bytes.
+        bytes: u64,
+        /// Committed instructions at the checkpoint.
+        commits: u64,
+        /// Core cycle (always 0; wall-clock domain).
+        cycle: u64,
+    },
+    /// Service: an in-flight session moved off a dead shard and will
+    /// resume from its last checkpoint on a healthy one.
+    SessionMigrated {
+        /// Service-assigned job id.
+        job: u64,
+        /// Shard the session left.
+        from_shard: u32,
+        /// Core cycle (always 0; wall-clock domain).
+        cycle: u64,
+    },
+    /// Service: the chaos controller (or an operator) killed a shard.
+    ShardKilled {
+        /// The shard.
+        shard: u32,
+        /// Sessions (queued + in-flight) drained for migration.
+        drained: u32,
+        /// Core cycle (always 0; wall-clock domain).
+        cycle: u64,
+    },
+    /// Service: a killed shard revived and rejoined the pool.
+    ShardRecovered {
+        /// The shard.
+        shard: u32,
+        /// Core cycle (always 0; wall-clock domain).
+        cycle: u64,
+    },
     /// A snapshot image validated and warm state was restored.
     SnapshotRestored {
         /// Serialized image size in bytes.
@@ -375,6 +466,15 @@ impl Event {
             Event::WorkerPanicked { .. } => "worker-panicked",
             Event::DeadlineExceeded { .. } => "deadline-exceeded",
             Event::BreakerOpen { .. } => "breaker-open",
+            Event::BreakerHalfOpen { .. } => "breaker-half-open",
+            Event::BreakerClosed { .. } => "breaker-closed",
+            Event::JobAdmitted { .. } => "job-admitted",
+            Event::JobShed { .. } => "job-shed",
+            Event::JobCompleted { .. } => "job-completed",
+            Event::SessionCheckpointed { .. } => "session-checkpointed",
+            Event::SessionMigrated { .. } => "session-migrated",
+            Event::ShardKilled { .. } => "shard-killed",
+            Event::ShardRecovered { .. } => "shard-recovered",
             Event::SnapshotRestored { .. } => "snapshot-restored",
             Event::SnapshotRejected { .. } => "snapshot-rejected",
         }
@@ -403,6 +503,15 @@ impl Event {
             | Event::WorkerPanicked { cycle, .. }
             | Event::DeadlineExceeded { cycle, .. }
             | Event::BreakerOpen { cycle, .. }
+            | Event::BreakerHalfOpen { cycle, .. }
+            | Event::BreakerClosed { cycle, .. }
+            | Event::JobAdmitted { cycle, .. }
+            | Event::JobShed { cycle, .. }
+            | Event::JobCompleted { cycle, .. }
+            | Event::SessionCheckpointed { cycle, .. }
+            | Event::SessionMigrated { cycle, .. }
+            | Event::ShardKilled { cycle, .. }
+            | Event::ShardRecovered { cycle, .. }
             | Event::SnapshotRestored { cycle, .. }
             | Event::SnapshotRejected { cycle, .. } => cycle,
         }
@@ -560,6 +669,43 @@ impl Event {
                     ",\"workload\":{},\"failures\":{failures}",
                     json_str(workload)
                 );
+            }
+            Event::BreakerHalfOpen { workload, cooldown_ms, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"workload\":{},\"cooldown_ms\":{cooldown_ms}",
+                    json_str(workload)
+                );
+            }
+            Event::BreakerClosed { workload, .. } => {
+                let _ = write!(s, ",\"workload\":{}", json_str(workload));
+            }
+            Event::JobAdmitted { job, shard, queue_depth, .. } => {
+                let _ = write!(s, ",\"job\":{job},\"shard\":{shard},\"queue_depth\":{queue_depth}");
+            }
+            Event::JobShed { reason, .. } => {
+                let _ = write!(s, ",\"reason\":{}", json_str(reason));
+            }
+            Event::JobCompleted { job, shard, cache_hit, migrations, latency_ms, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{job},\"shard\":{shard},\"cache_hit\":{cache_hit},\"migrations\":{migrations},\"latency_ms\":{latency_ms}"
+                );
+            }
+            Event::SessionCheckpointed { job, shard, bytes, commits, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{job},\"shard\":{shard},\"bytes\":{bytes},\"commits\":{commits}"
+                );
+            }
+            Event::SessionMigrated { job, from_shard, .. } => {
+                let _ = write!(s, ",\"job\":{job},\"from_shard\":{from_shard}");
+            }
+            Event::ShardKilled { shard, drained, .. } => {
+                let _ = write!(s, ",\"shard\":{shard},\"drained\":{drained}");
+            }
+            Event::ShardRecovered { shard, .. } => {
+                let _ = write!(s, ",\"shard\":{shard}");
             }
             Event::SnapshotRestored { bytes, cache_entries, .. } => {
                 let _ = write!(s, ",\"bytes\":{bytes},\"cache_entries\":{cache_entries}");

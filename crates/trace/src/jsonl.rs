@@ -127,6 +127,18 @@ const V1_EVENTS: &[(&str, &[&str])] = &[
     ("breaker-open", &["workload", "failures"]),
     ("snapshot-restored", &["bytes", "cache_entries"]),
     ("snapshot-rejected", &["kind"]),
+    // Service events (additive, still v1): dsa-serve's session
+    // lifecycle — admission, checkpoints, migration, shard chaos — and
+    // the half-open breaker transitions, all wall-clock (cycle 0).
+    ("breaker-half-open", &["workload", "cooldown_ms"]),
+    ("breaker-closed", &["workload"]),
+    ("job-admitted", &["job", "shard", "queue_depth"]),
+    ("job-shed", &["reason"]),
+    ("job-completed", &["job", "shard", "cache_hit", "migrations", "latency_ms"]),
+    ("session-checkpointed", &["job", "shard", "bytes", "commits"]),
+    ("session-migrated", &["job", "from_shard"]),
+    ("shard-killed", &["shard", "drained"]),
+    ("shard-recovered", &["shard"]),
 ];
 
 /// Validates one line of a v1 JSONL stream. `is_first` selects the
@@ -248,6 +260,22 @@ mod tests {
             Event::BreakerOpen { workload: "qsort", failures: 3, cycle: 0 },
             Event::SnapshotRestored { bytes: 4096, cache_entries: 7, cycle: 0 },
             Event::SnapshotRejected { kind: "checksum-mismatch", cycle: 0 },
+            Event::BreakerHalfOpen { workload: "qsort", cooldown_ms: 1000, cycle: 0 },
+            Event::BreakerClosed { workload: "qsort", cycle: 0 },
+            Event::JobAdmitted { job: 17, shard: 2, queue_depth: 5, cycle: 0 },
+            Event::JobShed { reason: "overloaded", cycle: 0 },
+            Event::JobCompleted {
+                job: 17,
+                shard: 3,
+                cache_hit: false,
+                migrations: 1,
+                latency_ms: 42,
+                cycle: 0,
+            },
+            Event::SessionCheckpointed { job: 17, shard: 2, bytes: 9000, commits: 50_000, cycle: 0 },
+            Event::SessionMigrated { job: 17, from_shard: 2, cycle: 0 },
+            Event::ShardKilled { shard: 2, drained: 3, cycle: 0 },
+            Event::ShardRecovered { shard: 2, cycle: 0 },
         ]
     }
 

@@ -369,6 +369,40 @@ impl TraceSink for MetricsRegistry {
                 self.bump("supervisor.breakers_open");
                 self.bump(&format!("supervisor.breaker.{workload}"));
             }
+            Event::BreakerHalfOpen { workload, .. } => {
+                self.bump("supervisor.breakers_half_open");
+                self.bump(&format!("supervisor.half_open.{workload}"));
+            }
+            Event::BreakerClosed { workload, .. } => {
+                self.bump("supervisor.breakers_closed");
+                self.bump(&format!("supervisor.closed.{workload}"));
+            }
+            Event::JobAdmitted { queue_depth, .. } => {
+                self.bump("service.admitted");
+                self.observe("service.queue_depth", queue_depth as u64);
+            }
+            Event::JobShed { reason, .. } => {
+                self.bump("service.shed");
+                self.bump(&format!("service.shed.{reason}"));
+            }
+            Event::JobCompleted { cache_hit, migrations, latency_ms, .. } => {
+                self.bump("service.completed");
+                if cache_hit {
+                    self.bump("service.cache_hits");
+                }
+                self.add("service.migrations", migrations as u64);
+                self.observe("service.latency_ms", latency_ms);
+            }
+            Event::SessionCheckpointed { bytes, .. } => {
+                self.bump("service.checkpoints");
+                self.observe("service.checkpoint_bytes", bytes);
+            }
+            Event::SessionMigrated { .. } => self.bump("service.migrated_sessions"),
+            Event::ShardKilled { drained, .. } => {
+                self.bump("service.shard_kills");
+                self.add("service.drained_sessions", drained as u64);
+            }
+            Event::ShardRecovered { .. } => self.bump("service.shard_recoveries"),
             Event::SnapshotRestored { bytes, cache_entries, .. } => {
                 self.bump("snapshot.restored");
                 self.add("snapshot.restored_bytes", bytes);

@@ -299,6 +299,73 @@ impl<W: Write> TraceSink for PerfettoSink<W> {
                     &[("failures", failures.to_string())],
                 );
             }
+            Event::BreakerHalfOpen { workload, cooldown_ms, .. } => {
+                self.instant(
+                    0,
+                    &format!("breaker-half-open {workload}"),
+                    "supervisor",
+                    cycle,
+                    &[("cooldown_ms", cooldown_ms.to_string())],
+                );
+            }
+            Event::BreakerClosed { workload, .. } => {
+                self.instant(0, &format!("breaker-closed {workload}"), "supervisor", cycle, &[]);
+            }
+            Event::JobAdmitted { job, shard, queue_depth, .. } => {
+                self.instant(
+                    0,
+                    &format!("job {job} admitted"),
+                    "service",
+                    cycle,
+                    &[("shard", shard.to_string()), ("queue_depth", queue_depth.to_string())],
+                );
+            }
+            Event::JobShed { reason, .. } => {
+                self.instant(0, &format!("job shed: {reason}"), "service", cycle, &[]);
+            }
+            Event::JobCompleted { job, shard, migrations, latency_ms, .. } => {
+                self.instant(
+                    0,
+                    &format!("job {job} completed"),
+                    "service",
+                    cycle,
+                    &[
+                        ("shard", shard.to_string()),
+                        ("migrations", migrations.to_string()),
+                        ("latency_ms", latency_ms.to_string()),
+                    ],
+                );
+            }
+            Event::SessionCheckpointed { job, shard, bytes, .. } => {
+                self.instant(
+                    0,
+                    &format!("job {job} checkpointed"),
+                    "service",
+                    cycle,
+                    &[("shard", shard.to_string()), ("bytes", bytes.to_string())],
+                );
+            }
+            Event::SessionMigrated { job, from_shard, .. } => {
+                self.instant(
+                    0,
+                    &format!("job {job} migrated"),
+                    "service",
+                    cycle,
+                    &[("from_shard", from_shard.to_string())],
+                );
+            }
+            Event::ShardKilled { shard, drained, .. } => {
+                self.instant(
+                    0,
+                    &format!("shard {shard} killed"),
+                    "service",
+                    cycle,
+                    &[("drained", drained.to_string())],
+                );
+            }
+            Event::ShardRecovered { shard, .. } => {
+                self.instant(0, &format!("shard {shard} recovered"), "service", cycle, &[]);
+            }
             Event::SnapshotRestored { bytes, cache_entries, .. } => {
                 self.instant(
                     0,
