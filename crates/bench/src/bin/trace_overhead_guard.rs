@@ -28,7 +28,7 @@ use std::time::Instant;
 
 use dsa_core::{Dsa, Snapshot};
 use dsa_cpu::{BoundedOutcome, CpuConfig, RunOutcome, Simulator};
-use dsa_trace::NullSink;
+use dsa_trace::{NullSink, SamplingSink};
 use dsa_workloads::{build, BuiltWorkload, Scale, WorkloadId};
 
 const USAGE: &str =
@@ -39,6 +39,14 @@ const FUEL: u64 = 2_000_000_000;
 
 /// Commits before the snapshot in the restored-path measurement.
 const SPLIT: u64 = 40_000;
+
+/// Commits per slice in the sampled serve-path measurement (the
+/// `ServiceConfig::checkpoint_every` default).
+const SLICE: u64 = 20_000;
+
+/// Seed and rate for the sampled-path measurement (the serve defaults).
+const SAMPLE_SEED: u64 = 0xD5A7_0ACE_05EE_D001;
+const SAMPLE_RATE: u32 = 8;
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("trace_overhead_guard: {msg}\n{USAGE}");
@@ -91,6 +99,43 @@ fn run_scalar_block(w: &BuiltWorkload, with_sink: bool) -> (RunOutcome, u64, f64
     let secs = t.elapsed().as_secs_f64();
     if !w.check(sim.machine()) {
         fail(&format!("wrong scalar result (sink={with_sink})"));
+    }
+    (outcome, w.actual(sim.machine()), secs)
+}
+
+/// One run driven in [`SLICE`]-commit slices — the serve path's shape —
+/// either bare (`run_bounded`, no sink) or with the always-on sampler
+/// attached exactly as a shard attaches it: a seed-derived
+/// [`SamplingSink`] on the engine plus sampled run brackets through
+/// `run_bounded_traced`.
+fn run_sliced(w: &BuiltWorkload, with_sampling: bool) -> (RunOutcome, u64, f64) {
+    let cfg = dsa_core::DsaConfig::full();
+    let mut sim = Simulator::new(w.kernel.program.clone(), CpuConfig::default());
+    (w.init)(sim.machine_mut());
+    for buf in w.kernel.layout.bufs() {
+        sim.warm_region(buf.base, buf.size_bytes());
+    }
+    let mut dsa = Dsa::new(cfg);
+    if with_sampling {
+        dsa.attach_sink(SamplingSink::new(NullSink, SAMPLE_SEED, SAMPLE_RATE));
+    }
+    let t = Instant::now();
+    let outcome = loop {
+        let bounded = if with_sampling {
+            let mut bracket = SamplingSink::new(NullSink, SAMPLE_SEED, SAMPLE_RATE);
+            sim.run_bounded_traced(SLICE, &mut dsa, &mut bracket)
+        } else {
+            sim.run_bounded(SLICE, &mut dsa)
+        }
+        .unwrap_or_else(|e| fail(&format!("sliced simulation failed: {e}")));
+        match bounded {
+            BoundedOutcome::Halted(out) => break out,
+            BoundedOutcome::Paused => {}
+        }
+    };
+    let secs = t.elapsed().as_secs_f64();
+    if !w.check(sim.machine()) {
+        fail(&format!("wrong sliced result (sampling={with_sampling})"));
     }
     (outcome, w.actual(sim.machine()), secs)
 }
@@ -290,10 +335,52 @@ fn main() {
             "block-path null-sink overhead {overhead_b:+.2}% exceeds {threshold:.1}%"
         ));
     }
+    // The sampled serve path: the same workload driven in
+    // checkpoint-sized slices, bare vs with the always-on sampler —
+    // exactly what every shard pays when `sample_rate > 0`.
+    let _ = run_sliced(&w, false);
+    let _ = run_sliced(&w, true);
+    let mut best_off_s = f64::INFINITY;
+    let mut best_samp = f64::INFINITY;
+    let mut cycles_s = (0u64, 0u64);
+    let mut sums_s = (0u64, 0u64);
+    for _ in 0..reps {
+        let (out, sum, secs) = run_sliced(&w, false);
+        best_off_s = best_off_s.min(secs);
+        cycles_s.0 = out.cycles;
+        sums_s.0 = sum;
+        let (out, sum, secs) = run_sliced(&w, true);
+        best_samp = best_samp.min(secs);
+        cycles_s.1 = out.cycles;
+        sums_s.1 = sum;
+    }
+    let overhead_s = 100.0 * (best_samp / best_off_s - 1.0);
+    println!("sampled serve path ({SLICE}-commit slices, 1/{SAMPLE_RATE} loop sampling):");
+    println!("sampling off: {:.3} ms ({} simulated cycles)", best_off_s * 1e3, cycles_s.0);
+    println!("sampled:      {:.3} ms ({} simulated cycles)", best_samp * 1e3, cycles_s.1);
+    println!("overhead:     {overhead_s:+.2}% (threshold {threshold:.1}%)");
+
+    if cycles_s.0 != cycles_s.1 || sums_s.0 != sums_s.1 {
+        fail(&format!(
+            "sampling changed the sliced simulation! cycles {} vs {}, checksum {:#x} vs {:#x}",
+            cycles_s.0, cycles_s.1, sums_s.0, sums_s.1
+        ));
+    }
+    if sums_s.0 != sums.0 {
+        fail(&format!(
+            "sliced run diverged from the uninterrupted run: checksum {:#x} vs {:#x}",
+            sums_s.0, sums.0
+        ));
+    }
+    if check && overhead_s > threshold {
+        fail(&format!(
+            "sampled serve-path overhead {overhead_s:+.2}% exceeds {threshold:.1}%"
+        ));
+    }
     if check {
         println!(
             "OK: observation layer is within budget and observation-only \
-             (incl. restore and block fast path)"
+             (incl. restore, block fast path, and sampled slices)"
         );
     }
 }

@@ -442,6 +442,46 @@ impl Simulator {
         result
     }
 
+    /// The sliced twin of [`Simulator::run_traced`]: drives at most
+    /// `max_steps` committed instructions and brackets the *whole run*
+    /// — not each slice — with telemetry. [`dsa_trace::Event::RunStarted`]
+    /// is emitted only on the first slice (nothing committed yet),
+    /// [`dsa_trace::Event::RunFinished`] only when the program halts,
+    /// and [`dsa_trace::Event::SimFault`] on an executor error. A
+    /// [`BoundedOutcome::Paused`] slice emits nothing, so a session
+    /// resumed across many slices (or migrated across shards with a
+    /// re-attached sink) still produces exactly one start/finish pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Exec`] if the functional executor rejects an
+    /// instruction.
+    pub fn run_bounded_traced<H: CommitHook + ?Sized>(
+        &mut self,
+        max_steps: u64,
+        hook: &mut H,
+        sink: &mut dyn dsa_trace::TraceSink,
+    ) -> Result<BoundedOutcome, SimError> {
+        if self.committed == 0 {
+            sink.record(&dsa_trace::Event::RunStarted {
+                pc: self.machine.pc(),
+                cycle: self.timing.cycles(),
+            });
+        }
+        let result = self.run_bounded(max_steps, hook);
+        let cycle = self.timing.cycles();
+        match &result {
+            Ok(BoundedOutcome::Halted(out)) => sink.record(&dsa_trace::Event::RunFinished {
+                cycle,
+                committed: out.committed,
+                halted: out.halted,
+            }),
+            Ok(BoundedOutcome::Paused) => {}
+            Err(e) => sink.record(&e.telemetry(cycle)),
+        }
+        result
+    }
+
     /// Dynamic-dispatch entry point for callers that only have a
     /// `&mut dyn DynCommitHook` (used by the dispatch benchmarks as the
     /// "before" shape). Always drives the conservative per-commit loop —
@@ -590,6 +630,29 @@ mod tests {
         assert!(matches!(done, BoundedOutcome::Halted(_)));
         assert_eq!(second.machine().arch_digest(), full.machine().arch_digest());
         assert_eq!(second.machine().reg(Reg::R0), 10_000);
+    }
+
+    #[test]
+    fn bounded_traced_emits_one_bracket_across_slices() {
+        use dsa_trace::{Collector, Event};
+
+        let mut sim = Simulator::new(count_loop(5_000), CpuConfig::default());
+        let mut sink = Collector::default();
+        let mut slices = 0;
+        loop {
+            match sim.run_bounded_traced(1_000, &mut NullHook, &mut sink).expect("ok") {
+                BoundedOutcome::Paused => slices += 1,
+                BoundedOutcome::Halted(out) => {
+                    assert!(out.halted);
+                    break;
+                }
+            }
+        }
+        assert!(slices >= 4, "expected several pauses, got {slices}");
+        // Many slices, exactly one start/finish pair; pauses are silent.
+        assert_eq!(sink.events.len(), 2, "{:?}", sink.events);
+        assert!(matches!(sink.events[0], Event::RunStarted { cycle: 0, .. }));
+        assert!(matches!(sink.events[1], Event::RunFinished { halted: true, .. }));
     }
 
     #[test]

@@ -6,10 +6,15 @@
 //!
 //! ```text
 //! dsa_serve [--port N] [--shards N] [--queue-cap N]
-//!           [--checkpoint-every N] [--connections N]
+//!           [--checkpoint-every N] [--connections N] [--sample-rate N]
 //!           [--chaos SEED --chaos-period-ms N --chaos-down-ms N]
 //!           [--trace PATH]
 //! ```
+//!
+//! `--trace` with a `.trcb` suffix writes the compact columnar
+//! `dsa-tracebin/v1` encoding; any other suffix writes JSONL. On exit
+//! the daemon prints the merged fleet metrics rollup (sampled
+//! always-on telemetry; `--sample-rate 0` disables it).
 
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -50,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
             "--shards" => args.cfg.shards = num(&flag, &val(&flag)?)? as u32,
             "--queue-cap" => args.cfg.queue_cap = num(&flag, &val(&flag)?)? as usize,
             "--checkpoint-every" => args.cfg.checkpoint_every = num(&flag, &val(&flag)?)?,
+            "--sample-rate" => args.cfg.sample_rate = num(&flag, &val(&flag)?)? as u32,
             "--chaos" => args.chaos = Some(num(&flag, &val(&flag)?)?),
             "--chaos-period-ms" => args.chaos_period_ms = num(&flag, &val(&flag)?)?,
             "--chaos-down-ms" => args.chaos_down_ms = num(&flag, &val(&flag)?)?,
@@ -75,14 +81,24 @@ fn main() -> ExitCode {
     silence_injected_crashes();
     let service = Arc::new(Service::start(args.cfg));
     if let Some(path) = &args.trace {
-        let file = match std::fs::File::create(path) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("dsa_serve: cannot create trace file {path}: {e}");
-                return ExitCode::from(2);
+        if path.ends_with(".trcb") {
+            match dsa_trace::ColumnarWriter::create(path) {
+                Ok(w) => service.attach_sink(w),
+                Err(e) => {
+                    eprintln!("dsa_serve: cannot create trace file {path}: {e}");
+                    return ExitCode::from(2);
+                }
             }
-        };
-        service.attach_sink(dsa_trace::JsonlSink::new(std::io::BufWriter::new(file)));
+        } else {
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("dsa_serve: cannot create trace file {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            service.attach_sink(dsa_trace::JsonlSink::new(std::io::BufWriter::new(file)));
+        }
     }
     if let Some(seed) = args.chaos {
         service.start_chaos(
@@ -102,7 +118,13 @@ fn main() -> ExitCode {
         Ok(addr) => println!("dsa_serve: listening on {addr}"),
         Err(e) => eprintln!("dsa_serve: local_addr: {e}"),
     }
-    let handled = serve(service, listener, args.connections);
+    let handled = serve(Arc::clone(&service), listener, args.connections);
     println!("dsa_serve: served {handled} connections");
+    let fleet = service.fleet_metrics();
+    if fleet.is_empty() {
+        eprintln!("dsa_serve: fleet metrics: (sampling off)");
+    } else {
+        eprintln!("dsa_serve: fleet metrics (sampled):\n{}", fleet.report_text());
+    }
     ExitCode::SUCCESS
 }

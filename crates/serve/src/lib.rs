@@ -38,7 +38,7 @@ pub mod service;
 pub mod session;
 pub mod shard;
 
-pub use loadgen::{run_loadgen, LoadConfig, LoadReport};
+pub use loadgen::{run_loadgen, run_loadgen_traced, LoadConfig, LoadReport};
 pub use protocol::{read_frame, write_frame, JobOutcome, JobRequest, ProtoError};
 pub use server::serve;
 pub use service::{ServeError, Service, ServiceConfig, ServiceStats};

@@ -117,12 +117,39 @@ pub struct LoadReport {
     pub stats: ServiceStats,
     /// Aggregated supervision counters.
     pub supervision: dsa_bench::SupervisorReport,
+    /// The merged fleet metrics rollup: every shard's sampled-telemetry
+    /// delta plus the service's lifecycle metrics, shipped through the
+    /// compact wire snapshot and merged (see `Service::fleet_metrics`).
+    pub fleet: dsa_trace::MetricsRegistry,
 }
 
 impl LoadReport {
     /// Whether the soak met the acceptance bar.
     pub fn passed(&self) -> bool {
         self.lost == 0 && self.mismatches == 0 && self.resume_failures == 0 && self.completed > 0
+    }
+
+    /// A short human-readable digest of the fleet metrics rollup: the
+    /// largest counters plus every cycle histogram's count, one per
+    /// line — what the soak drivers print to stderr without drowning
+    /// the report.
+    pub fn fleet_summary(&self) -> String {
+        if self.fleet.is_empty() {
+            return "fleet metrics: (sampling off)".to_string();
+        }
+        let mut counters: Vec<(&str, u64)> = self.fleet.counters().collect();
+        counters.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let mut out = String::from("fleet metrics (sampled):");
+        for (k, v) in counters.iter().take(10) {
+            out.push_str(&format!("\n  {k} = {v}"));
+        }
+        if counters.len() > 10 {
+            out.push_str(&format!("\n  … {} more counters", counters.len() - 10));
+        }
+        for (k, h) in self.fleet.histograms() {
+            out.push_str(&format!("\n  {k}: n={} min={} max={}", h.count(), h.min(), h.max()));
+        }
+        out
     }
 
     /// Renders the report as a single-line JSON artifact.
@@ -137,7 +164,7 @@ impl LoadReport {
              \"store_hits\":{},\"store_misses\":{}}},\
              \"supervision\":{{\"runs\":{},\"attempts\":{},\"retries\":{},\"panics\":{},\
              \"breakers_opened\":{},\"breaker_probes\":{},\"breakers_closed\":{},\
-             \"breaker_refusals\":{}}},\"passed\":{}}}",
+             \"breaker_refusals\":{}}},\"fleet\":{},\"passed\":{}}}",
             self.submitted,
             self.admitted,
             self.completed,
@@ -167,6 +194,7 @@ impl LoadReport {
             sup.breaker_probes,
             sup.breakers_closed,
             sup.breaker_refusals,
+            self.fleet.report_json(),
             self.passed(),
         )
     }
@@ -328,10 +356,24 @@ fn percentile(sorted: &[u64], pct: u32) -> u64 {
 
 /// Runs the full load-generation campaign; see the module docs.
 pub fn run_loadgen(cfg: &LoadConfig) -> LoadReport {
+    run_loadgen_traced(cfg, None)
+}
+
+/// [`run_loadgen`] with an optional trace sink attached to the service
+/// for the whole campaign — how `dsa_loadgen --trace` captures a soak's
+/// full event stream (JSONL or columnar, the sink's choice) while the
+/// always-on sampler keeps filling the fleet metrics independently.
+pub fn run_loadgen_traced(
+    cfg: &LoadConfig,
+    sink: Option<Box<dyn dsa_trace::TraceSink + Send>>,
+) -> LoadReport {
     silence_injected_crashes();
     let started = Instant::now();
     let pool = workload_pool();
     let service = Service::start(cfg.service);
+    if let Some(sink) = sink {
+        service.attach_sink(sink);
+    }
     if cfg.chaos {
         service.start_chaos(
             cfg.seed,
@@ -396,6 +438,7 @@ pub fn run_loadgen(cfg: &LoadConfig) -> LoadReport {
 
     let stats = service.stats();
     let supervision = service.supervision();
+    let fleet = service.fleet_metrics();
     service.shutdown();
     let mut latencies = match audit.latencies.lock() {
         Ok(l) => l.clone(),
@@ -422,5 +465,6 @@ pub fn run_loadgen(cfg: &LoadConfig) -> LoadReport {
         wall_ms: started.elapsed().as_millis() as u64,
         stats,
         supervision,
+        fleet,
     }
 }

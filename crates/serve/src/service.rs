@@ -95,6 +95,12 @@ pub struct ServiceConfig {
     /// Migrations after which a session fails instead of re-routing
     /// (breaker-driven migration could otherwise ping-pong forever).
     pub migration_limit: u32,
+    /// Always-on engine telemetry sampling: one in `sample_rate` loop
+    /// lifecycles is folded into the per-shard metrics delta (0
+    /// disables sampling, 1 keeps everything). The default keeps the
+    /// serve path under the `trace_overhead_guard` 2% budget while
+    /// `Service::fleet_metrics` stays populated.
+    pub sample_rate: u32,
 }
 
 impl Default for ServiceConfig {
@@ -105,6 +111,7 @@ impl Default for ServiceConfig {
             checkpoint_every: 20_000,
             policy: SupervisorPolicy::default(),
             migration_limit: 10,
+            sample_rate: 8,
         }
     }
 }
@@ -204,6 +211,12 @@ pub struct ServiceInner {
     counters: Counters,
     orphans: Mutex<Vec<Session>>,
     shutdown: AtomicBool,
+    /// Service-level (wall-clock) events folded into metrics when
+    /// sampling is on; drained into `fleet` alongside shard deltas.
+    service_metrics: dsa_trace::SharedMetrics,
+    /// The fleet accumulator: every drained shard delta merges here, so
+    /// a snapshot at any time covers the service's whole history.
+    fleet: Mutex<dsa_trace::MetricsRegistry>,
 }
 
 impl ServiceInner {
@@ -226,6 +239,15 @@ impl ServiceInner {
     pub fn emit(&self, ev: Event) {
         if matches!(ev, Event::SessionCheckpointed { .. }) {
             self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.cfg.sample_rate > 0 {
+            // Service lifecycle events are rare (slice and admission
+            // boundaries) and loop-less, so they are never sampled
+            // away — the fleet registry sees every one.
+            self.service_metrics.with(|m| {
+                use dsa_trace::TraceSink as _;
+                m.record(&ev);
+            });
         }
         self.sink.record_ev(&ev);
     }
@@ -392,7 +414,7 @@ impl Service {
         let sink = ServiceSink::default();
         let shards: Vec<Arc<Shard>> = (0..cfg.shards.max(1))
             .map(|id| {
-                let shard = Arc::new(Shard::new(id, cfg.queue_cap, cfg.policy));
+                let shard = Arc::new(Shard::new(id, cfg.queue_cap, cfg.policy, cfg.sample_rate));
                 shard.attach_sink(sink.clone());
                 shard
             })
@@ -406,6 +428,8 @@ impl Service {
             counters: Counters::default(),
             orphans: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
+            service_metrics: dsa_trace::SharedMetrics::new(),
+            fleet: Mutex::new(dsa_trace::MetricsRegistry::new()),
         });
         let workers = inner
             .shards
@@ -534,6 +558,36 @@ impl Service {
             recoveries: c.recoveries.load(Ordering::Relaxed),
             store: self.inner.store.stats(),
         }
+    }
+
+    /// The fleet-wide metrics rollup: drains every shard's delta (and
+    /// the service's own lifecycle metrics), ships each through the
+    /// compact `MetricsRegistry` wire snapshot — the same bytes a
+    /// remote shard would send — and merges it into the accumulated
+    /// fleet registry, returning a copy. Calling repeatedly is cheap
+    /// and lossless: deltas are taken exactly once, and the
+    /// accumulator keeps the whole history.
+    pub fn fleet_metrics(&self) -> dsa_trace::MetricsRegistry {
+        let mut fleet = match self.inner.fleet.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut deltas: Vec<dsa_trace::MetricsRegistry> =
+            self.inner.shards.iter().map(|sh| sh.drain_metrics()).collect();
+        deltas.push(self.inner.service_metrics.drain());
+        for delta in &deltas {
+            if delta.is_empty() {
+                continue;
+            }
+            // Round-trip through the wire form to exercise exactly what
+            // a remote shard would ship; the decode is infallible on
+            // bytes we just encoded, but stay panic-free regardless.
+            match dsa_trace::MetricsRegistry::from_wire(&delta.to_wire()) {
+                Ok(decoded) => fleet.merge(&decoded),
+                Err(_) => fleet.merge(delta),
+            }
+        }
+        fleet.clone()
     }
 
     /// Aggregated supervision counters across all shard supervisors.

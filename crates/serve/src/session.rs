@@ -25,6 +25,7 @@ use std::time::Instant;
 
 use dsa_core::{Dsa, DsaConfig, SessionMeta, Snapshot, SnapshotError};
 use dsa_cpu::{BoundedOutcome, CpuConfig, NullHook, Simulator};
+use dsa_trace::{MetricsRegistry, SamplingSink, SharedMetrics};
 use dsa_workloads::{checksum, Scale};
 
 use dsa_bench::cache::Workload;
@@ -52,6 +53,63 @@ pub struct JobSpec {
 
 /// What a shard reports back to the session's client.
 pub type SessionResult = Result<JobOutcome, crate::service::ServeError>;
+
+/// The fleet-wide sampling seed. Every shard derives its keep/drop
+/// decisions from this one constant so a loop lifecycle sampled on one
+/// shard stays sampled after the session migrates (or restores from a
+/// checkpoint) on any other shard — the re-attached
+/// [`SamplingSink`] re-derives identical verdicts from
+/// `(SAMPLE_SEED, loop_id)` alone.
+pub const SAMPLE_SEED: u64 = 0xD5A7_0ACE_05EE_D001;
+
+/// Per-slice always-on telemetry: a deterministic sampler feeding a
+/// shard-local [`SharedMetrics`] delta, cheap enough to stay attached
+/// in production (the `trace_overhead_guard` bench holds the sampled
+/// slice path under its 2% budget).
+#[derive(Debug, Clone, Default)]
+pub struct SliceTelemetry {
+    seed: u64,
+    rate: u32,
+    metrics: SharedMetrics,
+}
+
+impl SliceTelemetry {
+    /// Telemetry sampling one in `rate` loop lifecycles under `seed`.
+    /// `rate == 0` disables sampling entirely (no sink is attached);
+    /// `rate == 1` keeps everything.
+    pub fn new(seed: u64, rate: u32) -> SliceTelemetry {
+        SliceTelemetry { seed, rate, metrics: SharedMetrics::new() }
+    }
+
+    /// Disabled telemetry — slices run exactly as before sampling
+    /// existed (no sink attached, `run_bounded` untraced).
+    pub fn off() -> SliceTelemetry {
+        SliceTelemetry::new(0, 0)
+    }
+
+    /// Whether sampling is on.
+    pub fn enabled(&self) -> bool {
+        self.rate > 0
+    }
+
+    /// A sampler over the shared metrics delta; every call derives the
+    /// same keep/drop verdicts, so re-attaching after a crash-restore
+    /// or migration is coherent.
+    fn sampler(&self) -> SamplingSink<SharedMetrics> {
+        SamplingSink::new(self.metrics.clone(), self.seed, self.rate)
+    }
+
+    /// Takes the metrics accumulated since the last drain (the
+    /// shard-to-frontend delta).
+    pub fn drain(&self) -> MetricsRegistry {
+        self.metrics.drain()
+    }
+
+    /// A copy of the accumulated metrics without draining them.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.metrics.snapshot()
+    }
+}
 
 /// One in-flight session: spec, identity, latest checkpoint and the
 /// reply channel back to the submitting client.
@@ -166,10 +224,14 @@ impl SessionState {
     }
 }
 
-/// Builds or restores the engine for one slice.
+/// Builds or restores the engine for one slice. When `telemetry` is
+/// enabled and the system actually hooks commits, the engine gets a
+/// sampling sink: events observe, never steer, so cycles and checksums
+/// are bit-identical with and without it.
 fn engine_for_slice(
     spec: &JobSpec,
     state: &mut StateInner,
+    telemetry: &SliceTelemetry,
 ) -> Result<Engine, RunError> {
     if let Some(engine) = state.live.take() {
         return Ok(engine);
@@ -182,7 +244,7 @@ fn engine_for_slice(
     // Non-DSA sessions still snapshot through a pristine full-config
     // engine so every checkpoint shares one wire format.
     let capture_cfg = config.unwrap_or_else(DsaConfig::full);
-    match state.checkpoint.as_deref() {
+    let mut engine = match state.checkpoint.as_deref() {
         None => {
             let mut sim = Simulator::new(program, CpuConfig::default());
             (w.init)(sim.machine_mut());
@@ -191,7 +253,7 @@ fn engine_for_slice(
             for buf in w.kernel.layout.bufs() {
                 sim.warm_region(buf.base, buf.size_bytes());
             }
-            Ok(Engine { sim, dsa: Dsa::new(capture_cfg), attached, prior_commits: 0 })
+            Engine { sim, dsa: Dsa::new(capture_cfg), attached, prior_commits: 0 }
         }
         Some(bytes) => {
             state.resumed = true;
@@ -201,9 +263,16 @@ fn engine_for_slice(
             }
             let (dsa, machine) = Dsa::restore(snap, capture_cfg).map_err(RunError::Snapshot)?;
             let sim = Simulator::with_machine(program, CpuConfig::default(), machine);
-            Ok(Engine { sim, dsa, attached, prior_commits: meta.commits })
+            Engine { sim, dsa, attached, prior_commits: meta.commits }
         }
+    };
+    if engine.attached && telemetry.enabled() {
+        // Snapshots never carry a tracer, so restored engines re-attach
+        // here; the seed-derived sampler makes the resumed decisions
+        // identical to the pre-crash ones.
+        engine.dsa.attach_sink(telemetry.sampler());
     }
+    Ok(engine)
 }
 
 /// Runs one supervised slice of up to `budget` commits. Designed to be
@@ -223,11 +292,12 @@ pub fn run_slice(
     session: &Session,
     shard: u32,
     budget: u64,
+    telemetry: &SliceTelemetry,
 ) -> Result<Slice, RunError> {
     let mut engine = {
         let mut inner = state.lock();
         inner.slices += 1;
-        engine_for_slice(spec, &mut inner)?
+        engine_for_slice(spec, &mut inner, telemetry)?
     };
     if session.panics_left.load(Ordering::Relaxed) > 0 {
         session.panics_left.fetch_sub(1, Ordering::Relaxed);
@@ -238,7 +308,17 @@ pub fn run_slice(
         // greps for: this is an injected fault, not a code defect.
         std::panic::panic_any(InjectedCrash { job: session.id });
     }
-    let bounded = if engine.attached {
+    let bounded = if telemetry.enabled() {
+        // Sampled always-on path: run brackets (start/finish, emitted
+        // once per logical run, never per slice) flow through the same
+        // sampler into the shard's metrics delta.
+        let mut bracket = telemetry.sampler();
+        if engine.attached {
+            engine.sim.run_bounded_traced(budget, &mut engine.dsa, &mut bracket)
+        } else {
+            engine.sim.run_bounded_traced(budget, &mut NullHook, &mut bracket)
+        }
+    } else if engine.attached {
         engine.sim.run_bounded(budget, &mut engine.dsa)
     } else {
         engine.sim.run_bounded(budget, &mut NullHook)
@@ -326,13 +406,20 @@ mod tests {
     /// Drives a session slice-by-slice to completion, crashing the
     /// live engine after every pause when `crashy`, and returns the
     /// final checksum.
-    fn drive(system: System, budget: u64, crashy: bool) -> (u64, bool) {
+    fn drive_with(
+        system: System,
+        budget: u64,
+        crashy: bool,
+        telemetry: &SliceTelemetry,
+    ) -> (u64, bool, u64) {
         let sp = spec(system);
         let (s, _rx) = session(sp);
         let state = SessionState::new(None, false);
         loop {
-            match run_slice(&sp, &state, &s, 0, budget).expect("slice runs") {
-                Slice::Done { checksum, .. } => return (checksum, state.resumed()),
+            match run_slice(&sp, &state, &s, 0, budget, telemetry).expect("slice runs") {
+                Slice::Done { checksum, cycles, .. } => {
+                    return (checksum, state.resumed(), cycles)
+                }
                 Slice::Paused { .. } => {
                     if crashy {
                         state.crash();
@@ -340,6 +427,11 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn drive(system: System, budget: u64, crashy: bool) -> (u64, bool) {
+        let (checksum, resumed, _) = drive_with(system, budget, crashy, &SliceTelemetry::off());
+        (checksum, resumed)
     }
 
     #[test]
@@ -357,11 +449,51 @@ mod tests {
     }
 
     #[test]
+    fn sampled_telemetry_is_invisible_to_results_and_timing() {
+        for system in [System::Original, System::DsaFull] {
+            let off = drive_with(system, 700, false, &SliceTelemetry::off());
+            let keep_all = SliceTelemetry::new(SAMPLE_SEED, 1);
+            let on = drive_with(system, 700, false, &keep_all);
+            assert_eq!(off.0, on.0, "{system:?}: sampling changed the checksum");
+            assert_eq!(off.2, on.2, "{system:?}: sampling changed the cycle count");
+            // The crash-resume path re-attaches the sampler after every
+            // restore; the result stays bit-identical.
+            let crashed = drive_with(system, 700, true, &keep_all);
+            assert_eq!(off.0, crashed.0, "{system:?}: sampled crash-resume changed the result");
+            let m = keep_all.drain();
+            // Run brackets always flow (loop-less events pass every
+            // sampler); with rate 1 the DSA system also records engine
+            // events, the crash-resume path included.
+            assert!(m.counter("run.started") >= 1, "{system:?}: {m:?}");
+            if system == System::DsaFull {
+                assert!(m.counter("loop.detected") >= 1, "{system:?}");
+            }
+            assert!(keep_all.drain().is_empty(), "drain must take the delta");
+        }
+    }
+
+    #[test]
+    fn sampling_rate_thins_the_metrics_monotonically() {
+        let keep_all = SliceTelemetry::new(SAMPLE_SEED, 1);
+        drive_with(System::DsaFull, u64::MAX / 2, false, &keep_all);
+        let sampled = SliceTelemetry::new(SAMPLE_SEED, 4);
+        drive_with(System::DsaFull, u64::MAX / 2, false, &sampled);
+        let all = keep_all.snapshot();
+        let thin = sampled.snapshot();
+        assert!(
+            thin.counter("loop.detected") <= all.counter("loop.detected"),
+            "rate 4 must keep a subset: {} vs {}",
+            thin.counter("loop.detected"),
+            all.counter("loop.detected"),
+        );
+    }
+
+    #[test]
     fn checkpoint_envelopes_carry_session_identity() {
         let sp = spec(System::DsaFull);
         let (s, _rx) = session(sp);
         let state = SessionState::new(None, false);
-        match run_slice(&sp, &state, &s, 3, 200).expect("slice runs") {
+        match run_slice(&sp, &state, &s, 3, 200, &SliceTelemetry::off()).expect("slice runs") {
             Slice::Done { .. } => panic!("budget 200 must pause first"),
             Slice::Paused { commits, .. } => assert_eq!(commits, 200),
         }
@@ -379,11 +511,11 @@ mod tests {
         let (s, _rx) = session(sp);
         let state = SessionState::new(None, false);
         let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_slice(&sp, &state, &s, 0, 1_000)
+            run_slice(&sp, &state, &s, 0, 1_000, &SliceTelemetry::off())
         }));
         assert!(unwound.is_err(), "first slice must crash");
         assert_eq!(s.panics_left.load(Ordering::Relaxed), 0, "crash consumed the budget");
-        let second = run_slice(&sp, &state, &s, 0, u64::MAX / 2);
+        let second = run_slice(&sp, &state, &s, 0, u64::MAX / 2, &SliceTelemetry::off());
         assert!(matches!(second, Ok(Slice::Done { .. })), "retry must progress");
     }
 }

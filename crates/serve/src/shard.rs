@@ -19,7 +19,7 @@ use dsa_bench::{RunError, Supervisor, SupervisorPolicy, SupervisorReport};
 use dsa_trace::Event;
 
 use crate::service::{ServeError, ServiceInner};
-use crate::session::{run_slice, Session, SessionState, Slice};
+use crate::session::{run_slice, Session, SessionState, Slice, SliceTelemetry, SAMPLE_SEED};
 
 /// One worker shard; see the module docs.
 pub struct Shard {
@@ -30,6 +30,11 @@ pub struct Shard {
     cap: usize,
     busy: AtomicBool,
     supervisor: Supervisor<'static>,
+    /// Always-on sampled engine telemetry, accumulated shard-locally
+    /// and shipped to the front end as deltas via
+    /// [`Shard::drain_metrics`]. All shards share [`SAMPLE_SEED`] so
+    /// sampling verdicts survive migration.
+    telemetry: SliceTelemetry,
 }
 
 struct ShardQ {
@@ -47,8 +52,9 @@ pub enum Disposition {
 }
 
 impl Shard {
-    /// A shard with a bounded queue of `cap` sessions.
-    pub fn new(id: u32, cap: usize, policy: SupervisorPolicy) -> Shard {
+    /// A shard with a bounded queue of `cap` sessions, sampling one in
+    /// `sample_rate` loop lifecycles into its metrics delta (0 = off).
+    pub fn new(id: u32, cap: usize, policy: SupervisorPolicy, sample_rate: u32) -> Shard {
         Shard {
             id,
             q: Mutex::new(ShardQ { queue: VecDeque::new(), killed: false }),
@@ -56,7 +62,14 @@ impl Shard {
             cap,
             busy: AtomicBool::new(false),
             supervisor: Supervisor::new(run_cache::global(), policy).with_salt(u64::from(id)),
+            telemetry: SliceTelemetry::new(SAMPLE_SEED, sample_rate),
         }
+    }
+
+    /// Takes the metrics accumulated since the last call (the
+    /// shard-to-frontend delta; see `Service::fleet_metrics`).
+    pub fn drain_metrics(&self) -> dsa_trace::MetricsRegistry {
+        self.telemetry.drain()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, ShardQ> {
@@ -187,8 +200,9 @@ impl Shard {
                 return Disposition::Migrate(s);
             }
             let budget = svc.checkpoint_every();
-            let slice =
-                self.supervisor.call(name, || run_slice(&s.spec, &state, &s, self.id, budget));
+            let slice = self.supervisor.call(name, || {
+                run_slice(&s.spec, &state, &s, self.id, budget, &self.telemetry)
+            });
             match slice {
                 Ok(Slice::Done { checksum, cycles, committed, expected }) => {
                     let resumed = state.resumed();

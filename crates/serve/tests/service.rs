@@ -230,6 +230,49 @@ fn socket_roundtrip_serves_and_rejects_typed() {
     service.shutdown();
 }
 
+/// Always-on sampled telemetry: the fleet rollup accumulates shard
+/// deltas across repeated drains, sampling changes no result, and
+/// turning sampling off leaves the rollup empty.
+#[test]
+fn fleet_metrics_accumulate_shard_deltas() {
+    // Sampling on (rate 1: keep everything — maximal interference if
+    // there were any).
+    let service = Service::start(ServiceConfig {
+        shards: 2,
+        sample_rate: 1,
+        ..ServiceConfig::default()
+    });
+    let spec = micro_spec(0, System::DsaFull);
+    let expected = expected_of(spec);
+    let (_, rx) = service.submit(spec).expect("admits");
+    let first = rx.recv().expect("completes").expect("succeeds");
+    assert_eq!(first.checksum, expected, "sampling must not change results");
+    let mid = service.fleet_metrics();
+    assert!(mid.counter("service.admitted") >= 1, "service events folded in: {mid:?}");
+    assert!(mid.counter("loop.detected") >= 1, "engine events folded in: {mid:?}");
+
+    // A second job after the first drain: the accumulator must keep
+    // history (deltas merge, never replace).
+    let (_, rx) = service.submit(micro_spec(1, System::DsaFull)).expect("admits");
+    rx.recv().expect("completes").expect("succeeds");
+    let after = service.fleet_metrics();
+    assert!(after.counter("service.admitted") > mid.counter("service.admitted"), "{after:?}");
+    assert!(after.counter("service.completed") >= 2, "{after:?}");
+    service.shutdown();
+
+    // Sampling off: no engine or service metrics at all.
+    let quiet = Service::start(ServiceConfig {
+        shards: 1,
+        sample_rate: 0,
+        ..ServiceConfig::default()
+    });
+    let (_, rx) = quiet.submit(micro_spec(0, System::DsaFull)).expect("admits");
+    let off = rx.recv().expect("completes").expect("succeeds");
+    assert_eq!(off.checksum, expected, "rate 0 is the pre-sampling behavior");
+    assert!(quiet.fleet_metrics().is_empty(), "rate 0 must record nothing");
+    quiet.shutdown();
+}
+
 /// Observation neutrality on the service path: attaching a sink must
 /// not change any result, and the collector must see the job
 /// lifecycle events.

@@ -1,0 +1,1080 @@
+//! `dsa-tracebin/v1` — the compact columnar binary trace encoding.
+//!
+//! At fleet scale a JSONL trace is the wrong shape: a chaos soak emits
+//! millions of events and the field names dominate the bytes. This
+//! module stores the same [`Event`] stream column-wise instead of
+//! row-wise, in CRC-guarded blocks modelled on `dsa-core`'s snapshot
+//! format:
+//!
+//! ```text
+//! file   := magic(8) version(u16 LE) block*
+//! block  := kind(u8) len(u32 LE) payload[len] crc32(u32 LE)
+//! ```
+//!
+//! The CRC covers `kind || len || payload`, so every single-bit flip
+//! anywhere in a block (or its framing) is detected; a missing end
+//! block reads as [`BinError::Truncated`]. Block kinds: `1` header
+//! (producer string, informational), `2` events, `3` end-of-stream
+//! (total event count, cross-checked on decode).
+//!
+//! An event block groups its events by variant ("kind"), one column
+//! group per variant present:
+//!
+//! ```text
+//! payload := n_events(varint)
+//!            n_strings(varint) (len(varint) bytes)*      ; block-local table
+//!            kind_tag(u8) * n_events                     ; emission order
+//!            group*                                      ; ascending kind tag
+//! group   := cycle-delta column (zigzag varint)          ; within the kind
+//!            payload fields, event-major, fixed order
+//! ```
+//!
+//! Cycles are delta-coded *within each kind column* as the zigzag of
+//! the wrapping difference, which is lossless for arbitrary `u64`
+//! pairs and near-free for the monotone cycle streams real runs
+//! produce. PCs, loop ids and counts are LEB128 varints; enum fields
+//! (`Stage`, `CacheKind`, ...) are one byte; free-vocabulary strings
+//! (loop classes, rejection reasons, workload names, fault sites) are
+//! varint indices into the block-local string table. Decoding interns
+//! table strings process-wide ([`intern`]) so decoded events hold
+//! `&'static str` like freshly emitted ones and compare equal.
+//!
+//! The golden binary trace is byte-exact-tested against
+//! `crates/core/tests/golden/count_trace.trcb` and must stay ≥5x
+//! smaller than its JSONL twin.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+use crate::event::{CacheKind, CacheOutcome, Event, SpecKind, Stage};
+use crate::TraceSink;
+
+/// Version tag of the binary container (the `v1` in `dsa-tracebin/v1`).
+pub const BIN_SCHEMA: &str = "dsa-tracebin/v1";
+
+/// File magic: identifies a columnar trace (see [`looks_binary`]).
+pub const MAGIC: [u8; 8] = *b"DSATRCB\0";
+
+const VERSION: u16 = 1;
+
+const BLOCK_HEADER: u8 = 1;
+const BLOCK_EVENTS: u8 = 2;
+const BLOCK_END: u8 = 3;
+
+/// Events buffered per block by [`ColumnarWriter`]. Small enough to
+/// bound memory on unbounded streams, large enough that the per-block
+/// string table and framing amortize away.
+pub const EVENTS_PER_BLOCK: usize = 4096;
+
+/// Why a binary trace failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinError {
+    /// The stream ended before the end block (or mid-block).
+    Truncated,
+    /// The first 8 bytes are not [`MAGIC`].
+    BadMagic,
+    /// Container version newer than this reader.
+    UnsupportedVersion(u16),
+    /// A block's CRC-32 did not match its contents.
+    ChecksumMismatch {
+        /// Offset of the block's kind byte in the file.
+        offset: usize,
+    },
+    /// Structurally invalid contents inside a CRC-valid frame.
+    Malformed(String),
+}
+
+impl BinError {
+    /// Stable kebab-case kind name (for reports and counters).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            BinError::Truncated => "truncated",
+            BinError::BadMagic => "bad-magic",
+            BinError::UnsupportedVersion(_) => "unsupported-version",
+            BinError::ChecksumMismatch { .. } => "checksum-mismatch",
+            BinError::Malformed(_) => "malformed",
+        }
+    }
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::Truncated => write!(f, "trace truncated before end block"),
+            BinError::BadMagic => write!(f, "not a {BIN_SCHEMA} trace (bad magic)"),
+            BinError::UnsupportedVersion(v) => write!(f, "unsupported container version {v}"),
+            BinError::ChecksumMismatch { offset } => {
+                write!(f, "block checksum mismatch at offset {offset}")
+            }
+            BinError::Malformed(why) => write!(f, "malformed trace: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+/// True when `bytes` starts with the columnar-trace magic — the sniff
+/// `trace_query` uses to pick a reader per file.
+pub fn looks_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+}
+
+// ---------------------------------------------------------------------
+// Primitives shared with the metrics wire snapshot.
+// ---------------------------------------------------------------------
+
+/// CRC-32 (IEEE, reflected). Local copy: this crate is deliberately
+/// zero-dependency and `dsa-core` (which owns the snapshot copy)
+/// depends on us, not the reverse.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Appends `v` as a LEB128 varint.
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A bounds-checked cursor over a byte slice; every decode error is a
+/// `String` the caller wraps in [`BinError::Malformed`].
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    pub(crate) fn read_u8(&mut self) -> Result<u8, String> {
+        let b = *self.buf.get(self.pos).ok_or("unexpected end of payload")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub(crate) fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).ok_or("length overflow")?;
+        let s = self.buf.get(self.pos..end).ok_or("unexpected end of payload")?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn read_varint(&mut self) -> Result<u64, String> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err("varint overflows u64".into());
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err("varint too long".into());
+            }
+        }
+    }
+
+    pub(crate) fn read_u32v(&mut self) -> Result<u32, String> {
+        u32::try_from(self.read_varint()?).map_err(|_| "value exceeds u32".into())
+    }
+
+    fn read_bool(&mut self) -> Result<bool, String> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(format!("bad bool byte {b}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// String interning.
+// ---------------------------------------------------------------------
+
+/// Interns `s`, returning a `&'static str` with the same content.
+/// Decoded events must hold `&'static str` like freshly emitted ones;
+/// the vocabulary is small and fixed (class/reason/site/workload
+/// names), so the leaked pool stays bounded in practice.
+pub fn intern(s: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut guard = match pool.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(&existing) = guard.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
+// ---------------------------------------------------------------------
+// Encoding.
+// ---------------------------------------------------------------------
+
+const KINDS: usize = 31;
+
+fn kind_tag(ev: &Event) -> u8 {
+    match ev {
+        Event::RunStarted { .. } => 0,
+        Event::RunFinished { .. } => 1,
+        Event::SimFault { .. } => 2,
+        Event::LoopDetected { .. } => 3,
+        Event::StageActivated { .. } => 4,
+        Event::CacheAccess { .. } => 5,
+        Event::DependencyVerdict { .. } => 6,
+        Event::LoopClassified { .. } => 7,
+        Event::LoopVectorized { .. } => 8,
+        Event::LoopRejected { .. } => 9,
+        Event::LoopRolledBack { .. } => 10,
+        Event::LoopFinished { .. } => 11,
+        Event::EnginePoisoned { .. } => 12,
+        Event::FaultInjected { .. } => 13,
+        Event::PartialChunk { .. } => 14,
+        Event::SpeculationResolved { .. } => 15,
+        Event::SupervisorRetry { .. } => 16,
+        Event::WorkerPanicked { .. } => 17,
+        Event::DeadlineExceeded { .. } => 18,
+        Event::BreakerOpen { .. } => 19,
+        Event::BreakerHalfOpen { .. } => 20,
+        Event::BreakerClosed { .. } => 21,
+        Event::JobAdmitted { .. } => 22,
+        Event::JobShed { .. } => 23,
+        Event::JobCompleted { .. } => 24,
+        Event::SessionCheckpointed { .. } => 25,
+        Event::SessionMigrated { .. } => 26,
+        Event::ShardKilled { .. } => 27,
+        Event::ShardRecovered { .. } => 28,
+        Event::SnapshotRestored { .. } => 29,
+        Event::SnapshotRejected { .. } => 30,
+    }
+}
+
+fn stage_tag(s: Stage) -> u8 {
+    // infallible: Stage::ALL contains every variant.
+    Stage::ALL.iter().position(|&x| x == s).unwrap_or(0) as u8
+}
+
+fn stage_from_tag(t: u8) -> Result<Stage, String> {
+    Stage::ALL.get(t as usize).copied().ok_or_else(|| format!("bad stage tag {t}"))
+}
+
+fn cache_tag(c: CacheKind) -> u8 {
+    match c {
+        CacheKind::Dsa => 0,
+        CacheKind::Verification => 1,
+        CacheKind::ArrayMap => 2,
+    }
+}
+
+fn cache_from_tag(t: u8) -> Result<CacheKind, String> {
+    match t {
+        0 => Ok(CacheKind::Dsa),
+        1 => Ok(CacheKind::Verification),
+        2 => Ok(CacheKind::ArrayMap),
+        _ => Err(format!("bad cache tag {t}")),
+    }
+}
+
+fn outcome_tag(o: CacheOutcome) -> u8 {
+    match o {
+        CacheOutcome::Hit => 0,
+        CacheOutcome::Miss => 1,
+        CacheOutcome::Insert => 2,
+        CacheOutcome::Evict => 3,
+    }
+}
+
+fn outcome_from_tag(t: u8) -> Result<CacheOutcome, String> {
+    match t {
+        0 => Ok(CacheOutcome::Hit),
+        1 => Ok(CacheOutcome::Miss),
+        2 => Ok(CacheOutcome::Insert),
+        3 => Ok(CacheOutcome::Evict),
+        _ => Err(format!("bad cache-outcome tag {t}")),
+    }
+}
+
+fn spec_tag(k: SpecKind) -> u8 {
+    match k {
+        SpecKind::Sentinel => 0,
+        SpecKind::Conditional => 1,
+    }
+}
+
+fn spec_from_tag(t: u8) -> Result<SpecKind, String> {
+    match t {
+        0 => Ok(SpecKind::Sentinel),
+        1 => Ok(SpecKind::Conditional),
+        _ => Err(format!("bad spec-kind tag {t}")),
+    }
+}
+
+/// Block-local string table builder (first-use order, deduplicated).
+#[derive(Default)]
+struct StringTable {
+    index: BTreeMap<String, u32>,
+    list: Vec<String>,
+}
+
+impl StringTable {
+    fn id(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.index.get(s) {
+            return i;
+        }
+        let i = self.list.len() as u32;
+        self.list.push(s.to_string());
+        self.index.insert(s.to_string(), i);
+        i
+    }
+}
+
+/// Serializes one block's worth of events into an event-block payload.
+fn encode_block(events: &[Event]) -> Vec<u8> {
+    let mut strings = StringTable::default();
+    // Per-kind column buffers: cycles (delta within the kind) followed
+    // by the fixed-order payload fields, event-major.
+    let mut cols: Vec<Vec<u8>> = (0..KINDS).map(|_| Vec::new()).collect();
+    let mut prev_cycle = [0u64; KINDS];
+    let mut kinds = Vec::with_capacity(events.len());
+
+    for ev in events {
+        let tag = kind_tag(ev) as usize;
+        kinds.push(tag as u8);
+        let col = &mut cols[tag];
+        let cycle = ev.cycle();
+        let delta = cycle.wrapping_sub(prev_cycle[tag]) as i64;
+        prev_cycle[tag] = cycle;
+        put_varint(col, zigzag(delta));
+        let mut put_str = |col: &mut Vec<u8>, s: &str| {
+            let id = strings.id(s);
+            put_varint(col, u64::from(id));
+        };
+        match *ev {
+            Event::RunStarted { pc, .. } => put_varint(col, u64::from(pc)),
+            Event::RunFinished { committed, halted, .. } => {
+                put_varint(col, committed);
+                col.push(u8::from(halted));
+            }
+            Event::SimFault { kind, pc, .. } => {
+                put_str(col, kind);
+                put_varint(col, u64::from(pc));
+            }
+            Event::LoopDetected { loop_id, end_pc, .. } => {
+                put_varint(col, u64::from(loop_id));
+                put_varint(col, u64::from(end_pc));
+            }
+            Event::StageActivated { stage, loop_id, dsa_cycles, .. } => {
+                col.push(stage_tag(stage));
+                put_varint(col, u64::from(loop_id));
+                put_varint(col, dsa_cycles);
+            }
+            Event::CacheAccess { cache, outcome, loop_id, count, dsa_cycles, .. } => {
+                col.push(cache_tag(cache));
+                col.push(outcome_tag(outcome));
+                put_varint(col, u64::from(loop_id));
+                put_varint(col, u64::from(count));
+                put_varint(col, dsa_cycles);
+            }
+            Event::DependencyVerdict { loop_id, pairs, distance, dsa_cycles, .. } => {
+                put_varint(col, u64::from(loop_id));
+                put_varint(col, u64::from(pairs));
+                match distance {
+                    None => col.push(0),
+                    Some(d) => {
+                        col.push(1);
+                        put_varint(col, u64::from(d));
+                    }
+                }
+                put_varint(col, dsa_cycles);
+            }
+            Event::LoopClassified { loop_id, class, .. } => {
+                put_varint(col, u64::from(loop_id));
+                put_str(col, class);
+            }
+            Event::LoopVectorized { loop_id, class, planned, peeled, .. } => {
+                put_varint(col, u64::from(loop_id));
+                put_str(col, class);
+                put_varint(col, u64::from(planned));
+                put_varint(col, u64::from(peeled));
+            }
+            Event::LoopRejected { loop_id, class, reason, .. }
+            | Event::LoopRolledBack { loop_id, class, reason, .. } => {
+                put_varint(col, u64::from(loop_id));
+                put_str(col, class);
+                put_str(col, reason);
+            }
+            Event::LoopFinished { loop_id, iters, .. } => {
+                put_varint(col, u64::from(loop_id));
+                put_varint(col, u64::from(iters));
+            }
+            Event::EnginePoisoned { during, expected, .. } => {
+                put_str(col, during);
+                put_str(col, expected);
+            }
+            Event::FaultInjected { site, .. } => put_str(col, site),
+            Event::PartialChunk { loop_id, chunk_iters, dsa_cycles, .. } => {
+                put_varint(col, u64::from(loop_id));
+                put_varint(col, u64::from(chunk_iters));
+                put_varint(col, dsa_cycles);
+            }
+            Event::SpeculationResolved { loop_id, kind, injected, used, discarded, .. } => {
+                put_varint(col, u64::from(loop_id));
+                col.push(spec_tag(kind));
+                put_varint(col, injected);
+                put_varint(col, used);
+                put_varint(col, discarded);
+            }
+            Event::SupervisorRetry { workload, attempt, backoff_ms, .. } => {
+                put_str(col, workload);
+                put_varint(col, u64::from(attempt));
+                put_varint(col, backoff_ms);
+            }
+            Event::WorkerPanicked { workload, .. } | Event::BreakerClosed { workload, .. } => {
+                put_str(col, workload);
+            }
+            Event::DeadlineExceeded { workload, deadline_ms, .. } => {
+                put_str(col, workload);
+                put_varint(col, deadline_ms);
+            }
+            Event::BreakerOpen { workload, failures, .. } => {
+                put_str(col, workload);
+                put_varint(col, u64::from(failures));
+            }
+            Event::BreakerHalfOpen { workload, cooldown_ms, .. } => {
+                put_str(col, workload);
+                put_varint(col, cooldown_ms);
+            }
+            Event::JobAdmitted { job, shard, queue_depth, .. } => {
+                put_varint(col, job);
+                put_varint(col, u64::from(shard));
+                put_varint(col, u64::from(queue_depth));
+            }
+            Event::JobShed { reason, .. } => put_str(col, reason),
+            Event::JobCompleted { job, shard, cache_hit, migrations, latency_ms, .. } => {
+                put_varint(col, job);
+                put_varint(col, u64::from(shard));
+                col.push(u8::from(cache_hit));
+                put_varint(col, u64::from(migrations));
+                put_varint(col, latency_ms);
+            }
+            Event::SessionCheckpointed { job, shard, bytes, commits, .. } => {
+                put_varint(col, job);
+                put_varint(col, u64::from(shard));
+                put_varint(col, bytes);
+                put_varint(col, commits);
+            }
+            Event::SessionMigrated { job, from_shard, .. } => {
+                put_varint(col, job);
+                put_varint(col, u64::from(from_shard));
+            }
+            Event::ShardKilled { shard, drained, .. } => {
+                put_varint(col, u64::from(shard));
+                put_varint(col, u64::from(drained));
+            }
+            Event::ShardRecovered { shard, .. } => put_varint(col, u64::from(shard)),
+            Event::SnapshotRestored { bytes, cache_entries, .. } => {
+                put_varint(col, bytes);
+                put_varint(col, cache_entries);
+            }
+            Event::SnapshotRejected { kind, .. } => put_str(col, kind),
+        }
+    }
+
+    let mut payload = Vec::with_capacity(64 + events.len() * 4);
+    put_varint(&mut payload, events.len() as u64);
+    put_varint(&mut payload, strings.list.len() as u64);
+    for s in &strings.list {
+        put_varint(&mut payload, s.len() as u64);
+        payload.extend_from_slice(s.as_bytes());
+    }
+    payload.extend_from_slice(&kinds);
+    for col in &cols {
+        payload.extend_from_slice(col);
+    }
+    payload
+}
+
+/// Decodes one event of kind `tag` from its column. `cycle` is already
+/// delta-decoded by the caller.
+fn decode_event(
+    tag: u8,
+    cycle: u64,
+    r: &mut Reader<'_>,
+    strings: &[&'static str],
+) -> Result<Event, String> {
+    let get_str = |r: &mut Reader<'_>| -> Result<&'static str, String> {
+        let i = r.read_varint()? as usize;
+        strings.get(i).copied().ok_or_else(|| format!("string index {i} out of range"))
+    };
+    Ok(match tag {
+        0 => Event::RunStarted { pc: r.read_u32v()?, cycle },
+        1 => Event::RunFinished { cycle, committed: r.read_varint()?, halted: r.read_bool()? },
+        2 => Event::SimFault { kind: get_str(r)?, pc: r.read_u32v()?, cycle },
+        3 => Event::LoopDetected { loop_id: r.read_u32v()?, end_pc: r.read_u32v()?, cycle },
+        4 => Event::StageActivated {
+            stage: stage_from_tag(r.read_u8()?)?,
+            loop_id: r.read_u32v()?,
+            dsa_cycles: r.read_varint()?,
+            cycle,
+        },
+        5 => Event::CacheAccess {
+            cache: cache_from_tag(r.read_u8()?)?,
+            outcome: outcome_from_tag(r.read_u8()?)?,
+            loop_id: r.read_u32v()?,
+            count: r.read_u32v()?,
+            dsa_cycles: r.read_varint()?,
+            cycle,
+        },
+        6 => Event::DependencyVerdict {
+            loop_id: r.read_u32v()?,
+            pairs: r.read_u32v()?,
+            distance: match r.read_u8()? {
+                0 => None,
+                1 => Some(r.read_u32v()?),
+                b => return Err(format!("bad option byte {b}")),
+            },
+            dsa_cycles: r.read_varint()?,
+            cycle,
+        },
+        7 => Event::LoopClassified { loop_id: r.read_u32v()?, class: get_str(r)?, cycle },
+        8 => Event::LoopVectorized {
+            loop_id: r.read_u32v()?,
+            class: get_str(r)?,
+            planned: r.read_u32v()?,
+            peeled: r.read_u32v()?,
+            cycle,
+        },
+        9 => Event::LoopRejected {
+            loop_id: r.read_u32v()?,
+            class: get_str(r)?,
+            reason: get_str(r)?,
+            cycle,
+        },
+        10 => Event::LoopRolledBack {
+            loop_id: r.read_u32v()?,
+            class: get_str(r)?,
+            reason: get_str(r)?,
+            cycle,
+        },
+        11 => Event::LoopFinished { loop_id: r.read_u32v()?, iters: r.read_u32v()?, cycle },
+        12 => Event::EnginePoisoned { during: get_str(r)?, expected: get_str(r)?, cycle },
+        13 => Event::FaultInjected { site: get_str(r)?, cycle },
+        14 => Event::PartialChunk {
+            loop_id: r.read_u32v()?,
+            chunk_iters: r.read_u32v()?,
+            dsa_cycles: r.read_varint()?,
+            cycle,
+        },
+        15 => Event::SpeculationResolved {
+            loop_id: r.read_u32v()?,
+            kind: spec_from_tag(r.read_u8()?)?,
+            injected: r.read_varint()?,
+            used: r.read_varint()?,
+            discarded: r.read_varint()?,
+            cycle,
+        },
+        16 => Event::SupervisorRetry {
+            workload: get_str(r)?,
+            attempt: r.read_u32v()?,
+            backoff_ms: r.read_varint()?,
+            cycle,
+        },
+        17 => Event::WorkerPanicked { workload: get_str(r)?, cycle },
+        18 => Event::DeadlineExceeded {
+            workload: get_str(r)?,
+            deadline_ms: r.read_varint()?,
+            cycle,
+        },
+        19 => Event::BreakerOpen { workload: get_str(r)?, failures: r.read_u32v()?, cycle },
+        20 => Event::BreakerHalfOpen {
+            workload: get_str(r)?,
+            cooldown_ms: r.read_varint()?,
+            cycle,
+        },
+        21 => Event::BreakerClosed { workload: get_str(r)?, cycle },
+        22 => Event::JobAdmitted {
+            job: r.read_varint()?,
+            shard: r.read_u32v()?,
+            queue_depth: r.read_u32v()?,
+            cycle,
+        },
+        23 => Event::JobShed { reason: get_str(r)?, cycle },
+        24 => Event::JobCompleted {
+            job: r.read_varint()?,
+            shard: r.read_u32v()?,
+            cache_hit: r.read_bool()?,
+            migrations: r.read_u32v()?,
+            latency_ms: r.read_varint()?,
+            cycle,
+        },
+        25 => Event::SessionCheckpointed {
+            job: r.read_varint()?,
+            shard: r.read_u32v()?,
+            bytes: r.read_varint()?,
+            commits: r.read_varint()?,
+            cycle,
+        },
+        26 => Event::SessionMigrated { job: r.read_varint()?, from_shard: r.read_u32v()?, cycle },
+        27 => Event::ShardKilled { shard: r.read_u32v()?, drained: r.read_u32v()?, cycle },
+        28 => Event::ShardRecovered { shard: r.read_u32v()?, cycle },
+        29 => Event::SnapshotRestored {
+            bytes: r.read_varint()?,
+            cache_entries: r.read_varint()?,
+            cycle,
+        },
+        30 => Event::SnapshotRejected { kind: get_str(r)?, cycle },
+        t => return Err(format!("unknown event kind tag {t}")),
+    })
+}
+
+fn decode_block(payload: &[u8], out: &mut Vec<Event>) -> Result<(), BinError> {
+    let malformed = |e: String| BinError::Malformed(e);
+    let mut r = Reader::new(payload);
+    let n_events = r.read_varint().map_err(malformed)? as usize;
+    if n_events > payload.len() {
+        // A kind byte per event is the floor; reject absurd counts
+        // before allocating.
+        return Err(BinError::Malformed(format!("event count {n_events} exceeds payload")));
+    }
+    let n_strings = r.read_varint().map_err(malformed)? as usize;
+    if n_strings > payload.len() {
+        return Err(BinError::Malformed(format!("string count {n_strings} exceeds payload")));
+    }
+    let mut strings = Vec::with_capacity(n_strings);
+    for _ in 0..n_strings {
+        let len = r.read_varint().map_err(malformed)? as usize;
+        let bytes = r.read_bytes(len).map_err(malformed)?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| BinError::Malformed("string table entry is not UTF-8".into()))?;
+        strings.push(intern(s));
+    }
+    let kinds = r.read_bytes(n_events).map_err(malformed)?.to_vec();
+    let mut counts = [0usize; KINDS];
+    for &k in &kinds {
+        let Some(c) = counts.get_mut(k as usize) else {
+            return Err(BinError::Malformed(format!("unknown event kind tag {k}")));
+        };
+        *c += 1;
+    }
+    // Decode each kind's column group in ascending-tag order, then
+    // re-interleave by walking the kind stream.
+    let mut per_kind: Vec<std::collections::VecDeque<Event>> =
+        (0..KINDS).map(|_| std::collections::VecDeque::new()).collect();
+    for tag in 0..KINDS {
+        let mut prev = 0u64;
+        for _ in 0..counts[tag] {
+            let delta = unzigzag(r.read_varint().map_err(malformed)?);
+            let cycle = prev.wrapping_add(delta as u64);
+            prev = cycle;
+            let ev = decode_event(tag as u8, cycle, &mut r, &strings).map_err(malformed)?;
+            per_kind[tag].push_back(ev);
+        }
+    }
+    if !r.is_empty() {
+        return Err(BinError::Malformed("trailing bytes in event block".into()));
+    }
+    for k in kinds {
+        // infallible by construction: counts[k] events were pushed.
+        match per_kind[k as usize].pop_front() {
+            Some(ev) => out.push(ev),
+            None => return Err(BinError::Malformed("kind stream / column disagreement".into())),
+        }
+    }
+    Ok(())
+}
+
+/// Encodes a complete event stream as one `dsa-tracebin/v1` document.
+pub fn encode(events: &[Event]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(events.len() * 8 + 64);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    push_block(&mut out, BLOCK_HEADER, BIN_SCHEMA.as_bytes());
+    for chunk in events.chunks(EVENTS_PER_BLOCK) {
+        let payload = encode_block(chunk);
+        push_block(&mut out, BLOCK_EVENTS, &payload);
+    }
+    let mut end = Vec::new();
+    put_varint(&mut end, events.len() as u64);
+    push_block(&mut out, BLOCK_END, &end);
+    out
+}
+
+fn push_block(out: &mut Vec<u8>, kind: u8, payload: &[u8]) {
+    let start = out.len();
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Decodes a `dsa-tracebin/v1` document back into its event stream.
+/// Lossless inverse of [`encode`] (and of [`ColumnarWriter`] output).
+pub fn decode(bytes: &[u8]) -> Result<Vec<Event>, BinError> {
+    if bytes.len() < MAGIC.len() + 2 {
+        return Err(if looks_binary(bytes) { BinError::Truncated } else { BinError::BadMagic });
+    }
+    if !looks_binary(bytes) {
+        return Err(BinError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+    if version != VERSION {
+        return Err(BinError::UnsupportedVersion(version));
+    }
+    let mut pos = MAGIC.len() + 2;
+    let mut events = Vec::new();
+    let mut saw_header = false;
+    loop {
+        if pos == bytes.len() {
+            // Stream ended without an end block.
+            return Err(BinError::Truncated);
+        }
+        if bytes.len() - pos < 5 {
+            return Err(BinError::Truncated);
+        }
+        let kind = bytes[pos];
+        let len = u32::from_le_bytes([bytes[pos + 1], bytes[pos + 2], bytes[pos + 3], bytes[pos + 4]])
+            as usize;
+        let payload_start = pos + 5;
+        let crc_start = match payload_start.checked_add(len) {
+            Some(s) => s,
+            None => return Err(BinError::Truncated),
+        };
+        if bytes.len() < crc_start + 4 {
+            return Err(BinError::Truncated);
+        }
+        let want = u32::from_le_bytes([
+            bytes[crc_start],
+            bytes[crc_start + 1],
+            bytes[crc_start + 2],
+            bytes[crc_start + 3],
+        ]);
+        if crc32(&bytes[pos..crc_start]) != want {
+            return Err(BinError::ChecksumMismatch { offset: pos });
+        }
+        let payload = &bytes[payload_start..crc_start];
+        match kind {
+            BLOCK_HEADER => {
+                saw_header = true;
+            }
+            BLOCK_EVENTS => decode_block(payload, &mut events)?,
+            BLOCK_END => {
+                let mut r = Reader::new(payload);
+                let total = r.read_varint().map_err(BinError::Malformed)?;
+                if total != events.len() as u64 {
+                    return Err(BinError::Malformed(format!(
+                        "end block claims {total} events, decoded {}",
+                        events.len()
+                    )));
+                }
+                if crc_start + 4 != bytes.len() {
+                    return Err(BinError::Malformed("bytes after end block".into()));
+                }
+                if !saw_header {
+                    return Err(BinError::Malformed("missing header block".into()));
+                }
+                return Ok(events);
+            }
+            k => return Err(BinError::Malformed(format!("unknown block kind {k}"))),
+        }
+        pos = crc_start + 4;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming writer.
+// ---------------------------------------------------------------------
+
+/// A [`TraceSink`] streaming `dsa-tracebin/v1` to any [`Write`]: the
+/// binary twin of [`crate::JsonlSink`]. Events buffer in blocks of
+/// [`EVENTS_PER_BLOCK`]; `finish` flushes the tail block and writes the
+/// end block. IO errors latch (the trace must never abort a
+/// simulation) and surface through [`ColumnarWriter::take_error`].
+pub struct ColumnarWriter<W: Write> {
+    out: W,
+    buf: Vec<Event>,
+    started: bool,
+    finished: bool,
+    total: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> ColumnarWriter<W> {
+    /// A writer targeting `out`. Nothing is written until the first
+    /// flush (or `finish`, which always produces a valid — possibly
+    /// empty — document).
+    pub fn new(out: W) -> ColumnarWriter<W> {
+        ColumnarWriter { out, buf: Vec::new(), started: false, finished: false, total: 0, error: None }
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.write_all(bytes) {
+            self.error = Some(e);
+        }
+    }
+
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let mut head = Vec::with_capacity(32);
+        head.extend_from_slice(&MAGIC);
+        head.extend_from_slice(&VERSION.to_le_bytes());
+        push_block(&mut head, BLOCK_HEADER, BIN_SCHEMA.as_bytes());
+        self.write_all(&head);
+    }
+
+    fn flush_block(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        self.start();
+        let payload = encode_block(&self.buf);
+        let mut framed = Vec::with_capacity(payload.len() + 16);
+        push_block(&mut framed, BLOCK_EVENTS, &payload);
+        self.write_all(&framed);
+        self.total += self.buf.len() as u64;
+        self.buf.clear();
+    }
+
+    /// The first latched IO error, if any (taking it clears the latch).
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    /// Consumes the writer, returning the underlying output.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl ColumnarWriter<io::BufWriter<std::fs::File>> {
+    /// A writer creating (truncating) the file at `path`.
+    pub fn create(path: &str) -> io::Result<ColumnarWriter<io::BufWriter<std::fs::File>>> {
+        Ok(ColumnarWriter::new(io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write> TraceSink for ColumnarWriter<W> {
+    fn record(&mut self, ev: &Event) {
+        if self.finished {
+            return;
+        }
+        self.buf.push(*ev);
+        if self.buf.len() >= EVENTS_PER_BLOCK {
+            self.flush_block();
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.flush_block();
+        self.start();
+        let mut end = Vec::new();
+        put_varint(&mut end, self.total);
+        let mut framed = Vec::new();
+        push_block(&mut framed, BLOCK_END, &end);
+        self.write_all(&framed);
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::RunStarted { pc: 0, cycle: 0 },
+            Event::LoopDetected { loop_id: 64, end_pc: 96, cycle: 120 },
+            Event::StageActivated { stage: Stage::LoopDetection, loop_id: 64, dsa_cycles: 1, cycle: 121 },
+            Event::CacheAccess {
+                cache: CacheKind::Dsa,
+                outcome: CacheOutcome::Miss,
+                loop_id: 64,
+                count: 1,
+                dsa_cycles: 2,
+                cycle: 121,
+            },
+            Event::DependencyVerdict { loop_id: 64, pairs: 2, distance: None, dsa_cycles: 6, cycle: 300 },
+            Event::DependencyVerdict { loop_id: 64, pairs: 2, distance: Some(4), dsa_cycles: 6, cycle: 310 },
+            Event::LoopClassified { loop_id: 64, class: "count", cycle: 311 },
+            Event::LoopVectorized { loop_id: 64, class: "count", planned: 96, peeled: 2, cycle: 320 },
+            Event::SpeculationResolved {
+                kind: SpecKind::Sentinel,
+                loop_id: 64,
+                injected: 128,
+                used: 96,
+                discarded: 32,
+                cycle: 900,
+            },
+            Event::JobCompleted { job: 7, shard: 2, cache_hit: true, migrations: 1, latency_ms: 12, cycle: 0 },
+            Event::SnapshotRejected { kind: "bad-crc", cycle: 0 },
+            Event::RunFinished { cycle: 1000, committed: 512, halted: true },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_events() {
+        let events = sample_events();
+        let bytes = encode(&events);
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn round_trip_empty_stream() {
+        let bytes = encode(&[]);
+        assert!(looks_binary(&bytes));
+        assert_eq!(decode(&bytes).expect("decode"), Vec::<Event>::new());
+    }
+
+    #[test]
+    fn writer_matches_one_shot_encode() {
+        let events = sample_events();
+        let mut w = ColumnarWriter::new(Vec::new());
+        for ev in &events {
+            w.record(ev);
+        }
+        w.finish();
+        assert!(w.take_error().is_none());
+        assert_eq!(w.into_inner(), encode(&events));
+    }
+
+    #[test]
+    fn writer_splits_blocks_and_still_round_trips() {
+        // Force multiple blocks through the streaming writer.
+        let mut events = Vec::new();
+        for i in 0..(EVENTS_PER_BLOCK as u64 * 2 + 17) {
+            events.push(Event::StageActivated {
+                stage: Stage::ALL[(i % 6) as usize],
+                loop_id: (i % 13) as u32,
+                dsa_cycles: i % 7,
+                cycle: i * 3,
+            });
+        }
+        let mut w = ColumnarWriter::new(Vec::new());
+        for ev in &events {
+            w.record(ev);
+        }
+        w.finish();
+        let bytes = w.into_inner();
+        assert_eq!(decode(&bytes).expect("decode"), events);
+    }
+
+    #[test]
+    fn non_monotone_and_extreme_cycles_survive() {
+        let events = vec![
+            Event::ShardKilled { shard: 1, drained: 3, cycle: u64::MAX },
+            Event::ShardKilled { shard: 1, drained: 0, cycle: 0 },
+            Event::ShardKilled { shard: 2, drained: 9, cycle: u64::MAX / 2 },
+        ];
+        let bytes = encode(&events);
+        assert_eq!(decode(&bytes).expect("decode"), events);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode(&sample_events());
+        for cut in [0, 4, 9, 12, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode(&bytes[..cut]).expect_err("truncated trace must not decode");
+            assert!(
+                matches!(err, BinError::Truncated | BinError::BadMagic),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = encode(&sample_events());
+        let original = decode(&bytes).expect("decode");
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                match decode(&bad) {
+                    Err(_) => {}
+                    Ok(events) => panic!(
+                        "bit flip at byte {byte} bit {bit} decoded silently ({} events vs {})",
+                        events.len(),
+                        original.len()
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interning_yields_equal_static_strs() {
+        let a = intern("count");
+        let b = intern(&String::from("count"));
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a, b), "interned copies must share storage");
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_jsonl() {
+        let mut events = Vec::new();
+        for i in 0..500u64 {
+            events.push(Event::StageActivated {
+                stage: Stage::ALL[(i % 6) as usize],
+                loop_id: (i % 13) as u32,
+                dsa_cycles: i % 7,
+                cycle: i * 11,
+            });
+        }
+        let jsonl: usize = events.iter().map(|e| e.to_json_line().len() + 1).sum();
+        let bin = encode(&events).len();
+        assert!(bin * 5 <= jsonl, "binary {bin} bytes vs jsonl {jsonl} bytes: < 5x");
+    }
+}

@@ -46,6 +46,11 @@ impl Stage {
             Stage::SpeculativeExecution => "speculative-execution",
         }
     }
+
+    /// Inverse of [`Stage::name`] (used by the JSONL/binary readers).
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.iter().copied().find(|s| s.name() == name)
+    }
 }
 
 /// Which private DSA memory a [`Event::CacheAccess`] touched.
@@ -67,6 +72,13 @@ impl CacheKind {
             CacheKind::Verification => "verification-cache",
             CacheKind::ArrayMap => "array-map",
         }
+    }
+
+    /// Inverse of [`CacheKind::name`].
+    pub fn from_name(name: &str) -> Option<CacheKind> {
+        [CacheKind::Dsa, CacheKind::Verification, CacheKind::ArrayMap]
+            .into_iter()
+            .find(|c| c.name() == name)
     }
 }
 
@@ -93,6 +105,13 @@ impl CacheOutcome {
             CacheOutcome::Evict => "evict",
         }
     }
+
+    /// Inverse of [`CacheOutcome::name`].
+    pub fn from_name(name: &str) -> Option<CacheOutcome> {
+        [CacheOutcome::Hit, CacheOutcome::Miss, CacheOutcome::Insert, CacheOutcome::Evict]
+            .into_iter()
+            .find(|o| o.name() == name)
+    }
 }
 
 /// Which speculative mechanism a [`Event::SpeculationResolved`] closes.
@@ -111,6 +130,11 @@ impl SpecKind {
             SpecKind::Sentinel => "sentinel",
             SpecKind::Conditional => "conditional",
         }
+    }
+
+    /// Inverse of [`SpecKind::name`].
+    pub fn from_name(name: &str) -> Option<SpecKind> {
+        [SpecKind::Sentinel, SpecKind::Conditional].into_iter().find(|k| k.name() == name)
     }
 }
 

@@ -141,13 +141,9 @@ const V1_EVENTS: &[(&str, &[&str])] = &[
     ("shard-recovered", &["shard"]),
 ];
 
-/// Validates one line of a v1 JSONL stream. `is_first` selects the
-/// header rules; later lines must be known event records.
-///
-/// # Errors
-///
-/// Returns a human-readable description of the first violation.
-pub fn validate_line(line: &str, is_first: bool) -> Result<(), String> {
+/// Validates one line, collecting forward-compat warnings (unknown
+/// event fields) into `warnings` when provided.
+fn check_line(line: &str, is_first: bool, warnings: Option<&mut Vec<String>>) -> Result<(), String> {
     if line.contains('\n') {
         return Err("line contains an embedded newline".to_string());
     }
@@ -187,7 +183,45 @@ pub fn validate_line(line: &str, is_first: bool) -> Result<(), String> {
             return Err(format!("event \"{ty}\" missing field \"{field}\""));
         }
     }
+    // Forward compat: field *additions* are legal within a schema
+    // version, so an unknown field from a newer v1.x producer warns
+    // instead of failing.
+    if let (Some(warnings), Some(obj)) = (warnings, v.as_obj()) {
+        for key in obj.keys() {
+            let known = key == "record"
+                || key == "type"
+                || key == "cycle"
+                || required.contains(&key.as_str());
+            if !known {
+                warnings.push(format!("event \"{ty}\": unknown field \"{key}\" (tolerated)"));
+            }
+        }
+    }
     Ok(())
+}
+
+/// Validates one line of a v1 JSONL stream. `is_first` selects the
+/// header rules; later lines must be known event records. Unknown
+/// event *fields* are tolerated (see [`validate_line_verbose`] to
+/// collect them as warnings); unknown event *types* are errors.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_line(line: &str, is_first: bool) -> Result<(), String> {
+    check_line(line, is_first, None)
+}
+
+/// Like [`validate_line`], additionally returning one warning per
+/// unknown event field encountered.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_line_verbose(line: &str, is_first: bool) -> Result<Vec<String>, String> {
+    let mut warnings = Vec::new();
+    check_line(line, is_first, Some(&mut warnings))?;
+    Ok(warnings)
 }
 
 /// Validates a whole JSONL document; returns the number of event
@@ -198,13 +232,26 @@ pub fn validate_line(line: &str, is_first: bool) -> Result<(), String> {
 /// Returns `(line_number, description)` of the first violation (line
 /// numbers are 1-based).
 pub fn validate_document(text: &str) -> Result<u64, (usize, String)> {
+    validate_document_verbose(text).map(|(events, _)| events)
+}
+
+/// Like [`validate_document`], additionally returning forward-compat
+/// warnings (`"line N: ..."`) for unknown event fields.
+///
+/// # Errors
+///
+/// Returns `(line_number, description)` of the first violation.
+pub fn validate_document_verbose(text: &str) -> Result<(u64, Vec<String>), (usize, String)> {
     let mut events = 0u64;
     let mut saw_any = false;
+    let mut warnings = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.is_empty() {
             return Err((i + 1, "blank line".to_string()));
         }
-        validate_line(line, i == 0).map_err(|e| (i + 1, e))?;
+        let mut line_warnings = Vec::new();
+        check_line(line, i == 0, Some(&mut line_warnings)).map_err(|e| (i + 1, e))?;
+        warnings.extend(line_warnings.into_iter().map(|w| format!("line {}: {w}", i + 1)));
         if i > 0 {
             events += 1;
         }
@@ -213,7 +260,202 @@ pub fn validate_document(text: &str) -> Result<u64, (usize, String)> {
     if !saw_any {
         return Err((1, "empty document (header required)".to_string()));
     }
-    Ok(events)
+    Ok((events, warnings))
+}
+
+/// Reconstructs a typed [`Event`] from a parsed event record. Unknown
+/// fields are ignored (forward compat); strings are interned via
+/// [`crate::columnar::intern`] so the result compares equal to a
+/// freshly emitted event.
+///
+/// # Errors
+///
+/// Returns a description of the first missing/ill-typed field, or of
+/// an unknown event type.
+pub fn event_from_value(v: &Value) -> Result<Event, String> {
+    use crate::columnar::intern;
+    use crate::event::{CacheKind, CacheOutcome, SpecKind, Stage};
+
+    let ty = v
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "event missing string field \"type\"".to_string())?;
+    let u = |name: &str| -> Result<u64, String> {
+        v.get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event \"{ty}\" missing unsigned field \"{name}\""))
+    };
+    let u32f = |name: &str| -> Result<u32, String> {
+        u32::try_from(u(name)?).map_err(|_| format!("event \"{ty}\": field \"{name}\" exceeds u32"))
+    };
+    let b = |name: &str| -> Result<bool, String> {
+        v.get(name)
+            .and_then(Value::as_bool)
+            .ok_or_else(|| format!("event \"{ty}\" missing bool field \"{name}\""))
+    };
+    let s = |name: &str| -> Result<&'static str, String> {
+        v.get(name)
+            .and_then(Value::as_str)
+            .map(intern)
+            .ok_or_else(|| format!("event \"{ty}\" missing string field \"{name}\""))
+    };
+    let cycle = u("cycle")?;
+    Ok(match ty {
+        "run-started" => Event::RunStarted { pc: u32f("pc")?, cycle },
+        "run-finished" => Event::RunFinished { cycle, committed: u("committed")?, halted: b("halted")? },
+        "sim-fault" => Event::SimFault { kind: s("kind")?, pc: u32f("pc")?, cycle },
+        "loop-detected" => Event::LoopDetected { loop_id: u32f("loop")?, end_pc: u32f("end_pc")?, cycle },
+        "stage-activated" => Event::StageActivated {
+            stage: Stage::from_name(s("stage")?)
+                .ok_or_else(|| format!("unknown stage \"{}\"", s("stage").unwrap_or("?")))?,
+            loop_id: u32f("loop")?,
+            dsa_cycles: u("dsa_cycles")?,
+            cycle,
+        },
+        "cache-access" => Event::CacheAccess {
+            cache: CacheKind::from_name(s("cache")?)
+                .ok_or_else(|| format!("unknown cache \"{}\"", s("cache").unwrap_or("?")))?,
+            outcome: CacheOutcome::from_name(s("outcome")?)
+                .ok_or_else(|| format!("unknown outcome \"{}\"", s("outcome").unwrap_or("?")))?,
+            loop_id: u32f("loop")?,
+            count: u32f("count")?,
+            dsa_cycles: u("dsa_cycles")?,
+            cycle,
+        },
+        "dependency-verdict" => Event::DependencyVerdict {
+            loop_id: u32f("loop")?,
+            pairs: u32f("pairs")?,
+            distance: match v.get("distance") {
+                None => return Err(format!("event \"{ty}\" missing field \"distance\"")),
+                Some(Value::Null) => None,
+                Some(d) => Some(
+                    d.as_u64()
+                        .and_then(|d| u32::try_from(d).ok())
+                        .ok_or_else(|| format!("event \"{ty}\": bad \"distance\""))?,
+                ),
+            },
+            dsa_cycles: u("dsa_cycles")?,
+            cycle,
+        },
+        "loop-classified" => Event::LoopClassified { loop_id: u32f("loop")?, class: s("class")?, cycle },
+        "loop-vectorized" => Event::LoopVectorized {
+            loop_id: u32f("loop")?,
+            class: s("class")?,
+            planned: u32f("planned")?,
+            peeled: u32f("peeled")?,
+            cycle,
+        },
+        "loop-rejected" => Event::LoopRejected {
+            loop_id: u32f("loop")?,
+            class: s("class")?,
+            reason: s("reason")?,
+            cycle,
+        },
+        "loop-rolled-back" => Event::LoopRolledBack {
+            loop_id: u32f("loop")?,
+            class: s("class")?,
+            reason: s("reason")?,
+            cycle,
+        },
+        "loop-finished" => Event::LoopFinished { loop_id: u32f("loop")?, iters: u32f("iters")?, cycle },
+        "engine-poisoned" => Event::EnginePoisoned { during: s("during")?, expected: s("expected")?, cycle },
+        "fault-injected" => Event::FaultInjected { site: s("site")?, cycle },
+        "partial-chunk" => Event::PartialChunk {
+            loop_id: u32f("loop")?,
+            chunk_iters: u32f("chunk_iters")?,
+            dsa_cycles: u("dsa_cycles")?,
+            cycle,
+        },
+        "speculation-resolved" => Event::SpeculationResolved {
+            loop_id: u32f("loop")?,
+            kind: SpecKind::from_name(s("kind")?)
+                .ok_or_else(|| format!("unknown spec kind \"{}\"", s("kind").unwrap_or("?")))?,
+            injected: u("injected")?,
+            used: u("used")?,
+            discarded: u("discarded")?,
+            cycle,
+        },
+        "supervisor-retry" => Event::SupervisorRetry {
+            workload: s("workload")?,
+            attempt: u32f("attempt")?,
+            backoff_ms: u("backoff_ms")?,
+            cycle,
+        },
+        "worker-panicked" => Event::WorkerPanicked { workload: s("workload")?, cycle },
+        "deadline-exceeded" => Event::DeadlineExceeded {
+            workload: s("workload")?,
+            deadline_ms: u("deadline_ms")?,
+            cycle,
+        },
+        "breaker-open" => Event::BreakerOpen { workload: s("workload")?, failures: u32f("failures")?, cycle },
+        "breaker-half-open" => Event::BreakerHalfOpen {
+            workload: s("workload")?,
+            cooldown_ms: u("cooldown_ms")?,
+            cycle,
+        },
+        "breaker-closed" => Event::BreakerClosed { workload: s("workload")?, cycle },
+        "job-admitted" => Event::JobAdmitted {
+            job: u("job")?,
+            shard: u32f("shard")?,
+            queue_depth: u32f("queue_depth")?,
+            cycle,
+        },
+        "job-shed" => Event::JobShed { reason: s("reason")?, cycle },
+        "job-completed" => Event::JobCompleted {
+            job: u("job")?,
+            shard: u32f("shard")?,
+            cache_hit: b("cache_hit")?,
+            migrations: u32f("migrations")?,
+            latency_ms: u("latency_ms")?,
+            cycle,
+        },
+        "session-checkpointed" => Event::SessionCheckpointed {
+            job: u("job")?,
+            shard: u32f("shard")?,
+            bytes: u("bytes")?,
+            commits: u("commits")?,
+            cycle,
+        },
+        "session-migrated" => Event::SessionMigrated { job: u("job")?, from_shard: u32f("from_shard")?, cycle },
+        "shard-killed" => Event::ShardKilled { shard: u32f("shard")?, drained: u32f("drained")?, cycle },
+        "shard-recovered" => Event::ShardRecovered { shard: u32f("shard")?, cycle },
+        "snapshot-restored" => Event::SnapshotRestored {
+            bytes: u("bytes")?,
+            cache_entries: u("cache_entries")?,
+            cycle,
+        },
+        "snapshot-rejected" => Event::SnapshotRejected { kind: s("kind")?, cycle },
+        other => return Err(format!("unknown event type \"{other}\"")),
+    })
+}
+
+/// Parses a whole v1 JSONL document back into its typed event stream,
+/// plus forward-compat warnings for unknown fields.
+///
+/// # Errors
+///
+/// Returns `(line_number, description)` of the first violation.
+pub fn parse_document(text: &str) -> Result<(Vec<Event>, Vec<String>), (usize, String)> {
+    let mut events = Vec::new();
+    let mut warnings = Vec::new();
+    let mut saw_any = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            return Err((i + 1, "blank line".to_string()));
+        }
+        let mut line_warnings = Vec::new();
+        check_line(line, i == 0, Some(&mut line_warnings)).map_err(|e| (i + 1, e))?;
+        warnings.extend(line_warnings.into_iter().map(|w| format!("line {}: {w}", i + 1)));
+        if i > 0 {
+            let v = json::parse(line).map_err(|e| (i + 1, e.to_string()))?;
+            events.push(event_from_value(&v).map_err(|e| (i + 1, e))?);
+        }
+        saw_any = true;
+    }
+    if !saw_any {
+        return Err((1, "empty document (header required)".to_string()));
+    }
+    Ok((events, warnings))
 }
 
 #[cfg(test)]
@@ -314,6 +556,47 @@ mod tests {
         let missing_field =
             format!("{}\n{{\"record\":\"event\",\"type\":\"loop-detected\",\"cycle\":1}}", header_line());
         assert!(validate_document(&missing_field).unwrap_err().1.contains("missing field"));
+    }
+
+    #[test]
+    fn unknown_event_fields_warn_but_validate() {
+        // A v1.x producer added a field this reader doesn't know; the
+        // document must stay valid and the field must surface as a
+        // warning, not an error.
+        let doc = format!(
+            "{}\n{{\"record\":\"event\",\"type\":\"loop-detected\",\"cycle\":7,\"loop\":64,\"end_pc\":96,\"confidence\":0.97}}",
+            header_line()
+        );
+        assert_eq!(validate_document(&doc), Ok(1));
+        let (events, warnings) = validate_document_verbose(&doc).expect("valid");
+        assert_eq!(events, 1);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("line 2"), "{warnings:?}");
+        assert!(warnings[0].contains("\"confidence\""), "{warnings:?}");
+        assert!(warnings[0].contains("tolerated"), "{warnings:?}");
+        // The typed reader ignores the unknown field entirely.
+        let (parsed, parse_warnings) = parse_document(&doc).expect("parses");
+        assert_eq!(parsed, vec![Event::LoopDetected { loop_id: 64, end_pc: 96, cycle: 7 }]);
+        assert_eq!(parse_warnings.len(), 1);
+        // Missing *required* fields still fail.
+        let missing = format!(
+            "{}\n{{\"record\":\"event\",\"type\":\"loop-detected\",\"cycle\":7,\"loop\":64}}",
+            header_line()
+        );
+        assert!(validate_document_verbose(&missing).is_err());
+    }
+
+    #[test]
+    fn parse_document_round_trips_every_variant() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for ev in one_of_each() {
+            sink.record(&ev);
+        }
+        sink.finish();
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        let (events, warnings) = parse_document(&text).expect("parses");
+        assert_eq!(events, one_of_each());
+        assert!(warnings.is_empty(), "{warnings:?}");
     }
 
     #[test]

@@ -36,18 +36,27 @@
 //! builds offline); both exporters hand-roll their JSON and
 //! [`json::parse`] reads it back for validation and reporting.
 
+pub mod columnar;
 pub mod event;
 pub mod json;
 pub mod jsonl;
 pub mod loops;
 pub mod metrics;
 pub mod perfetto;
+pub mod query;
+pub mod sample;
 
+pub use columnar::{decode, encode, intern, looks_binary, BinError, ColumnarWriter, BIN_SCHEMA};
 pub use event::{CacheKind, CacheOutcome, Event, SpecKind, Stage, SCHEMA};
-pub use jsonl::{header_line, validate_document, validate_line, JsonlSink};
+pub use jsonl::{
+    event_from_value, header_line, parse_document, validate_document, validate_document_verbose,
+    validate_line, validate_line_verbose, JsonlSink,
+};
 pub use loops::{LoopRow, LoopTableSink};
-pub use metrics::{Histogram, MetricsRegistry, SharedMetrics};
+pub use metrics::{Histogram, MetricsRegistry, SharedMetrics, WireError};
 pub use perfetto::PerfettoSink;
+pub use query::{read_trace, Charge, CidpTally, LoadedTrace, Rollup, TraceFormat, WorkloadTally};
+pub use sample::SamplingSink;
 
 /// A consumer of the telemetry stream. `record` must not panic — sinks
 /// swallow their own IO errors and report them out of band, because a
@@ -58,6 +67,16 @@ pub trait TraceSink {
 
     /// Stream end: flush buffers, write footers. Must be idempotent.
     fn finish(&mut self) {}
+}
+
+impl<T: TraceSink + ?Sized> TraceSink for Box<T> {
+    fn record(&mut self, ev: &Event) {
+        (**self).record(ev);
+    }
+
+    fn finish(&mut self) {
+        (**self).finish();
+    }
 }
 
 /// The emitting side's handle: either disabled (free) or an attached

@@ -40,8 +40,9 @@ impl Histogram {
     /// wrapping (cycle totals can't reach `u64::MAX` in practice, but
     /// the sink must not panic on any input).
     pub fn record(&mut self, v: u64) {
-        self.buckets[Histogram::bucket_of(v)] += 1;
-        self.count += 1;
+        let b = &mut self.buckets[Histogram::bucket_of(v)];
+        *b = b.saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
@@ -80,12 +81,13 @@ impl Histogram {
         }
     }
 
-    /// Folds `other` into `self` (exact: buckets add).
+    /// Folds `other` into `self` (exact while counts fit; every field
+    /// saturates rather than wrapping on adversarial inputs).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -153,13 +155,14 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    /// Adds `n` to counter `key`.
+    /// Adds `n` to counter `key` (saturating: a monotone counter must
+    /// never panic or wrap back to small values).
     pub fn add(&mut self, key: &str, n: u64) {
         if n == 0 {
             return;
         }
         if let Some(c) = self.counters.get_mut(key) {
-            *c += n;
+            *c = c.saturating_add(n);
         } else {
             self.counters.insert(key.to_string(), n);
         }
@@ -247,6 +250,109 @@ impl MetricsRegistry {
         out
     }
 
+    /// Serializes the registry as a compact wire snapshot — the format
+    /// each supervised shard ships its metric deltas in. Layout:
+    /// magic, varint-counted sections (counters, histograms, class
+    /// attributions), all integers LEB128, trailed by a CRC-32 over
+    /// everything before it. A shard-to-frontend delta for a soak is a
+    /// few KB where the JSON report is tens.
+    pub fn to_wire(&self) -> Vec<u8> {
+        use crate::columnar::put_varint;
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(&WIRE_MAGIC);
+        put_varint(&mut out, self.counters.len() as u64);
+        for (k, &v) in &self.counters {
+            put_varint(&mut out, k.len() as u64);
+            out.extend_from_slice(k.as_bytes());
+            put_varint(&mut out, v);
+        }
+        put_varint(&mut out, self.hists.len() as u64);
+        for (k, h) in &self.hists {
+            put_varint(&mut out, k.len() as u64);
+            out.extend_from_slice(k.as_bytes());
+            put_varint(&mut out, h.count);
+            put_varint(&mut out, h.sum);
+            put_varint(&mut out, h.min);
+            put_varint(&mut out, h.max);
+            for &b in &h.buckets {
+                put_varint(&mut out, b);
+            }
+        }
+        put_varint(&mut out, self.classes.len() as u64);
+        for (&id, class) in &self.classes {
+            put_varint(&mut out, u64::from(id));
+            put_varint(&mut out, class.len() as u64);
+            out.extend_from_slice(class.as_bytes());
+        }
+        let crc = crate::columnar::crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes a [`MetricsRegistry::to_wire`] snapshot. Lossless:
+    /// `from_wire(&m.to_wire()) == Ok(m)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on bad magic, checksum mismatch or
+    /// structural damage.
+    pub fn from_wire(bytes: &[u8]) -> Result<MetricsRegistry, WireError> {
+        use crate::columnar::{intern, Reader};
+        if bytes.len() < WIRE_MAGIC.len() + 4 {
+            return Err(WireError::Truncated);
+        }
+        if bytes[..WIRE_MAGIC.len()] != WIRE_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let want = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        if crate::columnar::crc32(body) != want {
+            return Err(WireError::ChecksumMismatch);
+        }
+        let malformed = WireError::Malformed;
+        let mut r = Reader::new(&body[WIRE_MAGIC.len()..]);
+        let read_key = |r: &mut Reader<'_>| -> Result<String, WireError> {
+            let len = r.read_varint().map_err(malformed)? as usize;
+            let raw = r.read_bytes(len).map_err(malformed)?;
+            std::str::from_utf8(raw)
+                .map(str::to_string)
+                .map_err(|_| WireError::Malformed("key is not UTF-8".into()))
+        };
+        let mut m = MetricsRegistry::new();
+        let n_counters = r.read_varint().map_err(malformed)?;
+        for _ in 0..n_counters {
+            let k = read_key(&mut r)?;
+            let v = r.read_varint().map_err(malformed)?;
+            m.counters.insert(k, v);
+        }
+        let n_hists = r.read_varint().map_err(malformed)?;
+        for _ in 0..n_hists {
+            let k = read_key(&mut r)?;
+            let mut h = Histogram {
+                count: r.read_varint().map_err(malformed)?,
+                sum: r.read_varint().map_err(malformed)?,
+                min: r.read_varint().map_err(malformed)?,
+                max: r.read_varint().map_err(malformed)?,
+                ..Histogram::default()
+            };
+            for b in &mut h.buckets {
+                *b = r.read_varint().map_err(malformed)?;
+            }
+            m.hists.insert(k, h);
+        }
+        let n_classes = r.read_varint().map_err(malformed)?;
+        for _ in 0..n_classes {
+            let id = r.read_varint().map_err(malformed)?;
+            let id = u32::try_from(id).map_err(|_| WireError::Malformed("loop id exceeds u32".into()))?;
+            let class = read_key(&mut r)?;
+            m.classes.insert(id, intern(&class));
+        }
+        if !r.is_empty() {
+            return Err(WireError::Malformed("trailing bytes".into()));
+        }
+        Ok(m)
+    }
+
     /// JSON report: `{"counters":{...},"histograms":{...}}`.
     pub fn report_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
@@ -283,11 +389,40 @@ impl MetricsRegistry {
     }
 }
 
+/// Magic prefixing a [`MetricsRegistry::to_wire`] snapshot.
+const WIRE_MAGIC: [u8; 4] = *b"DMW1";
+
+/// Why a metrics wire snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Shorter than magic + checksum.
+    Truncated,
+    /// Not a metrics wire snapshot.
+    BadMagic,
+    /// CRC-32 trailer mismatch.
+    ChecksumMismatch,
+    /// Structurally invalid contents inside a CRC-valid frame.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "metrics snapshot truncated"),
+            WireError::BadMagic => write!(f, "not a metrics wire snapshot (bad magic)"),
+            WireError::ChecksumMismatch => write!(f, "metrics snapshot checksum mismatch"),
+            WireError::Malformed(why) => write!(f, "malformed metrics snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
 impl TraceSink for MetricsRegistry {
     fn record(&mut self, ev: &Event) {
         self.bump(&format!("event.{}", ev.type_name()));
         match *ev {
-            Event::RunStarted { .. } => {}
+            Event::RunStarted { .. } => self.bump("run.started"),
             Event::RunFinished { committed, .. } => self.add("run.committed", committed),
             Event::SimFault { kind, .. } => self.bump(&format!("sim.fault.{kind}")),
             Event::LoopDetected { .. } => self.bump("loop.detected"),
@@ -427,20 +562,39 @@ impl SharedMetrics {
         SharedMetrics::default()
     }
 
+    /// The registry under the lock. Poisoning is tolerated everywhere:
+    /// metrics outlive the panicking worker that shared them (the serve
+    /// path catches injected crashes at the supervision boundary and
+    /// keeps recording), and a partially updated registry is still
+    /// valid telemetry.
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// A copy of the registry's current contents.
     pub fn snapshot(&self) -> MetricsRegistry {
-        self.0.lock().expect("metrics poisoned").clone()
+        self.lock().clone()
     }
 
     /// Runs `f` on the registry under the lock.
     pub fn with<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
-        f(&mut self.0.lock().expect("metrics poisoned"))
+        f(&mut self.lock())
+    }
+
+    /// Takes the accumulated contents, leaving the registry empty —
+    /// the delta-shipping primitive: each call returns only what
+    /// arrived since the previous one.
+    pub fn drain(&self) -> MetricsRegistry {
+        std::mem::take(&mut *self.lock())
     }
 }
 
 impl TraceSink for SharedMetrics {
     fn record(&mut self, ev: &Event) {
-        self.0.lock().expect("metrics poisoned").record(ev);
+        self.lock().record(ev);
     }
 }
 
@@ -520,5 +674,138 @@ mod tests {
         a.record(&Event::LoopDetected { loop_id: 1, end_pc: 2, cycle: 0 });
         b.record(&Event::LoopDetected { loop_id: 1, end_pc: 2, cycle: 1 });
         assert_eq!(shared.snapshot().counter("loop.detected"), 2);
+    }
+
+    #[test]
+    fn merge_at_bucket_boundaries_is_exact() {
+        // Values sitting exactly on power-of-two bucket edges must land
+        // in the same bucket whether recorded into one histogram or
+        // recorded separately and merged.
+        let edges: Vec<u64> = (0..BUCKETS as u32)
+            .flat_map(|i| {
+                let lo = 1u64 << i;
+                [lo - 1, lo, lo + 1]
+            })
+            .collect();
+        let mut whole = Histogram::default();
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        for (i, &v) in edges.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole, "merge must be exactly record-order-insensitive");
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+        assert_eq!(left.sum(), whole.sum());
+    }
+
+    #[test]
+    fn counter_add_saturates_instead_of_panicking() {
+        let mut m = MetricsRegistry::new();
+        m.add("big", u64::MAX - 1);
+        m.add("big", 5);
+        assert_eq!(m.counter("big"), u64::MAX);
+        m.add("big", 1);
+        assert_eq!(m.counter("big"), u64::MAX, "saturated counter must stay pinned");
+        // Merging two saturating registries must not wrap either.
+        let mut other = MetricsRegistry::new();
+        other.add("big", u64::MAX);
+        m.merge(&other);
+        assert_eq!(m.counter("big"), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_saturates_at_extremes() {
+        let mut a = Histogram::default();
+        a.record(u64::MAX);
+        let mut sat = a;
+        for _ in 0..4 {
+            let copy = sat;
+            sat.merge(&copy); // doubles count/buckets; sum saturates
+        }
+        assert_eq!(sat.count(), 16);
+        assert_eq!(sat.sum(), u64::MAX, "sum must saturate, not wrap");
+        assert_eq!(sat.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_of_empty_is_identity_both_ways() {
+        let mut m = MetricsRegistry::new();
+        m.record(&Event::LoopDetected { loop_id: 4, end_pc: 40, cycle: 10 });
+        m.record(&Event::LoopClassified { loop_id: 4, class: "count", cycle: 12 });
+        m.observe("x.cycles", 7);
+        let before = m.clone();
+        m.merge(&MetricsRegistry::new());
+        assert_eq!(m, before, "merging an empty registry must change nothing");
+        let mut empty = MetricsRegistry::new();
+        empty.merge(&before);
+        assert_eq!(empty, before, "merging into an empty registry must copy exactly");
+        // Empty histograms (min = u64::MAX sentinel) merge as identity too.
+        let mut h = Histogram::default();
+        h.record(42);
+        let with = h;
+        h.merge(&Histogram::default());
+        assert_eq!(h, with);
+        assert_eq!(h.min(), 42);
+    }
+
+    #[test]
+    fn wire_snapshot_round_trips() {
+        let mut m = MetricsRegistry::new();
+        m.record(&Event::LoopDetected { loop_id: 4, end_pc: 40, cycle: 10 });
+        m.record(&Event::LoopClassified { loop_id: 4, class: "count", cycle: 12 });
+        m.record(&Event::LoopFinished { loop_id: 4, iters: 31, cycle: 90 });
+        m.observe("stage.mapping.cycles", 3);
+        m.add("big", u64::MAX);
+        let wire = m.to_wire();
+        let back = MetricsRegistry::from_wire(&wire).expect("decodes");
+        assert_eq!(back, m, "wire snapshot must be lossless");
+        // And it should merge like the original (class attribution kept).
+        let mut fleet = MetricsRegistry::new();
+        fleet.merge(&back);
+        assert_eq!(fleet.counter("class.count.covered_iters"), 31);
+    }
+
+    #[test]
+    fn wire_snapshot_rejects_damage() {
+        let m = {
+            let mut m = MetricsRegistry::new();
+            m.add("a.b", 3);
+            m.observe("h", 9);
+            m
+        };
+        let wire = m.to_wire();
+        assert_eq!(MetricsRegistry::from_wire(&[]), Err(WireError::Truncated));
+        assert_eq!(MetricsRegistry::from_wire(b"XXXX12345678"), Err(WireError::BadMagic));
+        for byte in 0..wire.len() {
+            for bit in 0..8 {
+                let mut bad = wire.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    MetricsRegistry::from_wire(&bad).is_err(),
+                    "bit flip at byte {byte} bit {bit} decoded silently"
+                );
+            }
+        }
+        let truncated = &wire[..wire.len() - 1];
+        assert!(MetricsRegistry::from_wire(truncated).is_err());
+    }
+
+    #[test]
+    fn drain_takes_the_delta() {
+        let shared = SharedMetrics::new();
+        shared.with(|m| m.add("x", 2));
+        let first = shared.drain();
+        assert_eq!(first.counter("x"), 2);
+        assert!(shared.snapshot().is_empty(), "drain must leave the registry empty");
+        shared.with(|m| m.add("x", 5));
+        let second = shared.drain();
+        assert_eq!(second.counter("x"), 5, "second drain sees only the new delta");
     }
 }
