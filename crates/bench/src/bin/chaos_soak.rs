@@ -130,11 +130,22 @@ fn report_failure(plan: &ChaosPlan, fail_on_fault: bool, out_dir: Option<&str>) 
 }
 
 /// Replays one reproducer artifact.
+///
+/// Exit codes (CI contract, pinned by `tests/replay_exit_codes.rs`):
+/// `0` = replay passes and the artifact recorded no failure; `1` = the
+/// recorded failure still reproduces (the pinned bug is live); `3` =
+/// stale (recorded failure no longer reproduces); `4` = the artifact
+/// is unreadable or malformed. Parse errors get their own code so CI
+/// can tell "the bug is back" from "the artifact rotted".
 fn replay(path: &str, fail_on_fault: bool) -> ! {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| dsa_bench::fail(&format!("reading {path}: {e}")));
-    let plan = ChaosPlan::from_json(&text)
-        .unwrap_or_else(|e| dsa_bench::fail(&format!("parsing {path}: {e}")));
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("chaos_soak: reading {path}: {e}");
+        std::process::exit(4);
+    });
+    let plan = ChaosPlan::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("chaos_soak: parsing {path}: {e}");
+        std::process::exit(4);
+    });
     println!(
         "replaying seed {} on {} ({} windows, kill={:?}, corrupt={:?})",
         plan.seed,
@@ -143,8 +154,10 @@ fn replay(path: &str, fail_on_fault: bool) -> ! {
         plan.kill_at,
         plan.corrupt_bit
     );
-    let recorded = ChaosPlan::recorded_failure(&text)
-        .unwrap_or_else(|e| dsa_bench::fail(&format!("parsing {path}: {e}")));
+    let recorded = ChaosPlan::recorded_failure(&text).unwrap_or_else(|e| {
+        eprintln!("chaos_soak: parsing {path}: {e}");
+        std::process::exit(4);
+    });
     let out = run_chaos(&plan, Scale::Small);
     let kind = failure_kind(&out, fail_on_fault);
     println!(

@@ -512,4 +512,31 @@ mod tests {
         });
         assert_eq!(again, min);
     }
+
+    #[test]
+    fn shrink_is_deterministic_down_to_the_artifact_bytes() {
+        // Same seed, same predicate → the same minimal plan and the
+        // byte-identical reproducer artifact. The committed-corpus
+        // workflow depends on this: re-shrinking a failure on another
+        // machine must not produce diffing artifacts.
+        let mut plan = ChaosPlan::generate(23);
+        plan.schedule.windows = vec![
+            BurstWindow { site: FaultSite::CorruptTemplate, start: 1, len: 5 },
+            BurstWindow { site: FaultSite::DropVcacheEntry, start: 4, len: 2 },
+        ];
+        plan.kill_at = Some(400);
+        plan.corrupt_bit = Some(9);
+        let pred = |p: &ChaosPlan| {
+            p.schedule.windows.iter().any(|w| w.site == FaultSite::CorruptTemplate)
+        };
+        let (a, a_tried) = shrink(&plan, pred);
+        let (b, b_tried) = shrink(&plan, pred);
+        assert_eq!(a, b);
+        assert_eq!(a_tried, b_tried, "the candidate walk itself must be deterministic");
+        assert_eq!(
+            a.to_json(Some("spurious-mismatch")),
+            b.to_json(Some("spurious-mismatch")),
+            "reproducer artifacts must be byte-identical"
+        );
+    }
 }

@@ -758,9 +758,12 @@ pub fn fault_matrix(seeds: &[u64]) -> Result<String, RunError> {
                     cell.checks += 1;
                     match report.verdict {
                         OracleVerdict::Match => Ok(()),
-                        OracleVerdict::ScalarFailed(e) | OracleVerdict::DsaFailed(e) => {
-                            Err(RunError::Sim(e))
-                        }
+                        // The paper workloads all halt comfortably inside
+                        // FUEL, so an inconclusive (reference starved)
+                        // outcome here is as fatal as a reference failure.
+                        OracleVerdict::ScalarFailed(e)
+                        | OracleVerdict::DsaFailed(e)
+                        | OracleVerdict::Inconclusive(e) => Err(RunError::Sim(e)),
                         OracleVerdict::Mismatch { .. } => {
                             Err(RunError::OracleMismatch { seed, site: name })
                         }

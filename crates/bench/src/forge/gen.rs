@@ -1,0 +1,159 @@
+//! Seed-deterministic program generation.
+//!
+//! [`generate`] derives one [`ProgramSpec`] from a `u64` seed with the
+//! same splitmix64 stream the fault scheduler uses, so a seed printed
+//! in a campaign log or committed in a reproducer regenerates the
+//! identical program forever. Parameters are drawn from constrained
+//! sets chosen so every generated program lowers successfully (≤ 4
+//! sequential buffers per loop, expressible bodies) and — for the
+//! seven vectorizable shapes — clears the DSA's profitability floor,
+//! keeping the campaign's coverage signal dense instead of drowning it
+//! in rejected loops.
+
+use dsa_compiler::{BinOp, CmpOp, DataType};
+use dsa_core::splitmix64;
+
+use super::spec::{LoopSpec, ProgramSpec, Shape};
+
+/// Maximum loops per generated program (bounded by the static buffer
+/// name tables in the lowerer).
+pub const MAX_LOOPS: usize = 3;
+
+/// Trip counts the generator draws from: lane multiples, odd values
+/// exercising every leftover policy, and one just above the
+/// profitability floor.
+const TRIPS: [u32; 8] = [16, 32, 48, 64, 100, 128, 137, 256];
+
+/// Derives one program from `seed`. Deterministic: the same seed
+/// always yields the same spec, already canonicalized.
+pub fn generate(seed: u64) -> ProgramSpec {
+    let mut s = seed ^ 0xf0a6_e01d_5a7e_c0de;
+    let r = splitmix64(&mut s);
+    let n_loops = 1 + (r % MAX_LOOPS as u64) as usize;
+    let loops = (0..n_loops).map(|_| gen_loop(&mut s)).collect();
+    let mut spec = ProgramSpec { seed, loops };
+    spec.canonicalize();
+    spec
+}
+
+fn gen_loop(s: &mut u64) -> LoopSpec {
+    let r = splitmix64(s);
+    let shape = Shape::ALL[(r % Shape::ALL.len() as u64) as usize];
+    let trip = TRIPS[((r >> 8) % TRIPS.len() as u64) as usize];
+    let use_imm = (r >> 16) & 1 == 0;
+    let else_arm = (r >> 17) & 1 == 0;
+    let elem = pick_elem(shape, r >> 24);
+    let op = pick_op(shape, elem, r >> 32);
+    let imm = pick_imm(op, r >> 40);
+    let cmp = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt, CmpOp::Le]
+        [((r >> 48) % 6) as usize];
+    let rows = 4 + ((r >> 56) % 5) as u32;
+    let mut l = LoopSpec { shape, elem, trip, op, imm, use_imm, cmp, else_arm, rows };
+    if l.shape == Shape::Nest {
+        // Keep nests small: total work is rows × trip.
+        l.trip = l.trip.min(64);
+    }
+    l.canonicalize();
+    l
+}
+
+/// Element types per shape. Conservative on purpose: the campaign's
+/// job is to stress the *detector* over valid programs, so every draw
+/// must be a shape the lowerer can express and the reference executes
+/// exactly (integer-valued f32 keeps float math bit-stable).
+fn pick_elem(shape: Shape, r: u64) -> DataType {
+    match shape {
+        Shape::Sentinel => DataType::I8,
+        // Address computation for gather indices and trip registers is
+        // 32-bit; serial/partial recurrences stay integer so wraparound
+        // is well-defined in the scalar reference.
+        Shape::Gather | Shape::DynamicRange | Shape::Serial | Shape::Partial => DataType::I32,
+        Shape::Function | Shape::Conditional | Shape::Nest => {
+            [DataType::I32, DataType::I16][(r % 2) as usize]
+        }
+        Shape::Count => [DataType::I32, DataType::I16, DataType::F32][(r % 3) as usize],
+    }
+}
+
+fn pick_op(shape: Shape, elem: DataType, r: u64) -> BinOp {
+    match shape {
+        // Pinned by canonicalization anyway.
+        Shape::Function | Shape::Gather => BinOp::Add,
+        _ if elem == DataType::F32 => [BinOp::Add, BinOp::Sub, BinOp::Mul][(r % 3) as usize],
+        // Sentinel bodies stay additive so the sentinel value itself
+        // is never accidentally produced mid-stream.
+        Shape::Sentinel => BinOp::Add,
+        _ => [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Orr, BinOp::Eor]
+            [(r % 6) as usize],
+    }
+}
+
+fn pick_imm(op: BinOp, r: u64) -> i32 {
+    match op {
+        // Small factors keep products inside i16 range for I16 loops.
+        BinOp::Mul => [2, 3, 5][(r % 3) as usize],
+        BinOp::And | BinOp::Orr | BinOp::Eor => [0x0f, 0x33, 0x55, 0x7f][(r % 4) as usize],
+        _ => (1 + (r % 7) as i32) * if r & 8 == 0 { 1 } else { -1 },
+    }
+}
+
+/// Generates the `index`-th program of a campaign seed's stream:
+/// `generate` over a derived sub-seed, so one campaign seed fans out
+/// to an unbounded program stream.
+pub fn generate_nth(campaign_seed: u64, index: u64) -> ProgramSpec {
+    let mut s = campaign_seed;
+    let base = splitmix64(&mut s);
+    generate(base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeSet, HashSet};
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        for seed in 0..64 {
+            assert_eq!(generate(seed), generate(seed));
+        }
+        assert_ne!(generate(1), generate(2));
+        assert_eq!(generate_nth(9, 5), generate_nth(9, 5));
+        assert_ne!(generate_nth(9, 5), generate_nth(9, 6));
+    }
+
+    #[test]
+    fn generated_specs_are_canonical() {
+        for seed in 0..256 {
+            let spec = generate(seed);
+            let mut re = spec.clone();
+            re.canonicalize();
+            assert_eq!(spec, re, "seed {seed}: generator must emit canonical specs");
+            assert!(!spec.loops.is_empty() && spec.loops.len() <= MAX_LOOPS);
+        }
+    }
+
+    #[test]
+    fn a_small_stream_covers_every_shape_and_class() {
+        let mut shapes = BTreeSet::new();
+        let mut classes = BTreeSet::new();
+        for i in 0..256 {
+            for l in &generate_nth(0, i).loops {
+                shapes.insert(l.shape.name());
+                classes.insert(l.shape.expected_class().name());
+            }
+        }
+        assert_eq!(shapes.len(), 9, "shapes seen: {shapes:?}");
+        assert_eq!(classes.len(), 8, "classes seen: {classes:?}");
+    }
+
+    #[test]
+    fn dedup_rate_leaves_a_usable_corpus() {
+        // Structural dedup must not collapse the stream: at least half
+        // of 512 generated programs should be structurally distinct.
+        let mut seen = HashSet::new();
+        for i in 0..512 {
+            seen.insert(generate_nth(7, i).structural_hash());
+        }
+        assert!(seen.len() >= 256, "only {} distinct programs in 512", seen.len());
+    }
+}

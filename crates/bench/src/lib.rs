@@ -18,6 +18,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod experiments;
+pub mod forge;
 pub mod supervise;
 
 pub use cache::{

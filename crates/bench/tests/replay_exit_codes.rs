@@ -1,0 +1,138 @@
+//! Pins the replay exit-code contract of the two reproducer-driven
+//! binaries, `chaos_soak` and `forge`. CI scripts branch on these
+//! codes (reproduced vs stale vs rotten artifact), so a renumbering is
+//! a breaking change and must fail here first.
+//!
+//! | code | chaos_soak --replay            | forge --replay                     |
+//! |------|--------------------------------|------------------------------------|
+//! | 0    | replay passes, nothing recorded| behaves as recorded                |
+//! | 1    | recorded failure reproduces    | unexpected live divergence         |
+//! | 3    | stale reproducer               | stale reproducer                   |
+//! | 4    | unreadable / malformed artifact| unreadable / malformed artifact    |
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use dsa_bench::chaos::ChaosPlan;
+use dsa_bench::forge::{LoopSpec, ProgramSpec};
+use dsa_core::{BurstWindow, FaultSchedule, FaultSite, TestBug};
+
+/// Writes `text` to a fresh file under the target tmpdir and returns
+/// its path.
+fn artifact(name: &str, text: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("replay-exit-codes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+fn run(bin: &str, args: &[&str]) -> i32 {
+    let out = Command::new(bin).args(args).output().unwrap();
+    out.status.code().unwrap_or_else(|| panic!("{bin} killed by signal"))
+}
+
+fn chaos_soak(args: &[&str]) -> i32 {
+    run(env!("CARGO_BIN_EXE_chaos_soak"), args)
+}
+
+fn forge(args: &[&str]) -> i32 {
+    run(env!("CARGO_BIN_EXE_forge"), args)
+}
+
+/// A quiet chaos plan: no faults, no kill, no corruption — replays
+/// clean at Small scale in well under a second.
+fn quiet_plan() -> ChaosPlan {
+    let mut plan = ChaosPlan::generate(1);
+    plan.schedule = FaultSchedule::default();
+    plan.kill_at = None;
+    plan.corrupt_bit = None;
+    plan
+}
+
+#[test]
+fn chaos_soak_clean_replay_exits_0() {
+    let path = artifact("chaos-clean.json", &quiet_plan().to_json(None));
+    assert_eq!(chaos_soak(&["--replay", path.to_str().unwrap()]), 0);
+}
+
+#[test]
+fn chaos_soak_reproduced_failure_exits_1() {
+    // A wide harmless-fault window plus --fail-on-fault: the recorded
+    // "failure" (a fired fault) reproduces deterministically.
+    let mut plan = quiet_plan();
+    plan.schedule.windows =
+        vec![BurstWindow { site: FaultSite::DropVcacheEntry, start: 0, len: 40 }];
+    let path = artifact("chaos-live.json", &plan.to_json(Some("fault-fired")));
+    assert_eq!(chaos_soak(&["--replay", path.to_str().unwrap(), "--fail-on-fault"]), 1);
+}
+
+#[test]
+fn chaos_soak_stale_reproducer_exits_3() {
+    // Records a failure, but the plan replays clean today.
+    let path = artifact("chaos-stale.json", &quiet_plan().to_json(Some("final-mismatch")));
+    assert_eq!(chaos_soak(&["--replay", path.to_str().unwrap()]), 3);
+}
+
+#[test]
+fn chaos_soak_malformed_artifact_exits_4() {
+    let path = artifact("chaos-garbage.json", "{\"schema\":\"dsa-chaos/v1\",");
+    assert_eq!(chaos_soak(&["--replay", path.to_str().unwrap()]), 4);
+    assert_eq!(chaos_soak(&["--replay", "/no/such/file.json"]), 4);
+}
+
+/// A one-loop program long enough that its seed-derived kill point
+/// lands mid-run, so the resume phase really restores (the planted
+/// restore bug fires if armed).
+fn long_spec() -> ProgramSpec {
+    let mut spec =
+        ProgramSpec { seed: 11, loops: vec![LoopSpec { trip: 256, ..LoopSpec::minimal() }] };
+    spec.canonicalize();
+    spec
+}
+
+#[test]
+fn forge_as_recorded_exits_0() {
+    // A clean artifact that stays clean...
+    let clean = artifact("forge-clean.json", &long_spec().to_json(None, None));
+    assert_eq!(forge(&["--replay", clean.to_str().unwrap()]), 0);
+    // ...and a planted-bug reproducer that still reproduces.
+    let repro = artifact(
+        "forge-repro.json",
+        &long_spec().to_json(Some("resume-mismatch"), Some(TestBug::CorruptRestore)),
+    );
+    assert_eq!(forge(&["--replay", repro.to_str().unwrap()]), 0);
+}
+
+#[test]
+fn forge_unexpected_live_divergence_exits_1() {
+    // The artifact claims to be clean but arms the planted bug: the
+    // live replay diverges where the record says it should not.
+    let path = artifact(
+        "forge-lying-clean.json",
+        &long_spec().to_json(None, Some(TestBug::CorruptRestore)),
+    );
+    assert_eq!(forge(&["--replay", path.to_str().unwrap()]), 1);
+}
+
+#[test]
+fn forge_stale_reproducer_exits_3() {
+    // Records a failure with no bug armed; today's detector passes.
+    let path =
+        artifact("forge-stale.json", &long_spec().to_json(Some("resume-mismatch"), None));
+    assert_eq!(forge(&["--replay", path.to_str().unwrap()]), 3);
+}
+
+#[test]
+fn forge_malformed_artifact_exits_4() {
+    let path = artifact("forge-garbage.json", "not json at all");
+    assert_eq!(forge(&["--replay", path.to_str().unwrap()]), 4);
+    assert_eq!(forge(&["--replay", "/no/such/forge.json"]), 4);
+}
+
+#[test]
+fn both_binaries_reject_bad_usage_with_exit_2() {
+    assert_eq!(chaos_soak(&["--no-such-flag"]), 2);
+    assert_eq!(forge(&["--no-such-flag"]), 2);
+    assert_eq!(forge(&["--inject-bug", "no-such-bug"]), 2);
+}

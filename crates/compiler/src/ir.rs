@@ -70,7 +70,7 @@ pub struct Access {
 }
 
 /// Binary operators of the IR.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     Add,
     Sub,
@@ -83,7 +83,7 @@ pub enum BinOp {
 }
 
 /// Comparison operators for conditional loop bodies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     Eq,
     Ne,

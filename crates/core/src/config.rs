@@ -66,6 +66,51 @@ impl Default for FeatureSet {
     }
 }
 
+/// A deliberately planted detector bug, armed only by the fuzzing
+/// harness to prove its campaigns can catch real divergences.
+///
+/// Unlike [`FaultPlan`](crate::FaultPlan) faults — which the engine is
+/// *supposed* to detect and degrade from — a test bug models a logic
+/// error in the DSA layer itself: the run completes "successfully" but
+/// the architectural state is silently wrong. `None` in every normal
+/// configuration; only `dsa-forge` campaigns and their regression
+/// replays ever set it.
+///
+/// The bug is planted in the snapshot-restore path rather than the
+/// vectorization path because the simulator, like the paper, models
+/// vectorization as *timing substitution*: covered iterations still
+/// execute architecturally on the scalar core, so the detector cannot
+/// corrupt state during a normal run by construction. Snapshot restore
+/// is the one pathway where the DSA layer rebuilds architectural state
+/// from its own serialization — exactly where a silent logic error
+/// would live, and exactly what the campaign's kill→resume phase
+/// exists to check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestBug {
+    /// Flip the low bit of the first byte of the lowest allocated page
+    /// when restoring a machine from a snapshot. One bit of one input
+    /// element, silently wrong after every resume — invisible to the
+    /// engine's own checks, caught only by differential comparison.
+    CorruptRestore,
+}
+
+impl TestBug {
+    /// Stable artifact name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TestBug::CorruptRestore => "corrupt-restore",
+        }
+    }
+
+    /// Parses a stable artifact name.
+    pub fn by_name(name: &str) -> Option<TestBug> {
+        match name {
+            "corrupt-restore" => Some(TestBug::CorruptRestore),
+            _ => None,
+        }
+    }
+}
+
 /// How leftover iterations (trip not a lane multiple) are executed
 /// (dissertation §4.8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +175,9 @@ pub struct DsaConfig {
     /// Optional deterministic fault-injection schedule (robustness
     /// testing only; `None` in every normal configuration).
     pub faults: Option<FaultPlan>,
+    /// Optional planted detector bug (fuzz-harness self-test only;
+    /// `None` in every normal configuration). See [`TestBug`].
+    pub test_bug: Option<TestBug>,
 }
 
 impl Default for DsaConfig {
@@ -153,6 +201,7 @@ impl Default for DsaConfig {
             leftover: LeftoverPolicy::Auto,
             trace: false,
             faults: None,
+            test_bug: None,
         }
     }
 }
@@ -182,6 +231,12 @@ impl DsaConfig {
     pub fn with_trace(self) -> DsaConfig {
         DsaConfig { trace: true, ..self }
     }
+
+    /// The same configuration with a planted detector bug armed
+    /// (fuzz-harness self-test only).
+    pub fn with_test_bug(self, bug: TestBug) -> DsaConfig {
+        DsaConfig { test_bug: Some(bug), ..self }
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +252,16 @@ mod tests {
         assert!(!o.sentinel_loops && !e.sentinel_loops && f.sentinel_loops);
         assert!(!e.partial_vectorization && f.partial_vectorization);
         assert!(o.count_loops && o.function_loops && o.loop_nests);
+    }
+
+    #[test]
+    fn test_bug_is_off_by_default_and_names_round_trip() {
+        assert_eq!(DsaConfig::default().test_bug, None);
+        assert_eq!(DsaConfig::full().with_faults(FaultPlan::all(1)).test_bug, None);
+        let armed = DsaConfig::full().with_test_bug(TestBug::CorruptRestore);
+        assert_eq!(armed.test_bug, Some(TestBug::CorruptRestore));
+        assert_eq!(TestBug::by_name(TestBug::CorruptRestore.name()), Some(TestBug::CorruptRestore));
+        assert_eq!(TestBug::by_name("no-such-bug"), None);
     }
 
     #[test]

@@ -277,7 +277,19 @@ impl Dsa {
     pub fn restore(bytes: &[u8], config: DsaConfig) -> Result<(Dsa, Machine), SnapshotError> {
         let snap = Snapshot::from_bytes(bytes)?;
         let dsa = snap.restore_engine(config)?;
-        Ok((dsa, snap.restore_machine()))
+        let mut machine = snap.restore_machine();
+        if config.test_bug == Some(crate::config::TestBug::CorruptRestore) {
+            // Planted bug (fuzz-harness self-test only): the restored
+            // memory image is silently off by one bit. The run still
+            // completes "successfully" — only a differential kill→resume
+            // check can see it. See [`crate::TestBug`].
+            if let Some(page) = machine.mem.pages().first().map(|(p, _)| *p) {
+                let addr = page * dsa_mem::PAGE_BYTES as u32;
+                let byte = machine.mem.read_u8(addr);
+                machine.mem.write_u8(addr, byte ^ 1);
+            }
+        }
+        Ok((dsa, machine))
     }
 
     /// Restores from a snapshot image, degrading to a cold start when

@@ -30,12 +30,18 @@ pub enum OracleVerdict {
         /// `"flags"` or `"memory"`.
         component: &'static str,
     },
-    /// The scalar reference itself failed (e.g. the program never
-    /// halts); no verdict about the DSA is possible.
+    /// The scalar reference itself failed with an executor error; no
+    /// verdict about the DSA is possible.
     ScalarFailed(SimError),
     /// The scalar run halted but the DSA-attached run did not — the DSA
     /// prevented forward progress, which is itself a safety violation.
     DsaFailed(SimError),
+    /// A harness/fuel outcome, not a divergence: the scalar reference
+    /// ran out of step budget (the program may simply not halt, or the
+    /// fuel was too small for it), so the comparison never happened.
+    /// Generated pathological programs land here instead of producing
+    /// false fuzzing failures.
+    Inconclusive(SimError),
 }
 
 /// Full report from one oracle check.
@@ -63,6 +69,13 @@ impl OracleReport {
     pub fn holds(&self) -> bool {
         self.verdict == OracleVerdict::Match
     }
+
+    /// Whether the check produced no verdict at all (fuel/infra
+    /// outcome on the reference side). Campaign runners count these
+    /// separately from both matches and divergences.
+    pub fn inconclusive(&self) -> bool {
+        matches!(self.verdict, OracleVerdict::Inconclusive(_))
+    }
 }
 
 impl std::fmt::Display for OracleReport {
@@ -81,6 +94,9 @@ impl std::fmt::Display for OracleReport {
             ),
             OracleVerdict::ScalarFailed(e) => write!(f, "oracle: scalar reference failed: {e}"),
             OracleVerdict::DsaFailed(e) => write!(f, "oracle: dsa run failed: {e}"),
+            OracleVerdict::Inconclusive(e) => {
+                write!(f, "oracle: inconclusive (reference fuel/infra outcome: {e})")
+            }
         }
     }
 }
@@ -136,7 +152,7 @@ impl DifferentialOracle {
         let scalar_digest = scalar.machine().arch_digest();
         let dsa_digest = vec.machine().arch_digest();
         let verdict = match (&scalar_run, &dsa_run) {
-            (Err(e), _) => OracleVerdict::ScalarFailed(*e),
+            (Err(e), _) => Self::scalar_verdict(*e),
             (Ok(_), Err(e)) => OracleVerdict::DsaFailed(*e),
             (Ok(_), Ok(_)) => Self::compare(scalar.machine(), vec.machine()),
         };
@@ -225,7 +241,7 @@ impl DifferentialOracle {
         let scalar_digest = scalar.machine().arch_digest();
         OracleReport {
             verdict: match (&scalar_run, &resumed_run) {
-                (Err(e), _) => OracleVerdict::ScalarFailed(*e),
+                (Err(e), _) => Self::scalar_verdict(*e),
                 (_, Err(e)) => OracleVerdict::DsaFailed(*e),
                 _ => OracleVerdict::Mismatch { component: "regs" },
             },
@@ -252,7 +268,7 @@ impl DifferentialOracle {
         let scalar_digest = scalar.machine().arch_digest();
         let dsa_digest = resumed.machine().arch_digest();
         let verdict = match (&scalar_run, (&full_run, &resumed_run)) {
-            (Err(e), _) => OracleVerdict::ScalarFailed(*e),
+            (Err(e), _) => Self::scalar_verdict(*e),
             (Ok(_), (Err(e), _)) | (Ok(_), (_, Err(e))) => OracleVerdict::DsaFailed(*e),
             (Ok(_), (Ok(_), Ok(_))) => {
                 // Resumed vs scalar, then uninterrupted vs scalar: all
@@ -271,6 +287,17 @@ impl DifferentialOracle {
             dsa_cycles: resumed_run.map(|o| o.cycles).unwrap_or(0),
             stats: resumed_dsa.stats(),
             poisoned: resumed_dsa.poisoned(),
+        }
+    }
+
+    /// Classifies a failure of the *reference* run: running out of step
+    /// budget is a harness outcome ([`OracleVerdict::Inconclusive`] —
+    /// the program may be pathological, the fuel too small), while an
+    /// executor error is a genuine reference failure.
+    fn scalar_verdict(e: SimError) -> OracleVerdict {
+        match e {
+            SimError::StepBudgetExceeded { .. } => OracleVerdict::Inconclusive(e),
+            _ => OracleVerdict::ScalarFailed(e),
         }
     }
 
@@ -345,11 +372,57 @@ mod tests {
     }
 
     #[test]
-    fn oracle_reports_a_non_halting_reference() {
+    fn planted_restore_bug_is_caught_as_divergence() {
+        // The TestBug hook models a silent logic error in the DSA's
+        // snapshot-restore path: the resumed run "succeeds" but one bit
+        // of the restored memory image is wrong. The kill→resume
+        // differential check must flag it — this is exactly the class
+        // of bug the forge campaigns exist to find.
+        use crate::config::TestBug;
+        let kernel = vec_add_kernel();
+        let oracle = DifferentialOracle::new(10_000_000);
+        let (a, b) = (kernel.layout.bufs()[0].base, kernel.layout.bufs()[1].base);
+        // Nonzero inputs: a flipped bit in all-zero data still diverges,
+        // but realistic data keeps the digests honest.
+        let init = move |m: &mut Machine| {
+            for i in 0..256u32 {
+                m.mem.write_f32(a + 4 * i, i as f32);
+                m.mem.write_f32(b + 4 * i, 2.0 * i as f32);
+            }
+        };
+        let clean = oracle.check_resume(&kernel.program, DsaConfig::full(), init, 500);
+        assert!(clean.holds(), "{clean}");
+        let config = DsaConfig::full().with_test_bug(TestBug::CorruptRestore);
+        // The plain (no-snapshot) differential check cannot see a
+        // restore bug: vectorization is timing substitution, so a
+        // normal run never rebuilds state through the DSA layer.
+        let plain = oracle.check(&kernel.program, config, init);
+        assert!(plain.holds(), "{plain}");
+        let report = oracle.check_resume(&kernel.program, config, init, 500);
+        assert!(
+            matches!(report.verdict, OracleVerdict::Mismatch { .. }),
+            "planted bug must diverge: {report}"
+        );
+    }
+
+    #[test]
+    fn oracle_reports_a_non_halting_reference_as_inconclusive() {
+        // A reference that runs out of fuel yields no verdict at all:
+        // the outcome is Inconclusive, not a divergence and not a
+        // scalar *failure* — generated pathological programs must not
+        // read as fuzzing hits.
         let kernel = vec_add_kernel();
         let oracle = DifferentialOracle::new(10);
         let report = oracle.check(&kernel.program, DsaConfig::full(), |_| {});
-        assert!(matches!(report.verdict, OracleVerdict::ScalarFailed(_)));
+        assert!(
+            matches!(report.verdict, OracleVerdict::Inconclusive(SimError::StepBudgetExceeded { .. })),
+            "{report}"
+        );
+        assert!(report.inconclusive());
         assert!(!report.holds());
+        assert!(report.to_string().contains("inconclusive"));
+        // The resume variant classifies a starved reference the same way.
+        let resume = oracle.check_resume(&kernel.program, DsaConfig::full(), |_| {}, 5);
+        assert!(resume.inconclusive(), "{resume}");
     }
 }
